@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the experiment pipeline itself: one reduced-
+//! scale benchmark per paper exhibit, so `cargo bench` exercises the same
+//! code paths the `fig*` binaries run at full scale and regressions in
+//! simulator performance are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jbs_core::{EngineKind, JbsConfig};
+use jbs_mapred::sim::SimCluster;
+use jbs_mapred::{ClusterConfig, JobSimulator, JobSpec, ShufflePlan};
+use jbs_workloads::Benchmark;
+
+const SLAVES: usize = 4;
+const INPUT: u64 = 4 << 30;
+
+fn run(kind: EngineKind, spec: JobSpec) -> f64 {
+    let cfg = ClusterConfig::paper_testbed_scaled(kind.protocol(), SLAVES);
+    let sim = JobSimulator::new(cfg, spec);
+    let mut engine = kind.build();
+    sim.run(engine.as_mut()).job_time.as_secs_f64()
+}
+
+fn bench_fig7_terasort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_terasort");
+    for kind in [EngineKind::HadoopOnIpoIb, EngineKind::JbsOnIpoIb] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| run(kind, JobSpec::terasort(INPUT)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_protocols");
+    for kind in [EngineKind::JbsOnIpoIb, EngineKind::JbsOnRdma] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| run(kind, JobSpec::terasort(INPUT)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig11_buffers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_buffer_sweep");
+    for kb in [8u64, 128] {
+        g.bench_function(format!("{kb}KB"), |b| {
+            b.iter(|| {
+                let cfg =
+                    ClusterConfig::paper_testbed_scaled(EngineKind::JbsOnRdma.protocol(), SLAVES);
+                let sim = JobSimulator::new(cfg, JobSpec::terasort(INPUT));
+                let mut engine =
+                    EngineKind::JbsOnRdma.build_with(JbsConfig::with_buffer(kb << 10));
+                sim.run(engine.as_mut()).job_time.as_secs_f64()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig12_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_workloads");
+    for bench in [Benchmark::AdjacencyList, Benchmark::WordCount] {
+        g.bench_function(bench.label(), |b| {
+            b.iter(|| run(EngineKind::JbsOnRdma, bench.spec(INPUT)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_shuffle_only_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shuffle_engine_simulation");
+    g.bench_function("jbs_synthetic_plan", |b| {
+        b.iter(|| {
+            let mut cluster =
+                SimCluster::new(ClusterConfig::tiny(EngineKind::JbsOnRdma.protocol()), 1);
+            let plan = ShufflePlan::synthetic(4, 4, 2, 4 << 20, 100);
+            cluster.warm_mofs(&plan);
+            let mut engine = EngineKind::JbsOnRdma.build();
+            engine.run(&mut cluster, &plan).all_ready()
+        })
+    });
+    g.bench_function("hadoop_synthetic_plan", |b| {
+        b.iter(|| {
+            let mut cluster =
+                SimCluster::new(ClusterConfig::tiny(EngineKind::HadoopOnIpoIb.protocol()), 1);
+            let plan = ShufflePlan::synthetic(4, 4, 2, 4 << 20, 100);
+            cluster.warm_mofs(&plan);
+            let mut engine = EngineKind::HadoopOnIpoIb.build();
+            engine.run(&mut cluster, &plan).all_ready()
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig7_terasort, bench_fig8_protocols, bench_fig11_buffers,
+              bench_fig12_workloads, bench_shuffle_only_engines
+}
+criterion_main!(benches);

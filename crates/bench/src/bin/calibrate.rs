@@ -1,0 +1,47 @@
+//! Quick calibration probe: Terasort at several sizes on the paper testbed,
+//! all engines of Fig. 7/8, printing job time and phase breakdown.
+
+use jbs_bench::runner::run_case;
+use jbs_core::EngineKind;
+use jbs_mapred::JobSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let gbs: Vec<u64> = if args.len() > 1 {
+        args[1..].iter().map(|a| a.parse().unwrap()).collect()
+    } else {
+        vec![16, 32]
+    };
+    let kinds = [
+        EngineKind::HadoopOn1GigE,
+        EngineKind::HadoopOn10GigE,
+        EngineKind::HadoopOnIpoIb,
+        EngineKind::HadoopOnSdp,
+        EngineKind::JbsOn1GigE,
+        EngineKind::JbsOn10GigE,
+        EngineKind::JbsOnIpoIb,
+        EngineKind::JbsOnRoce,
+        EngineKind::JbsOnRdma,
+    ];
+    for gb in gbs {
+        println!("--- Terasort {gb} GB, 22 slaves ---");
+        for k in kinds {
+            let t0 = std::time::Instant::now();
+            let r = run_case(k, JobSpec::terasort(gb << 30), 22, 42);
+            println!(
+                "{:<18} job {:>8.1}s  map_end {:>7.1}s  shuf {:>8.1}s  cpu {:>4.1}%  spill {:>5.1}GB  dbusy {:>7.0}s  seeks {:>8}  dR {:>5.0}GB dW {:>5.0}GB  [wall {:?}]",
+                k.label(),
+                r.job_time.as_secs_f64(),
+                r.map_phase_end.as_secs_f64(),
+                r.shuffle_all_ready.as_secs_f64(),
+                r.mean_cpu_utilization(),
+                r.spilled_bytes as f64 / (1u64 << 30) as f64,
+                r.disk_busy.as_secs_f64(),
+                r.disk_seeks,
+                r.disk_bytes_read as f64 / (1u64 << 30) as f64,
+                r.disk_bytes_written as f64 / (1u64 << 30) as f64,
+                t0.elapsed(),
+            );
+        }
+    }
+}

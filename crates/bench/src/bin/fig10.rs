@@ -1,0 +1,110 @@
+//! Fig. 10: CPU utilization over time (sar, 5-second bins, averaged across
+//! all 22 slaves) for Terasort with 128 GB input.
+//!
+//! (a) InfiniBand, TCP path: Hadoop on IPoIB vs JBS on IPoIB
+//! (b) InfiniBand, RDMA path: Hadoop on SDP vs JBS on RDMA
+//! (c) Ethernet: Hadoop on 10GigE vs JBS on 10GigE vs JBS on RoCE
+
+use jbs_bench::runner::run_case;
+use jbs_core::EngineKind;
+use jbs_mapred::{JobResult, JobSpec};
+
+const INPUT: u64 = 128 << 30;
+
+fn run(kind: EngineKind) -> JobResult {
+    run_case(kind, JobSpec::terasort(INPUT), 22, 42)
+}
+
+fn print_panel(title: &str, cases: &[(&str, &JobResult)]) {
+    println!("\n=== {title} ===");
+    print!("{:>10}", "time (s)");
+    for (name, _) in cases {
+        print!("  {name:>20}");
+    }
+    println!();
+    let horizon = cases
+        .iter()
+        .map(|(_, r)| r.cpu_timeline().len())
+        .max()
+        .unwrap_or(0);
+    let timelines: Vec<Vec<(jbs_des::SimTime, f64)>> =
+        cases.iter().map(|(_, r)| r.cpu_timeline()).collect();
+    // Print every other bin (10 s granularity) to keep the table readable.
+    for i in (0..horizon).step_by(2) {
+        print!("{:>10}", i * 5);
+        for tl in &timelines {
+            match tl.get(i) {
+                Some(&(_, u)) => print!("  {u:>20.1}"),
+                None => print!("  {:>20}", "-"),
+            }
+        }
+        println!();
+    }
+    for (name, r) in cases {
+        println!(
+            "mean CPU utilization, {name}: {:.1}% over {:.0}s job",
+            r.mean_cpu_utilization(),
+            r.job_time.as_secs_f64()
+        );
+    }
+}
+
+fn main() {
+    let hadoop_ipoib = run(EngineKind::HadoopOnIpoIb);
+    let jbs_ipoib = run(EngineKind::JbsOnIpoIb);
+    let hadoop_sdp = run(EngineKind::HadoopOnSdp);
+    let jbs_rdma = run(EngineKind::JbsOnRdma);
+    let hadoop_10g = run(EngineKind::HadoopOn10GigE);
+    let jbs_10g = run(EngineKind::JbsOn10GigE);
+    let jbs_roce = run(EngineKind::JbsOnRoce);
+
+    print_panel(
+        "Fig. 10(a): CPU Utilization (%) — InfiniBand, TCP path (Terasort 128 GB)",
+        &[
+            ("Hadoop on IPoIB", &hadoop_ipoib),
+            ("JBS on IPoIB", &jbs_ipoib),
+        ],
+    );
+    print_panel(
+        "Fig. 10(b): CPU Utilization (%) — InfiniBand, RDMA path",
+        &[("Hadoop on SDP", &hadoop_sdp), ("JBS on RDMA", &jbs_rdma)],
+    );
+    print_panel(
+        "Fig. 10(c): CPU Utilization (%) — Ethernet",
+        &[
+            ("Hadoop on 10GigE", &hadoop_10g),
+            ("JBS on 10GigE", &jbs_10g),
+            ("JBS on RoCE", &jbs_roce),
+        ],
+    );
+
+    // "For fair comparison, we only consider CPU utilization in the same
+    // execution period" (Sec. V-D): compare over the shorter job's window.
+    let red = |h: &JobResult, j: &JobResult| {
+        let window = h.job_time.min(j.job_time);
+        let hu = h.mean_cpu_utilization_over(window);
+        let ju = j.mean_cpu_utilization_over(window);
+        (hu - ju) / hu * 100.0
+    };
+    println!("\nHeadline comparisons (paper values in parentheses):");
+    println!(
+        "  JBS-IPoIB lowers CPU utilization vs Hadoop-IPoIB by {:.1}% (48.1%)",
+        red(&hadoop_ipoib, &jbs_ipoib)
+    );
+    println!(
+        "  Hadoop-SDP vs Hadoop-IPoIB reduction: {:.1}% (15.8%)",
+        red(&hadoop_ipoib, &hadoop_sdp)
+    );
+    println!(
+        "  JBS-RDMA vs Hadoop-SDP reduction: {:.1}% (44.8%)",
+        red(&hadoop_sdp, &jbs_rdma)
+    );
+    println!(
+        "  JBS-RoCE vs Hadoop-10GigE reduction: {:.1}% (46.4%)",
+        red(&hadoop_10g, &jbs_roce)
+    );
+    println!(
+        "  JBS-10GigE vs Hadoop-10GigE reduction: {:.1}% (33.9%)",
+        red(&hadoop_10g, &jbs_10g)
+    );
+}

@@ -1,0 +1,78 @@
+//! Fig. 11: impact of the JBS transport buffer size — Terasort 128 GB with
+//! buffers from 8 KB to 512 KB, on IPoIB, RDMA and RoCE.
+//!
+//! Small buffers pay per-message overhead on every chunk; very large
+//! buffers leave too few buffers in the DataCache pool to keep the
+//! pipeline full. The paper picks 128 KB as the default.
+
+use jbs_bench::runner::{improvement_pct, print_table, run_case_with, Row};
+use jbs_core::{EngineKind, JbsConfig};
+use jbs_mapred::JobSpec;
+
+const INPUT: u64 = 128 << 30;
+
+fn main() {
+    let kinds = [
+        EngineKind::JbsOnIpoIb,
+        EngineKind::JbsOnRdma,
+        EngineKind::JbsOnRoce,
+    ];
+    let series: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+    let mut rows = Vec::new();
+    let mut kb = 8u64;
+    while kb <= 512 {
+        let cells: Vec<f64> = kinds
+            .iter()
+            .map(|&k| {
+                run_case_with(
+                    k,
+                    JbsConfig::with_buffer(kb << 10),
+                    JobSpec::terasort(INPUT),
+                    22,
+                    42,
+                )
+                .job_time
+                .as_secs_f64()
+            })
+            .collect();
+        rows.push(Row {
+            key: format!("{kb} KB"),
+            cells,
+        });
+        kb *= 2;
+    }
+    print_table(
+        "Fig. 11: Terasort 128 GB Job Execution Time (sec) vs transport buffer size",
+        "buffer size",
+        &series,
+        &rows,
+    );
+
+    let col = |kb: &str, k: usize| {
+        rows.iter()
+            .find(|r| r.key.starts_with(kb))
+            .map(|r| r.cells[k])
+            .expect("row")
+    };
+    println!("\nHeadline comparisons (paper values in parentheses):");
+    println!(
+        "  RDMA: 256 KB vs 8 KB improvement: {:.1}% (53%)",
+        improvement_pct(col("8 ", 1), col("256", 1))
+    );
+    println!(
+        "  IPoIB: 128 KB vs 8 KB improvement: {:.1}% (70.3%)",
+        improvement_pct(col("8 ", 0), col("128", 0))
+    );
+    println!(
+        "  IPoIB: 512 KB slightly worse than 128 KB: {}",
+        if col("512", 0) > col("128", 0) {
+            "yes (paper: yes)"
+        } else {
+            "no"
+        }
+    );
+    println!(
+        "  Curves level off from 128 KB: RDMA 128->512 KB change {:.1}%",
+        improvement_pct(col("128", 1), col("512", 1))
+    );
+}

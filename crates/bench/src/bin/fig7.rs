@@ -1,0 +1,88 @@
+//! Fig. 7: benefits of JVM-bypass — Terasort job execution time vs input
+//! size, in the InfiniBand environment (a) and the Ethernet environment (b).
+
+use jbs_bench::runner::{improvement_pct, print_table, run_case, Row};
+use jbs_core::EngineKind;
+use jbs_mapred::JobSpec;
+
+const SLAVES: usize = 22;
+
+fn sweep(title: &str, kinds: &[EngineKind]) -> Vec<Row> {
+    let series: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+    let mut rows = Vec::new();
+    for gb in [16u64, 32, 64, 128, 256] {
+        let cells: Vec<f64> = kinds
+            .iter()
+            .map(|&k| {
+                run_case(k, JobSpec::terasort(gb << 30), SLAVES, 42)
+                    .job_time
+                    .as_secs_f64()
+            })
+            .collect();
+        rows.push(Row {
+            key: format!("{gb} GB"),
+            cells,
+        });
+    }
+    print_table(title, "input size", &series, &rows);
+    rows
+}
+
+fn mean_improvement(rows: &[Row], base: usize, new: usize) -> f64 {
+    rows.iter()
+        .map(|r| improvement_pct(r.cells[base], r.cells[new]))
+        .sum::<f64>()
+        / rows.len() as f64
+}
+
+fn main() {
+    let ib = sweep(
+        "Fig. 7(a): Terasort Job Execution Time (sec) — InfiniBand Environment",
+        &[
+            EngineKind::HadoopOnIpoIb,
+            EngineKind::HadoopOnSdp,
+            EngineKind::JbsOnIpoIb,
+        ],
+    );
+    let eth = sweep(
+        "Fig. 7(b): Terasort Job Execution Time (sec) — Ethernet Environment",
+        &[
+            EngineKind::HadoopOn1GigE,
+            EngineKind::HadoopOn10GigE,
+            EngineKind::JbsOn1GigE,
+            EngineKind::JbsOn10GigE,
+        ],
+    );
+
+    println!("\nHeadline comparisons (paper values in parentheses):");
+    println!(
+        "  JBS-IPoIB vs Hadoop-IPoIB, mean improvement: {:.1}% (14.1%)",
+        mean_improvement(&ib, 0, 2)
+    );
+    println!(
+        "  JBS-IPoIB vs Hadoop-SDP,  mean improvement: {:.1}% (14.8%)",
+        mean_improvement(&ib, 1, 2)
+    );
+    println!(
+        "  JBS-1GigE  vs Hadoop-1GigE,  mean improvement: {:.1}% (20.9%)",
+        mean_improvement(&eth, 0, 2)
+    );
+    println!(
+        "  JBS-10GigE vs Hadoop-10GigE, mean improvement: {:.1}% (19.3%)",
+        mean_improvement(&eth, 1, 3)
+    );
+    let at32 = &eth[1];
+    println!(
+        "  Hadoop-10GigE vs Hadoop-1GigE at 32 GB: {:.1}% (51.5%)",
+        improvement_pct(at32.cells[0], at32.cells[1])
+    );
+    let at256 = &eth[4];
+    println!(
+        "  JBS vs Hadoop on 10GigE at 256 GB: {:.1}% (26.5%)",
+        improvement_pct(at256.cells[1], at256.cells[3])
+    );
+    println!(
+        "  JBS on 1GigE vs 10GigE converge at 256 GB: {:.2}x apart (paper: 'performs similarly')",
+        at256.cells[2] / at256.cells[3]
+    );
+}

@@ -1,0 +1,107 @@
+//! Fig. 9: scalability — strong scaling (fixed 256 GB input) and weak
+//! scaling (6 GB per ReduceTask) over 12–22 slave nodes, on both fabrics.
+
+use jbs_bench::runner::{improvement_pct, print_table, run_case, Row};
+use jbs_core::EngineKind;
+use jbs_mapred::JobSpec;
+
+/// Strong scaling: fixed total input.
+const STRONG_INPUT: u64 = 256 << 30;
+/// Weak scaling: fixed input per ReduceTask (2 reducers per node).
+const WEAK_PER_REDUCER: u64 = 6 << 30;
+
+fn sweep(title: &str, kinds: &[EngineKind], weak: bool) -> Vec<Row> {
+    let series: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+    let mut rows = Vec::new();
+    for slaves in (12..=22).step_by(2) {
+        let input = if weak {
+            WEAK_PER_REDUCER * 2 * slaves as u64
+        } else {
+            STRONG_INPUT
+        };
+        let cells: Vec<f64> = kinds
+            .iter()
+            .map(|&k| {
+                run_case(k, JobSpec::terasort(input), slaves, 42)
+                    .job_time
+                    .as_secs_f64()
+            })
+            .collect();
+        rows.push(Row {
+            key: slaves.to_string(),
+            cells,
+        });
+    }
+    print_table(title, "slave nodes", &series, &rows);
+    rows
+}
+
+fn mean_improvement(rows: &[Row], base: usize, new: usize) -> f64 {
+    rows.iter()
+        .map(|r| improvement_pct(r.cells[base], r.cells[new]))
+        .sum::<f64>()
+        / rows.len() as f64
+}
+
+fn main() {
+    let ib = [
+        EngineKind::HadoopOnIpoIb,
+        EngineKind::JbsOnIpoIb,
+        EngineKind::JbsOnRdma,
+    ];
+    let eth = [
+        EngineKind::HadoopOn10GigE,
+        EngineKind::JbsOn10GigE,
+        EngineKind::JbsOnRoce,
+    ];
+
+    let a = sweep(
+        "Fig. 9(a): Strong Scaling (256 GB Terasort) — InfiniBand",
+        &ib,
+        false,
+    );
+    let b = sweep(
+        "Fig. 9(b): Weak Scaling (6 GB/ReduceTask Terasort) — InfiniBand",
+        &ib,
+        true,
+    );
+    let c = sweep(
+        "Fig. 9(c): Strong Scaling (256 GB Terasort) — Ethernet",
+        &eth,
+        false,
+    );
+    let d = sweep(
+        "Fig. 9(d): Weak Scaling (6 GB/ReduceTask Terasort) — Ethernet",
+        &eth,
+        true,
+    );
+
+    println!("\nHeadline comparisons (paper values in parentheses):");
+    println!(
+        "  strong IB:  JBS-RDMA vs Hadoop-IPoIB {:.1}% (49.5%), JBS-IPoIB vs Hadoop-IPoIB {:.1}% (20.9%)",
+        mean_improvement(&a, 0, 2),
+        mean_improvement(&a, 0, 1)
+    );
+    println!(
+        "  weak IB:    JBS-RDMA vs Hadoop-IPoIB {:.1}% (43.6%), JBS-IPoIB vs Hadoop-IPoIB {:.1}% (21.1%)",
+        mean_improvement(&b, 0, 2),
+        mean_improvement(&b, 0, 1)
+    );
+    println!(
+        "  strong Eth: JBS-RoCE vs Hadoop-10GigE {:.1}% (up to 41.9%), JBS-10GigE vs Hadoop-10GigE {:.1}% (17.6%)",
+        mean_improvement(&c, 0, 2),
+        mean_improvement(&c, 0, 1)
+    );
+    println!(
+        "  weak Eth:   JBS-RoCE vs Hadoop-10GigE {:.1}% (up to 40.4%), JBS-10GigE vs Hadoop-10GigE {:.1}% (23.8%)",
+        mean_improvement(&d, 0, 2),
+        mean_improvement(&d, 0, 1)
+    );
+    // Strong scaling should reduce execution time with more nodes.
+    let first = a[0].cells[2];
+    let last = a[a.len() - 1].cells[2];
+    println!(
+        "  strong-scaling speedup 12->22 nodes (JBS-RDMA): {:.2}x (paper: near-linear reduction)",
+        first / last
+    );
+}

@@ -1,0 +1,144 @@
+//! JBS tuning knobs and their paper defaults.
+
+use jbs_des::SimTime;
+use jbs_net::conn::DEFAULT_MAX_CONNECTIONS;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the JBS library (Sec. IV, Sec. V-E).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JbsConfig {
+    /// Transport buffer size. "We choose the default transport buffer size
+    /// as 128 KB for the JBS library" (Sec. V-E).
+    pub buffer_bytes: u64,
+    /// Total DataCache memory per NetMerger/MOFSupplier process; divided by
+    /// `buffer_bytes` this bounds the number of in-flight transfers, which
+    /// is what makes very large buffers *reduce* pipelining (Fig. 11).
+    pub datacache_bytes: u64,
+    /// Segments-worth of read-ahead the MOFSupplier's disk prefetch server
+    /// issues per group visit, in transport buffers.
+    pub prefetch_batch: u32,
+    /// Live-connection cap before LRU teardown (Sec. IV-A: 512).
+    pub max_connections: usize,
+    /// Round-robin injection across per-remote-node request groups
+    /// (disable for the fairness ablation; FIFO across all groups then).
+    pub round_robin_injection: bool,
+    /// Group fetch requests by target MOF on the supplier (disable for the
+    /// grouping ablation; arrival order then).
+    pub group_by_mof: bool,
+    /// Pipelined prefetching into the DataCache (disable for the prefetch
+    /// ablation; the supplier then serializes read and transmit per
+    /// request like the stock HttpServlet, Fig. 4).
+    pub pipelined_prefetch: bool,
+    /// Segment-body bytes per reducer the NetMerger may stage *before* the
+    /// merge phase starts. Headers always stream at MOF commit; bodies
+    /// levitate on remote disks once this staging memory is full — the
+    /// SC'11 network-levitated merge with a bounded eager window.
+    pub prefetch_budget_per_reducer: u64,
+    /// JBS plugs into Hadoop, so the NetMerger learns of completed
+    /// MapTasks through the same TaskCompletionEvents polling as stock
+    /// MOFCopiers (~3 s in Hadoop 0.20). Zero for micro-benchmarks that
+    /// fetch directly.
+    pub notification_latency: SimTime,
+}
+
+impl Default for JbsConfig {
+    fn default() -> Self {
+        JbsConfig {
+            buffer_bytes: 128 << 10,
+            datacache_bytes: 8 << 20,
+            prefetch_batch: 8,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            round_robin_injection: true,
+            group_by_mof: true,
+            pipelined_prefetch: true,
+            prefetch_budget_per_reducer: 256 << 20,
+            notification_latency: SimTime::from_secs(3),
+        }
+    }
+}
+
+impl JbsConfig {
+    /// The default configuration with a different transport buffer size
+    /// (the Fig. 11 sweep).
+    pub fn with_buffer(buffer_bytes: u64) -> Self {
+        JbsConfig {
+            buffer_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Number of in-flight transport buffers the DataCache supports.
+    pub fn pool_buffers(&self) -> usize {
+        ((self.datacache_bytes / self.buffer_bytes).max(1)) as usize
+    }
+
+    /// Sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.buffer_bytes == 0 {
+            return Err("buffer size must be positive".into());
+        }
+        if self.datacache_bytes < self.buffer_bytes {
+            return Err("DataCache smaller than one buffer".into());
+        }
+        if self.max_connections == 0 {
+            return Err("connection cap must be positive".into());
+        }
+        if self.prefetch_batch == 0 {
+            return Err("prefetch batch must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = JbsConfig::default();
+        assert_eq!(c.buffer_bytes, 128 << 10);
+        assert_eq!(c.max_connections, 512);
+        assert!(c.round_robin_injection && c.group_by_mof && c.pipelined_prefetch);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn pool_buffer_math() {
+        assert_eq!(JbsConfig::default().pool_buffers(), 64);
+        assert_eq!(JbsConfig::with_buffer(512 << 10).pool_buffers(), 16);
+        assert_eq!(JbsConfig::with_buffer(8 << 20).pool_buffers(), 1);
+    }
+
+    #[test]
+    fn bigger_buffers_mean_fewer_in_flight() {
+        // The Fig. 11 mechanism in one assert.
+        let small = JbsConfig::with_buffer(8 << 10).pool_buffers();
+        let large = JbsConfig::with_buffer(512 << 10).pool_buffers();
+        assert!(small > large * 16);
+    }
+
+    #[test]
+    fn validation() {
+        let c = JbsConfig {
+            buffer_bytes: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = JbsConfig {
+            datacache_bytes: JbsConfig::default().buffer_bytes - 1,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = JbsConfig {
+            max_connections: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = JbsConfig {
+            prefetch_batch: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! The DataCache: a fixed pool of transport buffers.
+//!
+//! "With dedicated memory space as the DataCache ... segments for several
+//! requests are prefetched to the DataCache" (Sec. III-B). In the
+//! simulation the pool is a counting resource over simulated time: a
+//! transfer acquires a buffer (waiting if all are in flight) and releases
+//! it when the receiver has drained it. The pool size — DataCache bytes
+//! divided by the transport buffer size — is the pipelining window, which
+//! is exactly why oversized buffers degrade JBS in Fig. 11: "the use of
+//! very large buffers increases the contention between communication
+//! threads, and reduces the pipelining effects of many buffers".
+
+use jbs_des::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pool of identical transport buffers tracked in simulated time.
+pub struct DataCache {
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    buffers: usize,
+    buffer_bytes: u64,
+    outstanding: usize,
+    acquisitions: u64,
+    total_wait: SimTime,
+}
+
+impl DataCache {
+    /// A pool of `buffers` buffers of `buffer_bytes` each.
+    pub fn new(buffers: usize, buffer_bytes: u64) -> Self {
+        assert!(buffers >= 1, "pool needs at least one buffer");
+        let mut free_at = BinaryHeap::with_capacity(buffers);
+        for _ in 0..buffers {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        DataCache {
+            free_at,
+            buffers,
+            buffer_bytes,
+            outstanding: 0,
+            acquisitions: 0,
+            total_wait: SimTime::ZERO,
+        }
+    }
+
+    /// Acquire a buffer at `now`; returns when one is actually available
+    /// (≥ `now`). Must be paired with [`DataCache::release`].
+    pub fn acquire(&mut self, now: SimTime) -> SimTime {
+        let Reverse(free) = self.free_at.pop().expect("pool exhausted: release missing");
+        self.outstanding += 1;
+        self.acquisitions += 1;
+        let start = now.max(free);
+        self.total_wait += start.saturating_sub(now);
+        start
+    }
+
+    /// Return a buffer to the pool, free again at `when`.
+    pub fn release(&mut self, when: SimTime) {
+        assert!(self.outstanding > 0, "release without acquire");
+        self.outstanding -= 1;
+        self.free_at.push(Reverse(when));
+    }
+
+    /// Pool size in buffers.
+    pub fn buffers(&self) -> usize {
+        self.buffers
+    }
+
+    /// Size of each buffer.
+    pub fn buffer_bytes(&self) -> u64 {
+        self.buffer_bytes
+    }
+
+    /// Buffers currently checked out.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Mean time an acquire had to wait for a free buffer — the pipeline
+    /// stall metric reported by the buffer-size experiments.
+    pub fn mean_wait(&self) -> SimTime {
+        if self.acquisitions == 0 {
+            SimTime::ZERO
+        } else {
+            self.total_wait / self.acquisitions
+        }
+    }
+
+    /// Total acquisitions.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_immediate_while_pool_has_buffers() {
+        let mut dc = DataCache::new(2, 128 << 10);
+        assert_eq!(dc.acquire(SimTime::from_secs(1)), SimTime::from_secs(1));
+        assert_eq!(dc.acquire(SimTime::from_secs(1)), SimTime::from_secs(1));
+        assert_eq!(dc.outstanding(), 2);
+    }
+
+    #[test]
+    fn exhausted_pool_waits_for_release() {
+        let mut dc = DataCache::new(1, 128 << 10);
+        let t = dc.acquire(SimTime::ZERO);
+        assert_eq!(t, SimTime::ZERO);
+        dc.release(SimTime::from_secs(5));
+        let t2 = dc.acquire(SimTime::from_secs(1));
+        assert_eq!(t2, SimTime::from_secs(5), "must wait for the release");
+        assert_eq!(dc.mean_wait(), SimTime::from_secs(2)); // (0 + 4)/2
+    }
+
+    #[test]
+    fn earliest_released_buffer_is_handed_out() {
+        let mut dc = DataCache::new(2, 4096);
+        dc.acquire(SimTime::ZERO);
+        dc.acquire(SimTime::ZERO);
+        dc.release(SimTime::from_secs(10));
+        dc.release(SimTime::from_secs(3));
+        assert_eq!(dc.acquire(SimTime::ZERO), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut dc = DataCache::new(4, 64 << 10);
+        assert_eq!(dc.buffers(), 4);
+        assert_eq!(dc.buffer_bytes(), 64 << 10);
+        dc.acquire(SimTime::ZERO);
+        assert_eq!(dc.acquisitions(), 1);
+        dc.release(SimTime::ZERO);
+        assert_eq!(dc.outstanding(), 0);
+        assert_eq!(DataCache::new(1, 1).mean_wait(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_release_panics() {
+        let mut dc = DataCache::new(1, 1);
+        dc.release(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_buffers_rejected() {
+        let _ = DataCache::new(0, 1);
+    }
+}

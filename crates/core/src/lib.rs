@@ -1,0 +1,40 @@
+//! # jbs-core — JVM-Bypass Shuffling
+//!
+//! The paper's contribution, implemented as two plug-in shuffle engines for
+//! the `jbs-mapred` runtime (the [`jbs_mapred::ShuffleEngine`] boundary is
+//! this reproduction's MAPREDUCE-4049 "pluggable shuffle"):
+//!
+//! * [`HadoopShuffle`] — the stock path: per-TaskTracker **HttpServlets**
+//!   answer fetch requests by reading MOF segments with Java streams and
+//!   pushing them through the JVM socket stack, fully serialized per
+//!   request (Fig. 4); per-ReduceTask **MOFCopiers** fetch concurrently,
+//!   spill to disk under memory pressure, and multi-pass merge. Every byte
+//!   pays the JVM tax (`jbs-jvm`): stream-read CPU, allocation-driven GC
+//!   pauses, and 8+ shuffle threads per ReduceTask.
+//!
+//! * [`JbsShuffle`] — JVM-Bypass Shuffling: a native **MOFSupplier** per
+//!   node with an [`IndexCache`] and a [`DataCache`] that groups fetch
+//!   requests by MOF, prefetches batches round-robin, and transmits
+//!   asynchronously (Fig. 5); a native **NetMerger** per node that
+//!   consolidates the fetch traffic of all local ReduceTasks, injects
+//!   requests round-robin across remote nodes, and merges segments with
+//!   the network-levitated merge (no reduce-side spilling). Connections
+//!   are cached and capped at 512 with LRU teardown; both TCP-like and
+//!   RDMA-like protocols are driven through the same code (Sec. III–IV).
+//!
+//! [`EngineKind`] enumerates the test cases of Table I and builds the
+//! matching engine + cluster protocol pair.
+
+pub mod baseline;
+pub mod config;
+pub mod datacache;
+pub mod engine_kind;
+pub mod indexcache;
+pub mod jbs;
+
+pub use baseline::HadoopShuffle;
+pub use config::JbsConfig;
+pub use datacache::DataCache;
+pub use engine_kind::EngineKind;
+pub use indexcache::IndexCache;
+pub use jbs::JbsShuffle;

@@ -1,0 +1,40 @@
+//! # jbs-des — deterministic discrete-event simulation kernel
+//!
+//! This crate is the foundation of the JBS reproduction: a small,
+//! deterministic discrete-event simulation (DES) toolkit used by the disk,
+//! network, JVM and MapReduce models. It provides:
+//!
+//! * [`SimTime`] — a nanosecond-resolution simulated clock value usable both
+//!   as an instant and as a duration.
+//! * [`EventQueue`] — a priority queue of `(time, payload)` events with a
+//!   strict, reproducible tie-break (insertion sequence).
+//! * [`DetRng`] — a seeded random-number source with the sampling helpers the
+//!   models need (uniform, exponential, Zipf-like).
+//! * [`FifoServer`] / [`MultiServer`] — analytic queueing resources used to
+//!   model serially-shared hardware (a disk arm, a NIC link, a CPU core
+//!   pool). Requests submitted in non-decreasing time order are served in
+//!   FIFO order and the server tracks its own busy time.
+//! * [`CpuMeter`] — per-node CPU accounting binned into `sar`-style sampling
+//!   intervals, used to regenerate the paper's Figure 10 utilization
+//!   timelines.
+//! * [`stats`] — small online-statistics helpers (Welford mean/variance,
+//!   percentiles, time series).
+//!
+//! Determinism contract: given the same seed and the same sequence of calls,
+//! every type in this crate produces bit-identical results. Nothing here
+//! reads wall-clock time or uses unseeded randomness.
+
+pub mod cpu;
+pub mod lru;
+pub mod queue;
+pub mod rng;
+pub mod server;
+pub mod stats;
+pub mod time;
+
+pub use cpu::CpuMeter;
+pub use lru::LruCache;
+pub use queue::EventQueue;
+pub use rng::DetRng;
+pub use server::{FifoServer, MultiServer};
+pub use time::SimTime;

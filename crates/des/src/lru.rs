@@ -1,0 +1,355 @@
+//! A generic least-recently-used cache.
+//!
+//! Used in three places in the reproduction, mirroring the paper:
+//! the disk page cache (`jbs-disk`), the MOFSupplier's IndexCache
+//! (`jbs-core`), and the JBS connection manager, which tears down
+//! connections "based on the LRU (Least Recently Used) order" once the
+//! 512-connection threshold is hit (Sec. IV-A).
+//!
+//! Implementation: a slab of doubly-linked `Option<Node>` entries plus a
+//! `HashMap` from key to slab index. All operations are O(1) expected.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU cache holding at most `capacity` entries.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Option<Node<K, V>>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache with room for `capacity >= 1` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "LruCache capacity must be >= 1");
+        LruCache {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit count since creation (lookups that found the key).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn node(&self, idx: usize) -> &Node<K, V> {
+        self.slab[idx].as_ref().expect("live slab slot")
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut Node<K, V> {
+        self.slab[idx].as_mut().expect("live slab slot")
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = {
+            let n = self.node(idx);
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.node_mut(prev).next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.node_mut(next).prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let n = self.node_mut(idx);
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.node_mut(old_head).prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Look up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(&self.node(idx).value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up `key` mutably, marking it most recently used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(&mut self.node_mut(idx).value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Check presence and touch recency, without the borrow of `get`.
+    pub fn touch(&mut self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Check presence *without* touching recency or hit counters.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.node(idx).value)
+    }
+
+    /// Insert `key -> value`, evicting the least-recently-used entry if the
+    /// cache is full. Returns the evicted `(key, value)` if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.node_mut(idx).value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return None;
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            self.evict_lru()
+        } else {
+            None
+        };
+        let node = Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Some(node);
+                i
+            }
+            None => {
+                self.slab.push(Some(node));
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        evicted
+    }
+
+    /// Remove and return the least-recently-used entry.
+    pub fn evict_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        self.detach(idx);
+        let node = self.slab[idx].take().expect("live slab slot");
+        self.map.remove(&node.key);
+        self.free.push(idx);
+        Some((node.key, node.value))
+    }
+
+    /// Remove a specific key, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        let node = self.slab[idx].take().expect("live slab slot");
+        self.free.push(idx);
+        Some(node.value)
+    }
+
+    /// Keys from most to least recently used.
+    pub fn keys_mru(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            let n = self.node(cur);
+            out.push(n.key.clone());
+            cur = n.next;
+        }
+        out
+    }
+
+    /// Hit ratio over all lookups so far (0 when none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.insert("a", 1), None);
+        assert_eq!(c.insert("b", 2), None);
+        assert_eq!(c.get(&"a"), Some(&1)); // a is now MRU
+        let evicted = c.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert!(c.peek(&"a").is_some());
+        assert!(c.peek(&"b").is_none());
+        assert!(c.peek(&"c").is_some());
+    }
+
+    #[test]
+    fn insert_existing_updates_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "x");
+        c.insert(2, "y");
+        assert_eq!(c.insert(1, "z"), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(&1), Some(&"z"));
+    }
+
+    #[test]
+    fn mru_order_tracks_access() {
+        let mut c = LruCache::new(3);
+        c.insert(1, ());
+        c.insert(2, ());
+        c.insert(3, ());
+        assert_eq!(c.keys_mru(), vec![3, 2, 1]);
+        c.touch(&1);
+        assert_eq!(c.keys_mru(), vec![1, 3, 2]);
+        c.get_mut(&2);
+        assert_eq!(c.keys_mru(), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        assert_eq!(c.remove(&1), Some(10));
+        assert!(c.is_empty());
+        c.insert(2, 20);
+        c.insert(3, 30);
+        c.insert(4, 40); // forces eviction through the freed slot path
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.keys_mru(), vec![4, 3]);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = LruCache::new(2);
+        c.insert(1, ());
+        c.get(&1);
+        c.get(&2);
+        c.get(&2);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+        assert!((c.hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(!c.touch(&9));
+    }
+
+    #[test]
+    fn capacity_one_always_evicts_previous() {
+        let mut c = LruCache::new(1);
+        c.insert(1, 'a');
+        assert_eq!(c.insert(2, 'b'), Some((1, 'a')));
+        assert_eq!(c.keys_mru(), vec![2]);
+    }
+
+    #[test]
+    fn evict_on_empty_is_none() {
+        let mut c: LruCache<u8, u8> = LruCache::new(4);
+        assert_eq!(c.evict_lru(), None);
+        assert_eq!(c.remove(&0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::<u8, u8>::new(0);
+    }
+
+    #[test]
+    fn stress_against_naive_model() {
+        // Cross-check against a simple Vec-based model.
+        use crate::rng::DetRng;
+        let mut r = DetRng::new(99);
+        let mut lru = LruCache::new(8);
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        for _ in 0..5_000 {
+            let k = r.uniform_u64(0, 24);
+            if r.chance(0.5) {
+                lru.insert(k, k);
+                model.retain(|&x| x != k);
+                model.insert(0, k);
+                if model.len() > 8 {
+                    model.pop();
+                }
+            } else {
+                let hit = lru.touch(&k);
+                let model_hit = model.contains(&k);
+                assert_eq!(hit, model_hit);
+                if model_hit {
+                    model.retain(|&x| x != k);
+                    model.insert(0, k);
+                }
+            }
+            assert_eq!(lru.keys_mru(), model);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Seeded randomness for the simulator.
+//!
+//! All stochastic behaviour in the reproduction flows through [`DetRng`] so
+//! that a single `u64` seed makes every experiment replayable. The helpers
+//! cover the distributions the models need: uniform jitter, exponential
+//! service-time noise, and a bounded Zipf sampler for skewed workloads.
+
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random source, cheap to fork into decorrelated
+/// sub-streams.
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Create from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream; used to give each node/model its
+    /// own stream so call-order changes in one model cannot perturb another.
+    pub fn fork(&mut self, salt: u64) -> DetRng {
+        let s = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DetRng::new(s)
+    }
+
+    /// Uniform in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exp_f64(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// A duration jittered multiplicatively in `[1-frac, 1+frac]` around
+    /// `base`; used to de-synchronize otherwise identical tasks, as real
+    /// clusters do.
+    pub fn jitter(&mut self, base: SimTime, frac: f64) -> SimTime {
+        if frac <= 0.0 {
+            return base;
+        }
+        let f = self.uniform_f64(1.0 - frac, 1.0 + frac);
+        base.scaled(f.max(0.0))
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    pub fn exp_time(&mut self, mean: SimTime) -> SimTime {
+        SimTime::from_secs_f64(self.exp_f64(mean.as_secs_f64()))
+    }
+
+    /// Zipf(`n`, `theta`) rank in `[0, n)` via inverse-CDF over a
+    /// precomputed table-free approximation (rejection-inversion would be
+    /// overkill at our scales; `n` here is at most a few million).
+    ///
+    /// `theta = 0` degenerates to uniform.
+    pub fn zipf(&mut self, n: u64, theta: f64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        if theta <= 0.0 {
+            return self.uniform_u64(0, n);
+        }
+        // Approximate inverse CDF: for Zipf with exponent theta the CDF is
+        // ~ (k/n)^(1-theta) for theta<1; invert a uniform draw. For theta>=1
+        // clamp the exponent to keep the sampler defined.
+        let ex = (1.0 - theta).max(0.05);
+        let u = self.uniform_f64(0.0, 1.0);
+        let k = (u.powf(1.0 / ex) * n as f64) as u64;
+        k.min(n - 1)
+    }
+
+    /// Raw uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.gen_bool(p)
+    }
+
+    /// Fill a byte buffer (used by the real-dataplane tests to build
+    /// reproducible payloads).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_diverges() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_decorrelated() {
+        let mut root1 = DetRng::new(7);
+        let mut root2 = DetRng::new(7);
+        let mut c1 = root1.fork(3);
+        let mut c2 = root2.fork(3);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut other = DetRng::new(7).fork(4);
+        assert_ne!(DetRng::new(7).fork(3).next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = DetRng::new(5);
+        for _ in 0..1000 {
+            let v = r.uniform_f64(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+            let k = r.uniform_u64(10, 20);
+            assert!((10..20).contains(&k));
+        }
+        assert_eq!(r.uniform_u64(5, 5), 5);
+        assert_eq!(r.uniform_f64(5.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn exp_has_roughly_right_mean() {
+        let mut r = DetRng::new(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exp_f64(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean was {mean}");
+        assert_eq!(r.exp_f64(0.0), 0.0);
+    }
+
+    #[test]
+    fn jitter_brackets_base() {
+        let mut r = DetRng::new(13);
+        let base = SimTime::from_secs(10);
+        for _ in 0..200 {
+            let j = r.jitter(base, 0.1);
+            assert!(j >= SimTime::from_secs_f64(9.0));
+            assert!(j <= SimTime::from_secs_f64(11.0));
+        }
+        assert_eq!(r.jitter(base, 0.0), base);
+    }
+
+    #[test]
+    fn zipf_is_bounded_and_skewed() {
+        let mut r = DetRng::new(17);
+        let n = 1000u64;
+        let mut low = 0usize;
+        for _ in 0..10_000 {
+            let k = r.zipf(n, 0.9);
+            assert!(k < n);
+            if k < n / 10 {
+                low += 1;
+            }
+        }
+        // With strong skew, far more than 10% of draws land in the lowest
+        // decile of ranks.
+        assert!(low > 3_000, "low-decile draws: {low}");
+        assert_eq!(r.zipf(1, 0.9), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(19);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Small statistics helpers used across the experiment harness.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration in seconds.
+    pub fn push_time(&mut self, t: SimTime) {
+        self.push(t.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+/// Exact percentile over a stored sample (fine at experiment scales).
+#[derive(Debug, Clone, Default)]
+pub struct Sample {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Sample {
+    /// An empty sample.
+    pub fn new() -> Self {
+        Sample::default()
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// `q`-th percentile with nearest-rank interpolation, `q` in `[0, 1]`.
+    /// Returns 0 for an empty sample.
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN observations"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.values.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.values[lo]
+        } else {
+            let f = pos - lo as f64;
+            self.values[lo] * (1.0 - f) + self.values[hi] * f
+        }
+    }
+
+    /// Median shorthand.
+    pub fn median(&mut self) -> f64 {
+        self.percentile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn push_time_records_seconds() {
+        let mut s = OnlineStats::new();
+        s.push_time(SimTime::from_millis(1500));
+        assert!((s.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s = Sample::new();
+        for x in 1..=100 {
+            s.push(x as f64);
+        }
+        assert!((s.median() - 50.5).abs() < 1e-9);
+        assert!((s.percentile(0.0) - 1.0).abs() < 1e-9);
+        assert!((s.percentile(1.0) - 100.0).abs() < 1e-9);
+        assert!((s.percentile(0.25) - 25.75).abs() < 1e-9);
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let mut s = Sample::new();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_after_interleaved_push() {
+        let mut s = Sample::new();
+        s.push(10.0);
+        assert_eq!(s.median(), 10.0);
+        s.push(0.0);
+        assert_eq!(s.median(), 5.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # jbs-disk — rotating-disk and page-cache model
+//!
+//! The evaluation cluster in the paper has two Western Digital 500 GB SATA
+//! drives per node (Sec. V). Disk behaviour drives two of the paper's key
+//! results:
+//!
+//! * jobs with small intermediate data (≤ 64 GB) are barely disk-bound
+//!   because Map Output Files (MOFs) "reside in disk cache or system
+//!   buffers" (Sec. V-A) — modeled here by a node-wide [`PageCache`] that is
+//!   populated on writes and consulted on reads;
+//! * jobs with large data (≥ 128 GB) become disk-bound, and the win of JBS's
+//!   batched, pipelined prefetching comes from restoring *sequential* disk
+//!   access — modeled here by [`Disk`] charging a seek + rotational delay on
+//!   every discontinuous access and pure transfer time on contiguous ones.
+//!
+//! [`NodeStorage`] combines the per-node disks and the shared page cache and
+//! is the only type the upper layers normally touch.
+
+pub mod model;
+pub mod pagecache;
+pub mod storage;
+
+pub use model::{Disk, DiskParams, IoGrant};
+pub use pagecache::{CacheOutcome, PageCache};
+pub use storage::{CachePolicy, FileId, NodeStorage, ReadOutcome};

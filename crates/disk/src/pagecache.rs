@@ -1,0 +1,287 @@
+//! Node-wide OS page cache model.
+//!
+//! Block-granular (default 1 MiB) LRU over `(file, block)` pairs. Writes and
+//! completed reads populate the cache; reads report which byte ranges hit
+//! and which block-aligned runs must go to disk. This is the mechanism
+//! behind the paper's observation that small jobs are served from "disk
+//! cache or system buffers" while ≥128 GB jobs hit the spindles (Sec. V-A).
+
+use jbs_des::lru::LruCache;
+use serde::{Deserialize, Serialize};
+
+/// Key of one cached block.
+type BlockKey = (u64, u64); // (file, block index)
+
+/// Result of probing the cache for a read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Bytes of the request satisfied from memory.
+    pub hit_bytes: u64,
+    /// Block-aligned `(offset, len)` runs that must be read from disk.
+    /// Runs are coalesced: adjacent missing blocks form one run.
+    pub miss_runs: Vec<(u64, u64)>,
+}
+
+impl CacheOutcome {
+    /// Total bytes that must come from disk.
+    pub fn miss_bytes(&self) -> u64 {
+        self.miss_runs.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// True when the whole request was in memory.
+    pub fn fully_cached(&self) -> bool {
+        self.miss_runs.is_empty()
+    }
+}
+
+/// Configuration snapshot of a [`PageCache`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageCacheConfig {
+    /// Cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Block (page-cluster) size in bytes.
+    pub block_size: u64,
+}
+
+/// The cache itself.
+pub struct PageCache {
+    block_size: u64,
+    lru: LruCache<BlockKey, ()>,
+    hit_bytes: u64,
+    miss_bytes: u64,
+}
+
+impl PageCache {
+    /// A cache of `capacity_bytes` with 256 KiB blocks (a typical kernel
+    /// readahead window; also the granularity at which misses are clustered
+    /// into disk requests).
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self::with_block_size(capacity_bytes, 256 << 10)
+    }
+
+    /// A cache with an explicit block size (must divide into at least one
+    /// block of capacity).
+    pub fn with_block_size(capacity_bytes: u64, block_size: u64) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        let blocks = (capacity_bytes / block_size).max(1) as usize;
+        PageCache {
+            block_size,
+            lru: LruCache::new(blocks),
+            hit_bytes: 0,
+            miss_bytes: 0,
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.lru.capacity() as u64 * self.block_size
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.lru.len() as u64 * self.block_size
+    }
+
+    fn block_range(&self, offset: u64, len: u64) -> (u64, u64) {
+        let first = offset / self.block_size;
+        let last = if len == 0 {
+            first
+        } else {
+            (offset + len - 1) / self.block_size
+        };
+        (first, last)
+    }
+
+    /// Probe the cache for a read of `[offset, offset+len)` in `file`.
+    /// Hit blocks are touched (become MRU); missing blocks are *not*
+    /// inserted — call [`PageCache::fill`] once the disk read completes.
+    pub fn read(&mut self, file: u64, offset: u64, len: u64) -> CacheOutcome {
+        if len == 0 {
+            return CacheOutcome {
+                hit_bytes: 0,
+                miss_runs: Vec::new(),
+            };
+        }
+        let (first, last) = self.block_range(offset, len);
+        let mut hit_bytes = 0u64;
+        let mut miss_runs: Vec<(u64, u64)> = Vec::new();
+        for b in first..=last {
+            let block_start = b * self.block_size;
+            let block_end = block_start + self.block_size;
+            // Portion of the request inside this block.
+            let covered = (offset + len).min(block_end) - offset.max(block_start);
+            if self.lru.touch(&(file, b)) {
+                hit_bytes += covered;
+            } else {
+                // Whole blocks are fetched from disk (read-ahead clustering).
+                match miss_runs.last_mut() {
+                    Some((run_off, run_len)) if *run_off + *run_len == block_start => {
+                        *run_len += self.block_size;
+                    }
+                    _ => miss_runs.push((block_start, self.block_size)),
+                }
+            }
+        }
+        self.hit_bytes += hit_bytes;
+        self.miss_bytes += len - hit_bytes;
+        CacheOutcome {
+            hit_bytes,
+            miss_runs,
+        }
+    }
+
+    /// Insert the blocks covering `[offset, offset+len)` of `file`
+    /// (after a disk read, or on a buffered write).
+    pub fn fill(&mut self, file: u64, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let (first, last) = self.block_range(offset, len);
+        for b in first..=last {
+            self.lru.insert((file, b), ());
+        }
+    }
+
+    /// Buffered write: populates the cache like `fill`.
+    pub fn write(&mut self, file: u64, offset: u64, len: u64) {
+        self.fill(file, offset, len);
+    }
+
+    /// Drop every cached block of `file` (e.g. when the file is deleted
+    /// after a ReduceTask consumes it).
+    pub fn invalidate_file(&mut self, file: u64) {
+        let doomed: Vec<BlockKey> = self
+            .lru
+            .keys_mru()
+            .into_iter()
+            .filter(|&(f, _)| f == file)
+            .collect();
+        for k in doomed {
+            self.lru.remove(&k);
+        }
+    }
+
+    /// Lifetime hit bytes.
+    pub fn total_hit_bytes(&self) -> u64 {
+        self.hit_bytes
+    }
+
+    /// Lifetime miss bytes.
+    pub fn total_miss_bytes(&self) -> u64 {
+        self.miss_bytes
+    }
+
+    /// Lifetime byte hit ratio (0 when nothing read).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hit_bytes + self.miss_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_bytes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn cold_read_misses_whole_range() {
+        let mut c = PageCache::new(64 * MB);
+        let o = c.read(1, 0, 4 * MB);
+        assert_eq!(o.hit_bytes, 0);
+        assert_eq!(o.miss_runs, vec![(0, 4 * MB)]);
+        assert_eq!(o.miss_bytes(), 4 * MB);
+        assert!(!o.fully_cached());
+    }
+
+    #[test]
+    fn fill_then_read_hits() {
+        let mut c = PageCache::new(64 * MB);
+        c.fill(1, 0, 4 * MB);
+        let o = c.read(1, 0, 4 * MB);
+        assert!(o.fully_cached());
+        assert_eq!(o.hit_bytes, 4 * MB);
+        assert!((c.hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_populates_cache() {
+        let mut c = PageCache::new(64 * MB);
+        c.write(2, MB, 2 * MB);
+        let o = c.read(2, MB, 2 * MB);
+        assert!(o.fully_cached());
+    }
+
+    #[test]
+    fn partial_hit_reports_miss_runs() {
+        let mut c = PageCache::with_block_size(64 * MB, MB);
+        c.fill(1, 0, MB); // block 0 only
+        c.fill(1, 2 * MB, MB); // block 2 only
+        let o = c.read(1, 0, 4 * MB); // blocks 0..3
+        assert_eq!(o.hit_bytes, 2 * MB);
+        assert_eq!(o.miss_runs, vec![(MB, MB), (3 * MB, MB)]);
+    }
+
+    #[test]
+    fn adjacent_missing_blocks_coalesce() {
+        let mut c = PageCache::with_block_size(64 * MB, MB);
+        c.fill(1, 0, MB);
+        let o = c.read(1, 0, 8 * MB);
+        assert_eq!(o.miss_runs, vec![(MB, 7 * MB)]);
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        let mut c = PageCache::new(4 * MB);
+        c.fill(1, 0, 4 * MB); // fills cache exactly
+        c.fill(2, 0, 2 * MB); // evicts two LRU blocks of file 1
+        let o = c.read(1, 0, 4 * MB);
+        assert_eq!(o.hit_bytes, 2 * MB);
+        assert!(c.resident_bytes() <= c.capacity_bytes());
+    }
+
+    #[test]
+    fn unaligned_read_accounts_partial_blocks() {
+        let mut c = PageCache::with_block_size(64 * MB, MB);
+        c.fill(1, 0, MB);
+        // Read 512 KiB spanning the end of block 0 and start of block 1.
+        let o = c.read(1, MB - 256 * 1024, 512 * 1024);
+        assert_eq!(o.hit_bytes, 256 * 1024);
+        assert_eq!(o.miss_runs, vec![(MB, MB)]);
+    }
+
+    #[test]
+    fn invalidate_file_drops_only_that_file() {
+        let mut c = PageCache::new(64 * MB);
+        c.fill(1, 0, 2 * MB);
+        c.fill(2, 0, 2 * MB);
+        c.invalidate_file(1);
+        assert!(!c.read(1, 0, 2 * MB).fully_cached());
+        assert!(c.read(2, 0, 2 * MB).fully_cached());
+    }
+
+    #[test]
+    fn default_block_is_readahead_sized() {
+        let c = PageCache::new(64 * MB);
+        assert_eq!(c.block_size(), 256 << 10);
+        assert_eq!(c.capacity_bytes(), 64 * MB);
+    }
+
+    #[test]
+    fn zero_length_read_is_noop() {
+        let mut c = PageCache::new(4 * MB);
+        let o = c.read(1, 123, 0);
+        assert_eq!(o.hit_bytes, 0);
+        assert!(o.miss_runs.is_empty());
+        assert!(o.fully_cached());
+    }
+}

@@ -1,0 +1,166 @@
+//! Cluster configuration: the paper's testbed, parameterized.
+//!
+//! Section V: two 23-node clusters (1 master + 22 slaves), each node with
+//! four hex-core 2.67 GHz Xeon X5650s (24 cores), 24 GB of memory and two
+//! 500 GB SATA drives; 4 MapTask slots and 2 ReduceTask slots per slave;
+//! HDFS block size 256 MB.
+
+use jbs_des::SimTime;
+use jbs_disk::DiskParams;
+use jbs_net::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of slave (worker) nodes. The master runs the JobTracker and
+    /// NameNode and does no data work, so it is not simulated.
+    pub slaves: usize,
+    /// CPU cores per node.
+    pub cores_per_node: u32,
+    /// Physical memory per node in bytes.
+    pub mem_bytes: u64,
+    /// Memory available to the OS page cache (what's left after Hadoop
+    /// daemons and task JVMs take their share).
+    pub page_cache_bytes: u64,
+    /// Data disks per node.
+    pub disks_per_node: usize,
+    /// Mechanical parameters of each disk.
+    pub disk: DiskParams,
+    /// Concurrent MapTask slots per node.
+    pub map_slots: u32,
+    /// Concurrent ReduceTask slots per node.
+    pub reduce_slots: u32,
+    /// HDFS block size in bytes (one MapTask per block).
+    pub block_bytes: u64,
+    /// Transport protocol in force for the shuffle.
+    pub protocol: Protocol,
+    /// Switch-core oversubscription factor (1.0 = non-blocking, the
+    /// paper's testbed; production fabrics of the era ran 4:1+, see
+    /// Sec. II's motivation).
+    pub oversubscription: f64,
+    /// CPU utilization sampling bin (the paper traces `sar` every 5 s).
+    pub cpu_sample_bin: SimTime,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed with 22 slaves on the given protocol.
+    pub fn paper_testbed(protocol: Protocol) -> Self {
+        ClusterConfig {
+            slaves: 22,
+            cores_per_node: 24,
+            mem_bytes: 24 << 30,
+            // Of 24 GB, the TaskTracker, DataNode and up to six 1 GB task
+            // JVMs (plus their sort buffers and the OS) leave roughly 6 GB
+            // of reusable page cache — which is what makes the paper's
+            // <=64 GB jobs cache-friendly and its >=128 GB jobs disk-bound
+            // (Sec. V-A: 64 GB of MOFs across 22 nodes ~ 2.9 GB/node).
+            page_cache_bytes: 6 << 30,
+            disks_per_node: 2,
+            disk: DiskParams::sata_500gb(),
+            map_slots: 4,
+            reduce_slots: 2,
+            block_bytes: 256 << 20,
+            protocol,
+            oversubscription: 1.0,
+            cpu_sample_bin: SimTime::from_secs(5),
+        }
+    }
+
+    /// Same testbed scaled to `slaves` nodes (the Fig. 9 scaling sweeps).
+    pub fn paper_testbed_scaled(protocol: Protocol, slaves: usize) -> Self {
+        ClusterConfig {
+            slaves,
+            ..Self::paper_testbed(protocol)
+        }
+    }
+
+    /// A small configuration for unit/integration tests: 4 slaves, small
+    /// blocks, small cache, so jobs finish in milliseconds of wall time.
+    pub fn tiny(protocol: Protocol) -> Self {
+        ClusterConfig {
+            slaves: 4,
+            cores_per_node: 8,
+            mem_bytes: 4 << 30,
+            page_cache_bytes: 1 << 30,
+            disks_per_node: 2,
+            disk: DiskParams::sata_500gb(),
+            map_slots: 2,
+            reduce_slots: 2,
+            block_bytes: 64 << 20,
+            protocol,
+            oversubscription: 1.0,
+            cpu_sample_bin: SimTime::from_secs(5),
+        }
+    }
+
+    /// Total ReduceTasks a job gets (Hadoop convention: fill every reduce
+    /// slot once).
+    pub fn num_reducers(&self) -> usize {
+        self.slaves * self.reduce_slots as usize
+    }
+
+    /// Total map slots across the cluster.
+    pub fn total_map_slots(&self) -> usize {
+        self.slaves * self.map_slots as usize
+    }
+
+    /// Sanity checks; called by the simulator before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.slaves == 0 {
+            return Err("cluster needs at least one slave".into());
+        }
+        if self.map_slots == 0 || self.reduce_slots == 0 {
+            return Err("each node needs map and reduce slots".into());
+        }
+        if self.block_bytes == 0 {
+            return Err("block size must be positive".into());
+        }
+        if self.page_cache_bytes > self.mem_bytes {
+            return Err("page cache larger than memory".into());
+        }
+        if !self.oversubscription.is_finite() || self.oversubscription < 1.0 {
+            return Err("oversubscription factor must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_section_v() {
+        let c = ClusterConfig::paper_testbed(Protocol::IpoIb);
+        assert_eq!(c.slaves, 22);
+        assert_eq!(c.cores_per_node, 24);
+        assert_eq!(c.map_slots, 4);
+        assert_eq!(c.reduce_slots, 2);
+        assert_eq!(c.block_bytes, 256 << 20);
+        assert_eq!(c.num_reducers(), 44);
+        assert_eq!(c.total_map_slots(), 88);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_testbed_changes_only_node_count() {
+        let c = ClusterConfig::paper_testbed_scaled(Protocol::Rdma, 12);
+        assert_eq!(c.slaves, 12);
+        assert_eq!(c.num_reducers(), 24);
+        assert_eq!(c.block_bytes, 256 << 20);
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut c = ClusterConfig::tiny(Protocol::Tcp1GigE);
+        c.slaves = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::tiny(Protocol::Tcp1GigE);
+        c.map_slots = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::tiny(Protocol::Tcp1GigE);
+        c.page_cache_bytes = c.mem_bytes + 1;
+        assert!(c.validate().is_err());
+    }
+}

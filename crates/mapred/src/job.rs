@@ -1,0 +1,121 @@
+//! Job descriptions: input size, shuffle volume, and per-byte compute
+//! costs.
+//!
+//! A job is characterized by the quantities that shape the paper's
+//! figures: how many bytes the map phase reads, how many it emits into the
+//! shuffle (`shuffle_ratio` — 1.0 for Terasort, ≥1 for the shuffle-heavy
+//! Tarazu benchmarks, ≪1 for WordCount/Grep), and how much CPU the
+//! user-defined map/reduce functions burn per byte. `jbs-workloads` builds
+//! these specs for each benchmark in Sec. V-F.
+
+use jbs_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Workload description consumed by the job simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Benchmark name ("Terasort", "SelfJoin", ...).
+    pub name: String,
+    /// Total job input in bytes.
+    pub input_bytes: u64,
+    /// Intermediate (shuffled) bytes per input byte.
+    pub shuffle_ratio: f64,
+    /// Final output bytes per intermediate byte.
+    pub output_ratio: f64,
+    /// CPU seconds per input byte in the map function + map-side sort.
+    pub map_cpu_per_byte: f64,
+    /// CPU seconds per intermediate byte in the reduce function.
+    pub reduce_cpu_per_byte: f64,
+    /// Average key+value record size in bytes (drives per-record merge
+    /// costs).
+    pub avg_record_bytes: u64,
+    /// Fixed task initialization cost (JVM launch, split localization).
+    pub task_init: SimTime,
+    /// Fixed task cleanup/commit cost.
+    pub task_cleanup: SimTime,
+}
+
+impl JobSpec {
+    /// Terasort on `input_bytes`: 100-byte records, intermediate data equal
+    /// to input ("whose size of intermediate data is equal to its input
+    /// size", Sec. V), output equal to intermediate.
+    pub fn terasort(input_bytes: u64) -> Self {
+        JobSpec {
+            name: "Terasort".into(),
+            input_bytes,
+            shuffle_ratio: 1.0,
+            output_ratio: 1.0,
+            map_cpu_per_byte: 10.0e-9,
+            reduce_cpu_per_byte: 3.0e-9,
+            avg_record_bytes: 100,
+            task_init: SimTime::from_millis(3000),
+            task_cleanup: SimTime::from_millis(500),
+        }
+    }
+
+    /// Number of MapTasks (one per HDFS block).
+    pub fn num_maps(&self, block_bytes: u64) -> usize {
+        (self.input_bytes.div_ceil(block_bytes)).max(1) as usize
+    }
+
+    /// Total intermediate bytes the shuffle must move.
+    pub fn shuffle_bytes(&self) -> u64 {
+        (self.input_bytes as f64 * self.shuffle_ratio) as u64
+    }
+
+    /// Total final output bytes.
+    pub fn output_bytes(&self) -> u64 {
+        (self.shuffle_bytes() as f64 * self.output_ratio) as u64
+    }
+
+    /// Sanity checks; called by the simulator before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.input_bytes == 0 {
+            return Err("job needs input".into());
+        }
+        if self.shuffle_ratio < 0.0 || self.output_ratio < 0.0 {
+            return Err("ratios must be non-negative".into());
+        }
+        if self.avg_record_bytes == 0 {
+            return Err("record size must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terasort_shuffles_its_input() {
+        let j = JobSpec::terasort(32 << 30);
+        assert_eq!(j.shuffle_bytes(), 32 << 30);
+        assert_eq!(j.output_bytes(), 32 << 30);
+        assert_eq!(j.avg_record_bytes, 100);
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn map_count_rounds_up() {
+        let j = JobSpec::terasort(300 << 20);
+        assert_eq!(j.num_maps(256 << 20), 2);
+        let j2 = JobSpec::terasort(256 << 20);
+        assert_eq!(j2.num_maps(256 << 20), 1);
+        let j3 = JobSpec::terasort(1);
+        assert_eq!(j3.num_maps(256 << 20), 1);
+    }
+
+    #[test]
+    fn validation() {
+        let mut j = JobSpec::terasort(1 << 30);
+        j.input_bytes = 0;
+        assert!(j.validate().is_err());
+        let mut j = JobSpec::terasort(1 << 30);
+        j.shuffle_ratio = -1.0;
+        assert!(j.validate().is_err());
+        let mut j = JobSpec::terasort(1 << 30);
+        j.avg_record_bytes = 0;
+        assert!(j.validate().is_err());
+    }
+}

@@ -1,0 +1,435 @@
+//! The network-levitated merge, as a streaming algorithm.
+//!
+//! The SC'11 algorithm JBS's NetMerger uses (Sec. III-C) merges a
+//! reducer's segments *without materializing them*: each remote segment
+//! contributes a small in-memory window (one transport buffer's worth of
+//! records), the merge consumes from the windows through a priority queue,
+//! and a window is refilled from the network only when it runs dry — the
+//! segment bodies stay "levitated" on the remote disks.
+//!
+//! This module provides the algorithm over an abstract [`RecordStream`]:
+//!
+//! * [`RecordParser`] — an incremental parser for the MOF segment record
+//!   format that accepts bytes in arbitrary-sized chunks (records may
+//!   straddle chunk boundaries, as they do across transport buffers);
+//! * [`StreamingMerge`] — the k-way merge over fallible, lazily-refilled
+//!   streams, with stability across streams and one-record lookahead per
+//!   stream (the minimal levitation window).
+//!
+//! `jbs-transport` drives it with streams that fetch transport-buffer
+//! chunks over real sockets on demand; tests drive it with in-memory
+//! slices split at adversarial boundaries.
+
+use crate::merge::Record;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::io;
+
+/// Marker terminating a segment's record stream (same as `mof.rs`).
+const END_MARKER: u32 = 0xFFFF_FFFF;
+
+/// A pull-based source of key-sorted records.
+pub trait RecordStream {
+    /// The next record, `Ok(None)` at end of stream.
+    fn next_record(&mut self) -> io::Result<Option<Record>>;
+}
+
+/// Incremental parser for the MOF segment wire format
+/// (`klen u32 | vlen u32 | key | value`, terminated by `0xFFFF_FFFF`).
+///
+/// Push bytes in any chunking; pop complete records as they become
+/// available. Unconsumed partial records are buffered internally.
+#[derive(Debug, Default)]
+pub struct RecordParser {
+    buf: Vec<u8>,
+    /// Read position within `buf` (compacted lazily).
+    pos: usize,
+    finished: bool,
+}
+
+impl RecordParser {
+    /// An empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed the next chunk of segment bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        // Compact consumed prefix before growing.
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > (64 << 10) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// True once the end marker has been consumed.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Bytes currently buffered but not yet parsed into records.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn peek_u32(&self, at: usize) -> Option<u32> {
+        let lo = self.pos + at;
+        self.buf
+            .get(lo..lo + 4)
+            .map(|b| u32::from_be_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Try to pop one complete record. `Ok(None)` means "need more bytes"
+    /// (or the stream finished — check [`RecordParser::finished`]).
+    pub fn pop(&mut self) -> io::Result<Option<Record>> {
+        if self.finished {
+            return Ok(None);
+        }
+        let Some(klen) = self.peek_u32(0) else {
+            return Ok(None);
+        };
+        if klen == END_MARKER {
+            self.pos += 4;
+            self.finished = true;
+            return Ok(None);
+        }
+        let Some(vlen) = self.peek_u32(4) else {
+            return Ok(None);
+        };
+        let (klen, vlen) = (klen as usize, vlen as usize);
+        if klen > (64 << 20) || vlen > (64 << 20) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible record length (corrupt stream?)",
+            ));
+        }
+        let total = 8 + klen + vlen;
+        if self.pending_bytes() < total {
+            return Ok(None);
+        }
+        let start = self.pos + 8;
+        let key = self.buf[start..start + klen].to_vec();
+        let value = self.buf[start + klen..start + klen + vlen].to_vec();
+        self.pos += total;
+        Ok(Some((key, value)))
+    }
+}
+
+/// A [`RecordStream`] over an in-memory segment, optionally delivered to
+/// the parser in fixed-size chunks (mimicking transport buffers).
+pub struct SliceStream<'a> {
+    segment: &'a [u8],
+    offset: usize,
+    chunk: usize,
+    parser: RecordParser,
+}
+
+impl<'a> SliceStream<'a> {
+    /// Stream `segment`, feeding the parser `chunk` bytes at a time.
+    pub fn chunked(segment: &'a [u8], chunk: usize) -> Self {
+        SliceStream {
+            segment,
+            offset: 0,
+            chunk: chunk.max(1),
+            parser: RecordParser::new(),
+        }
+    }
+}
+
+impl RecordStream for SliceStream<'_> {
+    fn next_record(&mut self) -> io::Result<Option<Record>> {
+        loop {
+            if let Some(rec) = self.parser.pop()? {
+                return Ok(Some(rec));
+            }
+            if self.parser.finished() {
+                return Ok(None);
+            }
+            if self.offset >= self.segment.len() {
+                // Ran out of bytes without an end marker: tolerate segments
+                // without a trailing marker by ending cleanly when nothing
+                // is pending, erroring otherwise.
+                if self.parser.pending_bytes() == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "segment truncated mid-record",
+                ));
+            }
+            let end = (self.offset + self.chunk).min(self.segment.len());
+            self.parser.push(&self.segment[self.offset..end]);
+            self.offset = end;
+        }
+    }
+}
+
+struct HeapEntry {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    stream: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.stream == other.stream
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.stream.cmp(&self.stream))
+    }
+}
+
+/// The streaming k-way merge: one record of lookahead per stream; a
+/// stream is consulted again only when its record is consumed.
+pub struct StreamingMerge<S: RecordStream> {
+    streams: Vec<S>,
+    heap: BinaryHeap<HeapEntry>,
+    records_out: u64,
+    primed: bool,
+    failed: bool,
+}
+
+impl<S: RecordStream> StreamingMerge<S> {
+    /// A merge over `streams`; each must yield key-sorted records.
+    pub fn new(streams: Vec<S>) -> Self {
+        StreamingMerge {
+            heap: BinaryHeap::with_capacity(streams.len()),
+            streams,
+            records_out: 0,
+            primed: false,
+            failed: false,
+        }
+    }
+
+    fn prime(&mut self) -> io::Result<()> {
+        for i in 0..self.streams.len() {
+            if let Some((key, value)) = self.streams[i].next_record()? {
+                self.heap.push(HeapEntry {
+                    key,
+                    value,
+                    stream: i,
+                });
+            }
+        }
+        self.primed = true;
+        Ok(())
+    }
+
+    /// Pull the next merged record.
+    pub fn next_merged(&mut self) -> io::Result<Option<Record>> {
+        if self.failed {
+            return Err(io::Error::other("merge already failed"));
+        }
+        if !self.primed {
+            if let Err(e) = self.prime() {
+                self.failed = true;
+                return Err(e);
+            }
+        }
+        let Some(entry) = self.heap.pop() else {
+            return Ok(None);
+        };
+        match self.streams[entry.stream].next_record() {
+            Ok(Some((key, value))) => self.heap.push(HeapEntry {
+                key,
+                value,
+                stream: entry.stream,
+            }),
+            Ok(None) => {}
+            Err(e) => {
+                self.failed = true;
+                return Err(e);
+            }
+        }
+        self.records_out += 1;
+        Ok(Some((entry.key, entry.value)))
+    }
+
+    /// Records merged so far.
+    pub fn records_out(&self) -> u64 {
+        self.records_out
+    }
+
+    /// Drain the merge into a vector.
+    pub fn collect_all(mut self) -> io::Result<Vec<Record>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_merged()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{is_sorted, merge_sorted_runs, sort_run};
+    use crate::mof::MofWriter;
+
+    fn segment_bytes(records: &[Record]) -> Vec<u8> {
+        let mut w = MofWriter::new();
+        w.begin_segment();
+        for (k, v) in records {
+            w.append(k, v);
+        }
+        w.end_segment();
+        let (data, index) = w.finish();
+        let e = index.entry(0).unwrap();
+        data[e.offset as usize..(e.offset + e.part_len) as usize].to_vec()
+    }
+
+    fn rec(k: &str, v: &str) -> Record {
+        (k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn parser_handles_arbitrary_chunk_boundaries() {
+        let records = vec![rec("alpha", "1"), rec("beta", "22"), rec("gamma", "333")];
+        let bytes = segment_bytes(&records);
+        // Try every single split point.
+        for split in 0..=bytes.len() {
+            let mut p = RecordParser::new();
+            p.push(&bytes[..split]);
+            let mut got = Vec::new();
+            while let Some(r) = p.pop().unwrap() {
+                got.push(r);
+            }
+            p.push(&bytes[split..]);
+            while let Some(r) = p.pop().unwrap() {
+                got.push(r);
+            }
+            assert_eq!(got, records, "split at {split}");
+            assert!(p.finished());
+        }
+    }
+
+    #[test]
+    fn parser_byte_at_a_time() {
+        let records = vec![rec("k1", "v1"), rec("k2", "v2")];
+        let bytes = segment_bytes(&records);
+        let mut p = RecordParser::new();
+        let mut got = Vec::new();
+        for &b in &bytes {
+            p.push(&[b]);
+            while let Some(r) = p.pop().unwrap() {
+                got.push(r);
+            }
+        }
+        assert_eq!(got, records);
+        assert!(p.finished());
+        assert_eq!(p.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn parser_rejects_implausible_lengths() {
+        let mut p = RecordParser::new();
+        p.push(&u32::MAX.to_be_bytes()[..3]); // not enough for a length yet
+        assert!(p.pop().unwrap().is_none());
+        let mut p = RecordParser::new();
+        p.push(&(200u32 << 20).to_be_bytes());
+        p.push(&8u32.to_be_bytes());
+        assert!(p.pop().is_err());
+    }
+
+    #[test]
+    fn streaming_merge_equals_materialized_merge() {
+        use jbs_des::DetRng;
+        let mut rng = DetRng::new(71);
+        let mut runs: Vec<Vec<Record>> = Vec::new();
+        for _ in 0..7 {
+            let mut run: Vec<Record> = (0..rng.uniform_u64(0, 60))
+                .map(|_| {
+                    (
+                        format!("{:05}", rng.uniform_u64(0, 300)).into_bytes(),
+                        vec![7u8; rng.uniform_u64(0, 30) as usize],
+                    )
+                })
+                .collect();
+            sort_run(&mut run);
+            runs.push(run);
+        }
+        let segments: Vec<Vec<u8>> = runs.iter().map(|r| segment_bytes(r)).collect();
+        // Tiny 13-byte "transport buffers" split records adversarially.
+        let streams: Vec<SliceStream> = segments
+            .iter()
+            .map(|s| SliceStream::chunked(s, 13))
+            .collect();
+        let merged = StreamingMerge::new(streams).collect_all().unwrap();
+        let expect = merge_sorted_runs(runs);
+        assert_eq!(merged, expect);
+        assert!(is_sorted(&merged));
+    }
+
+    #[test]
+    fn streaming_merge_is_stable_across_streams() {
+        let a = segment_bytes(&[rec("k", "first")]);
+        let b = segment_bytes(&[rec("k", "second")]);
+        let merged = StreamingMerge::new(vec![
+            SliceStream::chunked(&a, 5),
+            SliceStream::chunked(&b, 5),
+        ])
+        .collect_all()
+        .unwrap();
+        assert_eq!(merged[0].1, b"first");
+        assert_eq!(merged[1].1, b"second");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_hang() {
+        let full = segment_bytes(&[rec("key", "a-long-value")]);
+        let cut = &full[..full.len() - 6];
+        let mut m = StreamingMerge::new(vec![SliceStream::chunked(cut, 4)]);
+        let err = loop {
+            match m.next_merged() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("should have errored"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Subsequent pulls keep failing rather than yielding garbage.
+        assert!(m.next_merged().is_err());
+    }
+
+    #[test]
+    fn empty_and_markerless_streams() {
+        let empty = segment_bytes(&[]);
+        let merged = StreamingMerge::new(vec![SliceStream::chunked(&empty, 3)])
+            .collect_all()
+            .unwrap();
+        assert!(merged.is_empty());
+        // A zero-byte stream (no marker at all) also ends cleanly.
+        let nothing: &[u8] = &[];
+        let merged = StreamingMerge::new(vec![SliceStream::chunked(nothing, 3)])
+            .collect_all()
+            .unwrap();
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn records_out_counts() {
+        let seg = segment_bytes(&[rec("a", "1"), rec("b", "2")]);
+        let mut m = StreamingMerge::new(vec![SliceStream::chunked(&seg, 64)]);
+        assert_eq!(m.records_out(), 0);
+        m.next_merged().unwrap();
+        assert_eq!(m.records_out(), 1);
+        m.next_merged().unwrap();
+        m.next_merged().unwrap();
+        assert_eq!(m.records_out(), 2);
+    }
+}

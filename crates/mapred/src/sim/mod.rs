@@ -1,0 +1,35 @@
+//! The discrete-event job simulator.
+//!
+//! A job run has three parts:
+//!
+//! 1. [`mapphase`] simulates every MapTask — input reads, map+sort CPU, MOF
+//!    writes — against the node's disks, page cache and CPU meters, and
+//!    produces the *shuffle plan*: which MOFs exist, where, with what
+//!    per-reducer segment sizes, and when each became available.
+//! 2. A pluggable [`ShuffleEngine`] (stock Hadoop or JBS, from `jbs-core`)
+//!    consumes the plan, drives the fabric/disks/CPUs, and reports when
+//!    each ReduceTask's input was fetched and merged.
+//! 3. [`driver`] runs the reduce phase (user reduce function + output
+//!    write) and assembles the [`JobResult`].
+//!
+//! ### A note on resource ordering
+//!
+//! Disk and NIC resources are FIFO accounting servers: requests submitted
+//! later queue behind requests submitted earlier even if their simulated
+//! arrival time is earlier. The phases above submit in (map, shuffle,
+//! reduce) order, so a shuffle read arriving while the same node still has
+//! map I/O outstanding is served after that map I/O. This biases the model
+//! toward "map I/O wins disk contention", which matches Hadoop's behaviour
+//! under heavy load and keeps the plugin boundary between the runtime and
+//! the shuffle engines clean.
+
+pub mod driver;
+pub mod engine;
+pub mod mapphase;
+pub mod plan;
+pub mod state;
+
+pub use driver::{JobResult, JobSimulator};
+pub use engine::{InstantShuffle, ShuffleEngine, ShuffleOutcome};
+pub use plan::{MofInfo, ReducerInfo, ShufflePlan};
+pub use state::SimCluster;

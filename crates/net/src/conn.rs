@@ -1,0 +1,185 @@
+//! Connection management: establish on first use, cache for reuse, cap at
+//! 512 live connections with LRU teardown (Sec. IV-A).
+//!
+//! For the RDMA-like protocols this models the Fig. 6 handshake: the client
+//! allocates a queue pair and calls `rdma_connect()`; the server's network
+//! event thread sees the connection request on its event channel, allocates
+//! its own QP, and calls `rdma_accept()`; both sides then observe the
+//! `established` event. For the socket protocols it models the TCP
+//! three-way handshake plus `accept()` validation (Sec. IV-B). Either way
+//! the elapsed cost is `setup_rtts` round trips and each side burns
+//! `setup_cpu`.
+
+use crate::protocol::ProtocolParams;
+use jbs_des::lru::LruCache;
+use jbs_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The paper's default cap on live connections per process.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 512;
+
+/// Result of asking for a connection to a peer.
+#[derive(Debug, Clone, Copy)]
+pub struct Acquired {
+    /// When the connection is usable (immediately when reused).
+    pub ready: SimTime,
+    /// Whether a new connection had to be established.
+    pub established: bool,
+    /// CPU each endpoint must be charged for this acquire (setup, plus any
+    /// LRU teardown performed to stay under the cap).
+    pub cpu_each_side: SimTime,
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ConnStats {
+    /// Connections established.
+    pub established: u64,
+    /// Acquisitions served from the cache.
+    pub reused: u64,
+    /// Connections torn down by the LRU policy.
+    pub evicted: u64,
+}
+
+/// A cache of live connections keyed by `(local, remote)` endpoint pair.
+pub struct ConnectionManager {
+    params: ProtocolParams,
+    cache: LruCache<(u32, u32), SimTime>, // value: time of last use
+    stats: ConnStats,
+}
+
+impl ConnectionManager {
+    /// A manager with the paper's 512-connection cap.
+    pub fn new(params: ProtocolParams) -> Self {
+        Self::with_capacity(params, DEFAULT_MAX_CONNECTIONS)
+    }
+
+    /// A manager with an explicit cap (for the connection-cache ablation).
+    pub fn with_capacity(params: ProtocolParams, max_live: usize) -> Self {
+        ConnectionManager {
+            params,
+            cache: LruCache::new(max_live),
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Obtain a connection from `local` to `remote` at time `now`.
+    ///
+    /// "The first fetching request triggers a RDMAClient to initiate the
+    /// process of connection establishment" (Sec. IV-A); subsequent
+    /// requests reuse the cached connection. Establishing while at the cap
+    /// first tears down the least recently used connection.
+    pub fn acquire(&mut self, now: SimTime, local: u32, remote: u32) -> Acquired {
+        let key = (local, remote);
+        if let Some(last_used) = self.cache.get_mut(&key) {
+            *last_used = now; // get_mut already made the entry MRU
+            self.stats.reused += 1;
+            return Acquired {
+                ready: now,
+                established: false,
+                cpu_each_side: SimTime::ZERO,
+            };
+        }
+        let mut cpu = self.params.setup_cpu;
+        if let Some(_evicted) = self.cache.insert(key, now) {
+            self.stats.evicted += 1;
+            cpu += self.params.teardown_cpu;
+        }
+        self.stats.established += 1;
+        Acquired {
+            ready: now + self.params.setup_elapsed(),
+            established: true,
+            cpu_each_side: cpu,
+        }
+    }
+
+    /// Number of live connections.
+    pub fn live(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The configured cap.
+    pub fn capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ConnStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+
+    fn mgr(cap: usize) -> ConnectionManager {
+        ConnectionManager::with_capacity(Protocol::Rdma.params(), cap)
+    }
+
+    #[test]
+    fn first_use_establishes_then_reuses() {
+        let mut m = mgr(512);
+        let a = m.acquire(SimTime::ZERO, 0, 1);
+        assert!(a.established);
+        assert!(a.ready > SimTime::ZERO);
+        assert!(a.cpu_each_side > SimTime::ZERO);
+        let b = m.acquire(SimTime::from_secs(1), 0, 1);
+        assert!(!b.established);
+        assert_eq!(b.ready, SimTime::from_secs(1));
+        assert_eq!(b.cpu_each_side, SimTime::ZERO);
+        assert_eq!(m.stats().established, 1);
+        assert_eq!(m.stats().reused, 1);
+    }
+
+    #[test]
+    fn cap_enforced_with_lru_teardown() {
+        let mut m = mgr(2);
+        m.acquire(SimTime::ZERO, 0, 1);
+        m.acquire(SimTime::ZERO, 0, 2);
+        // Touch (0,1) so (0,2) becomes LRU.
+        m.acquire(SimTime::from_secs(1), 0, 1);
+        let a = m.acquire(SimTime::from_secs(2), 0, 3);
+        assert!(a.established);
+        assert_eq!(m.live(), 2);
+        assert_eq!(m.stats().evicted, 1);
+        // (0,2) was evicted: acquiring it again must re-establish.
+        assert!(m.acquire(SimTime::from_secs(3), 0, 2).established);
+        // (0,1) survived as MRU... but was just evicted by (0,2)'s insert?
+        // capacity 2: after acquiring (0,3) cache = {(0,1),(0,3)}; acquiring
+        // (0,2) evicts LRU (0,1).
+        assert!(!m.acquire(SimTime::from_secs(4), 0, 3).established);
+    }
+
+    #[test]
+    fn default_cap_is_512() {
+        let m = ConnectionManager::new(Protocol::Tcp10GigE.params());
+        assert_eq!(m.capacity(), DEFAULT_MAX_CONNECTIONS);
+    }
+
+    #[test]
+    fn distinct_pairs_are_distinct_connections() {
+        let mut m = mgr(512);
+        m.acquire(SimTime::ZERO, 0, 1);
+        assert!(m.acquire(SimTime::ZERO, 1, 0).established);
+        assert!(m.acquire(SimTime::ZERO, 2, 1).established);
+        assert_eq!(m.live(), 3);
+    }
+
+    #[test]
+    fn teardown_adds_cpu() {
+        let mut m = mgr(1);
+        let first = m.acquire(SimTime::ZERO, 0, 1);
+        let second = m.acquire(SimTime::ZERO, 0, 2); // evicts (0,1)
+        assert!(second.cpu_each_side > first.cpu_each_side);
+    }
+
+    #[test]
+    fn rdma_setup_slower_than_reuse_by_design() {
+        let p = Protocol::Rdma.params();
+        let mut m = ConnectionManager::new(p.clone());
+        let a = m.acquire(SimTime::ZERO, 0, 1);
+        assert_eq!(a.ready, p.setup_elapsed());
+    }
+}

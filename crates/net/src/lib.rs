@@ -1,0 +1,32 @@
+//! # jbs-net — links, NICs and transport-protocol models
+//!
+//! JBS is "a portable layer on top of any network transport protocol"
+//! (Sec. III-A): the same shuffle code drives TCP/IP sockets and RDMA RC
+//! queue pairs. This crate models the six protocol/network combinations in
+//! the paper's Table I:
+//!
+//! | Test case            | Transport | Network    |
+//! |----------------------|-----------|------------|
+//! | TCP/IP on 1GigE      | TCP/IP    | 1GigE      |
+//! | TCP/IP on 10GigE     | TCP/IP    | 10GigE     |
+//! | IPoIB                | IPoIB     | InfiniBand |
+//! | SDP                  | SDP       | InfiniBand |
+//! | RoCE                 | RoCE      | 10GigE     |
+//! | RDMA                 | RDMA      | InfiniBand |
+//!
+//! A protocol is a tuple of goodput, one-way latency, memory-copy count per
+//! side, and per-message CPU ([`ProtocolParams`]). A node's NIC is a pair of
+//! full-duplex FIFO resources ([`Nic`]); the switch is non-blocking, as the
+//! paper's 108-port QDR switch and ToR Ethernet effectively were for 23
+//! nodes. [`Fabric`] times chunk transfers between NICs, and
+//! [`ConnectionManager`] implements the paper's connection policy: establish
+//! on first use (the Fig. 6 handshake), cache for reuse, cap at 512 live
+//! connections, evict LRU (Sec. IV-A).
+
+pub mod conn;
+pub mod fabric;
+pub mod protocol;
+
+pub use conn::{ConnStats, ConnectionManager};
+pub use fabric::{ChunkTiming, Fabric, Nic};
+pub use protocol::{Network, Protocol, ProtocolParams};

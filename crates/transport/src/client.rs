@@ -1,0 +1,464 @@
+//! The NetMerger client: consolidated fetching plus network-levitated
+//! merge, over real sockets.
+//!
+//! One client serves all reducers of a "node". Connections are cached per
+//! supplier address and torn down LRU beyond a cap (Sec. IV-A's
+//! 512-connection policy, configurable here). Segment fetches from many
+//! suppliers run concurrently, in transport-buffer-sized chunks; fetched
+//! segments are k-way merged ([`jbs_mapred::merge`]) into the sorted
+//! stream a reduce function consumes.
+
+use crate::wire::{FetchRequest, FetchResponse, Status};
+use jbs_des::lru::LruCache;
+use jbs_mapred::levitate::{RecordParser, RecordStream, StreamingMerge};
+use jbs_mapred::merge::{KWayMerge, Record};
+use jbs_mapred::mof::SegmentReader;
+use parking_lot::Mutex;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpStream};
+
+/// A fetch target: which segment on which supplier.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentRef {
+    /// Supplier address.
+    pub addr: SocketAddr,
+    /// MOF id on that supplier.
+    pub mof: u64,
+    /// Reducer (partition) number.
+    pub reducer: u32,
+}
+
+/// Client statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientStats {
+    /// Connections established.
+    pub connections_established: u64,
+    /// Fetches that reused a cached connection.
+    pub connections_reused: u64,
+    /// Connections torn down by the LRU cap.
+    pub connections_evicted: u64,
+    /// Payload bytes fetched.
+    pub bytes_fetched: u64,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// One supplier's connection slot. Concurrent fetches to the *same*
+/// supplier serialize on this lock — the consolidation property: requests
+/// to one node share one connection, ordered by arrival (Sec. III-C) —
+/// while fetches to different suppliers proceed in parallel.
+type ConnSlot = std::sync::Arc<Mutex<Option<Conn>>>;
+
+/// The NetMerger.
+pub struct NetMergerClient {
+    conns: Mutex<LruCache<SocketAddr, ConnSlot>>,
+    stats: Mutex<ClientStats>,
+    buffer_bytes: u64,
+}
+
+impl NetMergerClient {
+    /// A client with the paper's defaults: 128 KB transport buffers and a
+    /// 512-connection cache.
+    pub fn new() -> Self {
+        Self::with_config(128 << 10, 512)
+    }
+
+    /// A client with explicit buffer size and connection cap.
+    pub fn with_config(buffer_bytes: u64, max_connections: usize) -> Self {
+        NetMergerClient {
+            conns: Mutex::new(LruCache::new(max_connections.max(1))),
+            stats: Mutex::new(ClientStats::default()),
+            buffer_bytes: buffer_bytes.max(1),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ClientStats {
+        *self.stats.lock()
+    }
+
+    fn with_conn<T>(
+        &self,
+        addr: SocketAddr,
+        f: impl FnOnce(&mut Conn) -> io::Result<T>,
+    ) -> io::Result<T> {
+        // Get (or create) the supplier's connection slot; LRU-evicting a
+        // slot closes its connection once the last user releases it.
+        let slot: ConnSlot = {
+            let mut cache = self.conns.lock();
+            match cache.get(&addr) {
+                Some(s) => std::sync::Arc::clone(s),
+                None => {
+                    let s: ConnSlot = std::sync::Arc::new(Mutex::new(None));
+                    if cache.insert(addr, std::sync::Arc::clone(&s)).is_some() {
+                        self.stats.lock().connections_evicted += 1;
+                    }
+                    s
+                }
+            }
+        };
+        let mut guard = slot.lock();
+        if guard.is_none() {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            self.stats.lock().connections_established += 1;
+            *guard = Some(Conn {
+                reader: BufReader::new(stream.try_clone()?),
+                writer: stream,
+            });
+        } else {
+            self.stats.lock().connections_reused += 1;
+        }
+        let conn = guard.as_mut().expect("connection just ensured");
+        match f(conn) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                // Drop a broken connection so the next fetch reconnects.
+                *guard = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Fetch one whole segment in transport-buffer-sized chunks.
+    pub fn fetch_segment(&self, seg: SegmentRef) -> io::Result<Vec<u8>> {
+        self.with_conn(seg.addr, |conn| {
+            let mut out = Vec::new();
+            let mut offset = 0u64;
+            loop {
+                FetchRequest {
+                    mof: seg.mof,
+                    reducer: seg.reducer,
+                    offset,
+                    len: self.buffer_bytes,
+                }
+                .write_to(&mut conn.writer)?;
+                let resp = FetchResponse::read_from(&mut conn.reader)?;
+                match resp.status {
+                    Status::Ok => {}
+                    Status::NotFound => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::NotFound,
+                            format!("mof {} reducer {} not found", seg.mof, seg.reducer),
+                        ))
+                    }
+                    Status::BadRequest => {
+                        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad request"))
+                    }
+                }
+                if resp.payload.is_empty() {
+                    break;
+                }
+                offset += resp.payload.len() as u64;
+                out.extend_from_slice(&resp.payload);
+            }
+            self.stats.lock().bytes_fetched += out.len() as u64;
+            Ok(out)
+        })
+    }
+
+    /// Fetch every segment of a reducer concurrently (consolidated across
+    /// suppliers) and return the raw segment byte vectors in input order.
+    pub fn fetch_all(&self, segs: &[SegmentRef]) -> io::Result<Vec<Vec<u8>>> {
+        let results: Vec<io::Result<Vec<u8>>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = segs
+                .iter()
+                .map(|&seg| scope.spawn(move |_| self.fetch_segment(seg)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("fetch threads panicked");
+        results.into_iter().collect()
+    }
+
+    /// Fetch one chunk of a segment (a single request/response exchange).
+    /// An empty payload means the segment is exhausted.
+    pub fn fetch_chunk(&self, seg: SegmentRef, offset: u64) -> io::Result<Vec<u8>> {
+        self.with_conn(seg.addr, |conn| {
+            FetchRequest {
+                mof: seg.mof,
+                reducer: seg.reducer,
+                offset,
+                len: self.buffer_bytes,
+            }
+            .write_to(&mut conn.writer)?;
+            let resp = FetchResponse::read_from(&mut conn.reader)?;
+            match resp.status {
+                Status::Ok => {
+                    self.stats.lock().bytes_fetched += resp.payload.len() as u64;
+                    Ok(resp.payload)
+                }
+                Status::NotFound => Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("mof {} reducer {} not found", seg.mof, seg.reducer),
+                )),
+                Status::BadRequest => {
+                    Err(io::Error::new(io::ErrorKind::InvalidData, "bad request"))
+                }
+            }
+        })
+    }
+
+    /// **The network-levitated merge over real sockets**: merge a
+    /// reducer's segments while their bodies stay on the remote suppliers.
+    /// Each segment holds only its current transport buffer in memory; a
+    /// buffer is refetched on demand when the merge drains it. Peak client
+    /// memory is O(segments × buffer), independent of segment sizes.
+    pub fn levitated_merge(&self, segs: &[SegmentRef]) -> io::Result<Vec<Record>> {
+        let streams: Vec<NetworkSegmentStream> = segs
+            .iter()
+            .map(|&seg| NetworkSegmentStream::new(self, seg))
+            .collect();
+        StreamingMerge::new(streams).collect_all()
+    }
+
+    /// Materializing variant: fetch all of a reducer's segments (eagerly,
+    /// concurrently) and merge them into one key-sorted record stream.
+    pub fn shuffle_and_merge(&self, segs: &[SegmentRef]) -> io::Result<Vec<Record>> {
+        let raw = self.fetch_all(segs)?;
+        let mut runs: Vec<Vec<Record>> = Vec::with_capacity(raw.len());
+        for seg in &raw {
+            let mut run = Vec::new();
+            for rec in SegmentReader::new(seg) {
+                let (k, v) =
+                    rec.map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                run.push((k.to_vec(), v.to_vec()));
+            }
+            runs.push(run);
+        }
+        let merge = KWayMerge::new(runs.into_iter().map(|r| r.into_iter()).collect());
+        Ok(merge.collect())
+    }
+}
+
+impl Default for NetMergerClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One segment's levitation window: the current transport buffer, parsed
+/// incrementally; the next buffer is fetched only when the merge drains
+/// this one.
+pub struct NetworkSegmentStream<'a> {
+    client: &'a NetMergerClient,
+    seg: SegmentRef,
+    offset: u64,
+    parser: RecordParser,
+    exhausted: bool,
+}
+
+impl<'a> NetworkSegmentStream<'a> {
+    /// A lazily-fetched stream over `seg`.
+    pub fn new(client: &'a NetMergerClient, seg: SegmentRef) -> Self {
+        NetworkSegmentStream {
+            client,
+            seg,
+            offset: 0,
+            parser: RecordParser::new(),
+            exhausted: false,
+        }
+    }
+
+    /// Bytes fetched from this segment so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+impl RecordStream for NetworkSegmentStream<'_> {
+    fn next_record(&mut self) -> io::Result<Option<Record>> {
+        loop {
+            if let Some(rec) = self.parser.pop()? {
+                return Ok(Some(rec));
+            }
+            if self.parser.finished() {
+                return Ok(None);
+            }
+            if self.exhausted {
+                if self.parser.pending_bytes() == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "segment ended mid-record",
+                ));
+            }
+            let chunk = self.client.fetch_chunk(self.seg, self.offset)?;
+            if chunk.is_empty() {
+                self.exhausted = true;
+            } else {
+                self.offset += chunk.len() as u64;
+                self.parser.push(&chunk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::MofSupplierServer;
+    use crate::store::MofStore;
+    use jbs_mapred::merge::is_sorted;
+
+    fn server_with_records(n: usize, partitions: usize) -> MofSupplierServer {
+        let mut store = MofStore::temp().unwrap();
+        let records: Vec<Record> = (0..n)
+            .map(|i| (format!("key-{:06}", (i * 7919) % n).into_bytes(), vec![i as u8; 20]))
+            .collect();
+        store
+            .write_mof(0, records, partitions, |k| {
+                k.iter().map(|&b| b as usize).sum::<usize>() % partitions
+            })
+            .unwrap();
+        MofSupplierServer::start(store).unwrap()
+    }
+
+    #[test]
+    fn fetch_segment_roundtrips_bytes() {
+        let server = server_with_records(300, 2);
+        let client = NetMergerClient::new();
+        let seg = client
+            .fetch_segment(SegmentRef {
+                addr: server.addr(),
+                mof: 0,
+                reducer: 0,
+            })
+            .unwrap();
+        assert!(!seg.is_empty());
+        assert!(client.stats().bytes_fetched > 0);
+        assert_eq!(client.stats().connections_established, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_reuse_across_fetches() {
+        let server = server_with_records(100, 2);
+        let client = NetMergerClient::new();
+        for reducer in [0u32, 1, 0, 1] {
+            client
+                .fetch_segment(SegmentRef {
+                    addr: server.addr(),
+                    mof: 0,
+                    reducer,
+                })
+                .unwrap();
+        }
+        let s = client.stats();
+        assert_eq!(s.connections_established, 1, "one connection per supplier");
+        assert_eq!(s.connections_reused, 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn merge_produces_sorted_output() {
+        let servers: Vec<MofSupplierServer> =
+            (0..3).map(|_| server_with_records(200, 1)).collect();
+        let client = NetMergerClient::new();
+        let segs: Vec<SegmentRef> = servers
+            .iter()
+            .map(|s| SegmentRef {
+                addr: s.addr(),
+                mof: 0,
+                reducer: 0,
+            })
+            .collect();
+        let merged = client.shuffle_and_merge(&segs).unwrap();
+        assert_eq!(merged.len(), 600);
+        assert!(is_sorted(&merged));
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn missing_segment_is_an_error() {
+        let server = server_with_records(10, 1);
+        let client = NetMergerClient::new();
+        let err = client
+            .fetch_segment(SegmentRef {
+                addr: server.addr(),
+                mof: 9,
+                reducer: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        server.shutdown();
+    }
+
+    #[test]
+    fn levitated_merge_matches_materializing_merge() {
+        let servers: Vec<MofSupplierServer> =
+            (0..3).map(|_| server_with_records(400, 1)).collect();
+        let segs: Vec<SegmentRef> = servers
+            .iter()
+            .map(|s| SegmentRef {
+                addr: s.addr(),
+                mof: 0,
+                reducer: 0,
+            })
+            .collect();
+        // Small buffers so segments need many on-demand refills.
+        let client = NetMergerClient::with_config(2 << 10, 512);
+        let levitated = client.levitated_merge(&segs).unwrap();
+        let materialized = client.shuffle_and_merge(&segs).unwrap();
+        assert_eq!(levitated, materialized);
+        assert!(is_sorted(&levitated));
+        assert_eq!(levitated.len(), 1200);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn levitated_stream_fetches_on_demand() {
+        let server = server_with_records(2000, 1);
+        let client = NetMergerClient::with_config(4 << 10, 512);
+        let seg = SegmentRef {
+            addr: server.addr(),
+            mof: 0,
+            reducer: 0,
+        };
+        let mut stream = NetworkSegmentStream::new(&client, seg);
+        // Pulling one record must fetch only the first window, not the
+        // whole multi-chunk segment.
+        let first = stream.next_record().unwrap().unwrap();
+        assert!(!first.0.is_empty());
+        assert_eq!(stream.offset(), 4 << 10, "exactly one buffer fetched");
+        server.shutdown();
+    }
+
+    #[test]
+    fn tiny_connection_cache_evicts_lru() {
+        let servers: Vec<MofSupplierServer> =
+            (0..3).map(|_| server_with_records(50, 1)).collect();
+        let client = NetMergerClient::with_config(128 << 10, 1);
+        for s in &servers {
+            client
+                .fetch_segment(SegmentRef {
+                    addr: s.addr(),
+                    mof: 0,
+                    reducer: 0,
+                })
+                .unwrap();
+        }
+        // Revisit the first supplier: its connection was evicted.
+        client
+            .fetch_segment(SegmentRef {
+                addr: servers[0].addr(),
+                mof: 0,
+                reducer: 0,
+            })
+            .unwrap();
+        let s = client.stats();
+        assert_eq!(s.connections_established, 4);
+        assert_eq!(s.connections_reused, 0);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+}

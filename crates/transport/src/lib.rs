@@ -1,0 +1,42 @@
+//! # jbs-transport — a real TCP dataplane for JBS
+//!
+//! Everything else in this repository simulates time; this crate moves
+//! *real bytes over real sockets* to demonstrate that the JBS components
+//! are implementable exactly as designed:
+//!
+//! * [`wire`] — the JBS fetch protocol: fixed-size framed requests
+//!   addressed by `(MOF, reducer, offset, len)` and framed data responses.
+//! * [`store`] — an on-disk MOF store using the byte-real
+//!   [`jbs_mapred::mof`] formats (data + index files).
+//! * [`server`] — the MOFSupplier: a TCP server with an in-memory
+//!   IndexCache and a DataCache that serves segment ranges, grouping
+//!   concurrent requests per MOF through a shared read-ahead buffer.
+//! * [`client`] — the NetMerger: a client that consolidates fetches over
+//!   cached connections (LRU, capped — Sec. IV's 512-connection policy),
+//!   pulls segments from many suppliers concurrently, and k-way merges
+//!   them into a reduce-ready sorted stream.
+//!
+//! The integration tests under `tests/` run a full multi-"node" shuffle
+//! over 127.0.0.1 and verify byte-exact results against a reference sort.
+//!
+//! * [`verbs`] — a software RDMA verbs layer: protection domains,
+//!   registered memory regions, the Fig. 6 `rdma_listen`/`rdma_connect`/
+//!   `rdma_accept` handshake with a server event thread, and one-sided
+//!   `rdma_read` that moves segment bytes with **zero server-thread
+//!   involvement** — the semantics behind the paper's RDMA results,
+//!   runnable without InfiniBand hardware (transport is in-process).
+//!
+//! Real RDMA NICs are the one thing this reproduction cannot assume (see
+//! DESIGN.md §2); the simulated fabric covers those protocols' timing and
+//! this verbs layer covers their semantics.
+
+pub mod client;
+pub mod server;
+pub mod store;
+pub mod verbs;
+pub mod wire;
+
+pub use client::NetMergerClient;
+pub use server::MofSupplierServer;
+pub use store::MofStore;
+pub use wire::{FetchRequest, FetchResponse};

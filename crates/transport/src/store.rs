@@ -1,0 +1,232 @@
+//! On-disk MOF store: real files in the real MOF/index formats.
+
+use jbs_mapred::merge::{sort_run, Record};
+use jbs_mapred::mof::{MofIndex, MofWriter};
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static STORE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of MOFs, as one node's TaskTracker local storage.
+pub struct MofStore {
+    dir: PathBuf,
+    indexes: HashMap<u64, MofIndex>,
+    owns_dir: bool,
+}
+
+impl MofStore {
+    /// Create a store in a fresh temporary directory.
+    pub fn temp() -> io::Result<Self> {
+        let dir = std::env::temp_dir().join(format!(
+            "jbs-mofstore-{}-{}",
+            std::process::id(),
+            STORE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir)?;
+        Ok(MofStore {
+            dir,
+            indexes: HashMap::new(),
+            owns_dir: true,
+        })
+    }
+
+    /// Open (or create) a store in an existing directory.
+    pub fn at(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(MofStore {
+            dir: dir.to_path_buf(),
+            indexes: HashMap::new(),
+            owns_dir: false,
+        })
+    }
+
+    fn data_path(&self, mof: u64) -> PathBuf {
+        self.dir.join(format!("file-{mof}.out"))
+    }
+
+    fn index_path(&self, mof: u64) -> PathBuf {
+        self.dir.join(format!("file-{mof}.out.index"))
+    }
+
+    /// Write a MOF from records, partitioning each record with `partition`
+    /// into `partitions` sorted segments (exactly what a MapTask's
+    /// sort/spill produces). Records within each segment are key-sorted.
+    pub fn write_mof<P>(
+        &mut self,
+        mof: u64,
+        records: Vec<Record>,
+        partitions: usize,
+        partition: P,
+    ) -> io::Result<()>
+    where
+        P: Fn(&[u8]) -> usize,
+    {
+        let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); partitions];
+        for (k, v) in records {
+            let p = partition(&k);
+            assert!(p < partitions, "partition out of range");
+            buckets[p].push((k, v));
+        }
+        let mut writer = MofWriter::new();
+        for bucket in &mut buckets {
+            sort_run(bucket);
+            writer.begin_segment();
+            for (k, v) in bucket.iter() {
+                writer.append(k, v);
+            }
+            writer.end_segment();
+        }
+        let (data, index) = writer.finish();
+        fs::write(self.data_path(mof), &data)?;
+        fs::write(self.index_path(mof), index.to_bytes())?;
+        self.indexes.insert(mof, index);
+        Ok(())
+    }
+
+    /// Look up (loading and caching if needed) the index of `mof`.
+    pub fn index(&mut self, mof: u64) -> io::Result<&MofIndex> {
+        if !self.indexes.contains_key(&mof) {
+            let bytes = fs::read(self.index_path(mof))?;
+            let index = MofIndex::from_bytes(&bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            self.indexes.insert(mof, index);
+        }
+        Ok(&self.indexes[&mof])
+    }
+
+    /// Read `[offset, offset+len)` of reducer `reducer`'s segment in `mof`
+    /// (`len == 0` reads to the segment end). Returns `None` for an
+    /// unknown MOF/reducer.
+    pub fn read_segment_range(
+        &mut self,
+        mof: u64,
+        reducer: u32,
+        offset: u64,
+        len: u64,
+    ) -> io::Result<Option<Vec<u8>>> {
+        let entry = match self.index(mof) {
+            Ok(ix) => match ix.entry(reducer as usize) {
+                Some(e) => e,
+                None => return Ok(None),
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if offset >= entry.part_len {
+            return Ok(Some(Vec::new()));
+        }
+        let want = if len == 0 {
+            entry.part_len - offset
+        } else {
+            len.min(entry.part_len - offset)
+        };
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = fs::File::open(self.data_path(mof))?;
+        f.seek(SeekFrom::Start(entry.offset + offset))?;
+        let mut buf = vec![0u8; want as usize];
+        f.read_exact(&mut buf)?;
+        Ok(Some(buf))
+    }
+
+    /// MOF ids present in the in-memory index map.
+    pub fn mofs(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.indexes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for MofStore {
+    fn drop(&mut self) {
+        if self.owns_dir {
+            let _ = fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jbs_mapred::mof::SegmentReader;
+
+    fn rec(k: &str, v: &str) -> Record {
+        (k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn write_and_read_back_segments() {
+        let mut store = MofStore::temp().unwrap();
+        store
+            .write_mof(
+                0,
+                vec![rec("b", "2"), rec("a", "1"), rec("c", "3")],
+                2,
+                |k| usize::from(k[0] % 2 == 0), // 'b' -> 1, 'a','c' -> 0
+            )
+            .unwrap();
+        let seg0 = store.read_segment_range(0, 0, 0, 0).unwrap().unwrap();
+        let recs: Vec<_> = SegmentReader::new(&seg0).map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0, b"a"); // sorted within the segment
+        assert_eq!(recs[1].0, b"c");
+        let seg1 = store.read_segment_range(0, 1, 0, 0).unwrap().unwrap();
+        assert_eq!(SegmentReader::new(&seg1).count(), 1);
+    }
+
+    #[test]
+    fn range_reads_are_exact_slices() {
+        let mut store = MofStore::temp().unwrap();
+        store
+            .write_mof(1, vec![rec("key", "0123456789")], 1, |_| 0)
+            .unwrap();
+        let whole = store.read_segment_range(1, 0, 0, 0).unwrap().unwrap();
+        let first = store.read_segment_range(1, 0, 0, 5).unwrap().unwrap();
+        let rest = store.read_segment_range(1, 0, 5, 0).unwrap().unwrap();
+        assert_eq!(first.len(), 5);
+        assert_eq!([first.as_slice(), rest.as_slice()].concat(), whole);
+        // Past the end: empty.
+        let past = store
+            .read_segment_range(1, 0, whole.len() as u64 + 10, 0)
+            .unwrap()
+            .unwrap();
+        assert!(past.is_empty());
+    }
+
+    #[test]
+    fn unknown_mof_or_reducer_is_none() {
+        let mut store = MofStore::temp().unwrap();
+        store.write_mof(5, vec![rec("k", "v")], 1, |_| 0).unwrap();
+        assert!(store.read_segment_range(99, 0, 0, 0).unwrap().is_none());
+        assert!(store.read_segment_range(5, 7, 0, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn index_survives_reopen() {
+        let mut store = MofStore::temp().unwrap();
+        store.write_mof(3, vec![rec("k", "v")], 2, |_| 1).unwrap();
+        let dir = store.dir().to_path_buf();
+        store.owns_dir = false; // keep the files
+        drop(store);
+        let mut reopened = MofStore::at(&dir).unwrap();
+        let seg = reopened.read_segment_range(3, 1, 0, 0).unwrap().unwrap();
+        assert!(SegmentReader::new(&seg).count() == 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn temp_dir_cleanup_on_drop() {
+        let store = MofStore::temp().unwrap();
+        let dir = store.dir().to_path_buf();
+        assert!(dir.exists());
+        drop(store);
+        assert!(!dir.exists());
+    }
+}

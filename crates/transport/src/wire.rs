@@ -1,0 +1,252 @@
+//! The JBS fetch wire protocol.
+//!
+//! A fetch request addresses a byte range of one reducer's segment in one
+//! MOF — the unit the NetMerger's transport buffers work in. Responses are
+//! length-framed so a connection can carry many request/response exchanges
+//! (connections are cached and reused, unlike Hadoop's per-fetch HTTP).
+//!
+//! ```text
+//! request  := MAGIC u32 | mof u64 | reducer u32 | offset u64 | len u64
+//! response := status u8 | payload_len u64 | payload[payload_len]
+//! ```
+//!
+//! `len == 0` requests the whole remainder of the segment from `offset`.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Protocol magic ("JBS1").
+pub const REQUEST_MAGIC: u32 = 0x4A42_5331;
+
+/// Size of an encoded request.
+pub const REQUEST_LEN: usize = 4 + 8 + 4 + 8 + 8;
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Payload follows.
+    Ok = 0,
+    /// Unknown MOF or reducer.
+    NotFound = 1,
+    /// Malformed request.
+    BadRequest = 2,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Status {
+        match v {
+            0 => Status::Ok,
+            1 => Status::NotFound,
+            _ => Status::BadRequest,
+        }
+    }
+}
+
+/// One fetch request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchRequest {
+    /// MOF id.
+    pub mof: u64,
+    /// Reducer (partition) number.
+    pub reducer: u32,
+    /// Segment-relative byte offset.
+    pub offset: u64,
+    /// Bytes requested (0 = rest of the segment).
+    pub len: u64,
+}
+
+impl FetchRequest {
+    /// Request a whole segment.
+    pub fn whole_segment(mof: u64, reducer: u32) -> Self {
+        FetchRequest {
+            mof,
+            reducer,
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    /// Encode to the wire format.
+    pub fn encode(&self) -> [u8; REQUEST_LEN] {
+        let mut buf = BytesMut::with_capacity(REQUEST_LEN);
+        buf.put_u32(REQUEST_MAGIC);
+        buf.put_u64(self.mof);
+        buf.put_u32(self.reducer);
+        buf.put_u64(self.offset);
+        buf.put_u64(self.len);
+        let mut out = [0u8; REQUEST_LEN];
+        out.copy_from_slice(&buf);
+        out
+    }
+
+    /// Decode from the wire format.
+    pub fn decode(mut buf: &[u8]) -> io::Result<Self> {
+        if buf.len() < REQUEST_LEN {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short request"));
+        }
+        let magic = buf.get_u32();
+        if magic != REQUEST_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        Ok(FetchRequest {
+            mof: buf.get_u64(),
+            reducer: buf.get_u32(),
+            offset: buf.get_u64(),
+            len: buf.get_u64(),
+        })
+    }
+
+    /// Write this request to a stream.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.encode())
+    }
+
+    /// Read one request from a stream. Returns `Ok(None)` on clean EOF
+    /// before any byte (the peer closed a reused connection).
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<Self>> {
+        let mut buf = [0u8; REQUEST_LEN];
+        let mut filled = 0;
+        while filled < REQUEST_LEN {
+            match r.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "truncated request",
+                    ))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Self::decode(&buf).map(Some)
+    }
+}
+
+/// One fetch response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchResponse {
+    /// Outcome.
+    pub status: Status,
+    /// Segment bytes (empty unless `status == Ok`).
+    pub payload: Vec<u8>,
+}
+
+impl FetchResponse {
+    /// A successful response.
+    pub fn ok(payload: Vec<u8>) -> Self {
+        FetchResponse {
+            status: Status::Ok,
+            payload,
+        }
+    }
+
+    /// An error response.
+    pub fn error(status: Status) -> Self {
+        FetchResponse {
+            status,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Write header + payload to a stream.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut hdr = [0u8; 9];
+        hdr[0] = self.status as u8;
+        hdr[1..9].copy_from_slice(&(self.payload.len() as u64).to_be_bytes());
+        w.write_all(&hdr)?;
+        w.write_all(&self.payload)
+    }
+
+    /// Read a full response from a stream.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut hdr = [0u8; 9];
+        r.read_exact(&mut hdr)?;
+        let status = Status::from_u8(hdr[0]);
+        let len = u64::from_be_bytes(hdr[1..9].try_into().unwrap()) as usize;
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Ok(FetchResponse { status, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = FetchRequest {
+            mof: 7,
+            reducer: 3,
+            offset: 4096,
+            len: 128 << 10,
+        };
+        let enc = req.encode();
+        assert_eq!(enc.len(), REQUEST_LEN);
+        assert_eq!(FetchRequest::decode(&enc).unwrap(), req);
+    }
+
+    #[test]
+    fn request_rejects_bad_magic() {
+        let mut enc = FetchRequest::whole_segment(1, 2).encode();
+        enc[0] ^= 0xFF;
+        assert!(FetchRequest::decode(&enc).is_err());
+        assert!(FetchRequest::decode(&enc[..8]).is_err());
+    }
+
+    #[test]
+    fn request_stream_roundtrip_and_eof() {
+        let req = FetchRequest::whole_segment(9, 1);
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), Some(req));
+        // Clean EOF after a full request -> None.
+        assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_request_is_an_error() {
+        let req = FetchRequest::whole_segment(9, 1);
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        buf.truncate(REQUEST_LEN - 3);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(FetchRequest::read_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = FetchResponse::ok(vec![1, 2, 3, 4, 5]);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let resp = FetchResponse::error(Status::NotFound);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.status, Status::NotFound);
+        assert!(back.payload.is_empty());
+    }
+
+    #[test]
+    fn many_exchanges_on_one_stream() {
+        let mut buf = Vec::new();
+        for i in 0..10u64 {
+            FetchRequest::whole_segment(i, i as u32).write_to(&mut buf).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for i in 0..10u64 {
+            let req = FetchRequest::read_from(&mut cursor).unwrap().unwrap();
+            assert_eq!(req.mof, i);
+        }
+        assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), None);
+    }
+}

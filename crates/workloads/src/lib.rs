@@ -1,0 +1,30 @@
+//! # jbs-workloads — benchmark workloads from the paper's evaluation
+//!
+//! Section V evaluates JBS with Terasort, WordCount and Grep from the
+//! standard Hadoop package plus SelfJoin, AdjacencyList, InvertedIndex and
+//! SequenceCount from the Tarazu suite \[3\], on 30 GB of wikipedia/database
+//! data. This crate provides:
+//!
+//! * [`suite`] — a [`jbs_mapred::JobSpec`] per benchmark, parameterized by
+//!   the property the figures actually depend on: the shuffle-volume ratio
+//!   (intermediate:input). Terasort shuffles exactly its input; the four
+//!   Tarazu benchmarks are shuffle-heavy ("each MapTask generates a lot of
+//!   intermediate data"); WordCount and Grep shuffle almost nothing, which
+//!   is why JBS shows no gain on them (Sec. V-F).
+//! * [`generator`] — real byte-level data generators (Teragen-style
+//!   records, Zipf-distributed synthetic text) used by the loopback
+//!   dataplane tests and the examples.
+//! * [`partition`] — real partitioners: a hash partitioner and Terasort's
+//!   sampled range partitioner.
+//! * [`mapfns`] — the benchmarks' actual map and reduce functions (word
+//!   counting, inverted indexing, self-joins, adjacency lists, trigram
+//!   counting), used by the real dataplane and the examples.
+
+pub mod generator;
+pub mod mapfns;
+pub mod partition;
+pub mod suite;
+
+pub use generator::{gen_terasort_records, gen_text, TERASORT_KEY_LEN, TERASORT_RECORD_LEN};
+pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
+pub use suite::{Benchmark, BENCH_INPUT_BYTES};

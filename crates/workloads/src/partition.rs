@@ -1,0 +1,148 @@
+//! Partitioners: how map output keys choose their reducer.
+
+use jbs_des::DetRng;
+
+/// Assigns a reducer to each key.
+pub trait Partitioner {
+    /// Partition index in `[0, partitions)` for `key`.
+    fn partition(&self, key: &[u8]) -> usize;
+    /// Number of partitions.
+    fn partitions(&self) -> usize;
+}
+
+/// Hadoop's default `HashPartitioner` (FNV-1a here rather than Java's
+/// `hashCode`, but with the same near-uniform behaviour).
+#[derive(Debug, Clone)]
+pub struct HashPartitioner {
+    n: usize,
+}
+
+impl HashPartitioner {
+    /// A hash partitioner over `n >= 1` partitions.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        HashPartitioner { n }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, key: &[u8]) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % self.n as u64) as usize
+    }
+
+    fn partitions(&self) -> usize {
+        self.n
+    }
+}
+
+/// Terasort's sampled range partitioner: sample keys, sort them, pick
+/// `n - 1` evenly spaced split points, and route each key to the range it
+/// falls in. Keeps reducer output globally sorted.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner {
+    splits: Vec<Vec<u8>>,
+}
+
+impl RangePartitioner {
+    /// Build from a sample of keys (need not be sorted).
+    pub fn from_sample(mut sample: Vec<Vec<u8>>, partitions: usize) -> Self {
+        assert!(partitions >= 1);
+        sample.sort();
+        let mut splits = Vec::with_capacity(partitions.saturating_sub(1));
+        if !sample.is_empty() {
+            for i in 1..partitions {
+                let idx = i * sample.len() / partitions;
+                splits.push(sample[idx.min(sample.len() - 1)].clone());
+            }
+        }
+        RangePartitioner { splits }
+    }
+
+    /// Sample `k` keys from `keys` with a deterministic RNG and build.
+    pub fn sampled(keys: &[Vec<u8>], k: usize, partitions: usize, rng: &mut DetRng) -> Self {
+        let sample: Vec<Vec<u8>> = (0..k.min(keys.len()))
+            .map(|_| keys[rng.uniform_u64(0, keys.len() as u64) as usize].clone())
+            .collect();
+        Self::from_sample(sample, partitions)
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn partition(&self, key: &[u8]) -> usize {
+        // First split point greater than the key defines the partition.
+        self.splits.partition_point(|s| s.as_slice() <= key)
+    }
+
+    fn partitions(&self) -> usize {
+        self.splits.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::gen_terasort_records;
+
+    #[test]
+    fn hash_partitioner_is_deterministic_and_in_range() {
+        let p = HashPartitioner::new(44);
+        assert_eq!(p.partitions(), 44);
+        for key in [b"alpha".to_vec(), b"beta".to_vec(), vec![0, 255, 3]] {
+            let a = p.partition(&key);
+            assert_eq!(a, p.partition(&key));
+            assert!(a < 44);
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_is_roughly_uniform() {
+        let p = HashPartitioner::new(8);
+        let mut rng = DetRng::new(5);
+        let mut counts = [0usize; 8];
+        for (k, _) in gen_terasort_records(8000, &mut rng) {
+            counts[p.partition(&k)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn range_partitioner_preserves_key_order() {
+        let mut rng = DetRng::new(6);
+        let recs = gen_terasort_records(5000, &mut rng);
+        let keys: Vec<Vec<u8>> = recs.iter().map(|(k, _)| k.clone()).collect();
+        let p = RangePartitioner::sampled(&keys, 1000, 16, &mut rng);
+        assert_eq!(p.partitions(), 16);
+        // Order property: k1 <= k2 implies partition(k1) <= partition(k2).
+        let mut sorted = keys.clone();
+        sorted.sort();
+        let parts: Vec<usize> = sorted.iter().map(|k| p.partition(k)).collect();
+        assert!(parts.windows(2).all(|w| w[0] <= w[1]));
+        // Balance: every partition gets something with 5000 keys over 16.
+        let mut counts = [0usize; 16];
+        for k in &keys {
+            counts[p.partition(k)] += 1;
+        }
+        let nonempty = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonempty >= 14, "only {nonempty} partitions used");
+    }
+
+    #[test]
+    fn range_partitioner_single_partition() {
+        let p = RangePartitioner::from_sample(vec![b"x".to_vec()], 1);
+        assert_eq!(p.partitions(), 1);
+        assert_eq!(p.partition(b"anything"), 0);
+    }
+
+    #[test]
+    fn range_partitioner_empty_sample_degenerates() {
+        let p = RangePartitioner::from_sample(vec![], 4);
+        assert_eq!(p.partition(b"k"), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Tune the JBS transport buffer: sweep the buffer size and watch the
+//! pipeline — the Fig. 11 experiment at adjustable scale.
+//!
+//! ```sh
+//! cargo run --release --example buffer_tuning -- 64   # input GB, default 32
+//! ```
+
+use jbs::core::{EngineKind, JbsConfig};
+use jbs::mapred::{ClusterConfig, JobSimulator, JobSpec};
+
+fn main() {
+    let gb: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(32);
+    println!("JBS transport-buffer sweep, Terasort {gb} GB, 22 slaves\n");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "buffer", "in-flight", "RDMA job (s)", "IPoIB job (s)"
+    );
+
+    let mut best = (u64::MAX, f64::INFINITY);
+    let mut kb = 8u64;
+    while kb <= 512 {
+        let cfg = JbsConfig::with_buffer(kb << 10);
+        let pool = cfg.pool_buffers();
+        let mut row = Vec::new();
+        for kind in [EngineKind::JbsOnRdma, EngineKind::JbsOnIpoIb] {
+            let cluster = ClusterConfig::paper_testbed(kind.protocol());
+            let sim = JobSimulator::new(cluster, JobSpec::terasort(gb << 30));
+            let mut engine = kind.build_with(cfg.clone());
+            row.push(sim.run(engine.as_mut()).job_time.as_secs_f64());
+        }
+        println!("{:>8}KB {:>12} {:>14.1} {:>14.1}", kb, pool, row[0], row[1]);
+        if row[0] < best.1 {
+            best = (kb, row[0]);
+        }
+        kb *= 2;
+    }
+    println!(
+        "\nbest RDMA buffer: {} KB (the paper chose 128 KB as the JBS default)",
+        best.0
+    );
+}

@@ -1,0 +1,73 @@
+//! The JBS RDMA path on the software verbs layer: Fig. 6's connection
+//! establishment, MOF registration into a protection domain, and
+//! one-sided segment reads that never involve a supplier thread.
+//!
+//! ```sh
+//! cargo run --release --example rdma_verbs_demo
+//! ```
+
+use jbs::des::DetRng;
+use jbs::mapred::mof::MofWriter;
+use jbs::transport::verbs::{RdmaMofSupplier, RdmaNetMerger};
+use jbs::workloads::{gen_terasort_records, HashPartitioner, Partitioner};
+
+const REDUCERS: usize = 4;
+const RECORDS: usize = 20_000;
+
+fn main() {
+    // Build a real MOF.
+    let mut rng = DetRng::new(7);
+    let partitioner = HashPartitioner::new(REDUCERS);
+    let mut writer = MofWriter::new();
+    let records = gen_terasort_records(RECORDS, &mut rng);
+    let mut buckets: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); REDUCERS];
+    for (k, v) in records {
+        buckets[partitioner.partition(&k)].push((k, v));
+    }
+    for mut bucket in buckets {
+        bucket.sort();
+        writer.begin_segment();
+        for (k, v) in &bucket {
+            writer.append(k, v);
+        }
+        writer.end_segment();
+    }
+    let (data, index) = writer.finish();
+    println!(
+        "MOF built: {} bytes, {} segments",
+        data.len(),
+        index.num_segments()
+    );
+
+    // MOFSupplier: register the MOF for one-sided access. Its event thread
+    // only ever answers the catalog request; data moves without it.
+    let supplier = RdmaMofSupplier::start();
+    supplier.publish_mof(0, data.to_vec(), &index);
+
+    // NetMerger: rdma_connect (Fig. 6 handshake), fetch the catalog once,
+    // then pull every segment with 128 KB one-sided reads.
+    let merger = RdmaNetMerger::new();
+    let conn = merger.connect(&supplier.addr()).expect("rdma_connect");
+    println!("queue pair established (alloc conn -> rdma_connect -> accept -> established)");
+
+    let mut total = 0usize;
+    for reducer in 0..REDUCERS as u32 {
+        let seg = merger
+            .fetch_segment(conn, 0, reducer, 128 << 10)
+            .expect("one-sided fetch");
+        let entry = index.entry(reducer as usize).unwrap();
+        assert_eq!(seg.len() as u64, entry.part_len, "byte-exact");
+        total += seg.len();
+        println!(
+            "reducer {reducer}: {} bytes fetched one-sided (offset {} in the region)",
+            seg.len(),
+            entry.offset
+        );
+    }
+    println!(
+        "\n{} bytes moved via {} one-sided reads — zero supplier threads on the data path,\n\
+         which is why the paper's RDMA runs show the lowest CPU utilization (Fig. 10b)",
+        total,
+        supplier.one_sided_reads()
+    );
+}

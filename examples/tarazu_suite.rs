@@ -1,0 +1,53 @@
+//! Run the paper's application benchmarks (Tarazu suite + WordCount/Grep)
+//! with Hadoop and JBS, showing which workloads JVM-bypass helps: the
+//! shuffle-heavy ones, and not the map-side-combining ones.
+//!
+//! ```sh
+//! cargo run --release --example tarazu_suite
+//! ```
+
+use jbs::core::EngineKind;
+use jbs::mapred::{ClusterConfig, JobSimulator};
+use jbs::workloads::Benchmark;
+
+fn main() {
+    println!("Tarazu suite + WordCount/Grep, 30 GB input, 22 slaves, InfiniBand\n");
+    println!(
+        "{:<15} {:>9} {:>14} {:>12} {:>12} {:>9}",
+        "benchmark", "shuffle:", "Hadoop-IPoIB", "JBS-IPoIB", "JBS-RDMA", "best gain"
+    );
+    println!(
+        "{:<15} {:>9} {:>14} {:>12} {:>12} {:>9}",
+        "", "input", "(s)", "(s)", "(s)", "(%)"
+    );
+
+    for bench in Benchmark::figure12() {
+        let spec = bench.paper_spec();
+        let mut times = Vec::new();
+        for kind in [
+            EngineKind::HadoopOnIpoIb,
+            EngineKind::JbsOnIpoIb,
+            EngineKind::JbsOnRdma,
+        ] {
+            let cfg = ClusterConfig::paper_testbed(kind.protocol());
+            let sim = JobSimulator::new(cfg, spec.clone());
+            let mut engine = kind.build();
+            times.push(sim.run(engine.as_mut()).job_time.as_secs_f64());
+        }
+        let gain = (times[0] - times[2]) / times[0] * 100.0;
+        println!(
+            "{:<15} {:>8.2}x {:>14.1} {:>12.1} {:>12.1} {:>9.1}",
+            bench.label(),
+            spec.shuffle_ratio,
+            times[0],
+            times[1],
+            times[2],
+            gain,
+        );
+    }
+    println!(
+        "\nShuffle-heavy benchmarks (SelfJoin..AdjacencyList) benefit from JVM-bypass;\n\
+         WordCount and Grep shuffle almost nothing, so JBS changes little — exactly\n\
+         the two benchmark classes of the paper's Sec. V-F."
+    );
+}

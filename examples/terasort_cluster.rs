@@ -1,0 +1,49 @@
+//! Terasort across every Table-I test case: which transport wins, and by
+//! how much, at a chosen input size.
+//!
+//! ```sh
+//! cargo run --release --example terasort_cluster -- 128   # input in GB
+//! ```
+
+use jbs::core::EngineKind;
+use jbs::mapred::{ClusterConfig, JobSimulator, JobSpec};
+
+fn main() {
+    let gb: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    println!("Terasort {gb} GB on the 22-slave paper testbed\n");
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>8} {:>10}",
+        "test case", "job (s)", "map (s)", "shuffle", "cpu %", "spill GB"
+    );
+
+    let mut base = None;
+    for kind in EngineKind::all() {
+        let cfg = ClusterConfig::paper_testbed(kind.protocol());
+        let sim = JobSimulator::new(cfg, JobSpec::terasort(gb << 30));
+        let mut engine = kind.build();
+        let r = sim.run(engine.as_mut());
+        println!(
+            "{:<20} {:>10.1} {:>10.1} {:>10.1} {:>8.1} {:>10.2}",
+            kind.label(),
+            r.job_time.as_secs_f64(),
+            r.map_phase_end.as_secs_f64(),
+            r.shuffle_all_ready.as_secs_f64(),
+            r.mean_cpu_utilization(),
+            r.spilled_bytes as f64 / (1u64 << 30) as f64,
+        );
+        if kind == EngineKind::HadoopOnIpoIb {
+            base = Some(r.job_time.as_secs_f64());
+        }
+        if kind == EngineKind::JbsOnRdma {
+            if let Some(b) = base {
+                println!(
+                    "\nJBS on RDMA vs Hadoop on IPoIB: {:.1}% faster",
+                    (b - r.job_time.as_secs_f64()) / b * 100.0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # JBS — JVM-Bypass Shuffling, reproduced in Rust
+//!
+//! A from-scratch reproduction of *"JVM-Bypass for Efficient Hadoop
+//! Shuffling"* (Wang, Xu, Li, Yu — IPDPS 2013): the JBS plug-in shuffle
+//! library (MOFSupplier + NetMerger), the stock Hadoop shuffle it is
+//! measured against, a miniature Hadoop runtime, calibrated disk/network/
+//! JVM models driving a deterministic discrete-event simulator, and a real
+//! TCP dataplane that shuffles genuine bytes over loopback.
+//!
+//! This facade crate re-exports the workspace members under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`des`] | `jbs-des` | DES kernel: time, event queue, RNG, queueing resources, CPU meters, LRU |
+//! | [`disk`] | `jbs-disk` | rotating-disk + page-cache model |
+//! | [`jvm`] | `jbs-jvm` | JVM overhead model: stream costs, GC |
+//! | [`net`] | `jbs-net` | protocol table (Table I), NICs, connection manager |
+//! | [`mapred`] | `jbs-mapred` | MOF formats, k-way merge, job simulator |
+//! | [`core`] | `jbs-core` | **the paper's contribution**: `JbsShuffle` + `HadoopShuffle` |
+//! | [`transport`] | `jbs-transport` | real TCP MOFSupplier/NetMerger over loopback |
+//! | [`workloads`] | `jbs-workloads` | Terasort + Tarazu workloads, generators, partitioners |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use jbs::core::{EngineKind, HadoopShuffle, JbsShuffle};
+//! use jbs::mapred::{ClusterConfig, JobSimulator, JobSpec};
+//! use jbs::net::Protocol;
+//!
+//! // Terasort 1 GiB on a small test cluster, stock Hadoop vs JBS.
+//! let sim = JobSimulator::new(
+//!     ClusterConfig::tiny(Protocol::IpoIb),
+//!     JobSpec::terasort(1 << 30),
+//! );
+//! let hadoop = sim.run(&mut HadoopShuffle::new());
+//! let jbs = sim.run(&mut JbsShuffle::new());
+//! assert!(jbs.spilled_bytes == 0 && hadoop.bytes_shuffled == jbs.bytes_shuffled);
+//! // The full paper testbed is ClusterConfig::paper_testbed(EngineKind::JbsOnRdma.protocol()).
+//! # let _ = EngineKind::JbsOnRdma;
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for
+//! paper-vs-measured results, and `crates/bench` for the binaries that
+//! regenerate every table and figure.
+
+pub use jbs_core as core;
+pub use jbs_des as des;
+pub use jbs_disk as disk;
+pub use jbs_jvm as jvm;
+pub use jbs_mapred as mapred;
+pub use jbs_net as net;
+pub use jbs_transport as transport;
+pub use jbs_workloads as workloads;
