@@ -22,7 +22,6 @@ use jbs_des::{EventQueue, SimTime};
 use jbs_jvm::{GcModel, GcParams, PathCosts};
 use jbs_mapred::merge::merge_passes;
 use jbs_mapred::sim::{ShuffleEngine, ShuffleOutcome, ShufflePlan, SimCluster};
-use serde::{Deserialize, Serialize};
 
 /// Hadoop's default `mapred.reduce.parallel.copies`.
 const PARALLEL_COPIES: usize = 5;
@@ -58,7 +57,7 @@ const GC_PARALLELISM: f64 = 2.0;
 const SPILL_IO_UNIT: u64 = 4 << 20;
 
 /// Tuning knobs for the baseline engine (exposed for tests/ablations).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HadoopConfig {
     /// MOFCopier threads per ReduceTask.
     pub parallel_copies: usize,
@@ -418,7 +417,10 @@ impl ShuffleEngine for HadoopShuffle {
                 // the count under io.sort.factor (an intermediate merge of
                 // roughly (runs - fanin + 1)/runs of the data), then the
                 // final pass streams everything into the reduce function.
-                debug_assert!(merge_passes(runs, MERGE_FANIN) >= 1);
+                // A single disk run needs no intermediate pass at all —
+                // the final pass streams it directly.
+                debug_assert!(runs >= 1);
+                debug_assert!(runs == 1 || merge_passes(runs, MERGE_FANIN) >= 1);
                 let intermediate_bytes = if runs > MERGE_FANIN {
                     let k = runs - MERGE_FANIN + 1;
                     (r.spill_file_bytes as f64 * k as f64 / runs as f64) as u64

@@ -2,10 +2,9 @@
 
 use jbs_des::SimTime;
 use jbs_net::conn::DEFAULT_MAX_CONNECTIONS;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the JBS library (Sec. IV, Sec. V-E).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JbsConfig {
     /// Transport buffer size. "We choose the default transport buffer size
     /// as 128 KB for the JBS library" (Sec. V-E).
@@ -39,6 +38,16 @@ pub struct JbsConfig {
     /// MOFCopiers (~3 s in Hadoop 0.20). Zero for micro-benchmarks that
     /// fetch directly.
     pub notification_latency: SimTime,
+    /// Retries a fetch attempts after a transient failure (connect
+    /// refusal, timeout, reset, corrupt frame) before surfacing the
+    /// error to the merge. 0 disables retry.
+    pub fetch_retry_max: u32,
+    /// Backoff before the first fetch retry; doubles per retry.
+    pub fetch_backoff_base: SimTime,
+    /// Upper clamp on any single fetch-retry backoff sleep.
+    pub fetch_backoff_max: SimTime,
+    /// Per-request read/write deadline on the real dataplane.
+    pub fetch_io_timeout: SimTime,
 }
 
 impl Default for JbsConfig {
@@ -53,6 +62,10 @@ impl Default for JbsConfig {
             pipelined_prefetch: true,
             prefetch_budget_per_reducer: 256 << 20,
             notification_latency: SimTime::from_secs(3),
+            fetch_retry_max: 4,
+            fetch_backoff_base: SimTime::from_millis(10),
+            fetch_backoff_max: SimTime::from_millis(500),
+            fetch_io_timeout: SimTime::from_secs(5),
         }
     }
 }
@@ -85,6 +98,12 @@ impl JbsConfig {
         }
         if self.prefetch_batch == 0 {
             return Err("prefetch batch must be positive".into());
+        }
+        if self.fetch_backoff_base > self.fetch_backoff_max {
+            return Err("fetch backoff base exceeds its max".into());
+        }
+        if self.fetch_io_timeout == SimTime::ZERO {
+            return Err("fetch i/o timeout must be positive".into());
         }
         Ok(())
     }

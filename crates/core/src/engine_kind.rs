@@ -5,10 +5,9 @@ use crate::config::JbsConfig;
 use crate::jbs::JbsShuffle;
 use jbs_mapred::sim::ShuffleEngine;
 use jbs_net::Protocol;
-use serde::{Deserialize, Serialize};
 
 /// One test case: which shuffle engine on which protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Hadoop on 1GigE (TCP/IP).
     HadoopOn1GigE,

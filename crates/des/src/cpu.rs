@@ -8,10 +8,9 @@
 //! utilization deltas (the paper's "48.1 % lower CPU utilization" claim).
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Bin-sampled CPU utilization meter for one node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpuMeter {
     cores: u32,
     bin: SimTime,

@@ -1,10 +1,9 @@
 //! Small statistics helpers used across the experiment harness.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Online mean/variance/min/max accumulator (Welford's algorithm).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,

@@ -10,10 +10,9 @@
 
 use jbs_des::server::{FifoServer, Grant};
 use jbs_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Mechanical characteristics of one drive.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiskParams {
     /// Sequential read bandwidth in bytes/second.
     pub seq_read_bw: f64,

@@ -7,7 +7,6 @@
 //! cache or system buffers" while ≥128 GB jobs hit the spindles (Sec. V-A).
 
 use jbs_des::lru::LruCache;
-use serde::{Deserialize, Serialize};
 
 /// Key of one cached block.
 type BlockKey = (u64, u64); // (file, block index)
@@ -35,7 +34,7 @@ impl CacheOutcome {
 }
 
 /// Configuration snapshot of a [`PageCache`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PageCacheConfig {
     /// Cache capacity in bytes.
     pub capacity_bytes: u64,

@@ -10,12 +10,11 @@
 use crate::model::{Disk, DiskParams};
 use crate::pagecache::PageCache;
 use jbs_des::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a simulated file (MOF, index file, spill, HDFS block...).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct FileId(pub u64);
 

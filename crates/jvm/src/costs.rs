@@ -5,10 +5,9 @@
 //! figures, and `EXPERIMENTS.md` records how close the shapes land.
 
 use jbs_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Which runtime a data path executes in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Runtime {
     /// Hadoop's stock Java path (HttpServlet / MOFCopier inside the JVM).
     Java,
@@ -28,7 +27,7 @@ impl Runtime {
 
 /// How a server-side process reads MOF data off disk (Fig. 2a's three
 /// curves).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReadMode {
     /// `java.io.FileInputStream` — the stock HttpServlet path.
     JavaStream,
@@ -98,7 +97,7 @@ impl ReadMode {
 /// `jbs-net` charges protocol copy costs separately; these are the costs of
 /// the *runtime* on top of the protocol: stream wrappers, servlet
 /// dispatching, object management.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PathCosts {
     /// Which runtime this is.
     pub runtime: Runtime,

@@ -9,10 +9,9 @@
 //! its critical path *and* charges them as CPU busy time.
 
 use jbs_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Collector configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GcParams {
     /// Young generation size in bytes (allocation budget between minor GCs).
     pub young_bytes: u64,
@@ -50,7 +49,7 @@ impl GcParams {
 }
 
 /// Statistics accumulated by a [`GcModel`].
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct GcStats {
     /// Number of minor (young-generation) collections.
     pub minor_collections: u64,

@@ -8,10 +8,9 @@
 use jbs_des::SimTime;
 use jbs_disk::DiskParams;
 use jbs_net::Protocol;
-use serde::{Deserialize, Serialize};
 
 /// Static description of the simulated cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of slave (worker) nodes. The master runs the JobTracker and
     /// NameNode and does no data work, so it is not simulated.

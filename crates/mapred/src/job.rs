@@ -9,10 +9,9 @@
 //! these specs for each benchmark in Sec. V-F.
 
 use jbs_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Workload description consumed by the job simulator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JobSpec {
     /// Benchmark name ("Terasort", "SelfJoin", ...).
     pub name: String,

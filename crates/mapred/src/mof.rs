@@ -20,7 +20,6 @@
 //! are kept so the format matches Hadoop's three-u64 index entries.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 
 /// Magic number at the head of an index file.
 pub const INDEX_MAGIC: u32 = 0x4D4F_4649; // "MOFI"
@@ -55,7 +54,7 @@ impl std::fmt::Display for MofError {
 impl std::error::Error for MofError {}
 
 /// Location of one reducer's segment inside a MOF.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IndexEntry {
     /// Byte offset of the segment in the MOF.
     pub offset: u64,
@@ -66,7 +65,7 @@ pub struct IndexEntry {
 }
 
 /// The index file: one entry per ReduceTask.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MofIndex {
     entries: Vec<IndexEntry>,
 }

@@ -9,7 +9,6 @@ use crate::sim::state::SimCluster;
 use jbs_des::cpu::average_utilization;
 use jbs_des::{CpuMeter, SimTime};
 use jbs_disk::CachePolicy;
-use serde::{Deserialize, Serialize};
 
 /// Output write granularity in the reduce phase.
 const OUTPUT_WRITE_UNIT: u64 = 4 << 20;
@@ -18,7 +17,7 @@ const OUTPUT_WRITE_UNIT: u64 = 4 << 20;
 const OUTPUT_WRITE_CPU_PER_BYTE: f64 = 1.0e-9;
 
 /// Everything measured about one simulated job run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JobResult {
     /// Engine display name.
     pub engine: String,

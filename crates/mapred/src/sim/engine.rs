@@ -10,10 +10,9 @@
 use crate::sim::plan::ShufflePlan;
 use crate::sim::state::SimCluster;
 use jbs_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// What a shuffle engine reports back to the job driver.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ShuffleOutcome {
     /// Per reducer: when its full input had been fetched *and* merged into
     /// a reduce-ready stream.

@@ -13,7 +13,6 @@
 use crate::protocol::ProtocolParams;
 use jbs_des::lru::LruCache;
 use jbs_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// The paper's default cap on live connections per process.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 512;
@@ -31,7 +30,7 @@ pub struct Acquired {
 }
 
 /// Counters exposed for experiments and tests.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ConnStats {
     /// Connections established.
     pub established: u64,

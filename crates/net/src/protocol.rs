@@ -1,10 +1,9 @@
 //! The protocol/network matrix of Table I.
 
 use jbs_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Physical network, as in the paper's two test clusters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Network {
     /// 1 Gigabit Ethernet.
     OneGigE,
@@ -26,7 +25,7 @@ impl Network {
 }
 
 /// Transport protocol, as activated in the paper's test cases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// TCP/IP on 1 Gigabit Ethernet.
     Tcp1GigE,
@@ -176,7 +175,7 @@ impl Protocol {
 /// round trips plus `setup_cpu` per side — the queue-pair allocation of
 /// Fig. 6 makes RDMA setup CPU "relatively high" (Sec. IV-A), which is why
 /// JBS caches connections.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProtocolParams {
     /// Which protocol these parameters describe.
     pub protocol: Protocol,

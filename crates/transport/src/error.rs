@@ -1,0 +1,258 @@
+//! Typed errors for the real dataplane.
+//!
+//! Every connect/fetch path in this crate returns [`TransportError`]
+//! instead of panicking or leaking raw `io::Error`s. The variant
+//! classification is what drives recovery: [`TransportError::is_retryable`]
+//! decides whether the [`crate::retry::RetryPolicy`] re-dials and
+//! re-issues a request, or surfaces the failure to the merge.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for dataplane operations.
+pub type Result<T> = std::result::Result<T, TransportError>;
+
+/// A failure on the real dataplane.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Establishing a connection failed (refused, unreachable, or the
+    /// dial timed out).
+    Connect {
+        /// Human-readable dial target.
+        target: String,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+    /// A read or write exceeded its deadline.
+    Timeout {
+        /// Which operation timed out.
+        during: &'static str,
+    },
+    /// The peer dropped the connection mid-exchange (reset, broken
+    /// pipe, or an unexpected EOF inside a frame).
+    Reset {
+        /// Which operation observed the drop.
+        during: &'static str,
+    },
+    /// A frame arrived but failed to decode.
+    Corrupt {
+        /// What was wrong with the bytes.
+        detail: String,
+    },
+    /// The supplier does not have the requested object.
+    NotFound {
+        /// What was missing (MOF/reducer, rkey, connection slot, ...).
+        what: String,
+    },
+    /// The peer rejected the request as malformed.
+    BadRequest {
+        /// The peer's complaint.
+        detail: String,
+    },
+    /// A one-sided read addressed bytes outside the registered region.
+    OutOfBounds {
+        /// The offending range.
+        detail: String,
+    },
+    /// The retry budget ran out; `last` is the final attempt's error.
+    RetriesExhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// The error of the last attempt.
+        last: Box<TransportError>,
+    },
+    /// Any other I/O failure.
+    Io {
+        /// Which operation failed.
+        during: &'static str,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+}
+
+impl TransportError {
+    /// Classify an `io::Error` observed `during` some operation into
+    /// the transport taxonomy.
+    pub fn from_io(during: &'static str, e: io::Error) -> Self {
+        match e.kind() {
+            // A blocking socket with a read/write timeout surfaces the
+            // deadline as WouldBlock on Unix and TimedOut on Windows.
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                TransportError::Timeout { during }
+            }
+            io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof => TransportError::Reset { during },
+            io::ErrorKind::InvalidData => TransportError::Corrupt {
+                detail: e.to_string(),
+            },
+            _ => TransportError::Io { during, source: e },
+        }
+    }
+
+    /// Whether a retry with a fresh connection can plausibly succeed.
+    ///
+    /// Transient network failures (dial errors, timeouts, resets,
+    /// corrupt frames, generic I/O) are retryable; semantic failures
+    /// (missing segment, malformed request, out-of-bounds read) and an
+    /// already-exhausted budget are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Connect { .. }
+                | TransportError::Timeout { .. }
+                | TransportError::Reset { .. }
+                | TransportError::Corrupt { .. }
+                | TransportError::Io { .. }
+        )
+    }
+
+    /// Whether this is (or was last caused by) a timeout.
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            TransportError::Timeout { .. } => true,
+            TransportError::RetriesExhausted { last, .. } => last.is_timeout(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Connect { target, source } => {
+                write!(f, "connect to {target} failed: {source}")
+            }
+            TransportError::Timeout { during } => write!(f, "timed out during {during}"),
+            TransportError::Reset { during } => {
+                write!(f, "connection dropped during {during}")
+            }
+            TransportError::Corrupt { detail } => write!(f, "corrupt frame: {detail}"),
+            TransportError::NotFound { what } => write!(f, "not found: {what}"),
+            TransportError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            TransportError::OutOfBounds { detail } => {
+                write!(f, "out-of-bounds access: {detail}")
+            }
+            TransportError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+            TransportError::Io { during, source } => {
+                write!(f, "i/o error during {during}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Connect { source, .. } | TransportError::Io { source, .. } => {
+                Some(source)
+            }
+            TransportError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// Lossy bridge to `io::Error` for io-trait boundaries (e.g. the
+/// [`jbs_mapred::levitate::RecordStream`] implementation).
+impl From<TransportError> for io::Error {
+    fn from(e: TransportError) -> io::Error {
+        let kind = match &e {
+            TransportError::Connect { .. } => io::ErrorKind::ConnectionRefused,
+            TransportError::Timeout { .. } => io::ErrorKind::TimedOut,
+            TransportError::Reset { .. } => io::ErrorKind::ConnectionReset,
+            TransportError::Corrupt { .. } | TransportError::BadRequest { .. } => {
+                io::ErrorKind::InvalidData
+            }
+            TransportError::NotFound { .. } => io::ErrorKind::NotFound,
+            TransportError::OutOfBounds { .. } => io::ErrorKind::InvalidInput,
+            TransportError::RetriesExhausted { last, .. } => {
+                return io::Error::other(e.to_string())
+                    .kind_preserving(last);
+            }
+            TransportError::Io { source, .. } => source.kind(),
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
+
+/// Keep the *last* attempt's kind when flattening an exhausted retry
+/// chain into an `io::Error`, so callers matching on kinds still see
+/// `TimedOut`/`ConnectionReset` rather than `Other`.
+trait KindPreserving {
+    fn kind_preserving(self, last: &TransportError) -> io::Error;
+}
+
+impl KindPreserving for io::Error {
+    fn kind_preserving(self, last: &TransportError) -> io::Error {
+        let kind = match last {
+            TransportError::Timeout { .. } => io::ErrorKind::TimedOut,
+            TransportError::Reset { .. } => io::ErrorKind::ConnectionReset,
+            TransportError::Connect { .. } => io::ErrorKind::ConnectionRefused,
+            _ => io::ErrorKind::Other,
+        };
+        io::Error::new(kind, self.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_classification() {
+        let t = TransportError::from_io("read", io::Error::from(io::ErrorKind::WouldBlock));
+        assert!(matches!(t, TransportError::Timeout { .. }));
+        assert!(t.is_retryable() && t.is_timeout());
+
+        let r = TransportError::from_io(
+            "read",
+            io::Error::from(io::ErrorKind::ConnectionReset),
+        );
+        assert!(matches!(r, TransportError::Reset { .. }));
+        assert!(r.is_retryable());
+
+        let c = TransportError::from_io(
+            "read",
+            io::Error::new(io::ErrorKind::InvalidData, "bad magic"),
+        );
+        assert!(matches!(c, TransportError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn semantic_errors_do_not_retry() {
+        let nf = TransportError::NotFound {
+            what: "mof 7".into(),
+        };
+        assert!(!nf.is_retryable());
+        let bad = TransportError::BadRequest {
+            detail: "magic".into(),
+        };
+        assert!(!bad.is_retryable());
+        let exhausted = TransportError::RetriesExhausted {
+            attempts: 5,
+            last: Box::new(TransportError::Timeout { during: "read" }),
+        };
+        assert!(!exhausted.is_retryable());
+        assert!(exhausted.is_timeout());
+    }
+
+    #[test]
+    fn io_bridge_keeps_kinds() {
+        let e: io::Error = TransportError::NotFound {
+            what: "mof 1 reducer 2".into(),
+        }
+        .into();
+        assert_eq!(e.kind(), io::ErrorKind::NotFound);
+
+        let e: io::Error = TransportError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(TransportError::Timeout { during: "read" }),
+        }
+        .into();
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+    }
+}

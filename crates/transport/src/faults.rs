@@ -1,0 +1,412 @@
+//! Deterministic fault injection for the real dataplane.
+//!
+//! A [`FaultPlan`] is installed into the client, server, or verbs layer
+//! and consulted at named [`Hook`] points. Each hook owns a private
+//! [`DetRng`] stream forked from the plan seed, so the *sequence of
+//! decisions at a hook* depends only on the seed and how many times the
+//! hook has fired — not on thread scheduling or on activity at other
+//! hooks. Same seed, same per-hook fault sequence, every run.
+//!
+//! When no plan is installed the hooks are `Option::None` checks —
+//! no locks, no rng draws, no overhead on the production path.
+
+use jbs_des::DetRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Named interception points in the dataplane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hook {
+    /// Client dialing a supplier.
+    ClientConnect,
+    /// Client reading a fetch response.
+    ClientReadResponse,
+    /// Server accepting a connection.
+    ServerAccept,
+    /// Server about to write a fetch response.
+    ServerWriteResponse,
+    /// Verbs connection establishment.
+    VerbsConnect,
+    /// Verbs one-sided read.
+    VerbsRead,
+}
+
+impl Hook {
+    const COUNT: usize = 6;
+
+    /// All hooks, in index order.
+    pub const ALL: [Hook; Hook::COUNT] = [
+        Hook::ClientConnect,
+        Hook::ClientReadResponse,
+        Hook::ServerAccept,
+        Hook::ServerWriteResponse,
+        Hook::VerbsConnect,
+        Hook::VerbsRead,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Hook::ClientConnect => 0,
+            Hook::ClientReadResponse => 1,
+            Hook::ServerAccept => 2,
+            Hook::ServerWriteResponse => 3,
+            Hook::VerbsConnect => 4,
+            Hook::VerbsRead => 5,
+        }
+    }
+}
+
+/// What a hook should do for one occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Proceed normally.
+    Allow,
+    /// Refuse / drop the connection before any exchange.
+    RefuseConnect,
+    /// Drop the connection mid-exchange (peer sees a reset/EOF).
+    Reset,
+    /// Send only a prefix of the frame, then drop the connection.
+    Truncate,
+    /// Flip bits in the frame header so it fails to decode.
+    Corrupt,
+    /// Pause for the given duration before proceeding (drives the
+    /// peer's read deadline).
+    Stall(Duration),
+}
+
+/// Fault kinds, for forcing a specific action at a specific occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// See [`FaultAction::RefuseConnect`].
+    RefuseConnect,
+    /// See [`FaultAction::Reset`].
+    Reset,
+    /// See [`FaultAction::Truncate`].
+    Truncate,
+    /// See [`FaultAction::Corrupt`].
+    Corrupt,
+    /// See [`FaultAction::Stall`].
+    Stall,
+}
+
+/// Per-hook probabilities and forced occurrences.
+#[derive(Debug, Clone, Default)]
+struct HookRules {
+    p_refuse: f64,
+    p_reset: f64,
+    p_truncate: f64,
+    p_corrupt: f64,
+    p_stall: f64,
+    stall: Duration,
+    /// `(occurrence, kind)`: the `occurrence`-th firing (0-based) of
+    /// this hook takes `kind` unconditionally.
+    forced: Vec<(u64, FaultKind)>,
+}
+
+impl HookRules {
+    fn action_for(&self, kind: FaultKind) -> FaultAction {
+        match kind {
+            FaultKind::RefuseConnect => FaultAction::RefuseConnect,
+            FaultKind::Reset => FaultAction::Reset,
+            FaultKind::Truncate => FaultAction::Truncate,
+            FaultKind::Corrupt => FaultAction::Corrupt,
+            FaultKind::Stall => FaultAction::Stall(self.stall),
+        }
+    }
+}
+
+/// Counters of faults actually injected, one per kind.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    refusals: AtomicU64,
+    resets: AtomicU64,
+    truncations: AtomicU64,
+    corruptions: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// A point-in-time copy of [`FaultStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStatsSnapshot {
+    /// Connections refused or dropped at accept.
+    pub refusals: u64,
+    /// Mid-exchange drops injected.
+    pub resets: u64,
+    /// Truncated frames injected.
+    pub truncations: u64,
+    /// Corrupted frames injected.
+    pub corruptions: u64,
+    /// Artificial stalls injected.
+    pub stalls: u64,
+}
+
+impl FaultStatsSnapshot {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.refusals + self.resets + self.truncations + self.corruptions + self.stalls
+    }
+}
+
+/// Deterministic, seeded schedule of faults across all hooks.
+///
+/// Build with [`FaultPlan::builder`]; install by handing an
+/// `Arc<FaultPlan>` to the client/server/verbs options.
+pub struct FaultPlan {
+    // One (rng, occurrence counter) pair per hook, forked from the plan
+    // seed by hook index, so hooks are mutually decorrelated and each
+    // hook's decision sequence is a pure function of (seed, occurrence).
+    hooks: Vec<Mutex<(DetRng, u64)>>,
+    rules: Vec<HookRules>,
+    stats: FaultStats,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("rules", &self.rules)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultPlan {
+    /// Start building a plan from a seed.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            seed,
+            rules: vec![HookRules::default(); Hook::COUNT],
+        }
+    }
+
+    /// Decide what the `hook`'s current occurrence should do, and count
+    /// any injected fault in [`FaultPlan::stats`].
+    pub fn decide(&self, hook: Hook) -> FaultAction {
+        let idx = hook.index();
+        let rules = &self.rules[idx];
+        let action = {
+            let mut guard = self.hooks[idx].lock().unwrap_or_else(|e| e.into_inner());
+            let (rng, occurrence) = &mut *guard;
+            let n = *occurrence;
+            *occurrence += 1;
+            // Exactly one rng draw per decision keeps the stream aligned
+            // with the occurrence counter even when rules change.
+            let u = rng.uniform_f64(0.0, 1.0);
+            if let Some(&(_, kind)) = rules.forced.iter().find(|(at, _)| *at == n) {
+                rules.action_for(kind)
+            } else {
+                let mut acc = 0.0;
+                let ladder = [
+                    (rules.p_refuse, FaultKind::RefuseConnect),
+                    (rules.p_reset, FaultKind::Reset),
+                    (rules.p_truncate, FaultKind::Truncate),
+                    (rules.p_corrupt, FaultKind::Corrupt),
+                    (rules.p_stall, FaultKind::Stall),
+                ];
+                let mut chosen = FaultAction::Allow;
+                for (p, kind) in ladder {
+                    acc += p;
+                    if u < acc {
+                        chosen = rules.action_for(kind);
+                        break;
+                    }
+                }
+                chosen
+            }
+        };
+        match action {
+            FaultAction::Allow => {}
+            FaultAction::RefuseConnect => {
+                self.stats.refusals.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Reset => {
+                self.stats.resets.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Truncate => {
+                self.stats.truncations.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Corrupt => {
+                self.stats.corruptions.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Stall(_) => {
+                self.stats.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        action
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            refusals: self.stats.refusals.load(Ordering::Relaxed),
+            resets: self.stats.resets.load(Ordering::Relaxed),
+            truncations: self.stats.truncations.load(Ordering::Relaxed),
+            corruptions: self.stats.corruptions.load(Ordering::Relaxed),
+            stalls: self.stats.stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Consult an optional plan at a hook; `Allow` when none is installed.
+///
+/// This is the zero-cost form used on production paths: without a plan
+/// it compiles to a null check.
+#[inline]
+pub fn decide(plan: &Option<Arc<FaultPlan>>, hook: Hook) -> FaultAction {
+    match plan {
+        Some(p) => p.decide(hook),
+        None => FaultAction::Allow,
+    }
+}
+
+/// Builder for [`FaultPlan`]. Probabilities at a hook are evaluated as
+/// a single cumulative ladder, so their sum should stay ≤ 1.
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    rules: Vec<HookRules>,
+}
+
+impl FaultPlanBuilder {
+    /// Refuse/drop connections at `hook` with probability `p`.
+    pub fn refuse(mut self, hook: Hook, p: f64) -> Self {
+        self.rules[hook.index()].p_refuse = p;
+        self
+    }
+
+    /// Drop the connection mid-exchange at `hook` with probability `p`.
+    pub fn reset(mut self, hook: Hook, p: f64) -> Self {
+        self.rules[hook.index()].p_reset = p;
+        self
+    }
+
+    /// Truncate the frame at `hook` with probability `p`.
+    pub fn truncate(mut self, hook: Hook, p: f64) -> Self {
+        self.rules[hook.index()].p_truncate = p;
+        self
+    }
+
+    /// Corrupt the frame header at `hook` with probability `p`.
+    pub fn corrupt(mut self, hook: Hook, p: f64) -> Self {
+        self.rules[hook.index()].p_corrupt = p;
+        self
+    }
+
+    /// Stall for `d` at `hook` with probability `p`.
+    pub fn stall(mut self, hook: Hook, p: f64, d: Duration) -> Self {
+        let r = &mut self.rules[hook.index()];
+        r.p_stall = p;
+        r.stall = d;
+        self
+    }
+
+    /// Force the `occurrence`-th firing (0-based) of `hook` to take
+    /// `kind`, regardless of probabilities.
+    pub fn force(mut self, hook: Hook, occurrence: u64, kind: FaultKind) -> Self {
+        self.rules[hook.index()].forced.push((occurrence, kind));
+        self
+    }
+
+    /// Finish the plan.
+    pub fn build(self) -> Arc<FaultPlan> {
+        let mut root = DetRng::new(self.seed);
+        let hooks = Hook::ALL
+            .iter()
+            .map(|h| Mutex::new((root.fork(h.index() as u64 + 1), 0u64)))
+            .collect();
+        Arc::new(FaultPlan {
+            hooks,
+            rules: self.rules,
+            stats: FaultStats::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64) -> Arc<FaultPlan> {
+        FaultPlan::builder(seed)
+            .reset(Hook::ServerWriteResponse, 0.2)
+            .stall(Hook::ServerWriteResponse, 0.1, Duration::from_millis(50))
+            .refuse(Hook::ClientConnect, 0.3)
+            .force(Hook::ServerWriteResponse, 2, FaultKind::Truncate)
+            .build()
+    }
+
+    #[test]
+    fn same_seed_same_decision_sequence() {
+        let a = plan(99);
+        let b = plan(99);
+        for _ in 0..200 {
+            assert_eq!(
+                a.decide(Hook::ServerWriteResponse),
+                b.decide(Hook::ServerWriteResponse)
+            );
+            assert_eq!(a.decide(Hook::ClientConnect), b.decide(Hook::ClientConnect));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0);
+    }
+
+    #[test]
+    fn hooks_are_independent_streams() {
+        // Interleaving calls to another hook must not perturb a hook's
+        // own decision sequence.
+        let a = plan(7);
+        let b = plan(7);
+        let seq_a: Vec<_> = (0..100).map(|_| a.decide(Hook::ServerWriteResponse)).collect();
+        let seq_b: Vec<_> = (0..100)
+            .map(|i| {
+                if i % 3 == 0 {
+                    b.decide(Hook::ClientConnect);
+                    b.decide(Hook::VerbsRead);
+                }
+                b.decide(Hook::ServerWriteResponse)
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn forced_occurrence_fires() {
+        let p = plan(3);
+        let mut third = FaultAction::Allow;
+        for i in 0..5 {
+            let act = p.decide(Hook::ServerWriteResponse);
+            if i == 2 {
+                third = act;
+            }
+        }
+        assert_eq!(third, FaultAction::Truncate);
+        assert!(p.stats().truncations >= 1);
+    }
+
+    #[test]
+    fn no_plan_allows_everything() {
+        let none: Option<Arc<FaultPlan>> = None;
+        for h in Hook::ALL {
+            assert_eq!(decide(&none, h), FaultAction::Allow);
+        }
+    }
+
+    #[test]
+    fn unconfigured_hook_never_fires() {
+        let p = plan(11);
+        for _ in 0..500 {
+            assert_eq!(p.decide(Hook::VerbsConnect), FaultAction::Allow);
+        }
+    }
+
+    #[test]
+    fn probabilities_roughly_respected() {
+        let p = FaultPlan::builder(5)
+            .reset(Hook::VerbsRead, 0.5)
+            .build();
+        let fired = (0..2000)
+            .filter(|_| p.decide(Hook::VerbsRead) == FaultAction::Reset)
+            .count();
+        assert!((800..1200).contains(&fired), "fired {fired}/2000");
+    }
+}

@@ -29,14 +29,38 @@
 //! Real RDMA NICs are the one thing this reproduction cannot assume (see
 //! DESIGN.md §2); the simulated fabric covers those protocols' timing and
 //! this verbs layer covers their semantics.
+//!
+//! ## Failure model
+//!
+//! The dataplane assumes connections can fail at any point — refused
+//! dials, mid-stream resets, truncated or corrupted frames, and stalls
+//! past a deadline. Recovery is layered:
+//!
+//! * [`error`] — the [`TransportError`] taxonomy; every variant is
+//!   classified retryable or not.
+//! * [`retry`] — [`retry::RetryPolicy`]: bounded retries with
+//!   exponential backoff and seed-deterministic jitter.
+//! * [`stats`] — [`stats::FetchStats`]: retries, reconnects, timeouts,
+//!   resumed bytes, observable from both client and server.
+//! * [`faults`] — a seeded [`faults::FaultPlan`] that injects those
+//!   same failures at named hooks, deterministically, for chaos tests
+//!   (`tests/chaos_shuffle.rs`).
 
 pub mod client;
+pub mod error;
+pub mod faults;
+pub mod retry;
 pub mod server;
+pub mod stats;
 pub mod store;
 pub mod verbs;
 pub mod wire;
 
-pub use client::NetMergerClient;
-pub use server::MofSupplierServer;
+pub use client::{ClientConfig, NetMergerClient};
+pub use error::TransportError;
+pub use faults::{FaultAction, FaultKind, FaultPlan, Hook};
+pub use retry::RetryPolicy;
+pub use server::{MofSupplierServer, ServerOptions};
+pub use stats::{FetchStats, FetchStatsSnapshot};
 pub use store::MofStore;
 pub use wire::{FetchRequest, FetchResponse};

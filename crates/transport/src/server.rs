@@ -8,16 +8,31 @@
 //!   `o` stages `prefetch_batch` buffers beyond `o` in one file read, so
 //!   consecutive chunk fetches of the same segment are served from memory
 //!   and the disk sees long sequential runs (Fig. 5).
+//!
+//! For chaos testing the server takes an optional [`FaultPlan`]
+//! ([`ServerOptions::faults`]): at the accept and response-write hooks it
+//! can refuse connections, reset mid-exchange, truncate or corrupt a
+//! frame, or stall before writing — all on a seed-deterministic schedule.
+//! [`MofSupplierServer::start_on`] rebinds a *specific* address, which is
+//! how a test restarts a "dead" supplier where clients expect it.
 
+use crate::faults::{self, FaultAction, FaultPlan, FaultStatsSnapshot, Hook};
+use crate::stats::{FetchStats, FetchStatsSnapshot};
 use crate::store::MofStore;
 use crate::wire::{FetchRequest, FetchResponse, Status};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poison-tolerant lock (a panicking connection thread must not take the
+/// whole supplier down with it).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Server statistics.
 #[derive(Debug, Default)]
@@ -32,6 +47,27 @@ pub struct SupplierStats {
     pub connections: AtomicU64,
 }
 
+/// Tunables for a supplier.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Transport buffer (chunk) size; the paper uses 128 KB.
+    pub buffer_bytes: u64,
+    /// Read-ahead batch, in buffers; the paper uses 8.
+    pub prefetch_batch: u64,
+    /// Optional fault-injection plan (tests only; `None` in production).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            buffer_bytes: 128 << 10,
+            prefetch_batch: 8,
+            faults: None,
+        }
+    }
+}
+
 /// Read-ahead state for one (mof, reducer) segment.
 struct Staged {
     /// Segment-relative offset the staged bytes start at.
@@ -43,9 +79,9 @@ struct Shared {
     store: Mutex<MofStore>,
     staged: Mutex<HashMap<(u64, u32), Staged>>,
     stats: SupplierStats,
+    fetch_stats: FetchStats,
     stop: AtomicBool,
-    buffer_bytes: u64,
-    prefetch_batch: u64,
+    options: ServerOptions,
 }
 
 /// A running MOFSupplier.
@@ -59,20 +95,64 @@ impl MofSupplierServer {
     /// Start a supplier over `store` on an ephemeral 127.0.0.1 port, with
     /// the paper's defaults: 128 KB transport buffers, 8-buffer read-ahead.
     pub fn start(store: MofStore) -> io::Result<Self> {
-        Self::start_with(store, 128 << 10, 8)
+        Self::start_with_options(store, ServerOptions::default())
     }
 
     /// Start with explicit transport-buffer size and prefetch batch.
     pub fn start_with(store: MofStore, buffer_bytes: u64, prefetch_batch: u64) -> io::Result<Self> {
+        Self::start_with_options(
+            store,
+            ServerOptions {
+                buffer_bytes,
+                prefetch_batch,
+                ..ServerOptions::default()
+            },
+        )
+    }
+
+    /// Start with full options on an ephemeral port.
+    pub fn start_with_options(store: MofStore, options: ServerOptions) -> io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
+        Self::run(listener, store, options)
+    }
+
+    /// Start on a *specific* address — the restart path for a supplier
+    /// that died and must come back where clients already expect it.
+    /// Retries the bind briefly in case the previous incarnation's socket
+    /// is still draining.
+    pub fn start_on(
+        addr: SocketAddr,
+        store: MofStore,
+        options: ServerOptions,
+    ) -> io::Result<Self> {
+        let mut last_err = None;
+        for _ in 0..50 {
+            match TcpListener::bind(addr) {
+                Ok(listener) => return Self::run(listener, store, options),
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::AddrInUse, format!("cannot rebind {addr}"))
+        }))
+    }
+
+    fn run(listener: TcpListener, store: MofStore, options: ServerOptions) -> io::Result<Self> {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             store: Mutex::new(store),
             staged: Mutex::new(HashMap::new()),
             stats: SupplierStats::default(),
+            fetch_stats: FetchStats::new(),
             stop: AtomicBool::new(false),
-            buffer_bytes: buffer_bytes.max(1),
-            prefetch_batch: prefetch_batch.max(1),
+            options: ServerOptions {
+                buffer_bytes: options.buffer_bytes.max(1),
+                prefetch_batch: options.prefetch_batch.max(1),
+                ..options
+            },
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
@@ -81,10 +161,20 @@ impl MofSupplierServer {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                match faults::decide(&accept_shared.options.faults, Hook::ServerAccept) {
+                    FaultAction::RefuseConnect | FaultAction::Reset => {
+                        // Drop the accepted socket before any exchange;
+                        // the client sees a refused/reset connection.
+                        drop(stream);
+                        continue;
+                    }
+                    FaultAction::Stall(d) => std::thread::sleep(d),
+                    _ => {}
+                }
                 accept_shared.stats.connections.fetch_add(1, Ordering::Relaxed);
                 let conn_shared = Arc::clone(&accept_shared);
                 std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &conn_shared);
+                    handle_connection(stream, &conn_shared);
                 });
             }
         });
@@ -103,6 +193,17 @@ impl MofSupplierServer {
     /// Server statistics.
     pub fn stats(&self) -> &SupplierStats {
         &self.shared.stats
+    }
+
+    /// Recovery counters observed server-side (client resets/timeouts
+    /// seen on connections).
+    pub fn fetch_stats(&self) -> FetchStatsSnapshot {
+        self.shared.fetch_stats.snapshot()
+    }
+
+    /// Faults injected so far, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
+        self.shared.options.faults.as_ref().map(|p| p.stats())
     }
 
     /// Stop accepting and shut down.
@@ -128,7 +229,20 @@ impl Drop for MofSupplierServer {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    if let Err(e) = serve_connection(stream, shared) {
+        // The peer vanished or the socket failed: count it, drop the
+        // connection, keep the supplier alive.
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                shared.fetch_stats.record_timeout()
+            }
+            _ => shared.fetch_stats.record_reset(),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = io::BufReader::new(stream.try_clone()?);
     let mut writer = io::BufWriter::new(stream);
@@ -145,7 +259,40 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             .stats
             .bytes
             .fetch_add(resp.payload.len() as u64, Ordering::Relaxed);
-        resp.write_to(&mut writer)?;
+        match faults::decide(&shared.options.faults, Hook::ServerWriteResponse) {
+            FaultAction::Allow | FaultAction::RefuseConnect => {
+                resp.write_to(&mut writer)?;
+            }
+            FaultAction::Stall(d) => {
+                // Stall first: the peer's read deadline runs while the
+                // response is withheld.
+                std::thread::sleep(d);
+                resp.write_to(&mut writer)?;
+            }
+            FaultAction::Reset => {
+                // Drop mid-exchange: the request was consumed but no
+                // response will ever come.
+                return Ok(());
+            }
+            FaultAction::Truncate => {
+                // Send a prefix of the frame, then drop the connection.
+                let mut frame = Vec::new();
+                resp.write_to(&mut frame)?;
+                writer.write_all(&frame[..frame.len() / 2])?;
+                writer.flush()?;
+                return Ok(());
+            }
+            FaultAction::Corrupt => {
+                // Flip a high byte of the length header. The client's
+                // decoder rejects it via the MAX_PAYLOAD cap — and the
+                // status byte is untouched, so the damage cannot be
+                // mistaken for a legitimate error verdict.
+                let mut frame = Vec::new();
+                resp.write_to(&mut frame)?;
+                frame[1] ^= 0xFF;
+                writer.write_all(&frame)?;
+            }
+        }
         writer.flush()?;
     }
     Ok(())
@@ -156,12 +303,12 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
     let want = if req.len == 0 {
         u64::MAX
     } else {
-        req.len.min(shared.buffer_bytes)
+        req.len.min(shared.options.buffer_bytes)
     };
 
     // Whole-segment requests bypass staging.
     if req.len == 0 {
-        let mut store = shared.store.lock();
+        let mut store = lock(&shared.store);
         return match store.read_segment_range(req.mof, req.reducer, req.offset, 0) {
             Ok(Some(bytes)) => FetchResponse::ok(bytes),
             Ok(None) => FetchResponse::error(Status::NotFound),
@@ -172,7 +319,7 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
     let key = (req.mof, req.reducer);
     // Fast path: the range is already staged by a previous read-ahead.
     {
-        let staged = shared.staged.lock();
+        let staged = lock(&shared.staged);
         if let Some(s) = staged.get(&key) {
             if req.offset >= s.offset
                 && req.offset + want <= s.offset + s.bytes.len() as u64
@@ -186,16 +333,16 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
     }
 
     // Slow path: one grouped read-ahead of `prefetch_batch` buffers.
-    let ahead = shared.buffer_bytes * shared.prefetch_batch;
+    let ahead = shared.options.buffer_bytes * shared.options.prefetch_batch;
     let read = {
-        let mut store = shared.store.lock();
+        let mut store = lock(&shared.store);
         store.read_segment_range(req.mof, req.reducer, req.offset, ahead)
     };
     match read {
         Ok(Some(bytes)) => {
             let serve_len = (want as usize).min(bytes.len());
             let payload = bytes[..serve_len].to_vec();
-            shared.staged.lock().insert(
+            lock(&shared.staged).insert(
                 key,
                 Staged {
                     offset: req.offset,
@@ -212,6 +359,7 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultKind;
     use jbs_mapred::merge::Record;
 
     fn store_with_one_mof(records: Vec<Record>) -> MofStore {
@@ -311,5 +459,78 @@ mod tests {
         let sizes: Vec<usize> = joins.into_iter().map(|j| j.join().unwrap()).collect();
         assert!(sizes.windows(2).all(|w| w[0] == w[1]));
         assert!(server.stats().connections.load(Ordering::Relaxed) >= 8);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_by_decoder() {
+        let recs: Vec<Record> = (0..50)
+            .map(|i| (format!("k{i:03}").into_bytes(), vec![7; 16]))
+            .collect();
+        let plan = FaultPlan::builder(1)
+            .force(Hook::ServerWriteResponse, 0, FaultKind::Corrupt)
+            .build();
+        let server = MofSupplierServer::start_with_options(
+            store_with_one_mof(recs),
+            ServerOptions {
+                faults: Some(Arc::clone(&plan)),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let (mut r, mut w) = connect(server.addr());
+        FetchRequest::whole_segment(0, 0).write_to(&mut w).unwrap();
+        let err = FetchResponse::read_from(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(plan.stats().corruptions, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_truncation_drops_connection_mid_frame() {
+        let recs: Vec<Record> = (0..50)
+            .map(|i| (format!("k{i:03}").into_bytes(), vec![9; 16]))
+            .collect();
+        let plan = FaultPlan::builder(2)
+            .force(Hook::ServerWriteResponse, 0, FaultKind::Truncate)
+            .build();
+        let server = MofSupplierServer::start_with_options(
+            store_with_one_mof(recs),
+            ServerOptions {
+                faults: Some(Arc::clone(&plan)),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let (mut r, mut w) = connect(server.addr());
+        FetchRequest::whole_segment(0, 0).write_to(&mut w).unwrap();
+        let err = FetchResponse::read_from(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(plan.stats().truncations, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn restart_on_same_address_serves_again() {
+        let recs: Vec<Record> = (0..50)
+            .map(|i| (format!("k{i:03}").into_bytes(), vec![3; 16]))
+            .collect();
+        let dir = std::env::temp_dir().join(format!("jbs-restart-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut store = MofStore::at(&dir).unwrap();
+        store.write_mof(0, recs, 1, |_| 0).unwrap();
+        let server = MofSupplierServer::start(store).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+
+        let store = MofStore::at(&dir).unwrap();
+        let revived =
+            MofSupplierServer::start_on(addr, store, ServerOptions::default()).unwrap();
+        assert_eq!(revived.addr(), addr);
+        let (mut r, mut w) = connect(addr);
+        FetchRequest::whole_segment(0, 0).write_to(&mut w).unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        revived.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,19 +10,29 @@
 //! memory without involving any peer thread — the property that gives
 //! RDMA its low server CPU utilization in the paper's Figs. 8 and 10.
 //!
-//! Transport is in-process (crossbeam channels for messages, shared
-//! `Arc` memory for one-sided access). `RdmaMofSupplier` /
-//! `RdmaNetMerger` below mirror the JBS components on this API; tests
-//! verify that segment reads complete with **zero server-side CPU
-//! involvement** after registration.
+//! Transport is in-process (std mpsc channels for messages, shared `Arc`
+//! memory for one-sided access). `RdmaMofSupplier` / `RdmaNetMerger`
+//! below mirror the JBS components on this API; tests verify that
+//! segment reads complete with **zero server-side CPU involvement**
+//! after registration.
+//!
+//! Failures surface as [`TransportError`]s; [`rdma_connect_timeout`]
+//! bounds the handshake, and the [`Hook::VerbsConnect`]/
+//! [`Hook::VerbsRead`] fault hooks let chaos tests exercise this path.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crate::error::{Result, TransportError};
+use crate::faults::{self, FaultAction, FaultPlan, Hook};
 use jbs_mapred::mof::MofIndex;
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A remote-access key for a registered memory region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,34 +55,49 @@ impl ProtectionDomain {
         Arc::new(Self::default())
     }
 
+    fn regions_read(
+        &self,
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<RemoteKey, Arc<Vec<u8>>>> {
+        self.regions.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn regions_write(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<RemoteKey, Arc<Vec<u8>>>> {
+        self.regions.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Register `data` for remote access; returns its rkey.
     pub fn register(&self, data: Vec<u8>) -> RemoteKey {
         let rkey = RemoteKey(self.next_rkey.fetch_add(1, Ordering::Relaxed));
-        self.regions.write().insert(rkey, Arc::new(data));
+        self.regions_write().insert(rkey, Arc::new(data));
         rkey
     }
 
     /// Invalidate an rkey.
     pub fn deregister(&self, rkey: RemoteKey) -> bool {
-        self.regions.write().remove(&rkey).is_some()
+        self.regions_write().remove(&rkey).is_some()
     }
 
     /// Length of a registered region.
     pub fn region_len(&self, rkey: RemoteKey) -> Option<usize> {
-        self.regions.read().get(&rkey).map(|r| r.len())
+        self.regions_read().get(&rkey).map(|r| r.len())
     }
 
-    fn read(&self, rkey: RemoteKey, offset: u64, len: u64) -> io::Result<Vec<u8>> {
-        let regions = self.regions.read();
-        let region = regions.get(&rkey).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::PermissionDenied, "invalid rkey")
+    fn read(&self, rkey: RemoteKey, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let regions = self.regions_read();
+        let region = regions.get(&rkey).ok_or_else(|| TransportError::NotFound {
+            what: format!("rkey {}", rkey.0),
         })?;
         let start = offset as usize;
         let end = start
             .checked_add(len as usize)
             .filter(|&e| e <= region.len())
-            .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidInput, "read past region end")
+            .ok_or_else(|| TransportError::OutOfBounds {
+                detail: format!(
+                    "read [{offset}, {offset}+{len}) past region of {} bytes",
+                    region.len()
+                ),
             })?;
         self.one_sided_reads.fetch_add(1, Ordering::Relaxed);
         Ok(region[start..end].to_vec())
@@ -90,26 +115,55 @@ pub struct QueuePair {
     tx: Sender<Message>,
     rx: Receiver<Message>,
     peer_pd: Arc<ProtectionDomain>,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl std::fmt::Debug for QueuePair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueuePair").finish_non_exhaustive()
+    }
 }
 
 impl QueuePair {
     /// Post a send (two-sided).
-    pub fn post_send(&self, msg: Message) -> io::Result<()> {
-        self.tx
-            .send(msg)
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))
+    pub fn post_send(&self, msg: Message) -> Result<()> {
+        self.tx.send(msg).map_err(|_| TransportError::Reset {
+            during: "post_send",
+        })
     }
 
     /// Block for the next receive completion (two-sided).
-    pub fn poll_recv(&self) -> io::Result<Message> {
-        self.rx
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))
+    pub fn poll_recv(&self) -> Result<Message> {
+        self.rx.recv().map_err(|_| TransportError::Reset {
+            during: "poll_recv",
+        })
+    }
+
+    /// Block for the next receive completion, up to `timeout`.
+    pub fn poll_recv_timeout(&self, timeout: Duration) -> Result<Message> {
+        use std::sync::mpsc::RecvTimeoutError;
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout {
+                during: "poll_recv",
+            },
+            RecvTimeoutError::Disconnected => TransportError::Reset {
+                during: "poll_recv",
+            },
+        })
     }
 
     /// One-sided RDMA read from the peer's registered memory. No peer
     /// thread runs; the data is fetched directly.
-    pub fn rdma_read(&self, rkey: RemoteKey, offset: u64, len: u64) -> io::Result<Vec<u8>> {
+    pub fn rdma_read(&self, rkey: RemoteKey, offset: u64, len: u64) -> Result<Vec<u8>> {
+        match faults::decide(&self.faults, Hook::VerbsRead) {
+            FaultAction::Reset | FaultAction::RefuseConnect => {
+                return Err(TransportError::Reset {
+                    during: "rdma_read (injected)",
+                })
+            }
+            FaultAction::Stall(d) => std::thread::sleep(d),
+            _ => {}
+        }
         self.peer_pd.read(rkey, offset, len)
     }
 }
@@ -119,20 +173,23 @@ pub struct ConnRequest {
     client_tx: Sender<Message>,
     client_rx: Receiver<Message>,
     client_pd: Arc<ProtectionDomain>,
-    established: Sender<Arc<ProtectionDomain>>,
+    established: SyncSender<Arc<ProtectionDomain>>,
 }
 
 impl ConnRequest {
     /// `rdma_accept`: allocate the server-side connection and confirm to
     /// the client; both sides then see the `established` event (Fig. 6).
-    pub fn accept(self, server_pd: Arc<ProtectionDomain>) -> io::Result<QueuePair> {
+    pub fn accept(self, server_pd: Arc<ProtectionDomain>) -> Result<QueuePair> {
         self.established
             .send(Arc::clone(&server_pd))
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "client gone"))?;
+            .map_err(|_| TransportError::Reset {
+                during: "rdma_accept",
+            })?;
         Ok(QueuePair {
             tx: self.client_tx,
             rx: self.client_rx,
             peer_pd: self.client_pd,
+            faults: None,
         })
     }
 }
@@ -146,10 +203,10 @@ pub struct RdmaListener {
 
 impl RdmaListener {
     /// Block for the next connection-request event.
-    pub fn poll_event(&self) -> io::Result<ConnRequest> {
-        self.events
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "listener closed"))
+    pub fn poll_event(&self) -> Result<ConnRequest> {
+        self.events.recv().map_err(|_| TransportError::Reset {
+            during: "listener poll",
+        })
     }
 }
 
@@ -161,18 +218,50 @@ pub struct RdmaAddr {
 
 /// `rdma_listen`: create a listener and its address.
 pub fn rdma_listen() -> (RdmaListener, RdmaAddr) {
-    let (tx, rx) = unbounded();
+    let (tx, rx) = channel();
     (RdmaListener { events: rx }, RdmaAddr { requests: tx })
 }
 
 /// `rdma_connect`: allocate the client connection, send the connection
 /// request, and block until the server's `rdma_accept` produces the
 /// `established` event.
-pub fn rdma_connect(addr: &RdmaAddr, client_pd: Arc<ProtectionDomain>) -> io::Result<QueuePair> {
+pub fn rdma_connect(addr: &RdmaAddr, client_pd: Arc<ProtectionDomain>) -> Result<QueuePair> {
+    rdma_connect_opts(addr, client_pd, None, None)
+}
+
+/// [`rdma_connect`] with a handshake deadline: gives up with a
+/// [`TransportError::Timeout`] if the listener never accepts.
+pub fn rdma_connect_timeout(
+    addr: &RdmaAddr,
+    client_pd: Arc<ProtectionDomain>,
+    timeout: Duration,
+) -> Result<QueuePair> {
+    rdma_connect_opts(addr, client_pd, Some(timeout), None)
+}
+
+/// Full-control connect: optional handshake deadline and fault plan (the
+/// plan rides on the returned queue pair and drives its
+/// [`Hook::VerbsRead`] decisions).
+pub fn rdma_connect_opts(
+    addr: &RdmaAddr,
+    client_pd: Arc<ProtectionDomain>,
+    timeout: Option<Duration>,
+    fault_plan: Option<Arc<FaultPlan>>,
+) -> Result<QueuePair> {
+    match faults::decide(&fault_plan, Hook::VerbsConnect) {
+        FaultAction::RefuseConnect | FaultAction::Reset => {
+            return Err(TransportError::Connect {
+                target: "rdma peer".into(),
+                source: io::Error::new(io::ErrorKind::ConnectionRefused, "injected refusal"),
+            })
+        }
+        FaultAction::Stall(d) => std::thread::sleep(d),
+        _ => {}
+    }
     // Client->server and server->client message channels.
-    let (c2s_tx, c2s_rx) = unbounded();
-    let (s2c_tx, s2c_rx) = unbounded();
-    let (est_tx, est_rx) = bounded(1);
+    let (c2s_tx, c2s_rx) = channel();
+    let (s2c_tx, s2c_rx) = channel();
+    let (est_tx, est_rx) = sync_channel(1);
     addr.requests
         .send(ConnRequest {
             client_tx: s2c_tx,
@@ -180,14 +269,33 @@ pub fn rdma_connect(addr: &RdmaAddr, client_pd: Arc<ProtectionDomain>) -> io::Re
             client_pd,
             established: est_tx,
         })
-        .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "no listener"))?;
-    let server_pd = est_rx
-        .recv()
-        .map_err(|_| io::Error::new(io::ErrorKind::ConnectionAborted, "accept failed"))?;
+        .map_err(|_| TransportError::Connect {
+            target: "rdma peer".into(),
+            source: io::Error::new(io::ErrorKind::ConnectionRefused, "no listener"),
+        })?;
+    let server_pd = match timeout {
+        Some(t) => {
+            use std::sync::mpsc::RecvTimeoutError;
+            est_rx.recv_timeout(t).map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::Timeout {
+                    during: "rdma_connect",
+                },
+                RecvTimeoutError::Disconnected => TransportError::Connect {
+                    target: "rdma peer".into(),
+                    source: io::Error::new(io::ErrorKind::ConnectionAborted, "accept failed"),
+                },
+            })?
+        }
+        None => est_rx.recv().map_err(|_| TransportError::Connect {
+            target: "rdma peer".into(),
+            source: io::Error::new(io::ErrorKind::ConnectionAborted, "accept failed"),
+        })?,
+    };
     Ok(QueuePair {
         tx: c2s_tx,
         rx: s2c_rx,
         peer_pd: server_pd,
+        faults: fault_plan,
     })
 }
 
@@ -231,8 +339,10 @@ impl RdmaMofSupplier {
                     // reply = rkey (8 bytes) | index bytes, or empty.
                     while let Ok(msg) = qp.poll_recv() {
                         let reply = if msg.len() == 8 {
-                            let mof = u64::from_be_bytes(msg.try_into().expect("8 bytes"));
-                            catalog.lock().get(&mof).map(|(rkey, index)| {
+                            let mut id = [0u8; 8];
+                            id.copy_from_slice(&msg);
+                            let mof = u64::from_be_bytes(id);
+                            lock(&catalog).get(&mof).map(|(rkey, index)| {
                                 let mut out = rkey.0.to_be_bytes().to_vec();
                                 out.extend_from_slice(index);
                                 out
@@ -258,9 +368,7 @@ impl RdmaMofSupplier {
     /// Register a MOF (data + index) for remote one-sided access.
     pub fn publish_mof(&self, mof: u64, data: Vec<u8>, index: &MofIndex) {
         let rkey = self.pd.register(data);
-        self.catalog
-            .lock()
-            .insert(mof, (rkey, index.to_bytes().to_vec()));
+        lock(&self.catalog).insert(mof, (rkey, index.to_bytes().to_vec()));
     }
 
     /// The supplier's connectable address.
@@ -314,35 +422,40 @@ impl RdmaNetMerger {
     }
 
     /// Connect to a supplier; returns the connection slot id.
-    pub fn connect(&self, addr: &RdmaAddr) -> io::Result<usize> {
+    pub fn connect(&self, addr: &RdmaAddr) -> Result<usize> {
         let qp = rdma_connect(addr, Arc::clone(&self.pd))?;
-        let mut qps = self.qps.lock();
+        let mut qps = lock(&self.qps);
         let id = qps.len();
         qps.push((id, qp));
         Ok(id)
     }
 
     /// Fetch (and cache) the catalog entry for `mof` on supplier `conn`.
-    fn catalog_entry(&self, conn: usize, mof: u64) -> io::Result<(RemoteKey, MofIndex)> {
-        if let Some(e) = self.indexes.lock().get(&(conn, mof)) {
+    fn catalog_entry(&self, conn: usize, mof: u64) -> Result<(RemoteKey, MofIndex)> {
+        if let Some(e) = lock(&self.indexes).get(&(conn, mof)) {
             return Ok(e.clone());
         }
         let reply = {
-            let qps = self.qps.lock();
-            let (_, qp) = qps
-                .get(conn)
-                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such connection"))?;
+            let qps = lock(&self.qps);
+            let (_, qp) = qps.get(conn).ok_or_else(|| TransportError::NotFound {
+                what: format!("connection {conn}"),
+            })?;
             qp.post_send(mof.to_be_bytes().to_vec())?;
             qp.poll_recv()?
         };
         if reply.len() < 8 {
-            return Err(io::Error::new(io::ErrorKind::NotFound, "unknown MOF"));
+            return Err(TransportError::NotFound {
+                what: format!("mof {mof} in supplier catalog"),
+            });
         }
-        let rkey = RemoteKey(u64::from_be_bytes(reply[..8].try_into().expect("8 bytes")));
-        let index = MofIndex::from_bytes(&reply[8..])
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut rkey_bytes = [0u8; 8];
+        rkey_bytes.copy_from_slice(&reply[..8]);
+        let rkey = RemoteKey(u64::from_be_bytes(rkey_bytes));
+        let index = MofIndex::from_bytes(&reply[8..]).map_err(|e| TransportError::Corrupt {
+            detail: format!("catalog index: {e}"),
+        })?;
         let entry = (rkey, index);
-        self.indexes.lock().insert((conn, mof), entry.clone());
+        lock(&self.indexes).insert((conn, mof), entry.clone());
         Ok(entry)
     }
 
@@ -353,15 +466,17 @@ impl RdmaNetMerger {
         mof: u64,
         reducer: u32,
         buffer: u64,
-    ) -> io::Result<Vec<u8>> {
+    ) -> Result<Vec<u8>> {
         let (rkey, index) = self.catalog_entry(conn, mof)?;
         let entry = index
             .entry(reducer as usize)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such reducer"))?;
-        let qps = self.qps.lock();
-        let (_, qp) = qps
-            .get(conn)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such connection"))?;
+            .ok_or_else(|| TransportError::NotFound {
+                what: format!("reducer {reducer} in mof {mof}"),
+            })?;
+        let qps = lock(&self.qps);
+        let (_, qp) = qps.get(conn).ok_or_else(|| TransportError::NotFound {
+            what: format!("connection {conn}"),
+        })?;
         let mut out = Vec::with_capacity(entry.part_len as usize);
         let mut off = 0u64;
         while off < entry.part_len {
@@ -376,6 +491,7 @@ impl RdmaNetMerger {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultKind;
     use jbs_mapred::mof::{MofWriter, SegmentReader};
 
     fn build_mof(records: &[(&str, &str)], partitions: usize) -> (Vec<u8>, MofIndex) {
@@ -414,7 +530,62 @@ mod tests {
     fn connect_without_listener_fails() {
         let (listener, addr) = rdma_listen();
         drop(listener);
-        assert!(rdma_connect(&addr, ProtectionDomain::new()).is_err());
+        let err = rdma_connect(&addr, ProtectionDomain::new()).unwrap_err();
+        assert!(matches!(err, TransportError::Connect { .. }), "{err}");
+    }
+
+    #[test]
+    fn connect_times_out_on_never_accepting_listener() {
+        // The listener exists but never services its event channel: the
+        // handshake must give up with a Timeout, not hang.
+        let (_listener, addr) = rdma_listen();
+        let err = rdma_connect_timeout(
+            &addr,
+            ProtectionDomain::new(),
+            Duration::from_millis(50),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransportError::Timeout { .. }), "{err}");
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn injected_verbs_faults_surface_as_errors() {
+        let plan = FaultPlan::builder(9)
+            .force(Hook::VerbsConnect, 0, FaultKind::RefuseConnect)
+            .build();
+        let (_listener, addr) = rdma_listen();
+        let err =
+            rdma_connect_opts(&addr, ProtectionDomain::new(), None, Some(Arc::clone(&plan)))
+                .unwrap_err();
+        assert!(matches!(err, TransportError::Connect { .. }), "{err}");
+        assert_eq!(plan.stats().refusals, 1);
+
+        // A read-hook reset surfaces from rdma_read.
+        let read_plan = FaultPlan::builder(10)
+            .force(Hook::VerbsRead, 0, FaultKind::Reset)
+            .build();
+        let (listener, addr) = rdma_listen();
+        let server_pd = ProtectionDomain::new();
+        let rkey = server_pd.register(vec![1, 2, 3]);
+        let server = std::thread::spawn(move || {
+            let req = listener.poll_event().unwrap();
+            let _qp = req.accept(server_pd).unwrap();
+            // Hold the queue pair until the client is done reading.
+            std::thread::sleep(Duration::from_millis(100));
+        });
+        let qp = rdma_connect_opts(
+            &addr,
+            ProtectionDomain::new(),
+            None,
+            Some(Arc::clone(&read_plan)),
+        )
+        .unwrap();
+        let err = qp.rdma_read(rkey, 0, 2).unwrap_err();
+        assert!(matches!(err, TransportError::Reset { .. }), "{err}");
+        // The next read goes through (forced fault was occurrence 0 only).
+        assert_eq!(qp.rdma_read(rkey, 0, 2).unwrap(), vec![1, 2]);
+        server.join().unwrap();
     }
 
     #[test]
@@ -423,7 +594,9 @@ mod tests {
         let rkey = pd.register(vec![1, 2, 3, 4, 5]);
         assert_eq!(pd.region_len(rkey), Some(5));
         assert_eq!(pd.read(rkey, 1, 3).unwrap(), vec![2, 3, 4]);
-        assert!(pd.read(rkey, 3, 3).is_err(), "past the end");
+        let past = pd.read(rkey, 3, 3).unwrap_err();
+        assert!(matches!(past, TransportError::OutOfBounds { .. }), "{past}");
+        assert!(!past.is_retryable());
         assert!(pd.read(RemoteKey(999), 0, 1).is_err(), "bad rkey");
         assert!(pd.deregister(rkey));
         assert!(pd.read(rkey, 0, 1).is_err(), "deregistered");

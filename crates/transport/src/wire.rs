@@ -21,6 +21,12 @@ pub const REQUEST_MAGIC: u32 = 0x4A42_5331;
 /// Size of an encoded request.
 pub const REQUEST_LEN: usize = 4 + 8 + 4 + 8 + 8;
 
+/// Upper bound on a response payload. A length header above this is
+/// treated as frame corruption rather than an allocation request —
+/// without it, a single flipped header bit would make the client try
+/// to allocate (and then block reading) up to 2^64 bytes.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
 /// Response status codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
@@ -33,11 +39,16 @@ pub enum Status {
 }
 
 impl Status {
-    fn from_u8(v: u8) -> Status {
+    /// Strict decode: an unknown byte is corruption, not a status. (A
+    /// corrupted status byte must not masquerade as a legitimate
+    /// `BadRequest` verdict from the server — that would turn a
+    /// retryable frame error into a permanent one.)
+    fn from_u8(v: u8) -> Option<Status> {
         match v {
-            0 => Status::Ok,
-            1 => Status::NotFound,
-            _ => Status::BadRequest,
+            0 => Some(Status::Ok),
+            1 => Some(Status::NotFound),
+            2 => Some(Status::BadRequest),
+            _ => None,
         }
     }
 }
@@ -159,13 +170,28 @@ impl FetchResponse {
         w.write_all(&self.payload)
     }
 
-    /// Read a full response from a stream.
+    /// Read a full response from a stream. Never panics: an unknown
+    /// status byte or an implausible payload length is reported as
+    /// `InvalidData` (frame corruption) without allocating.
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
         let mut hdr = [0u8; 9];
         r.read_exact(&mut hdr)?;
-        let status = Status::from_u8(hdr[0]);
-        let len = u64::from_be_bytes(hdr[1..9].try_into().unwrap()) as usize;
-        let mut payload = vec![0u8; len];
+        let status = Status::from_u8(hdr[0]).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid status byte {:#04x}", hdr[0]),
+            )
+        })?;
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&hdr[1..9]);
+        let len = u64::from_be_bytes(len_bytes);
+        if len > MAX_PAYLOAD as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("payload length {len} exceeds cap {MAX_PAYLOAD}"),
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
         r.read_exact(&mut payload)?;
         Ok(FetchResponse { status, payload })
     }
@@ -234,6 +260,28 @@ mod tests {
         let back = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap();
         assert_eq!(back.status, Status::NotFound);
         assert!(back.payload.is_empty());
+    }
+
+    #[test]
+    fn unknown_status_byte_is_corruption() {
+        let resp = FetchResponse::ok(vec![1, 2, 3]);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        buf[0] = 0xEE;
+        let err = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_header_is_corruption_not_allocation() {
+        let resp = FetchResponse::ok(vec![9; 16]);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        // Flip a high byte of the length field: the decoder must reject
+        // it before trying to allocate petabytes.
+        buf[1] ^= 0xFF;
+        let err = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

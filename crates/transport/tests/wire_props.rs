@@ -1,0 +1,110 @@
+//! Property tests of the fetch wire protocol: encode/decode round-trips
+//! for every representable request and response, and — the property the
+//! fault-injection harness leans on — decoding NEVER panics on arbitrary
+//! or truncated bytes, it returns an error.
+
+use jbs_transport::wire::{FetchRequest, FetchResponse, Status, MAX_PAYLOAD, REQUEST_LEN};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+proptest! {
+    /// Any request round-trips through the fixed-size encoding.
+    #[test]
+    fn request_roundtrips(
+        mof in any::<u64>(),
+        reducer in any::<u32>(),
+        offset in any::<u64>(),
+        len in any::<u64>(),
+    ) {
+        let req = FetchRequest { mof, reducer, offset, len };
+        let enc = req.encode();
+        prop_assert_eq!(enc.len(), REQUEST_LEN);
+        prop_assert_eq!(FetchRequest::decode(&enc).unwrap(), req);
+        // And through the streaming reader.
+        let mut cursor = Cursor::new(enc.to_vec());
+        prop_assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), Some(req));
+        prop_assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), None);
+    }
+
+    /// Any response with an in-cap payload round-trips through the frame.
+    #[test]
+    fn response_roundtrips(
+        payload in prop::collection::vec(any::<u8>(), 0..4096),
+        status_pick in 0u8..3,
+    ) {
+        let status = match status_pick {
+            0 => Status::Ok,
+            1 => Status::NotFound,
+            _ => Status::BadRequest,
+        };
+        let resp = FetchResponse { status, payload };
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = FetchResponse::read_from(&mut Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    /// Decoding arbitrary garbage never panics — it errors or (by fluke)
+    /// parses, but the process survives either way.
+    #[test]
+    fn request_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let _ = FetchRequest::decode(&bytes);
+        let _ = FetchRequest::read_from(&mut Cursor::new(bytes));
+    }
+
+    /// Reading a response frame from arbitrary garbage never panics and
+    /// never allocates past the payload cap (the bytes on the reader are
+    /// far fewer than MAX_PAYLOAD, so an over-cap length header must be
+    /// rejected before allocation, not discovered by OOM).
+    #[test]
+    fn response_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(resp) = FetchResponse::read_from(&mut Cursor::new(&bytes)) {
+            prop_assert!(resp.payload.len() <= MAX_PAYLOAD);
+            prop_assert!(resp.payload.len() <= bytes.len());
+        }
+    }
+
+    /// Every truncation of a valid request frame is a clean error, and
+    /// every truncation of a valid response frame is a clean error.
+    #[test]
+    fn truncations_error_cleanly(
+        mof in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 1..512),
+        cut_frac in 0u8..100,
+    ) {
+        let req = FetchRequest { mof, reducer: 1, offset: 0, len: 0 };
+        let enc = req.encode();
+        let cut = (enc.len() - 1) * cut_frac as usize / 100;
+        prop_assert!(FetchRequest::decode(&enc[..cut]).is_err());
+        if cut > 0 {
+            prop_assert!(FetchRequest::read_from(&mut Cursor::new(enc[..cut].to_vec())).is_err());
+        }
+
+        let resp = FetchResponse::ok(payload);
+        let mut frame = Vec::new();
+        resp.write_to(&mut frame).unwrap();
+        let cut = (frame.len() - 1) * cut_frac as usize / 100;
+        frame.truncate(cut);
+        prop_assert!(FetchResponse::read_from(&mut Cursor::new(frame)).is_err());
+    }
+
+    /// Single-bit flips in a request frame either fail the magic check or
+    /// decode to a *different* request — corruption is never silently the
+    /// same request (headers have no unused bits the decoder ignores).
+    #[test]
+    fn request_bitflips_never_alias(
+        mof in any::<u64>(),
+        reducer in any::<u32>(),
+        offset in any::<u64>(),
+        len in any::<u64>(),
+        bit in 0usize..(8 * REQUEST_LEN),
+    ) {
+        let req = FetchRequest { mof, reducer, offset, len };
+        let mut enc = req.encode();
+        enc[bit / 8] ^= 1 << (bit % 8);
+        match FetchRequest::decode(&enc) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_ne!(decoded, req),
+        }
+    }
+}

@@ -2,13 +2,12 @@
 
 use jbs_des::SimTime;
 use jbs_mapred::JobSpec;
-use serde::{Deserialize, Serialize};
 
 /// Input size used for the Tarazu suite in Sec. V-F: 30 GB.
 pub const BENCH_INPUT_BYTES: u64 = 30 << 30;
 
 /// The benchmarks of Figures 7–12.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// Terasort: intermediate data equals input (the paper's main
     /// data-intensive workload).

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace builds with no access to crates.io, so this crate
+//! vendors the subset JBS uses for wire/MOF framing: big-endian
+//! [`Buf`]/[`BufMut`] cursors, a growable [`BytesMut`], and an immutable
+//! shared [`Bytes`]. Semantics match upstream where the two overlap
+//! (in particular, `Buf` getters panic when the slice is too short —
+//! callers bounds-check first, exactly as with the real crate).
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read cursor over a byte source, big-endian.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Consume a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().expect("4 bytes"))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_be_bytes(head.try_into().expect("8 bytes"))
+    }
+}
+
+/// Write sink for big-endian framing.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Convert into an immutable, cheaply-clonable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            inner: Arc::from(self.inner),
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// An immutable, reference-counted byte string.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    inner: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Copy a slice into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            inner: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether it is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            inner: Arc::from(v),
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner[..] == other.inner[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(42);
+        b.put_u8(7);
+        b.put_slice(&[1, 2, 3]);
+        let frozen = b.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.remaining(), 16);
+        assert_eq!(cursor.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64(), 42);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn bytes_slices_and_clones() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(&b[1..3], &[2, 3]);
+        assert_eq!(b, c);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_get_panics_like_upstream() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u32();
+    }
+}

@@ -1,0 +1,49 @@
+//! Test configuration and deterministic seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG all strategies draw from.
+pub type TestRng = StdRng;
+
+/// Per-test configuration (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG for one named test: seeded from a hash of the test's
+/// fully-qualified name so every run regenerates the same cases.
+/// `PROPTEST_SEED` perturbs the seed to explore a different sequence.
+pub fn rng_for(test_name: &str) -> TestRng {
+    // FNV-1a, folded with any explicit seed override.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+        if let Ok(s) = extra.parse::<u64>() {
+            h ^= s.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    StdRng::seed_from_u64(h)
+}

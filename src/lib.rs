@@ -51,3 +51,50 @@ pub use jbs_mapred as mapred;
 pub use jbs_net as net;
 pub use jbs_transport as transport;
 pub use jbs_workloads as workloads;
+
+/// Build the real-dataplane client configuration from a [`core::JbsConfig`]:
+/// the same knob block drives both the simulator and the TCP NetMerger
+/// (buffer size, connection cap, retry budget, backoff, deadlines).
+pub fn transport_client_config(cfg: &core::JbsConfig) -> transport::ClientConfig {
+    use std::time::Duration;
+    let io_timeout = Duration::from_nanos(cfg.fetch_io_timeout.as_nanos());
+    transport::ClientConfig {
+        buffer_bytes: cfg.buffer_bytes,
+        max_connections: cfg.max_connections,
+        retry: transport::RetryPolicy {
+            max_retries: cfg.fetch_retry_max,
+            base_backoff: Duration::from_nanos(cfg.fetch_backoff_base.as_nanos()),
+            max_backoff: Duration::from_nanos(cfg.fetch_backoff_max.as_nanos()),
+            ..transport::RetryPolicy::default()
+        },
+        connect_timeout: io_timeout,
+        read_timeout: io_timeout,
+        write_timeout: io_timeout,
+        ..transport::ClientConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jbs_config_drives_the_real_dataplane() {
+        let cfg = core::JbsConfig {
+            fetch_retry_max: 7,
+            buffer_bytes: 64 << 10,
+            ..core::JbsConfig::default()
+        };
+        let tc = transport_client_config(&cfg);
+        assert_eq!(tc.retry.max_retries, 7);
+        assert_eq!(tc.buffer_bytes, 64 << 10);
+        assert_eq!(tc.max_connections, cfg.max_connections);
+        assert_eq!(
+            tc.read_timeout.as_nanos() as u64,
+            cfg.fetch_io_timeout.as_nanos()
+        );
+        // The configured client actually works.
+        let client = transport::NetMergerClient::with_client_config(tc);
+        assert_eq!(client.fetch_stats().retries, 0);
+    }
+}
