@@ -19,24 +19,18 @@
 use crate::error::{Result, TransportError};
 use crate::faults::{self, FaultAction, FaultPlan, Hook};
 use crate::retry::RetryPolicy;
+use crate::slot::{SlotEvent, SlotMap};
 use crate::stats::{FetchStats, FetchStatsSnapshot};
+use crate::sync::{lock, Mutex};
 use crate::wire::{FetchRequest, FetchResponse, Status};
-use jbs_des::lru::LruCache;
 use jbs_des::DetRng;
 use jbs_mapred::levitate::{RecordParser, RecordStream, StreamingMerge};
 use jbs_mapred::merge::{KWayMerge, Record};
 use jbs_mapred::mof::SegmentReader;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::Duration;
-
-/// Lock a mutex, tolerating poison: a fetch worker that panicked while
-/// holding a connection must not wedge every later fetch.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
 
 /// A fetch target: which segment on which supplier.
 #[derive(Debug, Clone, Copy)]
@@ -103,22 +97,11 @@ struct Conn {
     writer: TcpStream,
 }
 
-/// One supplier's connection slot. Concurrent fetches to the *same*
-/// supplier serialize on this lock — the consolidation property: requests
-/// to one node share one connection, ordered by arrival (Sec. III-C) —
-/// while fetches to different suppliers proceed in parallel.
-struct SlotState {
-    conn: Mutex<Option<Conn>>,
-    /// Whether this slot has ever held a live connection; a later
-    /// re-establishment is then counted as a reconnect.
-    ever_connected: AtomicBool,
-}
-
-type ConnSlot = Arc<SlotState>;
-
-/// The NetMerger.
+/// The NetMerger. Connection caching — consolidation per supplier, LRU
+/// eviction beyond the cap — lives in [`SlotMap`], where the `cfg(loom)`
+/// models exercise it.
 pub struct NetMergerClient {
-    conns: Mutex<LruCache<SocketAddr, ConnSlot>>,
+    conns: SlotMap<SocketAddr, Conn>,
     stats: Mutex<ClientStats>,
     fetch_stats: FetchStats,
     backoff_rng: Mutex<DetRng>,
@@ -145,7 +128,7 @@ impl NetMergerClient {
     /// A client with full control of retry, timeouts, and faults.
     pub fn with_client_config(config: ClientConfig) -> Self {
         NetMergerClient {
-            conns: Mutex::new(LruCache::new(config.max_connections.max(1))),
+            conns: SlotMap::new(config.max_connections),
             stats: Mutex::new(ClientStats::default()),
             fetch_stats: FetchStats::new(),
             backoff_rng: Mutex::new(DetRng::new(config.retry_seed)),
@@ -182,19 +165,18 @@ impl NetMergerClient {
             FaultAction::RefuseConnect => {
                 return Err(TransportError::Connect {
                     target: addr.to_string(),
-                    source: io::Error::new(
-                        io::ErrorKind::ConnectionRefused,
-                        "injected refusal",
-                    ),
+                    source: io::Error::new(io::ErrorKind::ConnectionRefused, "injected refusal"),
                 });
             }
             FaultAction::Stall(d) => std::thread::sleep(d),
             _ => {}
         }
-        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)
-            .map_err(|e| TransportError::Connect {
-                target: addr.to_string(),
-                source: e,
+        let stream =
+            TcpStream::connect_timeout(&addr, self.config.connect_timeout).map_err(|e| {
+                TransportError::Connect {
+                    target: addr.to_string(),
+                    source: e,
+                }
             })?;
         let setup = |e| TransportError::Io {
             during: "socket setup",
@@ -214,55 +196,25 @@ impl NetMergerClient {
         })
     }
 
-    fn with_conn<T>(
-        &self,
-        addr: SocketAddr,
-        f: impl FnOnce(&mut Conn) -> Result<T>,
-    ) -> Result<T> {
-        // Get (or create) the supplier's connection slot; LRU-evicting a
-        // slot closes its connection once the last user releases it.
-        let slot: ConnSlot = {
-            let mut cache = lock(&self.conns);
-            match cache.get(&addr) {
-                Some(s) => Arc::clone(s),
-                None => {
-                    let s: ConnSlot = Arc::new(SlotState {
-                        conn: Mutex::new(None),
-                        ever_connected: AtomicBool::new(false),
-                    });
-                    if cache.insert(addr, Arc::clone(&s)).is_some() {
-                        lock(&self.stats).connections_evicted += 1;
+    fn with_conn<T>(&self, addr: SocketAddr, f: impl FnOnce(&mut Conn) -> Result<T>) -> Result<T> {
+        // The event callback runs at most under the slot's `conn` lock
+        // and takes only `stats`, which the documented lock order places
+        // after `conn`.
+        self.conns.with_conn(
+            addr,
+            || self.dial(addr),
+            |ev| match ev {
+                SlotEvent::Evicted => lock(&self.stats).connections_evicted += 1,
+                SlotEvent::Established { reconnect } => {
+                    lock(&self.stats).connections_established += 1;
+                    if reconnect {
+                        self.fetch_stats.record_reconnect();
                     }
-                    s
                 }
-            }
-        };
-        let mut guard = lock(&slot.conn);
-        if guard.is_none() {
-            let conn = self.dial(addr)?;
-            lock(&self.stats).connections_established += 1;
-            if slot.ever_connected.swap(true, Ordering::Relaxed) {
-                self.fetch_stats.record_reconnect();
-            }
-            *guard = Some(conn);
-        } else {
-            lock(&self.stats).connections_reused += 1;
-        }
-        let Some(conn) = guard.as_mut() else {
-            // Unreachable: the branch above just ensured the connection.
-            return Err(TransportError::Io {
-                during: "connection slot",
-                source: io::Error::other("empty slot after dial"),
-            });
-        };
-        match f(conn) {
-            Ok(out) => Ok(out),
-            Err(e) => {
-                // Evict a broken connection so the next attempt re-dials.
-                *guard = None;
-                Err(e)
-            }
-        }
+                SlotEvent::Reused => lock(&self.stats).connections_reused += 1,
+            },
+            f,
+        )
     }
 
     /// One request/response exchange on a (possibly reused) connection.
@@ -498,7 +450,12 @@ mod tests {
     fn server_with_records(n: usize, partitions: usize) -> MofSupplierServer {
         let mut store = MofStore::temp().unwrap();
         let records: Vec<Record> = (0..n)
-            .map(|i| (format!("key-{:06}", (i * 7919) % n).into_bytes(), vec![i as u8; 20]))
+            .map(|i| {
+                (
+                    format!("key-{:06}", (i * 7919) % n).into_bytes(),
+                    vec![i as u8; 20],
+                )
+            })
             .collect();
         store
             .write_mof(0, records, partitions, |k| {
@@ -548,8 +505,7 @@ mod tests {
 
     #[test]
     fn merge_produces_sorted_output() {
-        let servers: Vec<MofSupplierServer> =
-            (0..3).map(|_| server_with_records(200, 1)).collect();
+        let servers: Vec<MofSupplierServer> = (0..3).map(|_| server_with_records(200, 1)).collect();
         let client = NetMergerClient::new();
         let segs: Vec<SegmentRef> = servers
             .iter()
@@ -622,7 +578,11 @@ mod tests {
     fn injected_refusals_are_retried_transparently() {
         let server = server_with_records(200, 1);
         let plan = FaultPlan::builder(42)
-            .force(Hook::ClientConnect, 0, crate::faults::FaultKind::RefuseConnect)
+            .force(
+                Hook::ClientConnect,
+                0,
+                crate::faults::FaultKind::RefuseConnect,
+            )
             .build();
         let client = NetMergerClient::with_client_config(ClientConfig {
             retry: RetryPolicy {
@@ -651,8 +611,7 @@ mod tests {
 
     #[test]
     fn levitated_merge_matches_materializing_merge() {
-        let servers: Vec<MofSupplierServer> =
-            (0..3).map(|_| server_with_records(400, 1)).collect();
+        let servers: Vec<MofSupplierServer> = (0..3).map(|_| server_with_records(400, 1)).collect();
         let segs: Vec<SegmentRef> = servers
             .iter()
             .map(|s| SegmentRef {
@@ -693,8 +652,7 @@ mod tests {
 
     #[test]
     fn tiny_connection_cache_evicts_lru() {
-        let servers: Vec<MofSupplierServer> =
-            (0..3).map(|_| server_with_records(50, 1)).collect();
+        let servers: Vec<MofSupplierServer> = (0..3).map(|_| server_with_records(50, 1)).collect();
         let client = NetMergerClient::with_config(128 << 10, 1);
         for s in &servers {
             client

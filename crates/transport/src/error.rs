@@ -170,8 +170,7 @@ impl From<TransportError> for io::Error {
             TransportError::NotFound { .. } => io::ErrorKind::NotFound,
             TransportError::OutOfBounds { .. } => io::ErrorKind::InvalidInput,
             TransportError::RetriesExhausted { last, .. } => {
-                return io::Error::other(e.to_string())
-                    .kind_preserving(last);
+                return io::Error::other(e.to_string()).kind_preserving(last);
             }
             TransportError::Io { source, .. } => source.kind(),
         };
@@ -208,10 +207,7 @@ mod tests {
         assert!(matches!(t, TransportError::Timeout { .. }));
         assert!(t.is_retryable() && t.is_timeout());
 
-        let r = TransportError::from_io(
-            "read",
-            io::Error::from(io::ErrorKind::ConnectionReset),
-        );
+        let r = TransportError::from_io("read", io::Error::from(io::ErrorKind::ConnectionReset));
         assert!(matches!(r, TransportError::Reset { .. }));
         assert!(r.is_retryable());
 

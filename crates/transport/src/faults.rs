@@ -356,7 +356,9 @@ mod tests {
         // own decision sequence.
         let a = plan(7);
         let b = plan(7);
-        let seq_a: Vec<_> = (0..100).map(|_| a.decide(Hook::ServerWriteResponse)).collect();
+        let seq_a: Vec<_> = (0..100)
+            .map(|_| a.decide(Hook::ServerWriteResponse))
+            .collect();
         let seq_b: Vec<_> = (0..100)
             .map(|i| {
                 if i % 3 == 0 {
@@ -401,9 +403,7 @@ mod tests {
 
     #[test]
     fn probabilities_roughly_respected() {
-        let p = FaultPlan::builder(5)
-            .reset(Hook::VerbsRead, 0.5)
-            .build();
+        let p = FaultPlan::builder(5).reset(Hook::VerbsRead, 0.5).build();
         let fired = (0..2000)
             .filter(|_| p.decide(Hook::VerbsRead) == FaultAction::Reset)
             .count();

@@ -51,8 +51,11 @@ pub mod error;
 pub mod faults;
 pub mod retry;
 pub mod server;
+mod slot;
+mod staging;
 pub mod stats;
 pub mod store;
+mod sync;
 pub mod verbs;
 pub mod wire;
 

@@ -17,22 +17,17 @@
 //! how a test restarts a "dead" supplier where clients expect it.
 
 use crate::faults::{self, FaultAction, FaultPlan, FaultStatsSnapshot, Hook};
+use crate::staging::StageCache;
 use crate::stats::{FetchStats, FetchStatsSnapshot};
 use crate::store::MofStore;
+use crate::sync::{lock, Mutex};
 use crate::wire::{FetchRequest, FetchResponse, Status};
-use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// Poison-tolerant lock (a panicking connection thread must not take the
-/// whole supplier down with it).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
 
 /// Server statistics.
 #[derive(Debug, Default)]
@@ -68,16 +63,12 @@ impl Default for ServerOptions {
     }
 }
 
-/// Read-ahead state for one (mof, reducer) segment.
-struct Staged {
-    /// Segment-relative offset the staged bytes start at.
-    offset: u64,
-    bytes: Vec<u8>,
-}
-
 struct Shared {
     store: Mutex<MofStore>,
-    staged: Mutex<HashMap<(u64, u32), Staged>>,
+    /// DataCache: one staged read-ahead range per (mof, reducer); the
+    /// hit/stage logic lives in [`StageCache`], where the `cfg(loom)`
+    /// models exercise it.
+    staged: StageCache<(u64, u32)>,
     stats: SupplierStats,
     fetch_stats: FetchStats,
     stop: AtomicBool,
@@ -120,11 +111,7 @@ impl MofSupplierServer {
     /// that died and must come back where clients already expect it.
     /// Retries the bind briefly in case the previous incarnation's socket
     /// is still draining.
-    pub fn start_on(
-        addr: SocketAddr,
-        store: MofStore,
-        options: ServerOptions,
-    ) -> io::Result<Self> {
+    pub fn start_on(addr: SocketAddr, store: MofStore, options: ServerOptions) -> io::Result<Self> {
         let mut last_err = None;
         for _ in 0..50 {
             match TcpListener::bind(addr) {
@@ -144,7 +131,7 @@ impl MofSupplierServer {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             store: Mutex::new(store),
-            staged: Mutex::new(HashMap::new()),
+            staged: StageCache::new(),
             stats: SupplierStats::default(),
             fetch_stats: FetchStats::new(),
             stop: AtomicBool::new(false),
@@ -171,7 +158,10 @@ impl MofSupplierServer {
                     FaultAction::Stall(d) => std::thread::sleep(d),
                     _ => {}
                 }
-                accept_shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                accept_shared
+                    .stats
+                    .connections
+                    .fetch_add(1, Ordering::Relaxed);
                 let conn_shared = Arc::clone(&accept_shared);
                 std::thread::spawn(move || {
                     handle_connection(stream, &conn_shared);
@@ -278,7 +268,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 // Send a prefix of the frame, then drop the connection.
                 let mut frame = Vec::new();
                 resp.write_to(&mut frame)?;
-                writer.write_all(&frame[..frame.len() / 2])?;
+                writer.write_all(frame.get(..frame.len() / 2).unwrap_or_default())?;
                 writer.flush()?;
                 return Ok(());
             }
@@ -289,7 +279,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 // mistaken for a legitimate error verdict.
                 let mut frame = Vec::new();
                 resp.write_to(&mut frame)?;
-                frame[1] ^= 0xFF;
+                if let Some(b) = frame.get_mut(1) {
+                    *b ^= 0xFF;
+                }
                 writer.write_all(&frame)?;
             }
         }
@@ -318,18 +310,9 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
 
     let key = (req.mof, req.reducer);
     // Fast path: the range is already staged by a previous read-ahead.
-    {
-        let staged = lock(&shared.staged);
-        if let Some(s) = staged.get(&key) {
-            if req.offset >= s.offset
-                && req.offset + want <= s.offset + s.bytes.len() as u64
-            {
-                let lo = (req.offset - s.offset) as usize;
-                let hi = lo + want as usize;
-                shared.stats.datacache_hits.fetch_add(1, Ordering::Relaxed);
-                return FetchResponse::ok(s.bytes[lo..hi].to_vec());
-            }
-        }
+    if let Some(chunk) = shared.staged.hit(&key, req.offset, want) {
+        shared.stats.datacache_hits.fetch_add(1, Ordering::Relaxed);
+        return FetchResponse::ok(chunk);
     }
 
     // Slow path: one grouped read-ahead of `prefetch_batch` buffers.
@@ -339,18 +322,7 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
         store.read_segment_range(req.mof, req.reducer, req.offset, ahead)
     };
     match read {
-        Ok(Some(bytes)) => {
-            let serve_len = (want as usize).min(bytes.len());
-            let payload = bytes[..serve_len].to_vec();
-            lock(&shared.staged).insert(
-                key,
-                Staged {
-                    offset: req.offset,
-                    bytes,
-                },
-            );
-            FetchResponse::ok(payload)
-        }
+        Ok(Some(bytes)) => FetchResponse::ok(shared.staged.stage(key, req.offset, bytes, want)),
         Ok(None) => FetchResponse::error(Status::NotFound),
         Err(_) => FetchResponse::error(Status::BadRequest),
     }
@@ -523,8 +495,7 @@ mod tests {
         server.shutdown();
 
         let store = MofStore::at(&dir).unwrap();
-        let revived =
-            MofSupplierServer::start_on(addr, store, ServerOptions::default()).unwrap();
+        let revived = MofSupplierServer::start_on(addr, store, ServerOptions::default()).unwrap();
         assert_eq!(revived.addr(), addr);
         let (mut r, mut w) = connect(addr);
         FetchRequest::whole_segment(0, 0).write_to(&mut w).unwrap();

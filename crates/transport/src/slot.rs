@@ -1,0 +1,317 @@
+//! Keyed connection slots: the NetMerger client's consolidation and
+//! LRU-eviction logic, factored out generically so the `cfg(loom)`
+//! models below drive the *production* code, not a re-implementation.
+//!
+//! Two locks are involved, in the documented order `conns` → `conn`:
+//!
+//! * `conns` — the LRU cache mapping a key (supplier address) to its
+//!   slot. Held only to look up or insert a slot, never across a dial
+//!   or I/O.
+//! * `conn` — one slot's connection. Concurrent users of the *same*
+//!   key serialize on it (the paper's consolidation property: requests
+//!   to one supplier share one ordered connection, Sec. III-C) while
+//!   different keys proceed in parallel.
+//!
+//! A slot evicted by the LRU cap is returned out of the `conns`
+//! critical section and dropped there, so connection teardown (for a
+//! TCP slot, closing the socket) never runs under the cache lock and an
+//! eviction can never stall fetches to unrelated suppliers. A fetch
+//! already holding the evicted slot's `conn` lock keeps its `Arc` alive
+//! and finishes normally; the connection closes when the last user
+//! releases it.
+
+use crate::sync::{lock, AtomicBool, Mutex, Ordering};
+use jbs_des::lru::LruCache;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// One key's connection slot.
+struct Slot<C> {
+    conn: Mutex<Option<C>>,
+    /// Whether this slot ever held a live connection; a later
+    /// re-establishment is then a reconnect, not a first connect.
+    ever_connected: AtomicBool,
+}
+
+/// What happened to the connection cache during [`SlotMap::with_conn`];
+/// the caller turns these into its statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlotEvent {
+    /// The LRU cap evicted another key's slot.
+    Evicted,
+    /// A connection was dialed for this call.
+    Established {
+        /// True when this slot had connected before (re-dial after a
+        /// failure or teardown).
+        reconnect: bool,
+    },
+    /// A cached connection was reused.
+    Reused,
+}
+
+/// LRU-capped map of keys to connection slots.
+pub(crate) struct SlotMap<K, C> {
+    conns: Mutex<LruCache<K, Arc<Slot<C>>>>,
+}
+
+impl<K: Hash + Eq + Clone, C> SlotMap<K, C> {
+    /// A map holding at most `cap` (≥ 1) connections.
+    pub(crate) fn new(cap: usize) -> Self {
+        SlotMap {
+            conns: Mutex::new(LruCache::new(cap.max(1))),
+        }
+    }
+
+    /// Run `f` on `key`'s connection, dialing with `dial` if the slot is
+    /// empty. `event` reports cache activity (possibly several events
+    /// per call); it runs outside the `conns` lock but may run under the
+    /// slot's `conn` lock, so it must only touch locks ordered after
+    /// `conn`. If `f` fails the connection is dropped, so the next call
+    /// re-dials.
+    pub(crate) fn with_conn<T, E>(
+        &self,
+        key: K,
+        dial: impl FnOnce() -> Result<C, E>,
+        mut event: impl FnMut(SlotEvent),
+        f: impl FnOnce(&mut C) -> Result<T, E>,
+    ) -> Result<T, E> {
+        let (slot, evicted) = {
+            let mut cache = lock(&self.conns);
+            match cache.get(&key) {
+                Some(s) => (Arc::clone(s), None),
+                None => {
+                    let s = Arc::new(Slot {
+                        conn: Mutex::new(None),
+                        ever_connected: AtomicBool::new(false),
+                    });
+                    let evicted = cache.insert(key, Arc::clone(&s));
+                    (s, evicted)
+                }
+            }
+        };
+        // The evicted slot (and, unless a concurrent user still holds
+        // it, its connection) is torn down here, after the cache lock
+        // is released.
+        if evicted.is_some() {
+            event(SlotEvent::Evicted);
+            drop(evicted);
+        }
+
+        let mut guard = lock(&slot.conn);
+        let mut conn = match guard.take() {
+            Some(c) => {
+                event(SlotEvent::Reused);
+                c
+            }
+            None => {
+                let c = dial()?;
+                event(SlotEvent::Established {
+                    reconnect: slot.ever_connected.swap(true, Ordering::Relaxed),
+                });
+                c
+            }
+        };
+        match f(&mut conn) {
+            Ok(out) => {
+                *guard = Some(conn);
+                Ok(out)
+            }
+            // A broken connection is dropped (still under this slot's
+            // own lock, which is exactly what it guards), so the next
+            // attempt re-dials.
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Bounded model checks of the slot logic. Build and run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p jbs-transport --lib loom_`.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use crate::sync::AtomicUsize;
+
+    /// Consolidation: two concurrent fetches of the same key dial once
+    /// and reuse once, in every interleaving.
+    #[test]
+    fn loom_same_key_dials_once() {
+        loom::model(|| {
+            let map = Arc::new(SlotMap::<u8, u8>::new(2));
+            let dials = Arc::new(AtomicUsize::new(0));
+            let reuses = Arc::new(AtomicUsize::new(0));
+            let worker =
+                |map: Arc<SlotMap<u8, u8>>, dials: Arc<AtomicUsize>, reuses: Arc<AtomicUsize>| {
+                    move || {
+                        map.with_conn(
+                            7u8,
+                            || Ok::<u8, ()>(1),
+                            |ev| match ev {
+                                SlotEvent::Established { .. } => {
+                                    dials.fetch_add(1, Ordering::SeqCst);
+                                }
+                                SlotEvent::Reused => {
+                                    reuses.fetch_add(1, Ordering::SeqCst);
+                                }
+                                SlotEvent::Evicted => {}
+                            },
+                            |c| {
+                                assert_eq!(*c, 1);
+                                Ok(())
+                            },
+                        )
+                    }
+                };
+            let h = loom::thread::spawn(worker(
+                Arc::clone(&map),
+                Arc::clone(&dials),
+                Arc::clone(&reuses),
+            ));
+            let r2 = worker(Arc::clone(&map), Arc::clone(&dials), Arc::clone(&reuses))();
+            let r1 = match h.join() {
+                Ok(r) => r,
+                Err(_) => panic!("worker panicked"),
+            };
+            assert_eq!((r1, r2), (Ok(()), Ok(())));
+            assert_eq!(dials.load(Ordering::SeqCst), 1, "consolidated dial");
+            assert_eq!(reuses.load(Ordering::SeqCst), 1);
+        });
+    }
+
+    /// Eviction/re-dial race under a cap of one: two keys fight for the
+    /// single cache slot. Both fetches must succeed in every
+    /// interleaving (an in-flight fetch keeps its evicted slot alive),
+    /// and no schedule may deadlock between the `conns` and `conn`
+    /// locks.
+    #[test]
+    fn loom_eviction_redial_race() {
+        loom::model(|| {
+            let map = Arc::new(SlotMap::<u8, u8>::new(1));
+            let evictions = Arc::new(AtomicUsize::new(0));
+            let worker = |map: Arc<SlotMap<u8, u8>>, evictions: Arc<AtomicUsize>, key: u8| {
+                move || {
+                    map.with_conn(
+                        key,
+                        || Ok::<u8, ()>(key),
+                        |ev| {
+                            if ev == SlotEvent::Evicted {
+                                evictions.fetch_add(1, Ordering::SeqCst);
+                            }
+                        },
+                        |c| {
+                            assert_eq!(*c, key, "fetch served by its own connection");
+                            Ok(())
+                        },
+                    )
+                }
+            };
+            let h = loom::thread::spawn(worker(Arc::clone(&map), Arc::clone(&evictions), 1));
+            let r2 = worker(Arc::clone(&map), Arc::clone(&evictions), 2)();
+            let r1 = match h.join() {
+                Ok(r) => r,
+                Err(_) => panic!("worker panicked"),
+            };
+            assert_eq!((r1, r2), (Ok(()), Ok(())));
+            assert!(evictions.load(Ordering::SeqCst) <= 1);
+        });
+    }
+
+    /// A failed exchange drops the connection; the next call re-dials
+    /// and reports it as a reconnect — in every interleaving with a
+    /// concurrent successful fetch of another key.
+    #[test]
+    fn loom_failure_evicts_then_reconnects() {
+        loom::model(|| {
+            let map = Arc::new(SlotMap::<u8, u8>::new(2));
+            let m2 = Arc::clone(&map);
+            let h = loom::thread::spawn(move || {
+                m2.with_conn(2u8, || Ok::<u8, ()>(2), |_| {}, |_| Ok(()))
+            });
+            let failed: Result<(), ()> = map.with_conn(1u8, || Ok(1), |_| {}, |_| Err(()));
+            assert_eq!(failed, Err(()));
+            let mut reconnect_seen = false;
+            let ok = map.with_conn(
+                1u8,
+                || Ok::<u8, ()>(1),
+                |ev| {
+                    if let SlotEvent::Established { reconnect } = ev {
+                        reconnect_seen = reconnect;
+                    }
+                },
+                |_| Ok(()),
+            );
+            assert_eq!(ok, Ok(()));
+            assert!(reconnect_seen, "re-dial after failure is a reconnect");
+            match h.join() {
+                Ok(r) => assert_eq!(r, Ok(())),
+                Err(_) => panic!("worker panicked"),
+            }
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn no_event(_: SlotEvent) {}
+
+    #[test]
+    fn dials_once_then_reuses() {
+        let map = SlotMap::<u8, u32>::new(4);
+        let mut events = Vec::new();
+        for _ in 0..3 {
+            map.with_conn(1, || Ok::<u32, ()>(9), |e| events.push(e), |c| Ok(*c))
+                .unwrap();
+        }
+        assert_eq!(
+            events,
+            vec![
+                SlotEvent::Established { reconnect: false },
+                SlotEvent::Reused,
+                SlotEvent::Reused
+            ]
+        );
+    }
+
+    #[test]
+    fn failure_drops_conn_and_redial_is_reconnect() {
+        let map = SlotMap::<u8, u32>::new(4);
+        map.with_conn(1, || Ok::<u32, ()>(9), no_event, |_| Ok(()))
+            .unwrap();
+        let err = map.with_conn(1, || Ok::<u32, ()>(9), no_event, |_| Err::<(), ()>(()));
+        assert!(err.is_err());
+        let mut events = Vec::new();
+        map.with_conn(1, || Ok::<u32, ()>(10), |e| events.push(e), |c| Ok(*c))
+            .unwrap();
+        assert_eq!(events, vec![SlotEvent::Established { reconnect: true }]);
+    }
+
+    #[test]
+    fn dial_error_leaves_slot_empty_for_retry() {
+        let map = SlotMap::<u8, u32>::new(4);
+        let err = map.with_conn(1, || Err::<u32, i32>(-1), no_event, |c| Ok(*c));
+        assert_eq!(err, Err(-1));
+        let ok = map.with_conn(1, || Ok::<u32, i32>(5), no_event, |c| Ok(*c));
+        assert_eq!(ok, Ok(5));
+    }
+
+    #[test]
+    fn cap_one_evicts_previous_key() {
+        let map = SlotMap::<u8, u32>::new(1);
+        let mut evictions = 0;
+        for key in [1u8, 2, 1] {
+            map.with_conn(
+                key,
+                || Ok::<u32, ()>(u32::from(key)),
+                |e| {
+                    if e == SlotEvent::Evicted {
+                        evictions += 1;
+                    }
+                },
+                |c| Ok(*c),
+            )
+            .unwrap();
+        }
+        assert_eq!(evictions, 2, "each new key displaced the previous");
+    }
+}

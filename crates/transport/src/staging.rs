@@ -1,0 +1,149 @@
+//! The DataCache staging map: the supplier's grouped read-ahead state,
+//! factored out of the server generically so the `cfg(loom)` models
+//! below drive the *production* hit/stage logic.
+//!
+//! One read at segment offset `o` stages a whole read-ahead range
+//! `[o, o+ahead)`; subsequent chunk fetches of the same key are served
+//! from the staged bytes without touching the store (the paper's
+//! DataCache, Fig. 5). The map holds one staged range per key; staging
+//! replaces the previous range.
+//!
+//! Locking: the single `staged` mutex is held only to copy a hit out or
+//! swap a range in — never across disk I/O. In the documented order it
+//! sits after `store`, because the server's slow path reads the store
+//! first and stages the result; a hit never takes `store` at all.
+
+use crate::sync::{lock, Mutex};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One staged read-ahead range.
+struct StagedRange {
+    /// Segment offset of `bytes[0]`.
+    offset: u64,
+    bytes: Vec<u8>,
+}
+
+/// Keyed staging map (the DataCache).
+pub(crate) struct StageCache<K> {
+    staged: Mutex<HashMap<K, StagedRange>>,
+}
+
+impl<K: Hash + Eq> StageCache<K> {
+    /// An empty cache.
+    pub(crate) fn new() -> Self {
+        StageCache {
+            staged: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Serve `[offset, offset+want)` from the staged range, if the whole
+    /// request lies inside it. Checked arithmetic and `get` make the hit
+    /// test total: an offset below the staged base, a range past its
+    /// end, or any u64 overflow is a miss, never a panic.
+    pub(crate) fn hit(&self, key: &K, offset: u64, want: u64) -> Option<Vec<u8>> {
+        let staged = lock(&self.staged);
+        let s = staged.get(key)?;
+        let lo = offset.checked_sub(s.offset).map(|lo| lo as usize)?;
+        let chunk = lo
+            .checked_add(want as usize)
+            .and_then(|hi| s.bytes.get(lo..hi))?;
+        Some(chunk.to_vec())
+    }
+
+    /// Stage `bytes` (read from the store at `offset`) as `key`'s new
+    /// range and serve the first `want` bytes of it.
+    pub(crate) fn stage(&self, key: K, offset: u64, bytes: Vec<u8>, want: u64) -> Vec<u8> {
+        let serve_len = (want as usize).min(bytes.len());
+        let payload = bytes.get(..serve_len).unwrap_or_default().to_vec();
+        lock(&self.staged).insert(key, StagedRange { offset, bytes });
+        payload
+    }
+}
+
+/// Bounded model checks of the staging logic. Build and run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p jbs-transport --lib loom_`.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Two connection threads race a stage against a hit on the same
+    /// key. In every interleaving a served chunk is byte-exact for its
+    /// requested range — a reader sees a complete staged range or a
+    /// miss, never a torn one.
+    #[test]
+    fn loom_hit_races_stage_without_tearing() {
+        loom::model(|| {
+            let cache = Arc::new(StageCache::<u8>::new());
+            let c2 = Arc::clone(&cache);
+            let h = loom::thread::spawn(move || c2.stage(0u8, 0, vec![1, 2, 3, 4], 2));
+            if let Some(chunk) = cache.hit(&0u8, 1, 2) {
+                assert_eq!(chunk, vec![2, 3]);
+            }
+            let served = match h.join() {
+                Ok(s) => s,
+                Err(_) => panic!("stager panicked"),
+            };
+            assert_eq!(served, vec![1, 2]);
+            // After both finish, the staged range serves hits exactly.
+            assert_eq!(cache.hit(&0u8, 2, 2), Some(vec![3, 4]));
+        });
+    }
+
+    /// Two threads stage different ranges for one key concurrently. The
+    /// survivor is one of the two complete ranges (last write wins),
+    /// and a later hit is consistent with whichever survived.
+    #[test]
+    fn loom_concurrent_stages_last_write_wins() {
+        loom::model(|| {
+            let cache = Arc::new(StageCache::<u8>::new());
+            let c2 = Arc::clone(&cache);
+            let h = loom::thread::spawn(move || c2.stage(0u8, 0, vec![10, 11], 2));
+            let s2 = cache.stage(0u8, 2, vec![20, 21], 2);
+            assert_eq!(s2, vec![20, 21]);
+            match h.join() {
+                Ok(s1) => assert_eq!(s1, vec![10, 11]),
+                Err(_) => panic!("stager panicked"),
+            }
+            let survivor = (cache.hit(&0u8, 0, 2), cache.hit(&0u8, 2, 2));
+            assert!(
+                matches!(survivor, (Some(_), None) | (None, Some(_))),
+                "exactly one complete range survives: {survivor:?}"
+            );
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_requires_containment() {
+        let cache = StageCache::<u8>::new();
+        assert_eq!(cache.hit(&1, 0, 4), None, "empty cache misses");
+        let served = cache.stage(1, 100, vec![1, 2, 3, 4, 5, 6], 4);
+        assert_eq!(served, vec![1, 2, 3, 4]);
+        assert_eq!(cache.hit(&1, 102, 3), Some(vec![3, 4, 5]));
+        assert_eq!(cache.hit(&1, 99, 2), None, "below staged base");
+        assert_eq!(cache.hit(&1, 104, 4), None, "past staged end");
+        assert_eq!(cache.hit(&1, u64::MAX, 2), None, "overflowing offset");
+    }
+
+    #[test]
+    fn stage_serves_at_most_available() {
+        let cache = StageCache::<u8>::new();
+        let served = cache.stage(1, 0, vec![7, 8], 10);
+        assert_eq!(served, vec![7, 8], "want capped to staged bytes");
+    }
+
+    #[test]
+    fn restage_replaces_range() {
+        let cache = StageCache::<u8>::new();
+        cache.stage(1, 0, vec![1, 2, 3], 3);
+        cache.stage(1, 10, vec![4, 5, 6], 3);
+        assert_eq!(cache.hit(&1, 0, 2), None, "old range gone");
+        assert_eq!(cache.hit(&1, 10, 3), Some(vec![4, 5, 6]));
+    }
+}

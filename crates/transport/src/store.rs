@@ -67,8 +67,13 @@ impl MofStore {
         let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); partitions];
         for (k, v) in records {
             let p = partition(&k);
-            assert!(p < partitions, "partition out of range");
-            buckets[p].push((k, v));
+            let bucket = buckets.get_mut(p).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("partition {p} out of range (have {partitions})"),
+                )
+            })?;
+            bucket.push((k, v));
         }
         let mut writer = MofWriter::new();
         for bucket in &mut buckets {
@@ -94,7 +99,9 @@ impl MofStore {
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             self.indexes.insert(mof, index);
         }
-        Ok(&self.indexes[&mof])
+        self.indexes
+            .get(&mof)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("index for mof {mof}")))
     }
 
     /// Read `[offset, offset+len)` of reducer `reducer`'s segment in `mof`

@@ -27,12 +27,10 @@ use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
+use crate::sync::{lock, Mutex};
 
 /// A remote-access key for a registered memory region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,15 +53,11 @@ impl ProtectionDomain {
         Arc::new(Self::default())
     }
 
-    fn regions_read(
-        &self,
-    ) -> std::sync::RwLockReadGuard<'_, HashMap<RemoteKey, Arc<Vec<u8>>>> {
+    fn regions_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<RemoteKey, Arc<Vec<u8>>>> {
         self.regions.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn regions_write(
-        &self,
-    ) -> std::sync::RwLockWriteGuard<'_, HashMap<RemoteKey, Arc<Vec<u8>>>> {
+    fn regions_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<RemoteKey, Arc<Vec<u8>>>> {
         self.regions.write().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -90,9 +84,9 @@ impl ProtectionDomain {
             what: format!("rkey {}", rkey.0),
         })?;
         let start = offset as usize;
-        let end = start
+        let bytes = start
             .checked_add(len as usize)
-            .filter(|&e| e <= region.len())
+            .and_then(|end| region.get(start..end))
             .ok_or_else(|| TransportError::OutOfBounds {
                 detail: format!(
                     "read [{offset}, {offset}+{len}) past region of {} bytes",
@@ -100,7 +94,7 @@ impl ProtectionDomain {
                 ),
             })?;
         self.one_sided_reads.fetch_add(1, Ordering::Relaxed);
-        Ok(region[start..end].to_vec())
+        Ok(bytes.to_vec())
     }
 }
 
@@ -443,15 +437,16 @@ impl RdmaNetMerger {
             qp.post_send(mof.to_be_bytes().to_vec())?;
             qp.poll_recv()?
         };
-        if reply.len() < 8 {
+        let Some((rkey_bytes, index_bytes)) = reply.split_at_checked(8) else {
             return Err(TransportError::NotFound {
                 what: format!("mof {mof} in supplier catalog"),
             });
-        }
-        let mut rkey_bytes = [0u8; 8];
-        rkey_bytes.copy_from_slice(&reply[..8]);
+        };
+        let rkey_bytes: [u8; 8] = rkey_bytes.try_into().map_err(|_| TransportError::Corrupt {
+            detail: "catalog reply rkey field".to_string(),
+        })?;
         let rkey = RemoteKey(u64::from_be_bytes(rkey_bytes));
-        let index = MofIndex::from_bytes(&reply[8..]).map_err(|e| TransportError::Corrupt {
+        let index = MofIndex::from_bytes(index_bytes).map_err(|e| TransportError::Corrupt {
             detail: format!("catalog index: {e}"),
         })?;
         let entry = (rkey, index);
@@ -539,12 +534,8 @@ mod tests {
         // The listener exists but never services its event channel: the
         // handshake must give up with a Timeout, not hang.
         let (_listener, addr) = rdma_listen();
-        let err = rdma_connect_timeout(
-            &addr,
-            ProtectionDomain::new(),
-            Duration::from_millis(50),
-        )
-        .unwrap_err();
+        let err = rdma_connect_timeout(&addr, ProtectionDomain::new(), Duration::from_millis(50))
+            .unwrap_err();
         assert!(matches!(err, TransportError::Timeout { .. }), "{err}");
         assert!(err.is_retryable());
     }
@@ -555,9 +546,13 @@ mod tests {
             .force(Hook::VerbsConnect, 0, FaultKind::RefuseConnect)
             .build();
         let (_listener, addr) = rdma_listen();
-        let err =
-            rdma_connect_opts(&addr, ProtectionDomain::new(), None, Some(Arc::clone(&plan)))
-                .unwrap_err();
+        let err = rdma_connect_opts(
+            &addr,
+            ProtectionDomain::new(),
+            None,
+            Some(Arc::clone(&plan)),
+        )
+        .unwrap_err();
         assert!(matches!(err, TransportError::Connect { .. }), "{err}");
         assert_eq!(plan.stats().refusals, 1);
 
@@ -605,7 +600,12 @@ mod tests {
     #[test]
     fn supplier_serves_segments_one_sided() {
         let supplier = RdmaMofSupplier::start();
-        let records = [("apple", "1"), ("banana", "2"), ("cherry", "3"), ("date", "4")];
+        let records = [
+            ("apple", "1"),
+            ("banana", "2"),
+            ("cherry", "3"),
+            ("date", "4"),
+        ];
         let (data, index) = build_mof(&records, 2);
         supplier.publish_mof(7, data.clone(), &index);
 

@@ -93,7 +93,10 @@ impl FetchRequest {
     /// Decode from the wire format.
     pub fn decode(mut buf: &[u8]) -> io::Result<Self> {
         if buf.len() < REQUEST_LEN {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short request"));
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short request",
+            ));
         }
         let magic = buf.get_u32();
         if magic != REQUEST_MAGIC {
@@ -118,7 +121,7 @@ impl FetchRequest {
         let mut buf = [0u8; REQUEST_LEN];
         let mut filled = 0;
         while filled < REQUEST_LEN {
-            match r.read(&mut buf[filled..]) {
+            match r.read(buf.get_mut(filled..).unwrap_or_default()) {
                 Ok(0) if filled == 0 => return Ok(None),
                 Ok(0) => {
                     return Err(io::Error::new(
@@ -164,8 +167,9 @@ impl FetchResponse {
     /// Write header + payload to a stream.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let mut hdr = [0u8; 9];
-        hdr[0] = self.status as u8;
-        hdr[1..9].copy_from_slice(&(self.payload.len() as u64).to_be_bytes());
+        let [status, len @ ..] = &mut hdr;
+        *status = self.status as u8;
+        *len = (self.payload.len() as u64).to_be_bytes();
         w.write_all(&hdr)?;
         w.write_all(&self.payload)
     }
@@ -176,14 +180,13 @@ impl FetchResponse {
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
         let mut hdr = [0u8; 9];
         r.read_exact(&mut hdr)?;
-        let status = Status::from_u8(hdr[0]).ok_or_else(|| {
+        let [status_byte, len_bytes @ ..] = hdr;
+        let status = Status::from_u8(status_byte).ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("invalid status byte {:#04x}", hdr[0]),
+                format!("invalid status byte {status_byte:#04x}"),
             )
         })?;
-        let mut len_bytes = [0u8; 8];
-        len_bytes.copy_from_slice(&hdr[1..9]);
         let len = u64::from_be_bytes(len_bytes);
         if len > MAX_PAYLOAD as u64 {
             return Err(io::Error::new(
@@ -288,7 +291,9 @@ mod tests {
     fn many_exchanges_on_one_stream() {
         let mut buf = Vec::new();
         for i in 0..10u64 {
-            FetchRequest::whole_segment(i, i as u32).write_to(&mut buf).unwrap();
+            FetchRequest::whole_segment(i, i as u32)
+                .write_to(&mut buf)
+                .unwrap();
         }
         let mut cursor = std::io::Cursor::new(buf);
         for i in 0..10u64 {

@@ -1,0 +1,449 @@
+//! A small hand-rolled Rust scanner.
+//!
+//! The analyzer does not need a full parser: every lint in this crate
+//! works from a *masked* view of the source in which comment bodies and
+//! the interiors of string/char literals are blanked out (newlines are
+//! preserved so offsets and line numbers survive masking). On top of the
+//! mask it computes the spans of `#[cfg(test)]`-gated items, so lints can
+//! skip test code without understanding the grammar.
+//!
+//! The scanner understands: line comments, nested block comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//! count, with `b`/`c` prefixes), byte strings, char literals, and the
+//! char-literal/lifetime ambiguity (`'a'` vs `&'a str`).
+
+/// One logical source line of the masked view.
+#[derive(Debug)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Masked code: comments and literal interiors are spaces.
+    pub code: String,
+    /// Original source text of the line (for reports).
+    pub raw: String,
+    /// True when the line is inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: bool,
+}
+
+/// A scanned source file: the masked text plus per-line views.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Masked full text (same length as the input, newlines preserved).
+    pub masked: String,
+    /// Per-line masked/raw views with test-region flags.
+    pub lines: Vec<Line>,
+}
+
+/// Scan `src` into its masked view and line table.
+pub fn scan(src: &str) -> ScannedFile {
+    let masked = mask(src);
+    let test_spans = test_item_spans(&masked);
+    let mut lines = Vec::new();
+    let mut offset = 0usize;
+    for (i, (raw, code)) in src.lines().zip(masked.lines()).enumerate() {
+        let in_test = test_spans
+            .iter()
+            .any(|&(lo, hi)| offset >= lo && offset < hi);
+        lines.push(Line {
+            number: i + 1,
+            code: code.to_string(),
+            raw: raw.to_string(),
+            in_test,
+        });
+        offset += raw.chars().count() + 1; // '\n'
+    }
+    ScannedFile { masked, lines }
+}
+
+/// Is `c` part of an identifier?
+pub fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Blank out comments and literal interiors, preserving length and
+/// newlines. Quote characters of string/char literals are kept so that
+/// patterns like `.expect(` can never match inside a literal but the
+/// structure of the code stays visible.
+pub fn mask(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut i = 0usize;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and byte/C) strings: r"…", r#"…"#, br"…", cr#"…"#…
+        if (c == 'r' || c == 'b' || c == 'c') && !prev_is_ident(&out) {
+            let mut j = i;
+            if (b[j] == 'b' || b[j] == 'c') && b.get(j + 1) == Some(&'r') {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while b.get(k) == Some(&'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                if b.get(k) == Some(&'"') {
+                    // Copy the prefix and opening quote literally.
+                    for &p in &b[i..=k] {
+                        out.push(p);
+                    }
+                    i = k + 1;
+                    // Blank until `"` followed by `hashes` hashes.
+                    while i < b.len() {
+                        if b[i] == '"'
+                            && b[i + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&h| h == '#')
+                                .count()
+                                == hashes
+                        {
+                            out.push('"');
+                            out.extend(std::iter::repeat_n('#', hashes));
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Plain / byte string.
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let is_char_lit = match b.get(i + 1) {
+                Some('\\') => true,
+                Some(&n) => b.get(i + 2) == Some(&'\'') && n != '\'',
+                None => false,
+            };
+            if is_char_lit {
+                out.push('\'');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        out.push(' ');
+                        out.push(blank(b[i + 1]));
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        out.push('\'');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+fn prev_is_ident(out: &[char]) -> bool {
+    out.last().is_some_and(|&c| is_ident(c))
+}
+
+/// Char-offset spans (half-open) of items gated behind `#[test]`,
+/// `#[cfg(test)]`, or any `cfg` attribute mentioning `test` (e.g.
+/// Does a cfg predicate contain the word `test` outside every
+/// `not(…)` group? `all(test, not(loom))` → yes; `not(test)` → no.
+fn has_test_outside_not(s: &str) -> bool {
+    let b: Vec<char> = s.chars().collect();
+    // Balanced spans of every `not(…)` group.
+    let mut not_spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i + 4 <= b.len() {
+        let word_start = i == 0 || !is_ident(b[i - 1]);
+        if word_start
+            && b.get(i..i + 4)
+                .is_some_and(|w| w.iter().collect::<String>() == "not(")
+        {
+            let mut d = 0usize;
+            let mut j = i + 3;
+            while j < b.len() {
+                match b[j] {
+                    '(' => d += 1,
+                    ')' => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            not_spans.push((i, j));
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    let mut k = 0usize;
+    while k + 4 <= b.len() {
+        let is_word = b
+            .get(k..k + 4)
+            .is_some_and(|w| w.iter().collect::<String>() == "test")
+            && (k == 0 || !is_ident(b[k - 1]))
+            && b.get(k + 4).is_none_or(|&c| !is_ident(c));
+        if is_word && !not_spans.iter().any(|&(a, z)| k > a && k < z) {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+/// `#[cfg(all(loom, test))]`) — but not `#[cfg(not(test))]`.
+fn test_item_spans(masked: &str) -> Vec<(usize, usize)> {
+    let b: Vec<char> = masked.chars().collect();
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] != '#' || b.get(i + 1) != Some(&'[') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // Find the matching `]` of the attribute.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < b.len() {
+            match b[j] {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= b.len() {
+            break;
+        }
+        let content: String = b[i + 2..j].iter().collect();
+        let is_test_attr = {
+            let trimmed = content.trim();
+            trimmed == "test" || (trimmed.starts_with("cfg") && has_test_outside_not(trimmed))
+        };
+        i = j + 1;
+        if !is_test_attr {
+            continue;
+        }
+        // Skip whitespace and any further attributes, then take the item:
+        // through its matching `}` if a block opens first, else to `;`.
+        let mut k = i;
+        loop {
+            while k < b.len() && b[k].is_whitespace() {
+                k += 1;
+            }
+            if b.get(k) == Some(&'#') && b.get(k + 1) == Some(&'[') {
+                let mut d = 0usize;
+                while k < b.len() {
+                    match b[k] {
+                        '[' => d += 1,
+                        ']' => {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let mut end = k;
+        let mut brace = 0usize;
+        let mut saw_brace = false;
+        while end < b.len() {
+            match b[end] {
+                '{' => {
+                    brace += 1;
+                    saw_brace = true;
+                }
+                '}' => {
+                    brace -= 1;
+                    if brace == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                ';' if !saw_brace => {
+                    end += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        spans.push((attr_start, end));
+        i = end;
+    }
+    spans
+}
+
+/// Does `haystack` contain `word` delimited by non-identifier chars?
+pub fn has_word(haystack: &str, word: &str) -> bool {
+    let h: Vec<char> = haystack.chars().collect();
+    let w: Vec<char> = word.chars().collect();
+    if w.is_empty() || h.len() < w.len() {
+        return false;
+    }
+    for start in 0..=h.len() - w.len() {
+        if h[start..start + w.len()] == w[..] {
+            let before_ok = start == 0 || !is_ident(h[start - 1]);
+            let after = start + w.len();
+            let after_ok = after == h.len() || !is_ident(h[after]);
+            if before_ok && after_ok {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"unwrap() inside\"; // unwrap() comment\nlet y = 1; /* panic! */";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let x = \""));
+        assert_eq!(m.chars().count(), src.chars().count());
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let src = r##"let r = r#"panic!("x")"#; let c = 'x'; let l: &'static str = "";"##;
+        let m = mask(src);
+        assert!(!m.contains("panic"));
+        assert!(m.contains("&'static str"), "lifetimes survive: {m}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ unwrap() */ let z = 3;";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_flagged() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test, "code after the test mod is live");
+    }
+
+    #[test]
+    fn cfg_all_loom_test_region_is_flagged() {
+        let src = "#[cfg(all(loom, test))]\nmod loom_models { fn m() {} }\nfn live() {}\n";
+        let f = scan(src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_live() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let f = scan(src);
+        assert!(!f.lines[1].in_test);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("cfg(all(loom, test))", "test"));
+        assert!(!has_word("cfg(testing)", "test"));
+        assert!(!has_word("latest", "test"));
+    }
+
+    #[test]
+    fn test_outside_not_groups() {
+        assert!(has_test_outside_not("cfg(test)"));
+        assert!(has_test_outside_not("cfg(all(test, loom))"));
+        assert!(has_test_outside_not("cfg(all(test, not(loom)))"));
+        assert!(!has_test_outside_not("cfg(not(test))"));
+        assert!(!has_test_outside_not("cfg(all(not(test), loom))"));
+        assert!(!has_test_outside_not("cfg(attest)"));
+    }
+
+    #[test]
+    fn cfg_test_with_not_loom_is_a_test_region() {
+        let src = "#[cfg(all(test, not(loom)))]\nmod tests { fn f() { x.unwrap(); } }\n";
+        let f = scan(src);
+        assert!(f.lines[1].in_test);
+    }
+}

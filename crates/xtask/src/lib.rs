@@ -1,0 +1,214 @@
+//! `cargo xtask analyze` — repo-specific static analysis for the JBS
+//! workspace.
+//!
+//! Four lint families, built on a hand-rolled scanner ([`lexer`]) so the
+//! workspace stays fully offline (no syn/proc-macro/registry deps):
+//!
+//! * [`lints::panics`] — panic-freedom on the dataplane crates
+//!   (`crates/transport`, `crates/net`);
+//! * [`lints::lockorder`] — a static lock-acquisition graph over the
+//!   transport crate, cycle detection, and the documented order;
+//! * [`lints::determinism`] — no wall clocks / sleeps / OS entropy in
+//!   the simulated-time crates (`des`, `mapred/sim`, `core`);
+//! * [`lints::hygiene`] — workspace `[lints]` opt-in everywhere and the
+//!   `unsafe` fence.
+//!
+//! Exemptions live in `crates/xtask/allow.toml` ([`policy`]), each with
+//! a mandatory one-line justification; stale entries are themselves
+//! errors. See DESIGN.md §9 for the contract this enforces.
+
+pub mod lexer;
+pub mod lints;
+pub mod policy;
+
+use lints::Finding;
+use policy::Policy;
+use std::path::{Path, PathBuf};
+
+/// Which lints apply to which parts of the tree.
+pub struct Config {
+    /// Workspace root.
+    pub root: PathBuf,
+    /// Directories (relative) whose sources get the panic-freedom lint.
+    pub panic_dirs: Vec<PathBuf>,
+    /// Directories (relative) whose sources get the determinism lint.
+    pub determinism_dirs: Vec<PathBuf>,
+    /// Directories (relative) whose sources feed the lock-order graph.
+    pub lock_dirs: Vec<PathBuf>,
+}
+
+impl Config {
+    /// The JBS workspace layout.
+    pub fn for_workspace(root: &Path) -> Config {
+        Config {
+            root: root.to_path_buf(),
+            panic_dirs: vec!["crates/transport/src".into(), "crates/net/src".into()],
+            determinism_dirs: vec![
+                "crates/des/src".into(),
+                "crates/core/src".into(),
+                "crates/mapred/src/sim".into(),
+            ],
+            lock_dirs: vec!["crates/transport/src".into()],
+        }
+    }
+}
+
+/// The analyzer result: surviving findings plus stale allowlist entries.
+pub struct Report {
+    /// Findings not covered by the allowlist.
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that matched nothing (stale; also fatal).
+    pub stale_allows: Vec<policy::AllowEntry>,
+    /// Findings that were suppressed by the allowlist (for `-v`).
+    pub allowed: Vec<Finding>,
+}
+
+impl Report {
+    /// Did the analysis pass?
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_allows.is_empty()
+    }
+}
+
+/// Run every lint over the workspace under `config`, applying `policy`.
+pub fn analyze(config: &Config, policy: &Policy) -> std::io::Result<Report> {
+    let mut findings = Vec::new();
+
+    // Panic-freedom over the dataplane.
+    for dir in &config.panic_dirs {
+        for path in rust_files(&config.root.join(dir))? {
+            let scanned = lexer::scan(&std::fs::read_to_string(&path)?);
+            findings.extend(lints::panics::check(&rel(&config.root, &path), &scanned));
+        }
+    }
+
+    // Determinism over the simulated-time crates.
+    for dir in &config.determinism_dirs {
+        for path in rust_files(&config.root.join(dir))? {
+            let scanned = lexer::scan(&std::fs::read_to_string(&path)?);
+            findings.extend(lints::determinism::check(
+                &rel(&config.root, &path),
+                &scanned,
+            ));
+        }
+    }
+
+    // Lock-order graph across the transport crate.
+    let mut edges = Vec::new();
+    for dir in &config.lock_dirs {
+        for path in rust_files(&config.root.join(dir))? {
+            let scanned = lexer::scan(&std::fs::read_to_string(&path)?);
+            edges.extend(lints::lockorder::edges(&rel(&config.root, &path), &scanned));
+        }
+    }
+    findings.extend(lints::lockorder::check(&edges, policy));
+
+    // Hygiene: manifests…
+    let root_manifest = config.root.join("Cargo.toml");
+    findings.extend(lints::hygiene::check_root_manifest(
+        &rel(&config.root, &root_manifest),
+        &std::fs::read_to_string(&root_manifest)?,
+    ));
+    for manifest in lints::hygiene::member_manifests(&config.root) {
+        findings.extend(lints::hygiene::check_manifest(
+            &rel(&config.root, &manifest),
+            &std::fs::read_to_string(&manifest)?,
+        ));
+    }
+    // …and the unsafe fence over all workspace sources.
+    for path in workspace_sources(&config.root)? {
+        let relp = rel(&config.root, &path);
+        let allowed = lints::hygiene::unsafe_allowed(&relp);
+        if allowed {
+            continue;
+        }
+        let masked = lexer::mask(&std::fs::read_to_string(&path)?);
+        findings.extend(lints::hygiene::check_source(&relp, &masked, false));
+    }
+
+    Ok(apply_allowlist(findings, policy))
+}
+
+/// Split findings into surviving / allowed, and collect stale entries.
+pub fn apply_allowlist(findings: Vec<Finding>, policy: &Policy) -> Report {
+    let mut used = vec![false; policy.allows.len()];
+    let mut surviving = Vec::new();
+    let mut allowed = Vec::new();
+    for f in findings {
+        let file = f.file.to_string_lossy().replace('\\', "/");
+        let hit = policy.allows.iter().enumerate().find(|(_, a)| {
+            a.lint == f.lint && file.ends_with(&a.file) && f.code.contains(&a.contains)
+        });
+        match hit {
+            Some((i, _)) => {
+                used[i] = true;
+                allowed.push(f);
+            }
+            None => surviving.push(f),
+        }
+    }
+    let stale_allows = policy
+        .allows
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(a, _)| a.clone())
+        .collect();
+    Report {
+        findings: surviving,
+        stale_allows,
+        allowed,
+    }
+}
+
+/// All `.rs` files under `dir`, recursively, sorted.
+pub fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Every workspace source the unsafe fence covers: `src/`, `tests/`,
+/// `benches/`, `examples/` of the root and of each `crates/*` member.
+/// The analyzer's own lint fixtures are excluded (they are bad on
+/// purpose), as are `shims/` and `target/` (scanned never / exempt).
+fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut roots = vec![root.to_path_buf()];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        roots.extend(entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()));
+    }
+    for r in roots {
+        for sub in ["src", "tests", "benches", "examples"] {
+            for f in rust_files(&r.join(sub))? {
+                // Exclusion is relative to the scan root so the
+                // analyzer still works when pointed AT a fixture tree.
+                let p = rel(root, &f).to_string_lossy().replace('\\', "/");
+                if p.contains("fixtures/") {
+                    continue;
+                }
+                out.push(f);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel(root: &Path, path: &Path) -> PathBuf {
+    path.strip_prefix(root).unwrap_or(path).to_path_buf()
+}

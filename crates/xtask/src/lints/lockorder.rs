@@ -1,0 +1,431 @@
+//! Lock-order lint: a static lock-acquisition graph for the dataplane.
+//!
+//! All mutex acquisition in `jbs-transport` goes through the shared
+//! poison-tolerant helper `sync::lock(&…)`, which gives this lint a
+//! reliable syntactic anchor: every `lock(&path)` call is an
+//! acquisition of the lock named by `path`'s last segment
+//! (`self.conns` → `conns`, `slot.conn` → `conn`).
+//!
+//! Guard lifetimes are tracked heuristically but conservatively:
+//!
+//! * a `let`-bound guard lives to the end of its enclosing block
+//!   (tracked by brace depth);
+//! * a temporary guard (`lock(&self.stats).x += 1;`) lives to the end
+//!   of its statement (the next `;` at or below its depth).
+//!
+//! Acquiring lock `B` while any guard `A` is live records edge `A → B`.
+//! The lint then rejects
+//!
+//! 1. **cycles** in the resulting graph across the whole crate — the
+//!    classic ABBA deadlock (a self-edge `A → A` is a guaranteed
+//!    deadlock with `std::sync::Mutex` and is reported as a cycle);
+//! 2. **order violations**: every edge must go strictly forward in the
+//!    documented order (`[policy] lock_order` in `allow.toml`), and
+//!    every lock name must appear in that order — so the documentation
+//!    cannot silently rot.
+//!
+//! Limits (documented in DESIGN.md §9): the analysis is per-function and
+//! syntactic — edges through calls (e.g. a callback locking `stats`
+//! while a caller holds `conn`) must be encoded in the documented order
+//! by hand, and explicit `drop(guard)` calls are not modeled (none are
+//! used on the dataplane).
+
+use super::Finding;
+use crate::lexer::{self, ScannedFile};
+use crate::policy::Policy;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// One `A → B` acquisition edge with its witness site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Lock already held.
+    pub held: String,
+    /// Lock acquired while holding `held`.
+    pub acquired: String,
+    /// Witness file.
+    pub file: PathBuf,
+    /// Witness line (1-based).
+    pub line: usize,
+}
+
+/// Extract the lock-acquisition edges of one scanned file.
+pub fn edges(path: &Path, scanned: &ScannedFile) -> Vec<Edge> {
+    #[derive(Debug)]
+    struct Guard {
+        name: String,
+        /// Brace depth at acquisition.
+        depth: usize,
+        /// Temporaries die at the next `;` at depth <= `depth`.
+        temporary: bool,
+    }
+
+    let chars: Vec<char> = scanned.masked.chars().collect();
+    // Map char offset -> line number and test-ness.
+    let mut line_of = Vec::with_capacity(chars.len());
+    {
+        let mut ln = 1usize;
+        for &c in &chars {
+            line_of.push(ln);
+            if c == '\n' {
+                ln += 1;
+            }
+        }
+    }
+    let in_test = |off: usize| {
+        let ln = line_of.get(off).copied().unwrap_or(1);
+        scanned.lines.get(ln - 1).is_some_and(|l| l.in_test)
+    };
+
+    let mut out = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => {
+                depth += 1;
+                i += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                // Scoped guards die when their block closes; a temporary
+                // in a block-statement header (`match lock(&a)… { … }`)
+                // dies at the brace that returns to its own depth.
+                guards.retain(|g| g.depth <= depth && !(g.temporary && g.depth == depth));
+                i += 1;
+            }
+            ';' => {
+                guards.retain(|g| !(g.temporary && depth <= g.depth));
+                i += 1;
+            }
+            'l' if is_lock_call(&chars, i) => {
+                let (name, end) = lock_name(&chars, i);
+                if let Some(name) = name {
+                    if !in_test(i) {
+                        for g in &guards {
+                            out.push(Edge {
+                                held: g.name.clone(),
+                                acquired: name.clone(),
+                                file: path.to_path_buf(),
+                                line: line_of.get(i).copied().unwrap_or(0),
+                            });
+                        }
+                    }
+                    guards.push(Guard {
+                        name,
+                        depth,
+                        temporary: !stmt_has_let(&chars, i),
+                    });
+                }
+                i = end;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Is `chars[i..]` a call of the `lock(&…)` helper (not a method call
+/// like `.lock(` and not an identifier suffix like `try_lock(`)?
+fn is_lock_call(chars: &[char], i: usize) -> bool {
+    if chars[i..].iter().take(5).collect::<String>() != "lock(" {
+        return false;
+    }
+    if i > 0 && (lexer::is_ident(chars[i - 1]) || chars[i - 1] == '.') {
+        return false;
+    }
+    chars.get(i + 5) == Some(&'&')
+}
+
+/// Parse the lock name out of `lock(&path)`; returns (name, end offset).
+fn lock_name(chars: &[char], i: usize) -> (Option<String>, usize) {
+    let mut j = i + 6; // past "lock(&"
+    let mut path = String::new();
+    while j < chars.len() && (lexer::is_ident(chars[j]) || chars[j] == '.' || chars[j] == ' ') {
+        path.push(chars[j]);
+        j += 1;
+    }
+    if chars.get(j) != Some(&')') {
+        // Not a simple `lock(&a.b.c)` form; skip rather than guess.
+        return (None, j);
+    }
+    let name = path
+        .trim()
+        .rsplit('.')
+        .next()
+        .map(str::to_string)
+        .filter(|s| !s.is_empty());
+    (name, j + 1)
+}
+
+/// Does the statement containing offset `i` bind with `let` (scoped
+/// guard) or not (temporary)? Scans backwards to the statement start.
+/// `if let` / `while let` scrutinees are NOT bindings of the guard —
+/// those temporaries die with the `if`/`while` statement.
+fn stmt_has_let(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        match chars[j - 1] {
+            ';' | '{' | '}' => break,
+            _ => j -= 1,
+        }
+    }
+    let stmt: String = chars[j..i].iter().collect();
+    let words: Vec<&str> = stmt
+        .split(|c: char| !lexer::is_ident(c))
+        .filter(|w| !w.is_empty())
+        .collect();
+    words.iter().enumerate().any(|(k, w)| {
+        *w == "let"
+            && !matches!(
+                k.checked_sub(1).and_then(|p| words.get(p)),
+                Some(&"if") | Some(&"while")
+            )
+    })
+}
+
+/// Check all edges for cycles and documented-order violations.
+pub fn check(all_edges: &[Edge], policy: &Policy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Order violations + undocumented locks.
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    for e in all_edges {
+        names.insert(&e.held);
+        names.insert(&e.acquired);
+        match (policy.lock_rank(&e.held), policy.lock_rank(&e.acquired)) {
+            (Some(a), Some(b)) if a >= b => findings.push(Finding {
+                lint: "lock-order",
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "acquires `{}` while holding `{}`, contrary to the documented order {:?}",
+                    e.acquired, e.held, policy.lock_order
+                ),
+                code: String::new(),
+            }),
+            _ => {}
+        }
+    }
+    for n in names {
+        if policy.lock_rank(n).is_none() {
+            let witness = all_edges
+                .iter()
+                .find(|e| e.held == n || e.acquired == n)
+                .map(|e| (e.file.clone(), e.line));
+            let (file, line) = witness.unwrap_or_default();
+            findings.push(Finding {
+                lint: "lock-order",
+                file,
+                line,
+                message: format!(
+                    "lock `{n}` participates in nesting but is not in `[policy] lock_order`; document it"
+                ),
+                code: String::new(),
+            });
+        }
+    }
+
+    // Cycle detection over the name graph (includes self-edges).
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in all_edges {
+        adj.entry(&e.held).or_default().insert(&e.acquired);
+    }
+    if let Some(cycle) = find_cycle(&adj) {
+        let witness = all_edges
+            .iter()
+            .find(|e| cycle.contains(&e.held) && cycle.contains(&e.acquired))
+            .cloned();
+        let (file, line) = witness.map(|e| (e.file, e.line)).unwrap_or_default();
+        findings.push(Finding {
+            lint: "lock-order",
+            file,
+            line,
+            message: format!(
+                "lock-acquisition cycle (potential deadlock): {}",
+                cycle.join(" -> ")
+            ),
+            code: String::new(),
+        });
+    }
+    findings
+}
+
+fn find_cycle(adj: &BTreeMap<&str, BTreeSet<&str>>) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        marks.insert(node, Mark::Grey);
+        stack.push(node);
+        for &next in adj.get(node).into_iter().flatten() {
+            match marks.get(next).copied().unwrap_or(Mark::White) {
+                Mark::Grey => {
+                    let pos = stack.iter().position(|&n| n == next).unwrap_or(0);
+                    let mut cycle: Vec<String> = stack
+                        .get(pos..)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
+                    cycle.push(next.to_string());
+                    return Some(cycle);
+                }
+                Mark::White => {
+                    if let Some(c) = dfs(next, adj, marks, stack) {
+                        return Some(c);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Black);
+        None
+    }
+    let mut marks = BTreeMap::new();
+    for &node in adj.keys() {
+        if marks.get(node).copied().unwrap_or(Mark::White) == Mark::White {
+            if let Some(c) = dfs(node, adj, &mut marks, &mut Vec::new()) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use std::path::PathBuf;
+
+    fn edges_of(src: &str) -> Vec<Edge> {
+        edges(&PathBuf::from("x.rs"), &scan(src))
+    }
+
+    fn policy(order: &[&str]) -> Policy {
+        Policy {
+            lock_order: order.iter().map(|s| s.to_string()).collect(),
+            allows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn scoped_guard_nesting_yields_edge() {
+        let src = "fn f(&self) { let a = lock(&self.alpha); let b = lock(&self.beta); }";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1, "{e:?}");
+        assert_eq!(
+            e.first().map(|e| (e.held.as_str(), e.acquired.as_str())),
+            Some(("alpha", "beta"))
+        );
+    }
+
+    #[test]
+    fn inner_block_releases_before_next_lock() {
+        let src = "fn f(&self) { let s = { let a = lock(&self.alpha); a.len() }; let b = lock(&self.beta); }";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = "fn f(&self) { lock(&self.alpha).x += 1; let b = lock(&self.beta); }";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_nests_within_its_statement() {
+        let src = "fn f(&self) { lock(&self.alpha).insert(lock(&self.beta).pop()); }";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1, "{e:?}");
+    }
+
+    #[test]
+    fn abba_is_a_cycle() {
+        let a = edges_of("fn f(&self) { let a = lock(&self.alpha); let b = lock(&self.beta); }");
+        let b = edges_of("fn g(&self) { let b = lock(&self.beta); let a = lock(&self.alpha); }");
+        let all: Vec<Edge> = a.into_iter().chain(b).collect();
+        let f = check(&all, &policy(&["alpha", "beta"]));
+        assert!(f.iter().any(|f| f.message.contains("cycle")), "{f:?}");
+    }
+
+    #[test]
+    fn self_edge_is_a_cycle() {
+        let e = edges_of("fn f(&self) { let a = lock(&self.alpha); let b = lock(&self.alpha); }");
+        let f = check(&e, &policy(&["alpha"]));
+        assert!(f.iter().any(|f| f.message.contains("cycle")), "{f:?}");
+    }
+
+    #[test]
+    fn order_violation_without_cycle_is_reported() {
+        let e = edges_of("fn f(&self) { let b = lock(&self.beta); let a = lock(&self.alpha); }");
+        let f = check(&e, &policy(&["alpha", "beta"]));
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("contrary to the documented order")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn undocumented_lock_is_reported() {
+        let e = edges_of("fn f(&self) { let a = lock(&self.alpha); let g = lock(&self.gamma); }");
+        let f = check(&e, &policy(&["alpha"]));
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("not in `[policy] lock_order`")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn clean_order_passes() {
+        let e = edges_of("fn f(&self) { let a = lock(&self.alpha); lock(&self.beta).x += 1; }");
+        let f = check(&e, &policy(&["alpha", "beta"]));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn match_scrutinee_guard_covers_arms_then_dies() {
+        // The scrutinee guard is live inside the arms…
+        let src = "fn f(&self) { match lock(&self.alpha).get() { Some(_) => { lock(&self.beta).x += 1; } None => {} } }";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1, "{e:?}");
+        // …but not past the match statement.
+        let src =
+            "fn f(&self) { match lock(&self.alpha).get() { _ => {} } let b = lock(&self.beta); }";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_is_temporary() {
+        // Live inside the body…
+        let src = "fn f(&self) { if let Some(e) = lock(&self.alpha).get(k) { lock(&self.beta).x += 1; } }";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1, "{e:?}");
+        // …dead after the `if` statement (the verbs.rs `catalog_entry` shape).
+        let src = "fn f(&self) { if let Some(e) = lock(&self.alpha).get(k) { return; } let q = lock(&self.beta); lock(&self.alpha).insert(k); }";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1, "{e:?}");
+        assert_eq!(
+            e.first().map(|e| (e.held.as_str(), e.acquired.as_str())),
+            Some(("beta", "alpha"))
+        );
+    }
+
+    #[test]
+    fn method_lock_calls_are_ignored() {
+        let src = "fn f(&self) { let a = self.m.lock().unwrap(); let b = try_lock(&x); }";
+        assert!(edges_of(src).is_empty());
+    }
+}

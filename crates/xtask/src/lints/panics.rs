@@ -1,0 +1,159 @@
+//! Panic-freedom lint for dataplane crates.
+//!
+//! A fetch path that panics takes a poisoned lock — or a whole supplier
+//! — down with it, so in `crates/transport` and `crates/net` the
+//! panic-capable constructs are denied outside `#[cfg(test)]` code:
+//!
+//! * `.unwrap()` / `.expect(…)` on `Option`/`Result`;
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert!`-free
+//!   (plain `assert` is allowed: invariant checks that fire in tests are
+//!   wanted; the deny list targets *unhandled fallibility*);
+//! * slice/map indexing `x[i]` — which hides a bounds panic — unless the
+//!   expression goes through `.get(…)`.
+//!
+//! Call sites that are genuinely infallible can be exempted in
+//! `allow.toml` with a written justification.
+
+use super::Finding;
+use crate::lexer::{self, ScannedFile};
+use std::path::Path;
+
+/// Substring patterns denied in non-test dataplane code.
+const DENIED: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "`.unwrap()` can panic; handle the error or justify in allow.toml",
+    ),
+    (
+        ".expect(",
+        "`.expect(…)` can panic; handle the error or justify in allow.toml",
+    ),
+    ("panic!", "`panic!` is denied on the dataplane"),
+    (
+        "unreachable!",
+        "`unreachable!` is denied on the dataplane; return an error instead",
+    ),
+    ("todo!", "`todo!` must not ship on the dataplane"),
+    (
+        "unimplemented!",
+        "`unimplemented!` must not ship on the dataplane",
+    ),
+];
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`&mut [u8]`, `return [a, b]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "let", "ref", "in", "as", "return", "match", "if", "else", "move", "dyn", "impl",
+    "where", "box", "static", "const", "break", "use", "pub", "crate", "type", "fn", "vec",
+];
+
+/// Run the panic-freedom lint over one scanned file.
+pub fn check(path: &Path, scanned: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for line in &scanned.lines {
+        if line.in_test {
+            continue;
+        }
+        for (pat, why) in DENIED {
+            if line.code.contains(pat) {
+                findings.push(Finding {
+                    lint: "panic",
+                    file: path.to_path_buf(),
+                    line: line.number,
+                    message: format!("{why} — `{}`", line.raw.trim()),
+                    code: line.code.clone(),
+                });
+            }
+        }
+        for col in index_sites(&line.code) {
+            findings.push(Finding {
+                lint: "panic",
+                file: path.to_path_buf(),
+                line: line.number,
+                message: format!(
+                    "indexing without `.get(…)` can panic on out-of-bounds (col {col}) — `{}`",
+                    line.raw.trim()
+                ),
+                code: line.code.clone(),
+            });
+        }
+    }
+    findings
+}
+
+/// Columns (1-based) of `[` characters that begin an index expression:
+/// the previous non-space char belongs to an identifier or is a closing
+/// `)` / `]`, and the preceding word is not a keyword.
+fn index_sites(code: &str) -> Vec<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        // Attribute `#[…]` and macro `name![…]` forms are not indexing.
+        let mut p = i;
+        while p > 0 && chars[p - 1] == ' ' {
+            p -= 1;
+        }
+        if p == 0 {
+            continue;
+        }
+        let prev = chars[p - 1];
+        let is_index = if prev == ')' || prev == ']' {
+            true
+        } else if lexer::is_ident(prev) {
+            // Walk back over the identifier and reject keywords.
+            let mut s = p - 1;
+            while s > 0 && lexer::is_ident(chars[s - 1]) {
+                s -= 1;
+            }
+            let word: String = chars[s..p].iter().collect();
+            !NON_INDEX_KEYWORDS.contains(&word.as_str())
+                && !word.chars().all(|c| c.is_ascii_digit())
+        } else {
+            false
+        };
+        if is_index {
+            out.push(i + 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&PathBuf::from("x.rs"), &scan(src))
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_outside_tests() {
+        let f = run("fn f() { a.unwrap(); b.expect(\"boom\"); }");
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn ignores_test_code_and_comments() {
+        let f = run("// a.unwrap()\n#[cfg(test)]\nmod t { fn f() { a.unwrap(); panic!(); } }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn flags_indexing_but_not_types_or_macros() {
+        let f = run("fn f(x: &[u8], v: Vec<u8>) -> u8 { let _a: [u8; 2] = [0, 1]; x[0] + v[1] }");
+        assert_eq!(f.len(), 2, "{f:?}");
+        let f = run("fn f() { let v = vec![1]; }\n#[derive(Debug)]\nstruct S;");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_fine() {
+        let f = run("fn f() { m.lock().unwrap_or_else(|e| e.into_inner()); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

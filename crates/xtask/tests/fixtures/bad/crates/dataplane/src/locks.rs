@@ -1,0 +1,36 @@
+//! Fixture: lock-order violations the lint must catch — an ABBA cycle
+//! and an undocumented lock. Scanned, never compiled.
+
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    gamma: Mutex<u32>,
+}
+
+impl S {
+    pub fn forward(&self) -> u32 {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta);
+        *a + *b
+    }
+
+    // Reverse order: with `forward` this is the ABBA deadlock.
+    pub fn backward(&self) -> u32 {
+        let b = lock(&self.beta);
+        let a = lock(&self.alpha);
+        *a + *b
+    }
+
+    // `gamma` participates in nesting but is not documented in the
+    // fixture policy's lock order.
+    pub fn undocumented(&self) -> u32 {
+        let a = lock(&self.alpha);
+        *a + *lock(&self.gamma)
+    }
+}

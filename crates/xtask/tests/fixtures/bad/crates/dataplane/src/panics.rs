@@ -1,0 +1,48 @@
+//! Fixture: every panic-freedom violation the lint must catch. This
+//! file is scanned by the analyzer's tests, never compiled.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn bad_unreachable(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn bad_index(s: &[u8]) -> u8 {
+    s[0]
+}
+
+pub fn bad_slice(s: &[u8]) -> &[u8] {
+    &s[1..3]
+}
+
+// A masked line must NOT count: "x.unwrap()" in a string or comment.
+pub fn masked_mentions() -> &'static str {
+    "x.unwrap() and s[0] in a string are fine"
+}
+
+#[cfg(test)]
+mod tests {
+    // Unwraps inside #[cfg(test)] are exempt.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let s = [1u8, 2];
+        assert_eq!(s[0], 1);
+    }
+}

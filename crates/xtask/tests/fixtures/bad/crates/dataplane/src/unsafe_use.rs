@@ -1,0 +1,6 @@
+//! Fixture: `unsafe` outside verbs.rs/shims — the hygiene fence must
+//! flag it. Scanned, never compiled.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

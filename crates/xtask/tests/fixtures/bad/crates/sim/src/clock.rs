@@ -1,0 +1,32 @@
+//! Fixture: every determinism violation the lint must catch in a
+//! simulated-time crate. Scanned, never compiled.
+
+use std::time::{Duration, Instant};
+
+pub fn wall_elapsed() -> Duration {
+    Instant::now().elapsed()
+}
+
+pub fn wall_clock() -> Duration {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+}
+
+pub fn nap() {
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}
+
+#[cfg(test)]
+mod tests {
+    // Wall clocks are tolerated in tests (e.g. wall-time budgets).
+    #[test]
+    fn timing_a_test_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: the fixed counterpart of `bad/.../locks.rs` — every
+//! acquisition follows the documented order alpha → beta.
+
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    pub fn forward(&self) -> u32 {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta);
+        *a + *b
+    }
+
+    // The former reverse-order path, fixed: the first guard is released
+    // (inner block) before the second lock is taken.
+    pub fn backward(&self) -> u32 {
+        let b = {
+            let g = lock(&self.beta);
+            *g
+        };
+        let a = lock(&self.alpha);
+        *a + b
+    }
+}

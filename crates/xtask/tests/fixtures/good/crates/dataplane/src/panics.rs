@@ -1,0 +1,26 @@
+//! Fixture: the fixed counterpart of `bad/.../panics.rs` — the same
+//! shapes, panic-free. Must produce zero findings.
+
+pub fn good_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn good_expect(v: Option<u32>) -> Result<u32, &'static str> {
+    v.ok_or("absent")
+}
+
+pub fn good_index(s: &[u8]) -> u8 {
+    s.first().copied().unwrap_or(0)
+}
+
+pub fn good_slice(s: &[u8]) -> &[u8] {
+    s.get(1..3).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(Some(1u32).unwrap(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: the fixed counterpart of `bad/.../clock.rs` — simulated
+//! time and seeded randomness only.
+
+/// Simulated clock: time advances only when the simulation says so.
+pub struct SimClock {
+    now_ns: u64,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        SimClock { now_ns: 0 }
+    }
+
+    pub fn advance(&mut self, delta_ns: u64) {
+        self.now_ns = self.now_ns.saturating_add(delta_ns);
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+}
+
+/// Seeded coin flip (stand-in for the workspace's DetRng).
+pub fn coin(seed: &mut u64) -> bool {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (*seed >> 63) == 1
+}

@@ -1,0 +1,626 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The container builds with no access to crates.io, so — like the
+//! `rand`/`proptest` shims — this crate vendors the *API subset* the
+//! workspace uses: [`model`], `loom::thread::{spawn, yield_now}`, and
+//! `loom::sync::{Arc, Mutex, atomic}`. Unlike those shims, a trivial
+//! pass-through would be useless here (the whole point is exploring
+//! interleavings), so this is a real, if bounded, model checker:
+//!
+//! * all managed threads are **serialized** behind a scheduler — exactly
+//!   one runs at a time, and every sync operation (mutex acquire and
+//!   release, every atomic access, spawn, join) is a *decision point*
+//!   where the scheduler picks which runnable thread continues;
+//! * [`model`] re-runs the closure under **depth-first schedule
+//!   exploration**: each execution records how many threads were
+//!   enabled at every decision point, and the next execution flips the
+//!   last choice that has unexplored alternatives — classic DFS over
+//!   the schedule tree, the same exploration loom performs (without
+//!   loom's partial-order reduction, hence the iteration bound);
+//! * a state where no thread is runnable but some are unfinished is
+//!   reported as a **deadlock**, with the schedule that produced it;
+//! * a panic on any managed thread aborts the execution and fails
+//!   [`model`] with the schedule, so assertion failures in any
+//!   interleaving surface as test failures.
+//!
+//! Differences from upstream loom, beyond the missing reduction: atomic
+//! orderings are not weakened (every explored execution is sequentially
+//! consistent), `UnsafeCell`/lazy statics are not modeled, and
+//! exploration stops after `LOOM_MAX_ITERS` schedules (default 4096)
+//! rather than proving exhaustion on unbounded models.
+
+use std::cell::RefCell;
+use std::sync::{Condvar, Mutex as StdMutex};
+
+mod sched {
+    use super::*;
+
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum Status {
+        Runnable,
+        BlockedOnLock(usize),
+        BlockedOnJoin(usize),
+        Finished,
+    }
+
+    pub struct State {
+        pub threads: Vec<Status>,
+        pub current: usize,
+        /// Choice prefix driving this execution.
+        pub schedule: Vec<usize>,
+        /// Choices actually taken.
+        pub taken: Vec<usize>,
+        /// Enabled-thread count at each decision point.
+        pub counts: Vec<usize>,
+        pub step: usize,
+        pub locks: Vec<bool>, // held?
+        pub failure: Option<String>,
+        pub abort: bool,
+    }
+
+    pub struct Sched {
+        pub state: StdMutex<State>,
+        pub cv: Condvar,
+    }
+
+    impl Sched {
+        pub fn new(schedule: Vec<usize>) -> std::sync::Arc<Sched> {
+            std::sync::Arc::new(Sched {
+                state: StdMutex::new(State {
+                    threads: Vec::new(),
+                    current: 0,
+                    schedule,
+                    taken: Vec::new(),
+                    counts: Vec::new(),
+                    step: 0,
+                    locks: Vec::new(),
+                    failure: None,
+                    abort: false,
+                }),
+                cv: Condvar::new(),
+            })
+        }
+
+        pub fn st(&self) -> std::sync::MutexGuard<'_, State> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn register_thread(&self) -> usize {
+            let mut st = self.st();
+            st.threads.push(Status::Runnable);
+            st.threads.len() - 1
+        }
+
+        pub fn alloc_lock(&self) -> usize {
+            let mut st = self.st();
+            st.locks.push(false);
+            st.locks.len() - 1
+        }
+
+        /// Pick the next thread to run among the runnable ones,
+        /// following (and recording) the exploration schedule. Flags a
+        /// deadlock when nothing is runnable but threads remain.
+        fn pick_next(&self, st: &mut State) {
+            let enabled: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == Status::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if enabled.is_empty() {
+                if st.threads.iter().any(|s| *s != Status::Finished) {
+                    let blocked: Vec<String> = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| **s != Status::Finished)
+                        .map(|(i, s)| format!("thread {i}: {s:?}"))
+                        .collect();
+                    st.failure = Some(format!(
+                        "deadlock: no runnable thread ({}) under schedule {:?}",
+                        blocked.join(", "),
+                        st.taken
+                    ));
+                    st.abort = true;
+                }
+                return;
+            }
+            let step = st.step;
+            let choice = st.schedule.get(step).copied().unwrap_or(0) % enabled.len();
+            st.counts.push(enabled.len());
+            st.taken.push(choice);
+            st.step += 1;
+            st.current = enabled[choice];
+        }
+
+        /// A decision point for a runnable thread: reschedule, then wait
+        /// until this thread is chosen again.
+        pub fn yield_point(&self, me: usize) {
+            let mut st = self.st();
+            if !st.abort {
+                self.pick_next(&mut st);
+            }
+            self.cv.notify_all();
+            while !st.abort && st.current != me {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let abort = st.abort;
+            drop(st);
+            // A guard dropped during unwinding lands here with the abort
+            // flag set; panicking again would be a fatal double panic,
+            // so only the first (non-unwinding) panic escalates.
+            if abort && !std::thread::panicking() {
+                panic!("loom: execution aborted (sibling thread failed or deadlock)");
+            }
+        }
+
+        /// Block `me` with `status`, hand the CPU to someone else, and
+        /// wait until `me` is runnable *and* scheduled again.
+        pub fn block_and_wait(&self, me: usize, status: Status) {
+            let mut st = self.st();
+            st.threads[me] = status;
+            if !st.abort {
+                self.pick_next(&mut st);
+            }
+            self.cv.notify_all();
+            while !(st.abort || st.threads[me] == Status::Runnable && st.current == me) {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let abort = st.abort;
+            drop(st);
+            if abort && !std::thread::panicking() {
+                panic!("loom: execution aborted (sibling thread failed or deadlock)");
+            }
+        }
+
+        pub fn lock_acquire(&self, me: usize, lock: usize) {
+            loop {
+                self.yield_point(me);
+                let mut st = self.st();
+                if !st.locks[lock] {
+                    st.locks[lock] = true;
+                    return;
+                }
+                drop(st);
+                self.block_and_wait(me, Status::BlockedOnLock(lock));
+            }
+        }
+
+        pub fn lock_release(&self, me: usize, lock: usize) {
+            {
+                let mut st = self.st();
+                st.locks[lock] = false;
+                for s in st.threads.iter_mut() {
+                    if *s == Status::BlockedOnLock(lock) {
+                        *s = Status::Runnable;
+                    }
+                }
+            }
+            self.yield_point(me);
+        }
+
+        pub fn join_wait(&self, me: usize, target: usize) {
+            loop {
+                {
+                    let st = self.st();
+                    if st.threads[target] == Status::Finished {
+                        break;
+                    }
+                }
+                self.block_and_wait(me, Status::BlockedOnJoin(target));
+            }
+        }
+
+        /// Mark `me` finished (normally or by panic), wake joiners, and
+        /// schedule whoever is next.
+        pub fn finish(&self, me: usize, panicked: bool) {
+            let mut st = self.st();
+            st.threads[me] = Status::Finished;
+            for s in st.threads.iter_mut() {
+                if *s == Status::BlockedOnJoin(me) {
+                    *s = Status::Runnable;
+                }
+            }
+            if panicked && st.failure.is_none() {
+                st.failure = Some(format!(
+                    "a model thread panicked under schedule {:?}",
+                    st.taken
+                ));
+                st.abort = true;
+            }
+            if st.threads.iter().any(|s| *s != Status::Finished) && !st.abort {
+                self.pick_next(&mut st);
+            }
+            self.cv.notify_all();
+        }
+    }
+}
+
+use sched::{Sched, Status};
+
+thread_local! {
+    static CURRENT: RefCell<Option<(std::sync::Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (std::sync::Arc<Sched>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitive used outside loom::model")
+    })
+}
+
+/// Ends a managed thread even when its body panics.
+struct FinishGuard {
+    sched: std::sync::Arc<Sched>,
+    tid: usize,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.sched.finish(self.tid, std::thread::panicking());
+    }
+}
+
+/// Explore the interleavings of `f`. Panics (failing the enclosing
+/// test) if any explored schedule deadlocks or panics.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = std::sync::Arc::new(f);
+    let max_iters: usize = std::env::var("LOOM_MAX_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096);
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        let sched = Sched::new(schedule.clone());
+        let root_sched = std::sync::Arc::clone(&sched);
+        let root_f = std::sync::Arc::clone(&f);
+        let tid = sched.register_thread();
+        debug_assert_eq!(tid, 0);
+        let root = std::thread::spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((std::sync::Arc::clone(&root_sched), 0)));
+            let _guard = FinishGuard {
+                sched: root_sched,
+                tid: 0,
+            };
+            root_f();
+        });
+        // Wait until every managed thread has finished.
+        {
+            let mut st = sched.st();
+            while st.threads.iter().any(|s| *s != Status::Finished) && !st.abort {
+                st = sched.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let _ = root.join();
+        let (taken, counts, failure) = {
+            let st = sched.st();
+            (st.taken.clone(), st.counts.clone(), st.failure.clone())
+        };
+        if let Some(msg) = failure {
+            panic!("loom: {msg} (iteration {iters})");
+        }
+        // DFS: advance the last choice that still has alternatives.
+        let mut next = taken;
+        loop {
+            match next.last().copied() {
+                None => {
+                    return; // fully explored
+                }
+                Some(last) => {
+                    let idx = next.len() - 1;
+                    if last + 1 < counts.get(idx).copied().unwrap_or(1) {
+                        if let Some(slot) = next.last_mut() {
+                            *slot = last + 1;
+                        }
+                        break;
+                    }
+                    next.pop();
+                }
+            }
+        }
+        if iters >= max_iters {
+            eprintln!(
+                "loom: stopping after {iters} schedules (LOOM_MAX_ITERS); exploration incomplete"
+            );
+            return;
+        }
+        schedule = next;
+    }
+}
+
+/// `loom::thread` — managed thread spawn/join.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a managed thread.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: std::sync::Arc<StdMutex<Option<T>>>,
+        real: std::thread::JoinHandle<()>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish and return its value.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (sched, me) = current();
+            sched.join_wait(me, self.tid);
+            let _ = self.real.join();
+            match self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                Some(v) => Ok(v),
+                None => Err(Box::new("loom: joined thread panicked")),
+            }
+        }
+    }
+
+    /// Spawn a managed thread; it runs only when the scheduler picks it.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, me) = current();
+        let tid = sched.register_thread();
+        let result = std::sync::Arc::new(StdMutex::new(None));
+        let slot = std::sync::Arc::clone(&result);
+        let child_sched = std::sync::Arc::clone(&sched);
+        let real = std::thread::spawn(move || {
+            CURRENT.with(|c| {
+                *c.borrow_mut() = Some((std::sync::Arc::clone(&child_sched), tid));
+            });
+            let guard = FinishGuard {
+                sched: std::sync::Arc::clone(&child_sched),
+                tid,
+            };
+            // Run only once first scheduled.
+            {
+                let mut st = child_sched.st();
+                while !st.abort && st.current != tid {
+                    st = child_sched.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                if st.abort {
+                    drop(st);
+                    drop(guard);
+                    return;
+                }
+            }
+            let v = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            drop(guard);
+        });
+        // Spawning is itself a decision point: the child may or may not
+        // run before the parent's next step.
+        sched.yield_point(me);
+        JoinHandle { tid, result, real }
+    }
+
+    /// A pure decision point.
+    pub fn yield_now() {
+        let (sched, me) = current();
+        sched.yield_point(me);
+    }
+}
+
+/// `loom::sync` — the modeled synchronization primitives.
+pub mod sync {
+    use super::*;
+    pub use std::sync::Arc;
+
+    /// A mutex whose acquire/release are scheduler decision points.
+    pub struct Mutex<T> {
+        id: std::sync::OnceLock<usize>,
+        inner: StdMutex<T>,
+    }
+
+    /// Guard mirroring `std::sync::MutexGuard`.
+    pub struct MutexGuard<'a, T> {
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        lock: &'a Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// A new unlocked mutex.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                id: std::sync::OnceLock::new(),
+                inner: StdMutex::new(value),
+            }
+        }
+
+        fn id(&self) -> usize {
+            *self.id.get_or_init(|| current().0.alloc_lock())
+        }
+
+        /// Acquire, exploring interleavings at the acquisition point.
+        /// Always `Ok` (poisoning cannot happen: a panicking thread
+        /// aborts the whole execution).
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            let (sched, me) = current();
+            let id = self.id();
+            sched.lock_acquire(me, id);
+            let inner = self
+                .inner
+                .try_lock()
+                .unwrap_or_else(|_| panic!("loom: scheduler granted a held mutex"));
+            Ok(MutexGuard {
+                inner: Some(inner),
+                lock: self,
+            })
+        }
+    }
+
+    impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard accessed after drop")
+        }
+    }
+
+    impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard accessed after drop")
+        }
+    }
+
+    impl<'a, T> Drop for MutexGuard<'a, T> {
+        fn drop(&mut self) {
+            // Release the data before the scheduler slot so the next
+            // holder's `try_lock` cannot observe it still taken.
+            self.inner.take();
+            let (sched, me) = current();
+            sched.lock_release(me, self.lock.id());
+        }
+    }
+
+    /// Scheduler-instrumented atomics. Every access is a decision
+    /// point; all explored executions are sequentially consistent.
+    pub mod atomic {
+        use super::super::current;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_shim {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Modeled atomic: each access is a scheduling point.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// A new atomic with `v` as initial value.
+                    pub fn new(v: $val) -> Self {
+                        Self {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    fn point() {
+                        let (sched, me) = current();
+                        sched.yield_point(me);
+                    }
+
+                    /// Load (decision point).
+                    pub fn load(&self, o: Ordering) -> $val {
+                        Self::point();
+                        self.inner.load(o)
+                    }
+
+                    /// Store (decision point).
+                    pub fn store(&self, v: $val, o: Ordering) {
+                        Self::point();
+                        self.inner.store(v, o)
+                    }
+
+                    /// Swap (decision point).
+                    pub fn swap(&self, v: $val, o: Ordering) -> $val {
+                        Self::point();
+                        self.inner.swap(v, o)
+                    }
+                }
+            };
+        }
+
+        atomic_shim!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        atomic_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        impl AtomicU64 {
+            /// Fetch-add (decision point).
+            pub fn fetch_add(&self, v: u64, o: Ordering) -> u64 {
+                Self::point();
+                self.inner.fetch_add(v, o)
+            }
+        }
+
+        impl AtomicUsize {
+            /// Fetch-add (decision point).
+            pub fn fetch_add(&self, v: usize, o: Ordering) -> usize {
+                Self::point();
+                self.inner.fetch_add(v, o)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+
+    #[test]
+    fn mutex_counter_is_atomic_in_every_interleaving() {
+        super::model(|| {
+            let counter = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    super::thread::spawn(move || {
+                        let mut g = c.lock().unwrap_or_else(|e| e.into_inner());
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock().unwrap_or_else(|e| e.into_inner()), 2);
+        });
+    }
+
+    #[test]
+    fn explores_more_than_one_schedule() {
+        let runs = std::sync::Arc::new(StdAtomicUsize::new(0));
+        let r = std::sync::Arc::clone(&runs);
+        super::model(move || {
+            r.fetch_add(1, StdOrdering::Relaxed);
+            let flag = Arc::new(AtomicUsize::new(0));
+            let f2 = Arc::clone(&flag);
+            let h = super::thread::spawn(move || f2.store(1, Ordering::SeqCst));
+            let _saw = flag.load(Ordering::SeqCst); // may be 0 or 1
+            h.join().unwrap();
+        });
+        assert!(
+            runs.load(StdOrdering::Relaxed) > 1,
+            "expected multiple interleavings, got {}",
+            runs.load(StdOrdering::Relaxed)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn abba_deadlock_is_found() {
+        super::model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = super::thread::spawn(move || {
+                let _ga = a2.lock().unwrap_or_else(|e| e.into_inner());
+                let _gb = b2.lock().unwrap_or_else(|e| e.into_inner());
+            });
+            let _gb = b.lock().unwrap_or_else(|e| e.into_inner());
+            let _ga = a.lock().unwrap_or_else(|e| e.into_inner());
+            drop((_gb, _ga));
+            let _ = h.join();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn assertion_failures_propagate() {
+        super::model(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v2 = Arc::clone(&v);
+            let h = super::thread::spawn(move || v2.store(1, Ordering::SeqCst));
+            // Wrong in the schedule where the child runs first.
+            assert_eq!(v.load(Ordering::SeqCst), 0);
+            h.join().unwrap();
+        });
+    }
+}
