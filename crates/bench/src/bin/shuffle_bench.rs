@@ -1,0 +1,295 @@
+//! Dataplane shuffle benchmark: serial vs pipelined over real loopback
+//! TCP, with a synthetic disk delay that makes the disk/network overlap
+//! measurable (the Fig. 4 → Fig. 5 transition as a number).
+//!
+//! * **serial** — servers stage read-aheads inline on the connection
+//!   thread (`prefetch: false`) and the client issues one blocking
+//!   chunk round-trip at a time, one segment after another: disk and
+//!   network time strictly add.
+//! * **pipelined** — servers run the dedicated disk prefetch thread and
+//!   the client keeps a bounded window of requests in flight per
+//!   supplier, injected round-robin across segments (`fetch_all`).
+//!
+//! Both modes move byte-identical data through fresh stores and
+//! servers, so the only variable is the scheduling discipline. Results
+//! go to `BENCH_shuffle.json` (override with `--out`); `--smoke` runs a
+//! seconds-scale configuration for CI.
+
+use jbs_des::DetRng;
+use jbs_transport::client::SegmentRef;
+use jbs_transport::{ClientConfig, MofStore, MofSupplierServer, NetMergerClient, ServerOptions};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// One benchmark scenario.
+struct Scenario {
+    /// Supplier ("node") count; one server + one disk thread each.
+    nodes: usize,
+    /// MOFs per supplier (distinct map outputs on that node).
+    mofs_per_node: usize,
+    /// Reducers (partitions per MOF).
+    reducers: usize,
+    /// Records per MOF (split across reducers by hash).
+    records_per_mof: usize,
+    /// Transport buffer on both ends.
+    buffer_bytes: u64,
+    /// Server read-ahead batch, in buffers; kept below a segment so the
+    /// async run-ahead path participates, not just the first-touch miss.
+    prefetch_batch: u64,
+    /// Client pipelining window per supplier connection.
+    window: usize,
+    /// Synthetic latency charged to every read-ahead batch.
+    disk_delay: Duration,
+    /// Timed repetitions (after one warm-up-free cold run each).
+    runs: usize,
+}
+
+impl Scenario {
+    fn full() -> Self {
+        Scenario {
+            nodes: 3,
+            mofs_per_node: 4,
+            reducers: 4,
+            records_per_mof: 12_000,
+            buffer_bytes: 32 << 10,
+            prefetch_batch: 4,
+            window: 8,
+            disk_delay: Duration::from_millis(2),
+            runs: 3,
+        }
+    }
+
+    fn smoke() -> Self {
+        Scenario {
+            nodes: 2,
+            mofs_per_node: 2,
+            reducers: 2,
+            records_per_mof: 3_000,
+            buffer_bytes: 16 << 10,
+            prefetch_batch: 4,
+            window: 8,
+            disk_delay: Duration::from_millis(2),
+            runs: 1,
+        }
+    }
+}
+
+/// Measured result of one mode.
+struct Measured {
+    /// Payload bytes moved per timed run.
+    bytes: u64,
+    /// Mean wall-clock seconds per run.
+    secs: f64,
+    /// Throughput in MiB/s derived from the two above.
+    mib_per_sec: f64,
+    /// Checksum of all payloads, to pin byte-identity across modes.
+    checksum: u64,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_shuffle.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag {other}; usage: shuffle_bench [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let sc = if smoke {
+        Scenario::smoke()
+    } else {
+        Scenario::full()
+    };
+
+    println!(
+        "shuffle_bench: {} nodes x {} MOFs x {} reducers, {} records/MOF, \
+         {} KB buffers, window {}, disk delay {} ms, {} run(s)",
+        sc.nodes,
+        sc.mofs_per_node,
+        sc.reducers,
+        sc.records_per_mof,
+        sc.buffer_bytes >> 10,
+        sc.window,
+        sc.disk_delay.as_millis(),
+        sc.runs
+    );
+
+    let serial = run_mode(&sc, false);
+    println!(
+        "  serial:    {:>8.1} MiB/s  ({:.3} s, {} bytes)",
+        serial.mib_per_sec, serial.secs, serial.bytes
+    );
+    let pipelined = run_mode(&sc, true);
+    println!(
+        "  pipelined: {:>8.1} MiB/s  ({:.3} s, {} bytes)",
+        pipelined.mib_per_sec, pipelined.secs, pipelined.bytes
+    );
+
+    assert_eq!(
+        serial.checksum, pipelined.checksum,
+        "modes must move byte-identical data"
+    );
+    let speedup = pipelined.mib_per_sec / serial.mib_per_sec;
+    println!("  speedup:   {speedup:.2}x");
+
+    let json = render_json(&sc, smoke, &serial, &pipelined, speedup);
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    println!("  wrote {out}");
+}
+
+/// Shuffle every reducer's segments through fresh suppliers once per
+/// timed run (fresh, so every run pays the full cold disk schedule —
+/// the thing the two modes order differently), and return the mean
+/// throughput over the fetch loops alone.
+fn run_mode(sc: &Scenario, pipelined: bool) -> Measured {
+    let mut bytes = 0u64;
+    let mut checksum = 0u64;
+    let mut total = Duration::ZERO;
+    for run in 0..sc.runs {
+        let mut servers = Vec::new();
+        for node in 0..sc.nodes {
+            let mut store = MofStore::temp().expect("store");
+            for m in 0..sc.mofs_per_node {
+                let mof = (node * sc.mofs_per_node + m) as u64;
+                let records = synth_records(mof, sc.records_per_mof);
+                let parts = sc.reducers;
+                store
+                    .write_mof(mof, records, parts, |k| {
+                        k.first().copied().unwrap_or(0) as usize % parts
+                    })
+                    .expect("write mof");
+            }
+            let options = ServerOptions {
+                buffer_bytes: sc.buffer_bytes,
+                prefetch_batch: sc.prefetch_batch,
+                prefetch: pipelined,
+                synthetic_disk_delay: sc.disk_delay,
+                faults: None,
+            };
+            servers.push(MofSupplierServer::start_with_options(store, options).expect("server"));
+        }
+
+        // One segment list per reducer: that reducer's partition of
+        // every MOF on every node — the all-to-all a ReduceTask does.
+        let per_reducer: Vec<Vec<SegmentRef>> = (0..sc.reducers as u32)
+            .map(|r| {
+                servers
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(node, s)| {
+                        (0..sc.mofs_per_node).map(move |m| SegmentRef {
+                            addr: s.addr(),
+                            mof: (node * sc.mofs_per_node + m) as u64,
+                            reducer: r,
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let client = NetMergerClient::with_client_config(ClientConfig {
+            buffer_bytes: sc.buffer_bytes,
+            window: sc.window,
+            ..ClientConfig::default()
+        });
+
+        let start = Instant::now();
+        let mut run_bytes = 0u64;
+        let mut run_sum = 0u64;
+        for segs in &per_reducer {
+            let payloads = if pipelined {
+                client.fetch_all(segs).expect("pipelined fetch")
+            } else {
+                // The Fig. 4 pathology: one blocking chunk round-trip
+                // at a time, one segment after another — every disk
+                // delay and every network exchange on one timeline.
+                segs.iter()
+                    .map(|&s| client.fetch_segment(s).expect("serial fetch"))
+                    .collect()
+            };
+            for p in payloads {
+                run_bytes += p.len() as u64;
+                run_sum = run_sum.wrapping_add(fnv1a(&p));
+            }
+        }
+        total += start.elapsed();
+        if run == 0 {
+            bytes = run_bytes;
+            checksum = run_sum;
+        } else {
+            assert_eq!(bytes, run_bytes, "runs must move identical bytes");
+        }
+        for s in servers {
+            s.shutdown();
+        }
+    }
+    let secs = total.as_secs_f64() / sc.runs as f64;
+    Measured {
+        bytes,
+        secs,
+        mib_per_sec: bytes as f64 / (1 << 20) as f64 / secs,
+        checksum,
+    }
+}
+
+/// Deterministic per-MOF records: 10-byte random keys, 90-byte values.
+fn synth_records(mof: u64, n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut rng = DetRng::new(0x5348_5546 ^ mof);
+    (0..n)
+        .map(|_| {
+            let mut k = vec![0u8; 10];
+            rng.fill_bytes(&mut k);
+            (k, vec![0xA5; 90])
+        })
+        .collect()
+}
+
+/// FNV-1a over a payload, for the cross-mode byte-identity check.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde).
+fn render_json(
+    sc: &Scenario,
+    smoke: bool,
+    serial: &Measured,
+    pipelined: &Measured,
+    speedup: f64,
+) -> String {
+    let mode = |m: &Measured| {
+        format!(
+            "{{ \"bytes\": {}, \"secs\": {:.6}, \"mib_per_sec\": {:.2} }}",
+            m.bytes, m.secs, m.mib_per_sec
+        )
+    };
+    format!(
+        "{{\n  \"bench\": \"shuffle_dataplane\",\n  \"smoke\": {smoke},\n  \"config\": {{\n    \
+         \"nodes\": {},\n    \"mofs_per_node\": {},\n    \"reducers\": {},\n    \
+         \"records_per_mof\": {},\n    \"buffer_bytes\": {},\n    \"prefetch_batch\": {},\n    \"window\": {},\n    \
+         \"disk_delay_ms\": {},\n    \"runs\": {}\n  }},\n  \"serial\": {},\n  \
+         \"pipelined\": {},\n  \"speedup\": {speedup:.2}\n}}\n",
+        sc.nodes,
+        sc.mofs_per_node,
+        sc.reducers,
+        sc.records_per_mof,
+        sc.buffer_bytes,
+        sc.prefetch_batch,
+        sc.window,
+        sc.disk_delay.as_millis(),
+        sc.runs,
+        mode(serial),
+        mode(pipelined),
+    )
+}

@@ -1,0 +1,211 @@
+//! A reusable byte-buffer pool for the dataplane hot path.
+//!
+//! Every chunk served by the supplier used to allocate a fresh `Vec<u8>`
+//! (copy out of the staged range, hand to the frame writer, drop). At
+//! 128 KB per chunk and thousands of chunks per shuffle that is real
+//! allocator pressure on the serving threads. [`BufPool`] recycles those
+//! vectors: a bounded free list of cleared buffers, LIFO so the hottest
+//! (cache-warm, fully grown) buffer is reused first.
+//!
+//! Correctness over cleverness: a buffer is **cleared before it is
+//! pooled**, so `get` can never observe a previous payload's bytes —
+//! the recycle-after-send race is modeled under loom below.
+//!
+//! Locking: the single `bufs` mutex is held only to pop or push one
+//! `Vec` — never across I/O, staging, or another lock. In the documented
+//! order it sits after `staged` (the serve path hits the stage cache and
+//! then recycles buffers) and before `stats`.
+
+use crate::sync::{lock, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing pool effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufPoolStats {
+    /// `get` calls served from the free list.
+    pub hits: u64,
+    /// `get` calls that had to allocate.
+    pub misses: u64,
+    /// Buffers accepted back into the pool.
+    pub returns: u64,
+    /// Buffers dropped because the pool was full (or not worth keeping).
+    pub dropped: u64,
+}
+
+impl BufPoolStats {
+    /// Fraction of `get` calls served without allocating, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded LIFO free list of cleared `Vec<u8>` buffers.
+pub(crate) struct BufPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl BufPool {
+    /// A pool holding at most `cap` idle buffers.
+    pub(crate) fn new(cap: usize) -> Self {
+        BufPool {
+            bufs: Mutex::new(Vec::new()),
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            returns: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty buffer — recycled if one is pooled, freshly allocated
+    /// otherwise. The returned buffer is always empty (never stale).
+    pub(crate) fn get(&self) -> Vec<u8> {
+        let recycled = lock(&self.bufs).pop();
+        match recycled {
+            Some(buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(buf.is_empty());
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a buffer to the pool. Cleared here — before it becomes
+    /// visible to any `get` — so pooled bytes can never leak across
+    /// uses. Buffers that never grew carry no capacity worth keeping.
+    pub(crate) fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut bufs = lock(&self.bufs);
+        if bufs.len() < self.cap {
+            bufs.push(buf);
+            drop(bufs);
+            self.returns.fetch_add(1, Ordering::Relaxed);
+        } else {
+            drop(bufs);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy out the counters.
+    pub(crate) fn stats(&self) -> BufPoolStats {
+        BufPoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bounded model checks of the pool. Build and run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p jbs-transport --lib loom_`.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// The recycle-after-send race: one thread returns a buffer still
+    /// holding a just-sent payload while another gets a buffer for the
+    /// next response. In every interleaving the getter sees an *empty*
+    /// buffer — recycled or fresh, never one with stale payload bytes.
+    #[test]
+    fn loom_recycled_buffer_is_never_stale() {
+        loom::model(|| {
+            let pool = Arc::new(BufPool::new(4));
+            let p2 = Arc::clone(&pool);
+            let h = loom::thread::spawn(move || {
+                p2.put(vec![0xDE, 0xAD, 0xBE, 0xEF]);
+            });
+            let got = pool.get();
+            assert!(got.is_empty(), "stale bytes leaked: {got:?}");
+            if h.join().is_err() {
+                panic!("returner panicked");
+            }
+            // After both, the returned buffer (if not handed out above)
+            // is pooled and still empty.
+            assert!(pool.get().is_empty());
+        });
+    }
+
+    /// One pooled buffer, two concurrent getters: the free-listed buffer
+    /// is handed out at most once (no double handout), and every get is
+    /// accounted as exactly one hit or miss.
+    #[test]
+    fn loom_no_double_handout() {
+        loom::model(|| {
+            let pool = Arc::new(BufPool::new(4));
+            pool.put(vec![1, 2, 3]); // one recycled buffer with capacity
+            let p2 = Arc::clone(&pool);
+            let h = loom::thread::spawn(move || p2.get());
+            let a = pool.get();
+            let b = match h.join() {
+                Ok(b) => b,
+                Err(_) => panic!("getter panicked"),
+            };
+            let s = pool.stats();
+            assert_eq!(s.hits + s.misses, 2);
+            assert!(s.hits <= 1, "one pooled buffer handed out twice");
+            // Exactly one of the two gets can carry recycled capacity.
+            assert!(a.capacity() == 0 || b.capacity() == 0);
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_recycles_capacity() {
+        let pool = BufPool::new(2);
+        let mut buf = pool.get();
+        assert_eq!(pool.stats().misses, 1);
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = buf.capacity();
+        pool.put(buf);
+        let again = pool.get();
+        assert!(again.is_empty(), "recycled buffer must be cleared");
+        assert_eq!(again.capacity(), cap, "capacity survives recycling");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.returns), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = BufPool::new(1);
+        pool.put(Vec::with_capacity(8));
+        pool.put(Vec::with_capacity(8)); // over cap: dropped
+        let s = pool.stats();
+        assert_eq!(s.returns, 1);
+        assert_eq!(s.dropped, 1);
+    }
+
+    #[test]
+    fn capacityless_buffers_are_not_pooled() {
+        let pool = BufPool::new(4);
+        pool.put(Vec::new());
+        assert_eq!(pool.stats().returns, 0);
+        assert_eq!(pool.stats().dropped, 1);
+        assert_eq!(pool.get().capacity(), 0);
+        assert_eq!(pool.stats().misses, 1);
+    }
+}

@@ -1,24 +1,33 @@
 //! The NetMerger client: consolidated fetching plus network-levitated
 //! merge, over real sockets.
 //!
-//! One client serves all reducers of a "node". Connections are cached per
-//! supplier address and torn down LRU beyond a cap (Sec. IV-A's
-//! 512-connection policy, configurable here). Segment fetches from many
-//! suppliers run concurrently, in transport-buffer-sized chunks; fetched
-//! segments are k-way merged ([`jbs_mapred::merge`]) into the sorted
-//! stream a reduce function consumes.
+//! One client serves all reducers of a "node". Two fetch paths coexist:
 //!
-//! Every fetch is covered by the recovery machinery: per-request
-//! read/write deadlines, a [`RetryPolicy`] with deterministic backoff
-//! jitter, eviction + re-dial of failed connections, and — because
-//! retry operates per chunk — **resume at the received offset**: a
-//! segment interrupted at byte `o` continues from `o` on the fresh
-//! connection instead of refetching `[0, o)`. [`FetchStats`] counts all
-//! of it.
+//! * the **serial path** (`fetch_segment`, `fetch_chunk`) is strict
+//!   lockstep — one request, wait, one response — over connections
+//!   cached per supplier address and torn down LRU beyond a cap
+//!   (Sec. IV-A's 512-connection policy, configurable here);
+//! * the **pipelined path** (`fetch_all`, `levitated_merge`) hands ops
+//!   to the background [`crate::sched::FetchScheduler`]: per-supplier
+//!   worker threads keep a bounded window of requests in flight per
+//!   connection, injected round-robin across segments, so the
+//!   supplier's disk prefetch for chunk `k+1` overlaps the network
+//!   transmission of chunk `k` end-to-end. Completions stream back over
+//!   channels and are consumed as they land.
+//!
+//! Every fetch on either path is covered by the recovery machinery:
+//! per-request read/write deadlines, a [`RetryPolicy`] with
+//! deterministic backoff jitter, eviction + re-dial of failed
+//! connections, and — because retry operates per chunk — **resume at
+//! the received offset**: a segment interrupted at byte `o` continues
+//! from `o` on the fresh connection instead of refetching `[0, o)`.
+//! [`FetchStats`] counts all of it, including the pipeline gauges
+//! (queue depth, window occupancy, speculation discards).
 
 use crate::error::{Result, TransportError};
 use crate::faults::{self, FaultAction, FaultPlan, Hook};
 use crate::retry::RetryPolicy;
+use crate::sched::{FetchDone, FetchOp, FetchScheduler};
 use crate::slot::{SlotEvent, SlotMap};
 use crate::stats::{FetchStats, FetchStatsSnapshot};
 use crate::sync::{lock, Mutex};
@@ -27,9 +36,10 @@ use jbs_des::DetRng;
 use jbs_mapred::levitate::{RecordParser, RecordStream, StreamingMerge};
 use jbs_mapred::merge::{KWayMerge, Record};
 use jbs_mapred::mof::SegmentReader;
+use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 /// A fetch target: which segment on which supplier.
@@ -63,6 +73,10 @@ pub struct ClientConfig {
     pub buffer_bytes: u64,
     /// Connection-cache cap; the paper uses 512.
     pub max_connections: usize,
+    /// Pipelining depth: requests kept in flight per supplier
+    /// connection, and ops admitted concurrently per supplier worker.
+    /// `1` degenerates to lockstep.
+    pub window: usize,
     /// Retry budget and backoff shape for transient failures.
     pub retry: RetryPolicy,
     /// Deadline for establishing a connection.
@@ -71,7 +85,7 @@ pub struct ClientConfig {
     pub read_timeout: Duration,
     /// Per-request write deadline.
     pub write_timeout: Duration,
-    /// Seed for the backoff-jitter rng stream.
+    /// Seed for the backoff-jitter rng streams.
     pub retry_seed: u64,
     /// Optional fault-injection plan (tests only; `None` in production).
     pub faults: Option<Arc<FaultPlan>>,
@@ -82,6 +96,7 @@ impl Default for ClientConfig {
         ClientConfig {
             buffer_bytes: 128 << 10,
             max_connections: 512,
+            window: 8,
             retry: RetryPolicy::default(),
             connect_timeout: Duration::from_secs(2),
             read_timeout: Duration::from_secs(5),
@@ -92,20 +107,103 @@ impl Default for ClientConfig {
     }
 }
 
-struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+pub(crate) struct Conn {
+    pub(crate) reader: BufReader<TcpStream>,
+    pub(crate) writer: TcpStream,
 }
 
-/// The NetMerger. Connection caching — consolidation per supplier, LRU
-/// eviction beyond the cap — lives in [`SlotMap`], where the `cfg(loom)`
-/// models exercise it.
+/// State shared between the client facade and the scheduler's worker
+/// threads.
+pub(crate) struct ClientShared {
+    pub(crate) stats: Mutex<ClientStats>,
+    pub(crate) fetch_stats: FetchStats,
+    pub(crate) config: ClientConfig,
+}
+
+/// Dial a supplier with the configured deadlines (and fault hooks).
+/// Used by both the serial path's connection cache and the scheduler's
+/// per-peer workers.
+pub(crate) fn dial(addr: SocketAddr, config: &ClientConfig) -> Result<Conn> {
+    match faults::decide(&config.faults, Hook::ClientConnect) {
+        FaultAction::RefuseConnect => {
+            return Err(TransportError::Connect {
+                target: addr.to_string(),
+                source: io::Error::new(io::ErrorKind::ConnectionRefused, "injected refusal"),
+            });
+        }
+        FaultAction::Stall(d) => std::thread::sleep(d),
+        _ => {}
+    }
+    let stream = TcpStream::connect_timeout(&addr, config.connect_timeout).map_err(|e| {
+        TransportError::Connect {
+            target: addr.to_string(),
+            source: e,
+        }
+    })?;
+    let setup = |e| TransportError::Io {
+        during: "socket setup",
+        source: e,
+    };
+    stream.set_nodelay(true).map_err(setup)?;
+    stream
+        .set_read_timeout(Some(config.read_timeout))
+        .map_err(setup)?;
+    stream
+        .set_write_timeout(Some(config.write_timeout))
+        .map_err(setup)?;
+    let reader = BufReader::new(stream.try_clone().map_err(setup)?);
+    Ok(Conn {
+        reader,
+        writer: stream,
+    })
+}
+
+/// Bump the per-kind failure counter for a failed attempt.
+pub(crate) fn record_failure(fetch: &FetchStats, e: &TransportError) {
+    match e {
+        TransportError::Timeout { .. } => fetch.record_timeout(),
+        TransportError::Reset { .. } => fetch.record_reset(),
+        TransportError::Corrupt { .. } => fetch.record_corrupt_frame(),
+        TransportError::Connect { .. } => fetch.record_connect_failure(),
+        _ => {}
+    }
+}
+
+/// Round-robin the indices of `segs` across supplier addresses (in
+/// order of first appearance): the paper's balanced injection. Ops
+/// spread evenly into every peer queue from the start, so all supplier
+/// pipelines spin up together instead of being loaded in input order.
+fn balanced_order(segs: &[SegmentRef]) -> Vec<usize> {
+    let mut groups: Vec<(SocketAddr, VecDeque<usize>)> = Vec::new();
+    for (i, s) in segs.iter().enumerate() {
+        match groups.iter_mut().find(|(a, _)| *a == s.addr) {
+            Some((_, q)) => q.push_back(i),
+            None => groups.push((s.addr, VecDeque::from([i]))),
+        }
+    }
+    let mut order = Vec::with_capacity(segs.len());
+    let mut more = true;
+    while more {
+        more = false;
+        for (_, q) in &mut groups {
+            if let Some(i) = q.pop_front() {
+                order.push(i);
+                more = true;
+            }
+        }
+    }
+    order
+}
+
+/// The NetMerger. Connection caching for the serial path —
+/// consolidation per supplier, LRU eviction beyond the cap — lives in
+/// [`SlotMap`], where the `cfg(loom)` models exercise it; the pipelined
+/// path's per-supplier workers live in [`FetchScheduler`].
 pub struct NetMergerClient {
     conns: SlotMap<SocketAddr, Conn>,
-    stats: Mutex<ClientStats>,
-    fetch_stats: FetchStats,
     backoff_rng: Mutex<DetRng>,
-    config: ClientConfig,
+    shared: Arc<ClientShared>,
+    sched: FetchScheduler,
 }
 
 impl NetMergerClient {
@@ -125,75 +223,41 @@ impl NetMergerClient {
         })
     }
 
-    /// A client with full control of retry, timeouts, and faults.
+    /// A client with full control of retry, timeouts, window, and faults.
     pub fn with_client_config(config: ClientConfig) -> Self {
-        NetMergerClient {
-            conns: SlotMap::new(config.max_connections),
+        let shared = Arc::new(ClientShared {
             stats: Mutex::new(ClientStats::default()),
             fetch_stats: FetchStats::new(),
-            backoff_rng: Mutex::new(DetRng::new(config.retry_seed)),
             config: ClientConfig {
                 buffer_bytes: config.buffer_bytes.max(1),
+                window: config.window.max(1),
                 ..config
             },
+        });
+        NetMergerClient {
+            conns: SlotMap::new(shared.config.max_connections),
+            backoff_rng: Mutex::new(DetRng::new(shared.config.retry_seed)),
+            sched: FetchScheduler::new(Arc::clone(&shared)),
+            shared,
         }
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> ClientStats {
-        *lock(&self.stats)
+        *lock(&self.shared.stats)
     }
 
-    /// Recovery counters: retries, reconnects, timeouts, resumed bytes.
+    /// Recovery counters and pipeline gauges: retries, reconnects,
+    /// timeouts, resumed bytes, queue depth, window occupancy.
     pub fn fetch_stats(&self) -> FetchStatsSnapshot {
-        self.fetch_stats.snapshot()
+        self.shared.fetch_stats.snapshot()
     }
 
-    /// Bump the per-kind failure counter for a failed attempt.
-    fn record_failure(&self, e: &TransportError) {
-        match e {
-            TransportError::Timeout { .. } => self.fetch_stats.record_timeout(),
-            TransportError::Reset { .. } => self.fetch_stats.record_reset(),
-            TransportError::Corrupt { .. } => self.fetch_stats.record_corrupt_frame(),
-            TransportError::Connect { .. } => self.fetch_stats.record_connect_failure(),
-            _ => {}
-        }
-    }
-
-    fn dial(&self, addr: SocketAddr) -> Result<Conn> {
-        match faults::decide(&self.config.faults, Hook::ClientConnect) {
-            FaultAction::RefuseConnect => {
-                return Err(TransportError::Connect {
-                    target: addr.to_string(),
-                    source: io::Error::new(io::ErrorKind::ConnectionRefused, "injected refusal"),
-                });
-            }
-            FaultAction::Stall(d) => std::thread::sleep(d),
-            _ => {}
-        }
-        let stream =
-            TcpStream::connect_timeout(&addr, self.config.connect_timeout).map_err(|e| {
-                TransportError::Connect {
-                    target: addr.to_string(),
-                    source: e,
-                }
-            })?;
-        let setup = |e| TransportError::Io {
-            during: "socket setup",
-            source: e,
-        };
-        stream.set_nodelay(true).map_err(setup)?;
-        stream
-            .set_read_timeout(Some(self.config.read_timeout))
-            .map_err(setup)?;
-        stream
-            .set_write_timeout(Some(self.config.write_timeout))
-            .map_err(setup)?;
-        let reader = BufReader::new(stream.try_clone().map_err(setup)?);
-        Ok(Conn {
-            reader,
-            writer: stream,
-        })
+    /// Per-supplier scheduler queue depths (ops submitted but not yet
+    /// picked up by that supplier's worker). Quiescent clients read all
+    /// zeros.
+    pub fn queue_depths(&self) -> Vec<(SocketAddr, usize)> {
+        self.sched.queue_depths()
     }
 
     fn with_conn<T>(&self, addr: SocketAddr, f: impl FnOnce(&mut Conn) -> Result<T>) -> Result<T> {
@@ -202,26 +266,30 @@ impl NetMergerClient {
         // after `conn`.
         self.conns.with_conn(
             addr,
-            || self.dial(addr),
+            || dial(addr, &self.shared.config),
             |ev| match ev {
-                SlotEvent::Evicted => lock(&self.stats).connections_evicted += 1,
+                SlotEvent::Evicted => lock(&self.shared.stats).connections_evicted += 1,
                 SlotEvent::Established { reconnect } => {
-                    lock(&self.stats).connections_established += 1;
+                    lock(&self.shared.stats).connections_established += 1;
                     if reconnect {
-                        self.fetch_stats.record_reconnect();
+                        self.shared.fetch_stats.record_reconnect();
                     }
                 }
-                SlotEvent::Reused => lock(&self.stats).connections_reused += 1,
+                SlotEvent::Reused => lock(&self.shared.stats).connections_reused += 1,
             },
             f,
         )
     }
 
-    /// One request/response exchange on a (possibly reused) connection.
-    /// No retry here; this is the unit the retry loop wraps.
+    /// One request/response exchange on a (possibly reused) cached
+    /// connection — the serial path. No retry here; this is the unit the
+    /// retry loop wraps. Serial requests carry id 0 and expect it back:
+    /// the exchange is lockstep, so any other echo is a desynchronized
+    /// stream.
     fn try_fetch_chunk(&self, seg: SegmentRef, offset: u64, len: u64) -> Result<Vec<u8>> {
         self.with_conn(seg.addr, |conn| {
             FetchRequest {
+                id: 0,
                 mof: seg.mof,
                 reducer: seg.reducer,
                 offset,
@@ -229,7 +297,7 @@ impl NetMergerClient {
             }
             .write_to(&mut conn.writer)
             .map_err(|e| TransportError::from_io("write request", e))?;
-            match faults::decide(&self.config.faults, Hook::ClientReadResponse) {
+            match faults::decide(&self.shared.config.faults, Hook::ClientReadResponse) {
                 FaultAction::Reset => {
                     return Err(TransportError::Reset {
                         during: "read response (injected)",
@@ -240,9 +308,14 @@ impl NetMergerClient {
             }
             let resp = FetchResponse::read_from(&mut conn.reader)
                 .map_err(|e| TransportError::from_io("read response", e))?;
+            if resp.id != 0 {
+                return Err(TransportError::Corrupt {
+                    detail: format!("serial exchange echoed pipelined id {}", resp.id),
+                });
+            }
             match resp.status {
                 Status::Ok => {
-                    lock(&self.stats).bytes_fetched += resp.payload.len() as u64;
+                    lock(&self.shared.stats).bytes_fetched += resp.payload.len() as u64;
                     Ok(resp.payload)
                 }
                 Status::NotFound => Err(TransportError::NotFound {
@@ -266,24 +339,24 @@ impl NetMergerClient {
         loop {
             match self.try_fetch_chunk(seg, offset, len) {
                 Ok(payload) => return Ok(payload),
-                Err(e) if e.is_retryable() && attempt < self.config.retry.max_retries => {
+                Err(e) if e.is_retryable() && attempt < self.shared.config.retry.max_retries => {
                     attempt += 1;
-                    self.record_failure(&e);
-                    self.fetch_stats.record_retry();
+                    record_failure(&self.shared.fetch_stats, &e);
+                    self.shared.fetch_stats.record_retry();
                     if attempt == 1 && offset > 0 {
                         // The segment resumes mid-stream: everything
                         // before `offset` survives this recovery.
-                        self.fetch_stats.record_resumed_bytes(offset);
+                        self.shared.fetch_stats.record_resumed_bytes(offset);
                     }
                     let delay = {
                         let mut rng = lock(&self.backoff_rng);
-                        self.config.retry.backoff(attempt, &mut rng)
+                        self.shared.config.retry.backoff(attempt, &mut rng)
                     };
                     std::thread::sleep(delay);
                 }
                 Err(e) if e.is_retryable() => {
-                    self.record_failure(&e);
-                    self.fetch_stats.record_exhausted();
+                    record_failure(&self.shared.fetch_stats, &e);
+                    self.shared.fetch_stats.record_exhausted();
                     return Err(TransportError::RetriesExhausted {
                         attempts: attempt + 1,
                         last: Box::new(e),
@@ -295,12 +368,15 @@ impl NetMergerClient {
     }
 
     /// Fetch one whole segment in transport-buffer-sized chunks, resuming
-    /// at the received offset across transient failures.
+    /// at the received offset across transient failures. Serial: each
+    /// chunk waits for the previous one — the baseline the pipelined
+    /// path is measured against.
     pub fn fetch_segment(&self, seg: SegmentRef) -> Result<Vec<u8>> {
         let mut out = Vec::new();
         let mut offset = 0u64;
         loop {
-            let chunk = self.fetch_chunk_with_retry(seg, offset, self.config.buffer_bytes)?;
+            let chunk =
+                self.fetch_chunk_with_retry(seg, offset, self.shared.config.buffer_bytes)?;
             if chunk.is_empty() {
                 return Ok(out);
             }
@@ -309,9 +385,72 @@ impl NetMergerClient {
         }
     }
 
-    /// Fetch every segment of a reducer concurrently (consolidated across
-    /// suppliers) and return the raw segment byte vectors in input order.
+    /// Fetch every segment of a reducer through the pipelined scheduler
+    /// and return the raw segment byte vectors in input order.
+    ///
+    /// Ops inject round-robin across supplier addresses (balanced
+    /// injection); each supplier's worker keeps up to
+    /// [`ClientConfig::window`] requests on the wire, so supplier disk
+    /// prefetch and network transmission overlap across the whole
+    /// reducer. Failures carry [`TransportError::Segment`] context
+    /// naming the exact (MOF, reducer, supplier) that failed; the
+    /// lowest-input-index failure is returned.
     pub fn fetch_all(&self, segs: &[SegmentRef]) -> Result<Vec<Vec<u8>>> {
+        if segs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (tx, rx) = mpsc::channel();
+        for &i in &balanced_order(segs) {
+            let Some(&seg) = segs.get(i) else { continue };
+            self.sched.submit(FetchOp {
+                token: i as u64,
+                seg,
+                offset: 0,
+                limit: 0,
+                done: tx.clone(),
+            });
+        }
+        // Completions close the channel once every op has sent exactly
+        // one result and dropped its sender clone.
+        drop(tx);
+        let mut out: Vec<Option<Vec<u8>>> = segs.iter().map(|_| None).collect();
+        let mut first_err: Option<(u64, TransportError)> = None;
+        for done in rx {
+            match done.result {
+                Ok(bytes) => {
+                    if let Some(slot) = out.get_mut(done.token as usize) {
+                        *slot = Some(bytes);
+                    }
+                }
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(t, _)| done.token < *t) {
+                        first_err = Some((done.token, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        let mut res = Vec::with_capacity(out.len());
+        for slot in out {
+            match slot {
+                Some(bytes) => res.push(bytes),
+                None => {
+                    return Err(TransportError::Io {
+                        during: "fetch_all",
+                        source: io::Error::other("fetch op vanished without completing"),
+                    })
+                }
+            }
+        }
+        Ok(res)
+    }
+
+    /// Serial reference for [`Self::fetch_all`]: one thread per segment,
+    /// each fetching lockstep over the cached connections. Kept as the
+    /// measured baseline (see `crates/bench`) and as a fallback.
+    pub fn fetch_all_serial(&self, segs: &[SegmentRef]) -> Result<Vec<Vec<u8>>> {
         let results: Vec<Result<Vec<u8>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = segs
                 .iter()
@@ -331,18 +470,20 @@ impl NetMergerClient {
         results.into_iter().collect()
     }
 
-    /// Fetch one chunk of a segment (a single request/response exchange,
-    /// retried on transient failure). An empty payload means the segment
-    /// is exhausted.
+    /// Fetch one chunk of a segment (a single serial request/response
+    /// exchange, retried on transient failure). An empty payload means
+    /// the segment is exhausted.
     pub fn fetch_chunk(&self, seg: SegmentRef, offset: u64) -> Result<Vec<u8>> {
-        self.fetch_chunk_with_retry(seg, offset, self.config.buffer_bytes)
+        self.fetch_chunk_with_retry(seg, offset, self.shared.config.buffer_bytes)
     }
 
     /// **The network-levitated merge over real sockets**: merge a
     /// reducer's segments while their bodies stay on the remote suppliers.
-    /// Each segment holds only its current transport buffer in memory; a
-    /// buffer is refetched on demand when the merge drains it. Peak client
-    /// memory is O(segments × buffer), independent of segment sizes.
+    /// Each segment holds its current transport buffer in memory and
+    /// keeps the next one in flight through the pipelined scheduler
+    /// (double buffering), so the merge consumes chunk `k` while chunk
+    /// `k+1` streams in. Peak client memory stays O(segments × buffer),
+    /// independent of segment sizes.
     pub fn levitated_merge(&self, segs: &[SegmentRef]) -> Result<Vec<Record>> {
         let streams: Vec<NetworkSegmentStream> = segs
             .iter()
@@ -353,8 +494,9 @@ impl NetMergerClient {
             .map_err(|e| TransportError::from_io("levitated merge", e))
     }
 
-    /// Materializing variant: fetch all of a reducer's segments (eagerly,
-    /// concurrently) and merge them into one key-sorted record stream.
+    /// Materializing variant: fetch all of a reducer's segments through
+    /// the pipelined scheduler and merge them into one key-sorted record
+    /// stream.
     pub fn shuffle_and_merge(&self, segs: &[SegmentRef]) -> Result<Vec<Record>> {
         let raw = self.fetch_all(segs)?;
         let mut runs: Vec<Vec<Record>> = Vec::with_capacity(raw.len());
@@ -380,31 +522,85 @@ impl Default for NetMergerClient {
 }
 
 /// One segment's levitation window: the current transport buffer, parsed
-/// incrementally; the next buffer is fetched only when the merge drains
-/// this one.
+/// incrementally, with the next buffer already in flight through the
+/// scheduler (double buffering) while this one is consumed.
 pub struct NetworkSegmentStream<'a> {
     client: &'a NetMergerClient,
     seg: SegmentRef,
+    /// Absolute offset up to which bytes have been received and parsed.
     offset: u64,
     parser: RecordParser,
     exhausted: bool,
+    done_tx: mpsc::Sender<FetchDone>,
+    done_rx: mpsc::Receiver<FetchDone>,
+    /// Offset of the chunk currently in flight, if any.
+    pending: Option<u64>,
+    next_token: u64,
 }
 
 impl<'a> NetworkSegmentStream<'a> {
     /// A lazily-fetched stream over `seg`.
     pub fn new(client: &'a NetMergerClient, seg: SegmentRef) -> Self {
+        let (done_tx, done_rx) = mpsc::channel();
         NetworkSegmentStream {
             client,
             seg,
             offset: 0,
             parser: RecordParser::new(),
             exhausted: false,
+            done_tx,
+            done_rx,
+            pending: None,
+            next_token: 0,
         }
     }
 
-    /// Bytes fetched from this segment so far.
+    /// Bytes received from this segment so far.
     pub fn offset(&self) -> u64 {
         self.offset
+    }
+
+    fn request(&mut self, offset: u64) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.client.sched.submit(FetchOp {
+            token,
+            seg: self.seg,
+            offset,
+            limit: self.client.shared.config.buffer_bytes,
+            done: self.done_tx.clone(),
+        });
+        self.pending = Some(offset);
+    }
+
+    /// The next chunk at `self.offset` (empty at segment end), keeping
+    /// one chunk speculatively in flight whenever the previous one came
+    /// back full-sized.
+    fn next_chunk(&mut self) -> io::Result<Vec<u8>> {
+        loop {
+            if self.pending.is_none() {
+                self.request(self.offset);
+            }
+            let done = self.done_rx.recv().map_err(|_| {
+                io::Error::new(io::ErrorKind::Interrupted, "fetch scheduler disconnected")
+            })?;
+            let req_off = self.pending.take().unwrap_or(self.offset);
+            let payload = done.result.map_err(io::Error::from)?;
+            if req_off != self.offset {
+                // A speculative chunk aimed past a short read; refetch
+                // from the corrected offset.
+                continue;
+            }
+            if !payload.is_empty() {
+                self.offset += payload.len() as u64;
+                if payload.len() as u64 == self.client.shared.config.buffer_bytes {
+                    // Full chunk: speculate the next one so it rides the
+                    // wire while the merge consumes this one.
+                    self.request(self.offset);
+                }
+            }
+            return Ok(payload);
+        }
     }
 }
 
@@ -426,14 +622,10 @@ impl RecordStream for NetworkSegmentStream<'_> {
                     "segment ended mid-record",
                 ));
             }
-            let chunk = self
-                .client
-                .fetch_chunk(self.seg, self.offset)
-                .map_err(io::Error::from)?;
+            let chunk = self.next_chunk()?;
             if chunk.is_empty() {
                 self.exhausted = true;
             } else {
-                self.offset += chunk.len() as u64;
                 self.parser.push(&chunk);
             }
         }
@@ -446,6 +638,20 @@ mod tests {
     use crate::server::MofSupplierServer;
     use crate::store::MofStore;
     use jbs_mapred::merge::is_sorted;
+
+    /// Wait for the scheduler's gauges to drain: completions hand off
+    /// before workers finish reading trailing speculative responses, so
+    /// gauge assertions poll briefly instead of racing the drain.
+    fn quiesce(client: &NetMergerClient) -> FetchStatsSnapshot {
+        for _ in 0..400 {
+            let fs = client.fetch_stats();
+            if fs.window_inflight == 0 && fs.queued_ops == 0 {
+                return fs;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        client.fetch_stats()
+    }
 
     fn server_with_records(n: usize, partitions: usize) -> MofSupplierServer {
         let mut store = MofStore::temp().unwrap();
@@ -524,6 +730,98 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_fetch_all_matches_serial() {
+        let servers: Vec<MofSupplierServer> =
+            (0..3).map(|_| server_with_records(1500, 2)).collect();
+        let segs: Vec<SegmentRef> = servers
+            .iter()
+            .flat_map(|s| {
+                (0..2u32).map(|reducer| SegmentRef {
+                    addr: s.addr(),
+                    mof: 0,
+                    reducer,
+                })
+            })
+            .collect();
+        // Small buffers force many chunks per segment, so the window
+        // actually pipelines.
+        let client = NetMergerClient::with_client_config(ClientConfig {
+            buffer_bytes: 4 << 10,
+            window: 6,
+            ..ClientConfig::default()
+        });
+        let pipelined = client.fetch_all(&segs).unwrap();
+        let serial = client.fetch_all_serial(&segs).unwrap();
+        assert_eq!(pipelined, serial, "pipelining must not change bytes");
+
+        let fs = quiesce(&client);
+        assert!(fs.window_peak > 1, "requests never overlapped: {fs:?}");
+        assert!(fs.queue_depth_peak >= 1, "{fs:?}");
+        assert_eq!(fs.window_inflight, 0, "window must drain: {fs:?}");
+        assert_eq!(fs.queued_ops, 0, "queues must drain: {fs:?}");
+        assert!(
+            fs.spec_discards >= 1,
+            "segment tails must discard stale speculation: {fs:?}"
+        );
+        assert!(
+            client.queue_depths().iter().all(|(_, d)| *d == 0),
+            "per-peer queues must be empty at rest"
+        );
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn fetch_all_error_names_the_failing_segment() {
+        let server = server_with_records(100, 1);
+        let client = NetMergerClient::new();
+        let segs = [
+            SegmentRef {
+                addr: server.addr(),
+                mof: 0,
+                reducer: 0,
+            },
+            SegmentRef {
+                addr: server.addr(),
+                mof: 99,
+                reducer: 5,
+            },
+        ];
+        let err = client.fetch_all(&segs).unwrap_err();
+        match &err {
+            TransportError::Segment {
+                mof,
+                reducer,
+                peer,
+                source,
+            } => {
+                assert_eq!((*mof, *reducer), (99, 5));
+                assert_eq!(peer, &server.addr().to_string());
+                assert!(matches!(source.as_ref(), TransportError::NotFound { .. }));
+            }
+            other => panic!("expected segment context, got {other}"),
+        }
+        assert!(!err.is_retryable());
+        server.shutdown();
+    }
+
+    #[test]
+    fn balanced_order_round_robins_addresses() {
+        let a: SocketAddr = "127.0.0.1:7000".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:7001".parse().unwrap();
+        let seg = |addr, mof| SegmentRef {
+            addr,
+            mof,
+            reducer: 0,
+        };
+        // Input clusters by address; injection must interleave them.
+        let segs = [seg(a, 0), seg(a, 1), seg(a, 2), seg(b, 3), seg(b, 4)];
+        assert_eq!(balanced_order(&segs), vec![0, 3, 1, 4, 2]);
+        assert_eq!(balanced_order(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
     fn missing_segment_is_an_error() {
         let server = server_with_records(10, 1);
         let client = NetMergerClient::new();
@@ -572,6 +870,47 @@ mod tests {
         assert_eq!(fs.retries, 2);
         assert_eq!(fs.exhausted, 1);
         assert!(fs.connect_failures >= 3);
+    }
+
+    #[test]
+    fn dead_supplier_fails_pipelined_ops_with_context() {
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = NetMergerClient::with_client_config(ClientConfig {
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                jitter_frac: 0.0,
+            },
+            connect_timeout: Duration::from_millis(200),
+            ..ClientConfig::default()
+        });
+        let err = client
+            .fetch_all(&[SegmentRef {
+                addr,
+                mof: 4,
+                reducer: 2,
+            }])
+            .unwrap_err();
+        match &err {
+            TransportError::Segment { mof, source, .. } => {
+                assert_eq!(*mof, 4);
+                assert!(
+                    matches!(
+                        source.as_ref(),
+                        TransportError::RetriesExhausted { attempts: 3, .. }
+                    ),
+                    "{source}"
+                );
+            }
+            other => panic!("expected segment context, got {other}"),
+        }
+        let fs = client.fetch_stats();
+        assert_eq!(fs.retries, 2, "{fs:?}");
+        assert_eq!(fs.exhausted, 1, "{fs:?}");
     }
 
     #[test]
@@ -642,11 +981,12 @@ mod tests {
             reducer: 0,
         };
         let mut stream = NetworkSegmentStream::new(&client, seg);
-        // Pulling one record must fetch only the first window, not the
-        // whole multi-chunk segment.
+        // Pulling one record must receive only the first window (the
+        // second is at most in flight), not the whole multi-chunk
+        // segment.
         let first = stream.next_record().unwrap().unwrap();
         assert!(!first.0.is_empty());
-        assert_eq!(stream.offset(), 4 << 10, "exactly one buffer fetched");
+        assert_eq!(stream.offset(), 4 << 10, "exactly one buffer received");
         server.shutdown();
     }
 

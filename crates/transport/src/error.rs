@@ -54,6 +54,21 @@ pub enum TransportError {
         /// The offending range.
         detail: String,
     },
+    /// A fetch of one specific segment failed. `source` is the
+    /// underlying failure; the context says *which* (MOF, reducer) on
+    /// *which* supplier it hit, so a consolidated `fetch_all` over many
+    /// suppliers reports a failure the operator can act on instead of a
+    /// bare connection error.
+    Segment {
+        /// MOF id of the failing fetch.
+        mof: u64,
+        /// Reducer (partition) number of the failing fetch.
+        reducer: u32,
+        /// Supplier address the fetch targeted.
+        peer: String,
+        /// The underlying failure.
+        source: Box<TransportError>,
+    },
     /// The retry budget ran out; `last` is the final attempt's error.
     RetriesExhausted {
         /// Attempts made (initial try plus retries).
@@ -96,16 +111,20 @@ impl TransportError {
     /// Transient network failures (dial errors, timeouts, resets,
     /// corrupt frames, generic I/O) are retryable; semantic failures
     /// (missing segment, malformed request, out-of-bounds read) and an
-    /// already-exhausted budget are not.
+    /// already-exhausted budget are not. Segment context is transparent:
+    /// it classifies as whatever it wraps.
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            TransportError::Connect { .. }
-                | TransportError::Timeout { .. }
-                | TransportError::Reset { .. }
-                | TransportError::Corrupt { .. }
-                | TransportError::Io { .. }
-        )
+        match self {
+            TransportError::Segment { source, .. } => source.is_retryable(),
+            _ => matches!(
+                self,
+                TransportError::Connect { .. }
+                    | TransportError::Timeout { .. }
+                    | TransportError::Reset { .. }
+                    | TransportError::Corrupt { .. }
+                    | TransportError::Io { .. }
+            ),
+        }
     }
 
     /// Whether this is (or was last caused by) a timeout.
@@ -113,7 +132,54 @@ impl TransportError {
         match self {
             TransportError::Timeout { .. } => true,
             TransportError::RetriesExhausted { last, .. } => last.is_timeout(),
+            TransportError::Segment { source, .. } => source.is_timeout(),
             _ => false,
+        }
+    }
+
+    /// A structural copy of this error, for fanning one connection-level
+    /// failure out to every in-flight operation it killed. `io::Error`
+    /// sources are flattened to their (kind, message) pair — the OS
+    /// payload is not cloneable, the classification is.
+    pub fn duplicate(&self) -> TransportError {
+        match self {
+            TransportError::Connect { target, source } => TransportError::Connect {
+                target: target.clone(),
+                source: io::Error::new(source.kind(), source.to_string()),
+            },
+            TransportError::Timeout { during } => TransportError::Timeout { during },
+            TransportError::Reset { during } => TransportError::Reset { during },
+            TransportError::Corrupt { detail } => TransportError::Corrupt {
+                detail: detail.clone(),
+            },
+            TransportError::NotFound { what } => TransportError::NotFound { what: what.clone() },
+            TransportError::BadRequest { detail } => TransportError::BadRequest {
+                detail: detail.clone(),
+            },
+            TransportError::OutOfBounds { detail } => TransportError::OutOfBounds {
+                detail: detail.clone(),
+            },
+            TransportError::Segment {
+                mof,
+                reducer,
+                peer,
+                source,
+            } => TransportError::Segment {
+                mof: *mof,
+                reducer: *reducer,
+                peer: peer.clone(),
+                source: Box::new(source.duplicate()),
+            },
+            TransportError::RetriesExhausted { attempts, last } => {
+                TransportError::RetriesExhausted {
+                    attempts: *attempts,
+                    last: Box::new(last.duplicate()),
+                }
+            }
+            TransportError::Io { during, source } => TransportError::Io {
+                during,
+                source: io::Error::new(source.kind(), source.to_string()),
+            },
         }
     }
 }
@@ -134,6 +200,17 @@ impl fmt::Display for TransportError {
             TransportError::OutOfBounds { detail } => {
                 write!(f, "out-of-bounds access: {detail}")
             }
+            TransportError::Segment {
+                mof,
+                reducer,
+                peer,
+                source,
+            } => {
+                write!(
+                    f,
+                    "fetch of mof {mof} reducer {reducer} from {peer} failed: {source}"
+                )
+            }
             TransportError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts; last error: {last}")
             }
@@ -151,49 +228,38 @@ impl std::error::Error for TransportError {
                 Some(source)
             }
             TransportError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            TransportError::Segment { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
 }
 
-/// Lossy bridge to `io::Error` for io-trait boundaries (e.g. the
-/// [`jbs_mapred::levitate::RecordStream`] implementation).
-impl From<TransportError> for io::Error {
-    fn from(e: TransportError) -> io::Error {
-        let kind = match &e {
-            TransportError::Connect { .. } => io::ErrorKind::ConnectionRefused,
-            TransportError::Timeout { .. } => io::ErrorKind::TimedOut,
-            TransportError::Reset { .. } => io::ErrorKind::ConnectionReset,
-            TransportError::Corrupt { .. } | TransportError::BadRequest { .. } => {
-                io::ErrorKind::InvalidData
-            }
-            TransportError::NotFound { .. } => io::ErrorKind::NotFound,
-            TransportError::OutOfBounds { .. } => io::ErrorKind::InvalidInput,
-            TransportError::RetriesExhausted { last, .. } => {
-                return io::Error::other(e.to_string()).kind_preserving(last);
-            }
-            TransportError::Io { source, .. } => source.kind(),
-        };
-        io::Error::new(kind, e.to_string())
+/// The `io::ErrorKind` a transport error flattens to. Context wrappers
+/// (`Segment`, `RetriesExhausted`) recurse into their cause, so callers
+/// matching on kinds still see `TimedOut`/`ConnectionReset` rather than
+/// `Other` after the error picked up fetch context on the way up.
+fn io_kind(e: &TransportError) -> io::ErrorKind {
+    match e {
+        TransportError::Connect { .. } => io::ErrorKind::ConnectionRefused,
+        TransportError::Timeout { .. } => io::ErrorKind::TimedOut,
+        TransportError::Reset { .. } => io::ErrorKind::ConnectionReset,
+        TransportError::Corrupt { .. } | TransportError::BadRequest { .. } => {
+            io::ErrorKind::InvalidData
+        }
+        TransportError::NotFound { .. } => io::ErrorKind::NotFound,
+        TransportError::OutOfBounds { .. } => io::ErrorKind::InvalidInput,
+        TransportError::Segment { source, .. } => io_kind(source),
+        TransportError::RetriesExhausted { last, .. } => io_kind(last),
+        TransportError::Io { source, .. } => source.kind(),
     }
 }
 
-/// Keep the *last* attempt's kind when flattening an exhausted retry
-/// chain into an `io::Error`, so callers matching on kinds still see
-/// `TimedOut`/`ConnectionReset` rather than `Other`.
-trait KindPreserving {
-    fn kind_preserving(self, last: &TransportError) -> io::Error;
-}
-
-impl KindPreserving for io::Error {
-    fn kind_preserving(self, last: &TransportError) -> io::Error {
-        let kind = match last {
-            TransportError::Timeout { .. } => io::ErrorKind::TimedOut,
-            TransportError::Reset { .. } => io::ErrorKind::ConnectionReset,
-            TransportError::Connect { .. } => io::ErrorKind::ConnectionRefused,
-            _ => io::ErrorKind::Other,
-        };
-        io::Error::new(kind, self.to_string())
+/// Lossy bridge to `io::Error` for io-trait boundaries (e.g. the
+/// [`jbs_mapred::levitate::RecordStream`] implementation). The message
+/// keeps the full context chain; the kind comes from the root cause.
+impl From<TransportError> for io::Error {
+    fn from(e: TransportError) -> io::Error {
+        io::Error::new(io_kind(&e), e.to_string())
     }
 }
 
@@ -250,5 +316,52 @@ mod tests {
         }
         .into();
         assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn segment_context_is_transparent() {
+        let seg = TransportError::Segment {
+            mof: 7,
+            reducer: 3,
+            peer: "10.0.0.2:9999".into(),
+            source: Box::new(TransportError::Reset {
+                during: "read response",
+            }),
+        };
+        assert!(seg.is_retryable(), "context must not mask retryability");
+        let msg = seg.to_string();
+        assert!(msg.contains("mof 7"), "{msg}");
+        assert!(msg.contains("reducer 3"), "{msg}");
+        assert!(msg.contains("10.0.0.2:9999"), "{msg}");
+        let e: io::Error = seg.into();
+        assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+
+        let terminal = TransportError::Segment {
+            mof: 1,
+            reducer: 0,
+            peer: "x".into(),
+            source: Box::new(TransportError::NotFound {
+                what: "mof 1".into(),
+            }),
+        };
+        assert!(!terminal.is_retryable());
+    }
+
+    #[test]
+    fn duplicate_preserves_structure() {
+        let e = TransportError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(TransportError::Connect {
+                target: "host:1".into(),
+                source: io::Error::from(io::ErrorKind::ConnectionRefused),
+            }),
+        };
+        let d = e.duplicate();
+        assert_eq!(d.to_string(), e.to_string());
+        assert!(matches!(
+            d,
+            TransportError::RetriesExhausted { attempts: 4, .. }
+        ));
+        assert_eq!(io_kind(&d), io_kind(&e));
     }
 }

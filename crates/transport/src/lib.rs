@@ -9,12 +9,19 @@
 //! * [`store`] — an on-disk MOF store using the byte-real
 //!   [`jbs_mapred::mof`] formats (data + index files).
 //! * [`server`] — the MOFSupplier: a TCP server with an in-memory
-//!   IndexCache and a DataCache that serves segment ranges, grouping
-//!   concurrent requests per MOF through a shared read-ahead buffer.
+//!   IndexCache and a DataCache that serves segment ranges. A dedicated
+//!   disk **prefetch thread** stages read-ahead ranges from a queue
+//!   grouped by MOF, ordered by offset, and served round-robin (Fig. 5),
+//!   so disk reads overlap network transmission; served buffers recycle
+//!   through a bounded pool and frames go out as vectored writes.
 //! * [`client`] — the NetMerger: a client that consolidates fetches over
 //!   cached connections (LRU, capped — Sec. IV's 512-connection policy),
 //!   pulls segments from many suppliers concurrently, and k-way merges
-//!   them into a reduce-ready sorted stream.
+//!   them into a reduce-ready sorted stream. Its background fetch
+//!   scheduler keeps a bounded window of **pipelined requests** in
+//!   flight per supplier connection, injected round-robin across
+//!   segments, with completions handed back over channels — the other
+//!   half of the read/transmit overlap.
 //!
 //! The integration tests under `tests/` run a full multi-"node" shuffle
 //! over 127.0.0.1 and verify byte-exact results against a reference sort.
@@ -46,10 +53,13 @@
 //!   same failures at named hooks, deterministically, for chaos tests
 //!   (`tests/chaos_shuffle.rs`).
 
+mod bufpool;
 pub mod client;
 pub mod error;
 pub mod faults;
+mod prefetch;
 pub mod retry;
+mod sched;
 pub mod server;
 mod slot;
 mod staging;
@@ -59,11 +69,12 @@ mod sync;
 pub mod verbs;
 pub mod wire;
 
+pub use bufpool::BufPoolStats;
 pub use client::{ClientConfig, NetMergerClient};
 pub use error::TransportError;
 pub use faults::{FaultAction, FaultKind, FaultPlan, Hook};
 pub use retry::RetryPolicy;
-pub use server::{MofSupplierServer, ServerOptions};
+pub use server::{MofSupplierServer, ServerOptions, SupplierStatsSnapshot};
 pub use stats::{FetchStats, FetchStatsSnapshot};
 pub use store::MofStore;
 pub use wire::{FetchRequest, FetchResponse};

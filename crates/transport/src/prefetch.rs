@@ -1,0 +1,252 @@
+//! The MOFSupplier's disk-prefetch queue: stage requests grouped by MOF,
+//! ordered by segment offset within a group, served round-robin across
+//! groups (the paper's Fig. 5 discipline).
+//!
+//! Grouping by MOF turns interleaved chunk traffic from many reducers
+//! into long sequential runs per file; offset order within a group keeps
+//! each run monotonic; round-robin across groups keeps one hot MOF from
+//! starving the others. The queue itself is a passive kernel — the
+//! server owns the single disk thread that pops from it (see
+//! [`crate::server`]), and connection threads push:
+//!
+//! * **synchronous jobs** carry a reply channel; the connection thread
+//!   blocks on it because the client is waiting for these exact bytes
+//!   (a DataCache miss);
+//! * **asynchronous jobs** have no reply; they are the run-ahead reads
+//!   queued from the hit path so the disk works *while* the network
+//!   transmits already-staged bytes.
+//!
+//! Locking: the single `jobs` mutex is held only to push or pop one job
+//! — never across disk I/O or a reply send. In the documented order it
+//! sits before `store` (the disk thread pops, then reads the store).
+
+use crate::sync::{lock, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::sync::mpsc;
+
+/// What the disk thread sends back on a synchronous job's reply channel:
+/// the served payload, `None` for an unknown MOF/reducer, or the store's
+/// I/O error.
+pub(crate) type StageReply = io::Result<Option<Vec<u8>>>;
+
+/// One stage request.
+#[derive(Debug)]
+pub(crate) struct StageJob {
+    /// MOF id (the grouping key).
+    pub(crate) mof: u64,
+    /// Reducer (partition) number.
+    pub(crate) reducer: u32,
+    /// Absolute segment offset the read-ahead starts at.
+    pub(crate) offset: u64,
+    /// Bytes the waiting request wants served back (0 for pure
+    /// run-ahead jobs, which only stage).
+    pub(crate) want: u64,
+    /// Reply channel for a synchronous (miss-path) job; `None` marks an
+    /// asynchronous run-ahead.
+    pub(crate) reply: Option<mpsc::Sender<StageReply>>,
+}
+
+/// Result of a pop.
+pub(crate) enum Pop<T> {
+    /// The next job under the round-robin discipline.
+    Item(T),
+    /// Nothing queued right now; the queue is still open.
+    Empty,
+    /// The queue was closed; no job will ever appear again.
+    Closed,
+}
+
+struct GroupedJobs {
+    /// Per-MOF queues, each kept in ascending-offset order.
+    groups: BTreeMap<u64, VecDeque<StageJob>>,
+    /// Round-robin rotation of group keys with pending jobs.
+    rotation: VecDeque<u64>,
+    closed: bool,
+    len: usize,
+    peak: usize,
+}
+
+/// The grouped, round-robin-served prefetch queue.
+pub(crate) struct PrefetchQueue {
+    jobs: Mutex<GroupedJobs>,
+}
+
+impl PrefetchQueue {
+    /// An empty, open queue.
+    pub(crate) fn new() -> Self {
+        PrefetchQueue {
+            jobs: Mutex::new(GroupedJobs {
+                groups: BTreeMap::new(),
+                rotation: VecDeque::new(),
+                closed: false,
+                len: 0,
+                peak: 0,
+            }),
+        }
+    }
+
+    /// Queue a job into its MOF group at its offset-ordered position.
+    /// Returns the job back if the queue is already closed (the caller
+    /// fails its reply instead of losing it silently).
+    pub(crate) fn push(&self, job: StageJob) -> Result<(), StageJob> {
+        let mut jobs = lock(&self.jobs);
+        if jobs.closed {
+            return Err(job);
+        }
+        let mof = job.mof;
+        let first_for_mof = {
+            let group = jobs.groups.entry(mof).or_default();
+            let first = group.is_empty();
+            // Ascending segment offset within the group: the disk sees
+            // each MOF as a monotonic sequential run.
+            let at = group.partition_point(|j| j.offset <= job.offset);
+            group.insert(at, job);
+            first
+        };
+        if first_for_mof {
+            jobs.rotation.push_back(mof);
+        }
+        jobs.len += 1;
+        jobs.peak = jobs.peak.max(jobs.len);
+        Ok(())
+    }
+
+    /// Take the next job: the head of the next group in the round-robin
+    /// rotation. A group with remaining jobs goes to the rotation's
+    /// back, so MOFs are served fairly rather than drained one by one.
+    pub(crate) fn try_pop(&self) -> Pop<StageJob> {
+        let mut jobs = lock(&self.jobs);
+        match jobs.rotation.pop_front() {
+            Some(mof) => {
+                let (job, left) = match jobs.groups.get_mut(&mof) {
+                    Some(group) => (group.pop_front(), group.len()),
+                    None => (None, 0),
+                };
+                if left > 0 {
+                    jobs.rotation.push_back(mof);
+                } else {
+                    jobs.groups.remove(&mof);
+                }
+                match job {
+                    Some(job) => {
+                        jobs.len = jobs.len.saturating_sub(1);
+                        Pop::Item(job)
+                    }
+                    // A rotation key without jobs cannot happen (keys are
+                    // enqueued only with their first job), but degrade to
+                    // Empty rather than trusting the invariant with I/O.
+                    None => Pop::Empty,
+                }
+            }
+            None if jobs.closed => Pop::Closed,
+            None => Pop::Empty,
+        }
+    }
+
+    /// Close the queue and drain everything still pending, so the caller
+    /// can fail synchronous jobs' replies. Pushes after this are refused.
+    pub(crate) fn close(&self) -> Vec<StageJob> {
+        let mut jobs = lock(&self.jobs);
+        jobs.closed = true;
+        jobs.rotation.clear();
+        jobs.len = 0;
+        let groups = std::mem::take(&mut jobs.groups);
+        groups.into_values().flatten().collect()
+    }
+
+    /// Jobs currently queued.
+    pub(crate) fn len(&self) -> usize {
+        lock(&self.jobs).len
+    }
+
+    /// High-water mark of [`Self::len`] over the queue's lifetime.
+    pub(crate) fn peak(&self) -> usize {
+        lock(&self.jobs).peak
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn job(mof: u64, offset: u64) -> StageJob {
+        StageJob {
+            mof,
+            reducer: 0,
+            offset,
+            want: 0,
+            reply: None,
+        }
+    }
+
+    fn pop(q: &PrefetchQueue) -> (u64, u64) {
+        match q.try_pop() {
+            Pop::Item(j) => (j.mof, j.offset),
+            Pop::Empty => panic!("queue unexpectedly empty"),
+            Pop::Closed => panic!("queue unexpectedly closed"),
+        }
+    }
+
+    #[test]
+    fn round_robin_across_mofs_offset_order_within() {
+        let q = PrefetchQueue::new();
+        // MOF 1 jobs arrive out of offset order; MOF 2 interleaves.
+        q.push(job(1, 200)).unwrap();
+        q.push(job(2, 50)).unwrap();
+        q.push(job(1, 100)).unwrap();
+        q.push(job(2, 150)).unwrap();
+        q.push(job(1, 300)).unwrap();
+        assert_eq!(q.len(), 5);
+        // Rotation starts with MOF 1 (first pushed), then alternates;
+        // within each MOF, offsets come out ascending.
+        assert_eq!(pop(&q), (1, 100));
+        assert_eq!(pop(&q), (2, 50));
+        assert_eq!(pop(&q), (1, 200));
+        assert_eq!(pop(&q), (2, 150));
+        assert_eq!(pop(&q), (1, 300));
+        assert!(matches!(q.try_pop(), Pop::Empty));
+        assert_eq!(q.peak(), 5);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn one_hot_mof_does_not_starve_others() {
+        let q = PrefetchQueue::new();
+        for off in 0..8u64 {
+            q.push(job(7, off * 100)).unwrap();
+        }
+        q.push(job(9, 0)).unwrap();
+        // The lone MOF-9 job is served second, not ninth.
+        assert_eq!(pop(&q).0, 7);
+        assert_eq!(pop(&q).0, 9);
+    }
+
+    #[test]
+    fn close_drains_and_refuses() {
+        let q = PrefetchQueue::new();
+        q.push(job(1, 0)).unwrap();
+        q.push(job(2, 0)).unwrap();
+        let drained = q.close();
+        assert_eq!(drained.len(), 2);
+        assert!(matches!(q.try_pop(), Pop::Closed));
+        assert!(q.push(job(3, 0)).is_err(), "closed queue refuses pushes");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn equal_offsets_keep_arrival_order() {
+        let q = PrefetchQueue::new();
+        let mut a = job(1, 100);
+        a.reducer = 1;
+        let mut b = job(1, 100);
+        b.reducer = 2;
+        q.push(a).unwrap();
+        q.push(b).unwrap();
+        let first = match q.try_pop() {
+            Pop::Item(j) => j.reducer,
+            _ => panic!(),
+        };
+        assert_eq!(first, 1, "stable order for equal offsets");
+    }
+}

@@ -1,0 +1,770 @@
+//! The NetMerger's background fetch scheduler: per-supplier request
+//! queues drained by worker threads that keep a **bounded window of
+//! pipelined requests** in flight on each connection.
+//!
+//! This is the client half of the Fig. 4 fix. The serial fetch path
+//! (`NetMergerClient::fetch_segment`) is strict lockstep — request,
+//! wait, response, request — so disk time on the supplier and network
+//! time strictly add. Here, each supplier address gets one worker thread
+//! that:
+//!
+//! * admits up to `window` fetch ops from its [`DispatchQueue`] into an
+//!   active set;
+//! * round-robins chunk requests across the active ops (the paper's
+//!   balanced injection), keeping up to `window` requests on the wire —
+//!   so while chunk `k` streams back, chunk `k+1` is already being
+//!   staged by the supplier's prefetch thread;
+//! * matches responses to requests by the **id echo** in strict FIFO
+//!   order: TCP delivers responses in request order, so a mismatched id
+//!   means the stream desynchronized and the connection is torn down as
+//!   corrupt rather than trusted;
+//! * requests *speculative* offsets for multi-chunk ops (chunk `k+1`'s
+//!   offset is predicted before chunk `k` lands). A short read proves
+//!   the prediction wrong: speculation collapses back to the committed
+//!   offset and the stale responses are discarded by offset mismatch
+//!   ([`crate::stats::FetchStatsSnapshot::spec_discards`]);
+//! * keeps PR 1's recovery semantics **per in-flight op**: any
+//!   connection-level failure drains the window, resets every active op
+//!   to its committed offset (resume — bytes received are never
+//!   refetched), and retries under the shared [`RetryPolicy`] budget
+//!   with deterministic backoff; exhaustion fails every active op with
+//!   its own [`TransportError::Segment`] context.
+//!
+//! Completion is a channel handoff: each [`FetchOp`] carries the sender
+//! half of its submitter's channel, so `fetch_all` and the levitated
+//! merge consume segments as they land instead of joining threads in
+//! order.
+//!
+//! Locking: `peers` (the worker registry) is taken before a worker's
+//! `ops` queue lock on the submit path; workers take `ops` alone, and
+//! `stats` only with nothing else held. Neither is ever held across
+//! socket I/O, sleeps, or a channel send.
+
+use crate::client::{dial, record_failure, ClientShared, SegmentRef};
+use crate::error::{Result, TransportError};
+use crate::faults::{self, FaultAction, Hook};
+use crate::prefetch::Pop;
+use crate::sync::{lock, Mutex};
+use crate::wire::{FetchRequest, FetchResponse, Status};
+use jbs_des::DetRng;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::{mpsc, Arc};
+
+/// One queued fetch: a chunk (or whole remainder) of one segment.
+pub(crate) struct FetchOp {
+    /// Caller-chosen correlation token, echoed in [`FetchDone`]. Tokens
+    /// are scoped to the `done` channel, not global.
+    pub(crate) token: u64,
+    /// Which segment on which supplier.
+    pub(crate) seg: SegmentRef,
+    /// Absolute segment offset the fetch starts at.
+    pub(crate) offset: u64,
+    /// `0` fetches the whole remainder `[offset, end)` across as many
+    /// pipelined chunks as it takes; otherwise one single-exchange chunk
+    /// of at most `limit` bytes (short or empty at segment end).
+    pub(crate) limit: u64,
+    /// Completion handoff; every accepted op sends exactly one result.
+    pub(crate) done: mpsc::Sender<FetchDone>,
+}
+
+/// The completion record for one [`FetchOp`].
+pub(crate) struct FetchDone {
+    /// The op's `token`, so a submitter multiplexing one channel can
+    /// tell its completions apart.
+    pub(crate) token: u64,
+    /// The fetched bytes, or the failure wrapped in per-segment context.
+    pub(crate) result: Result<Vec<u8>>,
+}
+
+struct OpQueue<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// The per-peer op queue: a plain FIFO with a closed latch, factored out
+/// of the worker so the `cfg(loom)` models below drive the production
+/// push/pop/close logic. Fairness across *segments* comes from the
+/// worker's round-robin over its active set, not from queue order.
+pub(crate) struct DispatchQueue<T> {
+    ops: Mutex<OpQueue<T>>,
+}
+
+impl<T> DispatchQueue<T> {
+    pub(crate) fn new() -> Self {
+        DispatchQueue {
+            ops: Mutex::new(OpQueue {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+        }
+    }
+
+    /// Queue an op. Returns it back if the queue is already closed, so
+    /// the caller fails its completion channel instead of losing it.
+    pub(crate) fn push(&self, item: T) -> std::result::Result<(), T> {
+        let mut ops = lock(&self.ops);
+        if ops.closed {
+            return Err(item);
+        }
+        ops.queue.push_back(item);
+        Ok(())
+    }
+
+    /// Take the oldest queued op, or learn the queue is empty / closed.
+    pub(crate) fn try_pop(&self) -> Pop<T> {
+        let mut ops = lock(&self.ops);
+        match ops.queue.pop_front() {
+            Some(item) => Pop::Item(item),
+            None if ops.closed => Pop::Closed,
+            None => Pop::Empty,
+        }
+    }
+
+    /// Close the queue and drain everything still pending so the caller
+    /// can fail those ops' completions. Pushes after this are refused.
+    pub(crate) fn close(&self) -> Vec<T> {
+        let mut ops = lock(&self.ops);
+        ops.closed = true;
+        ops.queue.drain(..).collect()
+    }
+
+    /// Ops currently queued (not yet admitted by the worker).
+    pub(crate) fn len(&self) -> usize {
+        lock(&self.ops).queue.len()
+    }
+}
+
+/// The scheduler owned by [`crate::client::NetMergerClient`]: a registry
+/// of per-supplier queues and worker threads, spawned lazily on the
+/// first op for an address and joined on drop.
+pub(crate) struct FetchScheduler {
+    shared: Arc<ClientShared>,
+    peers: Mutex<HashMap<SocketAddr, PeerHandle>>,
+}
+
+struct PeerHandle {
+    queue: Arc<DispatchQueue<FetchOp>>,
+    /// Wakes the worker when it is parked with nothing active.
+    tick: mpsc::Sender<()>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FetchScheduler {
+    pub(crate) fn new(shared: Arc<ClientShared>) -> Self {
+        FetchScheduler {
+            shared,
+            peers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Hand an op to its supplier's worker, spawning the worker on first
+    /// contact. An op refused by a closed queue (client shutting down)
+    /// fails through its own completion channel.
+    pub(crate) fn submit(&self, op: FetchOp) {
+        let (queue, tick) = {
+            let mut peers = lock(&self.peers);
+            let h = peers
+                .entry(op.seg.addr)
+                .or_insert_with(|| spawn_worker(op.seg.addr, Arc::clone(&self.shared)));
+            (Arc::clone(&h.queue), h.tick.clone())
+        };
+        match queue.push(op) {
+            Ok(()) => {
+                self.shared.fetch_stats.record_op_queued();
+                let _ = tick.send(());
+            }
+            Err(op) => fail_op(op, shutdown_error()),
+        }
+    }
+
+    /// Per-peer queue depths (ops admitted but not yet picked up), for
+    /// the pipeline gauges.
+    pub(crate) fn queue_depths(&self) -> Vec<(SocketAddr, usize)> {
+        let peers = lock(&self.peers);
+        peers
+            .iter()
+            .map(|(addr, h)| (*addr, h.queue.len()))
+            .collect()
+    }
+}
+
+impl Drop for FetchScheduler {
+    fn drop(&mut self) {
+        let handles: Vec<PeerHandle> = {
+            let mut peers = lock(&self.peers);
+            peers.drain().map(|(_, h)| h).collect()
+        };
+        // Close every queue first so no worker admits more work, and
+        // fail the ops that never reached a worker.
+        for h in &handles {
+            for op in h.queue.close() {
+                self.shared.fetch_stats.record_op_dequeued();
+                fail_op(op, shutdown_error());
+            }
+            let _ = h.tick.send(());
+        }
+        for mut h in handles {
+            // Dropping the tick sender unparks a worker blocked on an
+            // empty queue; it observes Closed and exits.
+            drop(h.tick);
+            if let Some(t) = h.worker.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+fn shutdown_error() -> TransportError {
+    TransportError::Io {
+        during: "fetch scheduler",
+        source: io::Error::new(io::ErrorKind::Interrupted, "client shut down"),
+    }
+}
+
+fn fail_op(op: FetchOp, e: TransportError) {
+    let err = TransportError::Segment {
+        mof: op.seg.mof,
+        reducer: op.seg.reducer,
+        peer: op.seg.addr.to_string(),
+        source: Box::new(e),
+    };
+    let _ = op.done.send(FetchDone {
+        token: op.token,
+        result: Err(err),
+    });
+}
+
+/// Seed material that differs per worker but is identical across runs,
+/// so backoff jitter stays deterministic under a fixed `retry_seed`.
+fn addr_seed(addr: &SocketAddr) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    addr.hash(&mut h);
+    h.finish()
+}
+
+fn spawn_worker(addr: SocketAddr, shared: Arc<ClientShared>) -> PeerHandle {
+    let queue = Arc::new(DispatchQueue::new());
+    let (tick_tx, tick_rx) = mpsc::channel();
+    let worker_queue = Arc::clone(&queue);
+    let worker = std::thread::spawn(move || {
+        Worker::new(addr, shared, worker_queue, tick_rx).run();
+    });
+    PeerHandle {
+        queue,
+        tick: tick_tx,
+        worker: Some(worker),
+    }
+}
+
+/// One op admitted into a worker's active set.
+struct ActiveOp {
+    op: FetchOp,
+    /// Bytes received and appended so far (multi-chunk ops).
+    buf: Vec<u8>,
+    /// Absolute offset up to which `buf` is complete.
+    committed: u64,
+    /// Absolute offset the *next* (possibly speculative) request starts
+    /// at; collapses back to `committed` on a short read or a failure.
+    spec: u64,
+    /// Offset up to which resume credit was already recorded, so one op
+    /// surviving several reconnects doesn't double-count.
+    resume_mark: u64,
+}
+
+/// One request on the wire, awaiting its response in FIFO order.
+struct Outstanding {
+    id: u64,
+    key: u64,
+    offset: u64,
+    len: u64,
+}
+
+struct Worker {
+    addr: SocketAddr,
+    shared: Arc<ClientShared>,
+    queue: Arc<DispatchQueue<FetchOp>>,
+    ticks: mpsc::Receiver<()>,
+    conn: Option<crate::client::Conn>,
+    /// Active ops by worker-local key (caller tokens are not unique
+    /// across submitters, so they cannot key this map).
+    active: HashMap<u64, ActiveOp>,
+    /// Round-robin order over `active` for balanced chunk injection.
+    rotation: VecDeque<u64>,
+    outstanding: VecDeque<Outstanding>,
+    next_key: u64,
+    next_id: u64,
+    /// Connection-level failures since the last successful response.
+    attempts: u32,
+    ever_connected: bool,
+    rng: DetRng,
+    closed: bool,
+}
+
+impl Worker {
+    fn new(
+        addr: SocketAddr,
+        shared: Arc<ClientShared>,
+        queue: Arc<DispatchQueue<FetchOp>>,
+        ticks: mpsc::Receiver<()>,
+    ) -> Self {
+        let seed = shared.config.retry_seed ^ addr_seed(&addr);
+        Worker {
+            addr,
+            shared,
+            queue,
+            ticks,
+            conn: None,
+            active: HashMap::new(),
+            rotation: VecDeque::new(),
+            outstanding: VecDeque::new(),
+            next_key: 0,
+            // Id 0 is reserved for the serial (non-pipelined) path.
+            next_id: 1,
+            attempts: 0,
+            ever_connected: false,
+            rng: DetRng::new(seed),
+            closed: false,
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            self.admit();
+            if self.closed {
+                self.fail_all_active(&shutdown_error());
+                return;
+            }
+            if self.active.is_empty() {
+                if !self.outstanding.is_empty() {
+                    // The last op completed with speculative requests
+                    // still on the wire. Drain their responses (they
+                    // discard as stale) before parking — otherwise the
+                    // next op on this connection would read them as the
+                    // answers to ITS requests and desynchronize.
+                    if let Err(e) = self.read_one() {
+                        self.on_failure(e);
+                    }
+                    continue;
+                }
+                // Parked: nothing to fetch until a submit ticks us, or
+                // the sender disappears (scheduler dropped).
+                match self.ticks.recv() {
+                    Ok(()) => continue,
+                    Err(_) => {
+                        self.closed = true;
+                        continue;
+                    }
+                }
+            }
+            if let Err(e) = self.pump() {
+                self.on_failure(e);
+            }
+        }
+    }
+
+    /// Move queued ops into the active set, up to the window.
+    fn admit(&mut self) {
+        let window = self.shared.config.window.max(1);
+        while self.active.len() < window {
+            match self.queue.try_pop() {
+                Pop::Item(op) => {
+                    self.shared.fetch_stats.record_op_dequeued();
+                    if self.conn.is_some() {
+                        // The pipelined analogue of a connection-cache
+                        // hit: this op rides the worker's live socket.
+                        lock(&self.shared.stats).connections_reused += 1;
+                    }
+                    let key = self.next_key;
+                    self.next_key += 1;
+                    let committed = op.offset;
+                    self.rotation.push_back(key);
+                    self.active.insert(
+                        key,
+                        ActiveOp {
+                            op,
+                            buf: Vec::new(),
+                            committed,
+                            spec: committed,
+                            resume_mark: committed,
+                        },
+                    );
+                }
+                Pop::Empty => break,
+                Pop::Closed => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// One scheduling step: connect if needed, top up the in-flight
+    /// window round-robin across active ops, then consume one response.
+    fn pump(&mut self) -> Result<()> {
+        if self.conn.is_none() {
+            let conn = dial(self.addr, &self.shared.config)?;
+            lock(&self.shared.stats).connections_established += 1;
+            if self.ever_connected {
+                self.shared.fetch_stats.record_reconnect();
+            }
+            self.ever_connected = true;
+            self.conn = Some(conn);
+        }
+        self.fill_window()?;
+        if self.outstanding.is_empty() {
+            // Nothing on the wire and nothing issuable — only possible
+            // transiently; go round again rather than blocking on read.
+            return Ok(());
+        }
+        self.read_one()
+    }
+
+    /// The next chunk request for an active op, or `None` if the op has
+    /// nothing more to ask for right now.
+    fn next_request(&self, a: &ActiveOp) -> Option<(u64, u64)> {
+        if a.op.limit == 0 {
+            // Whole-remainder op: always another (speculative) chunk;
+            // the window bounds how far ahead we run.
+            Some((a.spec, self.shared.config.buffer_bytes))
+        } else if a.spec == a.op.offset {
+            // Single-exchange chunk: issued at most once per connection
+            // incarnation (spec collapses back on failure for re-issue).
+            Some((a.spec, a.op.limit))
+        } else {
+            None
+        }
+    }
+
+    /// Top up the pipeline window, visiting active ops round-robin so
+    /// chunk injection stays balanced across segments.
+    fn fill_window(&mut self) -> Result<()> {
+        let window = self.shared.config.window.max(1);
+        loop {
+            if self.outstanding.len() >= window {
+                return Ok(());
+            }
+            let mut progressed = false;
+            for _ in 0..self.rotation.len() {
+                if self.outstanding.len() >= window {
+                    break;
+                }
+                let Some(key) = self.rotation.pop_front() else {
+                    break;
+                };
+                // Completed ops leave stale rotation entries; drop them.
+                let Some(a) = self.active.get(&key) else {
+                    continue;
+                };
+                let Some((offset, len)) = self.next_request(a) else {
+                    self.rotation.push_back(key);
+                    continue;
+                };
+                self.send_request(key, offset, len)?;
+                self.rotation.push_back(key);
+                progressed = true;
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn send_request(&mut self, key: u64, offset: u64, len: u64) -> Result<()> {
+        let Some(a) = self.active.get(&key) else {
+            return Ok(());
+        };
+        let (mof, reducer) = (a.op.seg.mof, a.op.seg.reducer);
+        let id = self.next_id;
+        self.next_id += 1;
+        let Some(conn) = self.conn.as_mut() else {
+            return Err(TransportError::Reset {
+                during: "write request",
+            });
+        };
+        FetchRequest {
+            id,
+            mof,
+            reducer,
+            offset,
+            len,
+        }
+        .write_to(&mut conn.writer)
+        .map_err(|e| TransportError::from_io("write request", e))?;
+        self.outstanding.push_back(Outstanding {
+            id,
+            key,
+            offset,
+            len,
+        });
+        self.shared.fetch_stats.record_window_send();
+        if let Some(a) = self.active.get_mut(&key) {
+            a.spec = offset.saturating_add(len);
+        }
+        Ok(())
+    }
+
+    /// Read one response and match it to the head of the FIFO window.
+    fn read_one(&mut self) -> Result<()> {
+        match faults::decide(&self.shared.config.faults, Hook::ClientReadResponse) {
+            FaultAction::Reset => {
+                return Err(TransportError::Reset {
+                    during: "read response (injected)",
+                })
+            }
+            FaultAction::Stall(d) => std::thread::sleep(d),
+            _ => {}
+        }
+        let Some(conn) = self.conn.as_mut() else {
+            return Err(TransportError::Reset {
+                during: "read response",
+            });
+        };
+        let resp = FetchResponse::read_from(&mut conn.reader)
+            .map_err(|e| TransportError::from_io("read response", e))?;
+        let Some(exp) = self.outstanding.pop_front() else {
+            return Err(TransportError::Corrupt {
+                detail: "response frame with no outstanding request".into(),
+            });
+        };
+        self.shared.fetch_stats.record_window_recv();
+        if resp.id != exp.id {
+            // In-order pipelining means the echoed id MUST match the
+            // oldest unanswered request; anything else is a
+            // desynchronized stream we cannot trust.
+            return Err(TransportError::Corrupt {
+                detail: format!(
+                    "pipelined response id {} does not match outstanding id {}",
+                    resp.id, exp.id
+                ),
+            });
+        }
+        // Any well-formed, correctly-matched response is progress: the
+        // connection works, so the failure budget resets.
+        self.attempts = 0;
+        match resp.status {
+            Status::Ok => self.apply_payload(exp, resp.payload),
+            Status::NotFound => {
+                let what = self.describe(exp.key);
+                self.complete(exp.key, Err(TransportError::NotFound { what }));
+                Ok(())
+            }
+            Status::BadRequest => {
+                let detail = format!("supplier rejected fetch of {}", self.describe(exp.key));
+                self.complete(exp.key, Err(TransportError::BadRequest { detail }));
+                Ok(())
+            }
+        }
+    }
+
+    fn describe(&self, key: u64) -> String {
+        match self.active.get(&key) {
+            Some(a) => format!("mof {} reducer {}", a.op.seg.mof, a.op.seg.reducer),
+            None => "completed op".into(),
+        }
+    }
+
+    fn apply_payload(&mut self, exp: Outstanding, payload: Vec<u8>) -> Result<()> {
+        let Some(a) = self.active.get_mut(&exp.key) else {
+            // The op already completed (or failed); this was a
+            // speculative request past its end.
+            self.shared.fetch_stats.record_spec_discard();
+            return Ok(());
+        };
+        if exp.offset != a.committed {
+            // Stale speculation: a short read moved the committed offset
+            // below where this request was aimed.
+            self.shared.fetch_stats.record_spec_discard();
+            return Ok(());
+        }
+        if a.op.limit > 0 {
+            // Single-exchange chunk: the payload (possibly short or
+            // empty at segment end) IS the result.
+            lock(&self.shared.stats).bytes_fetched += payload.len() as u64;
+            self.complete(exp.key, Ok(payload));
+            return Ok(());
+        }
+        if payload.is_empty() {
+            // Empty at exactly the committed offset: end of segment.
+            let buf = std::mem::take(&mut a.buf);
+            self.complete(exp.key, Ok(buf));
+            return Ok(());
+        }
+        let len = payload.len() as u64;
+        lock(&self.shared.stats).bytes_fetched += len;
+        a.buf.extend_from_slice(&payload);
+        a.committed = a.committed.saturating_add(len);
+        if len < exp.len {
+            // Short read: outstanding speculation beyond this point is
+            // aimed wrong; re-aim the next request at the new committed
+            // offset and let the stale responses be discarded above.
+            a.spec = a.committed;
+        }
+        Ok(())
+    }
+
+    /// Deliver one op's result and retire it from the active set.
+    fn complete(&mut self, key: u64, result: Result<Vec<u8>>) {
+        if let Some(a) = self.active.remove(&key) {
+            let result = result.map_err(|e| TransportError::Segment {
+                mof: a.op.seg.mof,
+                reducer: a.op.seg.reducer,
+                peer: a.op.seg.addr.to_string(),
+                source: Box::new(e),
+            });
+            let _ = a.op.done.send(FetchDone {
+                token: a.op.token,
+                result,
+            });
+        }
+    }
+
+    /// A connection-level failure: drain the window, rewind every active
+    /// op to its committed offset (resume), and either back off for a
+    /// retry or fail everything with exhausted context.
+    fn on_failure(&mut self, e: TransportError) {
+        record_failure(&self.shared.fetch_stats, &e);
+        self.conn = None;
+        let drained = self.outstanding.len() as u64;
+        self.outstanding.clear();
+        self.shared.fetch_stats.record_window_drained(drained);
+        for a in self.active.values_mut() {
+            a.spec = a.committed;
+            if a.committed > a.resume_mark {
+                // These bytes survive the reconnect: the op resumes at
+                // `committed` instead of refetching from its start.
+                self.shared
+                    .fetch_stats
+                    .record_resumed_bytes(a.committed - a.resume_mark);
+                a.resume_mark = a.committed;
+            }
+        }
+        // Rebuild the injection rotation from the active set: a key
+        // popped for a send that failed mid-write never made it back,
+        // and losing it would starve its op forever.
+        self.rotation = self.active.keys().copied().collect();
+        if !e.is_retryable() {
+            self.fail_all_active(&e);
+            return;
+        }
+        self.attempts += 1;
+        if self.attempts <= self.shared.config.retry.max_retries {
+            self.shared.fetch_stats.record_retry();
+            let delay = self
+                .shared
+                .config
+                .retry
+                .backoff(self.attempts, &mut self.rng);
+            std::thread::sleep(delay);
+        } else {
+            self.shared.fetch_stats.record_exhausted();
+            let attempts = self.attempts;
+            self.attempts = 0;
+            self.fail_all_active(&TransportError::RetriesExhausted {
+                attempts,
+                last: Box::new(e),
+            });
+        }
+    }
+
+    /// Fail every active op with (a structural copy of) `e`, each in its
+    /// own segment context.
+    fn fail_all_active(&mut self, e: &TransportError) {
+        let keys: Vec<u64> = self.active.keys().copied().collect();
+        for key in keys {
+            self.complete(key, Err(e.duplicate()));
+        }
+        self.rotation.clear();
+    }
+}
+
+/// Bounded model checks of the dispatch queue. Build and run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p jbs-transport --lib loom_`.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+
+    /// A push racing the shutdown close: in every interleaving the op
+    /// surfaces exactly once — refused back to the pusher, or drained by
+    /// close — never both, never lost. This is the invariant that makes
+    /// "every accepted op completes exactly once" hold across shutdown.
+    #[test]
+    fn loom_push_races_close_exactly_once() {
+        loom::model(|| {
+            let q = Arc::new(DispatchQueue::new());
+            let q2 = Arc::clone(&q);
+            let h = loom::thread::spawn(move || q2.push(7u32).err());
+            let drained = q.close();
+            let refused = match h.join() {
+                Ok(r) => r,
+                Err(_) => panic!("pusher panicked"),
+            };
+            let surfaced = usize::from(refused.is_some()) + drained.len();
+            assert_eq!(surfaced, 1, "op must surface exactly once");
+            // After close the queue stays terminal.
+            assert!(matches!(q.try_pop(), Pop::Closed));
+            assert!(q.push(8u32).is_err());
+        });
+    }
+
+    /// Shutdown while a worker holds in-flight work: a pop races close.
+    /// Every queued op surfaces exactly once — via the pop (in-flight in
+    /// the worker) or via close's drain — and the queue reads Closed
+    /// afterwards, so the worker cannot admit work the scheduler will
+    /// never see complete.
+    #[test]
+    fn loom_close_races_pop_loses_nothing() {
+        loom::model(|| {
+            let q = Arc::new(DispatchQueue::new());
+            assert!(q.push(1u32).is_ok());
+            assert!(q.push(2u32).is_ok());
+            let q2 = Arc::clone(&q);
+            let h = loom::thread::spawn(move || match q2.try_pop() {
+                Pop::Item(v) => Some(v),
+                _ => None,
+            });
+            let drained = q.close();
+            let popped = match h.join() {
+                Ok(p) => p,
+                Err(_) => panic!("popper panicked"),
+            };
+            let mut all = drained;
+            if let Some(v) = popped {
+                all.push(v);
+            }
+            all.sort_unstable();
+            assert_eq!(all, vec![1, 2], "every op surfaces exactly once");
+            assert!(matches!(q.try_pop(), Pop::Closed));
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_queue_is_fifo_until_closed() {
+        let q = DispatchQueue::new();
+        assert!(matches!(q.try_pop(), Pop::<u32>::Empty));
+        assert!(q.push(1u32).is_ok());
+        assert!(q.push(2u32).is_ok());
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.try_pop(), Pop::Item(1)));
+        let drained = q.close();
+        assert_eq!(drained, vec![2]);
+        assert!(matches!(q.try_pop(), Pop::Closed));
+        assert_eq!(q.push(3u32).err(), Some(3));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn addr_seed_is_stable_and_distinguishes_peers() {
+        let a: SocketAddr = "127.0.0.1:7000".parse().expect("addr");
+        let b: SocketAddr = "127.0.0.1:7001".parse().expect("addr");
+        assert_eq!(addr_seed(&a), addr_seed(&a));
+        assert_ne!(addr_seed(&a), addr_seed(&b));
+    }
+}

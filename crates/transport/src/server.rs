@@ -7,7 +7,17 @@
 //! * a **DataCache** with grouped read-ahead: a fetch at segment offset
 //!   `o` stages `prefetch_batch` buffers beyond `o` in one file read, so
 //!   consecutive chunk fetches of the same segment are served from memory
-//!   and the disk sees long sequential runs (Fig. 5).
+//!   and the disk sees long sequential runs (Fig. 5);
+//! * a dedicated **disk prefetch thread** ([`crate::prefetch`]): stage
+//!   requests are queued grouped by MOF, offset-ordered within a group,
+//!   and served round-robin across groups. Connection threads write
+//!   already-staged buffers while the disk runs ahead, so disk Read and
+//!   network Xmit overlap instead of adding (the Fig. 4 fix). A hit in
+//!   the tail of a staged range queues the *next* range asynchronously;
+//!   only a cold miss makes a connection thread wait for the disk.
+//! * a reusable [`crate::bufpool::BufPool`] so the hot path stops
+//!   allocating a fresh `Vec` per served chunk, and vectored writes so
+//!   header + payload go to the socket without a combined copy.
 //!
 //! For chaos testing the server takes an optional [`FaultPlan`]
 //! ([`ServerOptions::faults`]): at the accept and response-write hooks it
@@ -15,8 +25,16 @@
 //! frame, or stall before writing — all on a seed-deterministic schedule.
 //! [`MofSupplierServer::start_on`] rebinds a *specific* address, which is
 //! how a test restarts a "dead" supplier where clients expect it.
+//!
+//! [`ServerOptions::prefetch`] = `false` reverts to the pre-pipeline
+//! serving discipline (inline staging on the connection thread), and
+//! [`ServerOptions::synthetic_disk_delay`] charges every read-ahead a
+//! fixed latency — together they are the serial baseline the
+//! `shuffle_bench` benchmark measures the overlap against.
 
+use crate::bufpool::{BufPool, BufPoolStats};
 use crate::faults::{self, FaultAction, FaultPlan, FaultStatsSnapshot, Hook};
+use crate::prefetch::{Pop, PrefetchQueue, StageJob};
 use crate::staging::StageCache;
 use crate::stats::{FetchStats, FetchStatsSnapshot};
 use crate::store::MofStore;
@@ -25,7 +43,7 @@ use crate::wire::{FetchRequest, FetchResponse, Status};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -40,6 +58,34 @@ pub struct SupplierStats {
     pub datacache_hits: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Asynchronous run-ahead batches staged by the disk thread.
+    pub prefetched_batches: AtomicU64,
+    /// Miss-path stages a connection thread had to wait for.
+    pub sync_stages: AtomicU64,
+}
+
+/// A point-in-time copy of the supplier's pipeline observability:
+/// counters, prefetch-queue gauges, and buffer-pool effectiveness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SupplierStatsSnapshot {
+    /// Requests served.
+    pub requests: u64,
+    /// Payload bytes served.
+    pub bytes: u64,
+    /// Requests satisfied from the DataCache.
+    pub datacache_hits: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Asynchronous run-ahead batches staged by the disk thread.
+    pub prefetched_batches: u64,
+    /// Miss-path stages a connection thread had to wait for.
+    pub sync_stages: u64,
+    /// Stage jobs currently queued for the disk thread.
+    pub prefetch_queue_len: u64,
+    /// High-water mark of the prefetch queue.
+    pub prefetch_queue_peak: u64,
+    /// Buffer-pool counters (hit rate = allocation-free serves).
+    pub bufpool: BufPoolStats,
 }
 
 /// Tunables for a supplier.
@@ -49,6 +95,14 @@ pub struct ServerOptions {
     pub buffer_bytes: u64,
     /// Read-ahead batch, in buffers; the paper uses 8.
     pub prefetch_batch: u64,
+    /// Serve read-aheads from the dedicated disk thread (`true`, the
+    /// paper's pipelined design) or inline on the connection thread
+    /// (`false`, the serial baseline).
+    pub prefetch: bool,
+    /// Added latency charged to every read-ahead, emulating a slow disk
+    /// so benchmarks can expose (or measure away) the disk/network
+    /// overlap. Zero in production.
+    pub synthetic_disk_delay: Duration,
     /// Optional fault-injection plan (tests only; `None` in production).
     pub faults: Option<Arc<FaultPlan>>,
 }
@@ -58,6 +112,8 @@ impl Default for ServerOptions {
         ServerOptions {
             buffer_bytes: 128 << 10,
             prefetch_batch: 8,
+            prefetch: true,
+            synthetic_disk_delay: Duration::ZERO,
             faults: None,
         }
     }
@@ -69,6 +125,12 @@ struct Shared {
     /// hit/stage logic lives in [`StageCache`], where the `cfg(loom)`
     /// models exercise it.
     staged: StageCache<(u64, u32)>,
+    /// Recycled payload buffers for the serve hot path.
+    pool: BufPool,
+    /// Stage requests for the disk thread, grouped by MOF.
+    prefetch: PrefetchQueue,
+    /// Wakes the disk thread when a job is queued.
+    prefetch_tick: mpsc::Sender<()>,
     stats: SupplierStats,
     fetch_stats: FetchStats,
     stop: AtomicBool,
@@ -80,6 +142,7 @@ pub struct MofSupplierServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    prefetch_thread: Option<JoinHandle<()>>,
 }
 
 impl MofSupplierServer {
@@ -129,9 +192,16 @@ impl MofSupplierServer {
 
     fn run(listener: TcpListener, store: MofStore, options: ServerOptions) -> io::Result<Self> {
         let addr = listener.local_addr()?;
+        let (tick_tx, tick_rx) = mpsc::channel();
+        let use_prefetch = options.prefetch;
         let shared = Arc::new(Shared {
             store: Mutex::new(store),
             staged: StageCache::new(),
+            // Enough idle buffers for every connection thread plus the
+            // disk thread to hold one in flight.
+            pool: BufPool::new(64),
+            prefetch: PrefetchQueue::new(),
+            prefetch_tick: tick_tx,
             stats: SupplierStats::default(),
             fetch_stats: FetchStats::new(),
             stop: AtomicBool::new(false),
@@ -141,6 +211,14 @@ impl MofSupplierServer {
                 ..options
             },
         });
+        let prefetch_thread = if use_prefetch {
+            let disk_shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || {
+                prefetch_loop(&disk_shared, tick_rx);
+            }))
+        } else {
+            None
+        };
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
@@ -172,6 +250,7 @@ impl MofSupplierServer {
             addr,
             shared,
             accept_thread: Some(accept_thread),
+            prefetch_thread,
         })
     }
 
@@ -183,6 +262,23 @@ impl MofSupplierServer {
     /// Server statistics.
     pub fn stats(&self) -> &SupplierStats {
         &self.shared.stats
+    }
+
+    /// Full observability snapshot: request counters plus the pipeline
+    /// gauges (prefetch-queue depth/peak, buffer-pool hit rate).
+    pub fn stats_snapshot(&self) -> SupplierStatsSnapshot {
+        let s = &self.shared.stats;
+        SupplierStatsSnapshot {
+            requests: s.requests.load(Ordering::Relaxed),
+            bytes: s.bytes.load(Ordering::Relaxed),
+            datacache_hits: s.datacache_hits.load(Ordering::Relaxed),
+            connections: s.connections.load(Ordering::Relaxed),
+            prefetched_batches: s.prefetched_batches.load(Ordering::Relaxed),
+            sync_stages: s.sync_stages.load(Ordering::Relaxed),
+            prefetch_queue_len: self.shared.prefetch.len() as u64,
+            prefetch_queue_peak: self.shared.prefetch.peak() as u64,
+            bufpool: self.shared.pool.stats(),
+        }
     }
 
     /// Recovery counters observed server-side (client resets/timeouts
@@ -203,9 +299,24 @@ impl MofSupplierServer {
 
     fn do_shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        // Close the prefetch queue: fail any connection thread waiting
+        // on a miss, refuse new jobs, and let the disk thread see
+        // `Closed` instead of blocking forever.
+        for job in self.shared.prefetch.close() {
+            if let Some(reply) = job.reply {
+                let _ = reply.send(Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "supplier shutting down",
+                )));
+            }
+        }
+        let _ = self.shared.prefetch_tick.send(());
         // Wake the accept loop.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.prefetch_thread.take() {
             let _ = t.join();
         }
     }
@@ -251,13 +362,13 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             .fetch_add(resp.payload.len() as u64, Ordering::Relaxed);
         match faults::decide(&shared.options.faults, Hook::ServerWriteResponse) {
             FaultAction::Allow | FaultAction::RefuseConnect => {
-                resp.write_to(&mut writer)?;
+                resp.write_vectored_to(&mut writer)?;
             }
             FaultAction::Stall(d) => {
                 // Stall first: the peer's read deadline runs while the
                 // response is withheld.
                 std::thread::sleep(d);
-                resp.write_to(&mut writer)?;
+                resp.write_vectored_to(&mut writer)?;
             }
             FaultAction::Reset => {
                 // Drop mid-exchange: the request was consumed but no
@@ -273,21 +384,130 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 return Ok(());
             }
             FaultAction::Corrupt => {
-                // Flip a high byte of the length header. The client's
-                // decoder rejects it via the MAX_PAYLOAD cap — and the
-                // status byte is untouched, so the damage cannot be
-                // mistaken for a legitimate error verdict.
+                // Flip a high byte of the length header (the field after
+                // status and id). The client's decoder rejects it via the
+                // MAX_PAYLOAD cap — and the status byte is untouched, so
+                // the damage cannot be mistaken for a legitimate error
+                // verdict.
                 let mut frame = Vec::new();
                 resp.write_to(&mut frame)?;
-                if let Some(b) = frame.get_mut(1) {
+                if let Some(b) = frame.get_mut(1 + 8) {
                     *b ^= 0xFF;
                 }
                 writer.write_all(&frame)?;
             }
         }
         writer.flush()?;
+        // The response made it to the socket; recycle its payload buffer.
+        shared.pool.put(resp.payload);
     }
     Ok(())
+}
+
+/// One grouped read-ahead from the store: `prefetch_batch` buffers
+/// starting at `offset`, charged the synthetic disk delay. Returns the
+/// bytes plus whether they reach the segment's end; `None` for an
+/// unknown MOF/reducer.
+fn read_ahead(
+    shared: &Shared,
+    mof: u64,
+    reducer: u32,
+    offset: u64,
+) -> io::Result<Option<(Vec<u8>, bool)>> {
+    let ahead = shared.options.buffer_bytes * shared.options.prefetch_batch;
+    let delay = shared.options.synthetic_disk_delay;
+    if !delay.is_zero() {
+        std::thread::sleep(delay);
+    }
+    let read = {
+        let mut store = lock(&shared.store);
+        store.read_segment_range(mof, reducer, offset, ahead)?
+    };
+    Ok(read.map(|bytes| {
+        let at_end = (bytes.len() as u64) < ahead;
+        (bytes, at_end)
+    }))
+}
+
+/// The disk thread: pop stage jobs (round-robin across MOF groups,
+/// offset-ordered within), read ahead, stage, and answer any waiting
+/// connection thread. Runs until the queue is closed.
+fn prefetch_loop(shared: &Shared, ticks: mpsc::Receiver<()>) {
+    loop {
+        match shared.prefetch.try_pop() {
+            Pop::Item(job) => run_stage_job(shared, job),
+            Pop::Closed => break,
+            Pop::Empty => {
+                // Block until a push (or shutdown) ticks us awake. A
+                // dropped sender means the Shared is gone entirely.
+                if ticks.recv().is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Execute one stage job on the disk thread.
+fn run_stage_job(shared: &Shared, job: StageJob) {
+    let key = (job.mof, job.reducer);
+    // Run-ahead jobs are queued from every tail hit, so consecutive
+    // chunk fetches can queue the same next range several times; the
+    // staged map is the dedupe point.
+    if job.reply.is_none() && shared.staged.covers(&key, job.offset) {
+        return;
+    }
+    // A sync (miss-path) job can be overtaken by an async run-ahead
+    // that was queued ahead of it for the same range; serve the staged
+    // bytes instead of paying a second disk pass.
+    if let Some(reply) = &job.reply {
+        let mut payload = shared.pool.get();
+        if shared
+            .staged
+            .hit_into(&key, job.offset, job.want, 0, &mut payload)
+            .is_some()
+        {
+            shared.stats.datacache_hits.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Ok(Some(payload)));
+            return;
+        }
+        shared.pool.put(payload);
+    }
+    match read_ahead(shared, job.mof, job.reducer, job.offset) {
+        Ok(Some((bytes, at_end))) => {
+            let mut payload = shared.pool.get();
+            let evicted =
+                shared
+                    .staged
+                    .stage_into(key, job.offset, bytes, at_end, job.want, &mut payload);
+            if let Some(old) = evicted {
+                shared.pool.put(old);
+            }
+            match job.reply {
+                Some(reply) => {
+                    shared.stats.sync_stages.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(Ok(Some(payload)));
+                }
+                None => {
+                    shared
+                        .stats
+                        .prefetched_batches
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared.pool.put(payload);
+                }
+            }
+        }
+        Ok(None) => {
+            if let Some(reply) = job.reply {
+                let _ = reply.send(Ok(None));
+            }
+        }
+        Err(e) => {
+            if let Some(reply) = job.reply {
+                let _ = reply.send(Err(e));
+            }
+        }
+    }
 }
 
 /// Serve one request through the DataCache read-ahead.
@@ -300,31 +520,89 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
 
     // Whole-segment requests bypass staging.
     if req.len == 0 {
-        let mut store = lock(&shared.store);
-        return match store.read_segment_range(req.mof, req.reducer, req.offset, 0) {
-            Ok(Some(bytes)) => FetchResponse::ok(bytes),
-            Ok(None) => FetchResponse::error(Status::NotFound),
-            Err(_) => FetchResponse::error(Status::BadRequest),
+        let read = {
+            let mut store = lock(&shared.store);
+            store.read_segment_range(req.mof, req.reducer, req.offset, 0)
+        };
+        return match read {
+            Ok(Some(bytes)) => FetchResponse::ok(req.id, bytes),
+            Ok(None) => FetchResponse::error(req.id, Status::NotFound),
+            Err(_) => FetchResponse::error(req.id, Status::BadRequest),
         };
     }
 
     let key = (req.mof, req.reducer);
+    // Queue the next read-ahead once the reader is within half a batch
+    // of draining the staged range — early enough for the disk to win
+    // the race against the network.
+    let low_water = shared.options.buffer_bytes * shared.options.prefetch_batch / 2;
     // Fast path: the range is already staged by a previous read-ahead.
-    if let Some(chunk) = shared.staged.hit(&key, req.offset, want) {
+    let mut payload = shared.pool.get();
+    if let Some(hit) = shared
+        .staged
+        .hit_into(&key, req.offset, want, low_water, &mut payload)
+    {
         shared.stats.datacache_hits.fetch_add(1, Ordering::Relaxed);
-        return FetchResponse::ok(chunk);
+        if shared.options.prefetch {
+            if let Some(next) = hit.stage_next {
+                let queued = shared.prefetch.push(StageJob {
+                    mof: req.mof,
+                    reducer: req.reducer,
+                    offset: next,
+                    want: 0,
+                    reply: None,
+                });
+                if queued.is_ok() {
+                    let _ = shared.prefetch_tick.send(());
+                }
+            }
+        }
+        return FetchResponse::ok(req.id, payload);
     }
 
-    // Slow path: one grouped read-ahead of `prefetch_batch` buffers.
-    let ahead = shared.options.buffer_bytes * shared.options.prefetch_batch;
-    let read = {
-        let mut store = lock(&shared.store);
-        store.read_segment_range(req.mof, req.reducer, req.offset, ahead)
-    };
-    match read {
-        Ok(Some(bytes)) => FetchResponse::ok(shared.staged.stage(key, req.offset, bytes, want)),
-        Ok(None) => FetchResponse::error(Status::NotFound),
-        Err(_) => FetchResponse::error(Status::BadRequest),
+    // Miss. Pipelined: hand the read to the disk thread and wait for
+    // these exact bytes. Serial baseline: stage inline right here.
+    if shared.options.prefetch {
+        shared.pool.put(payload);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let queued = shared.prefetch.push(StageJob {
+            mof: req.mof,
+            reducer: req.reducer,
+            offset: req.offset,
+            want,
+            reply: Some(reply_tx),
+        });
+        if queued.is_err() {
+            // Shutting down.
+            return FetchResponse::error(req.id, Status::BadRequest);
+        }
+        let _ = shared.prefetch_tick.send(());
+        match reply_rx.recv() {
+            Ok(Ok(Some(bytes))) => FetchResponse::ok(req.id, bytes),
+            Ok(Ok(None)) => FetchResponse::error(req.id, Status::NotFound),
+            Ok(Err(_)) | Err(_) => FetchResponse::error(req.id, Status::BadRequest),
+        }
+    } else {
+        match read_ahead(shared, req.mof, req.reducer, req.offset) {
+            Ok(Some((bytes, at_end))) => {
+                let evicted =
+                    shared
+                        .staged
+                        .stage_into(key, req.offset, bytes, at_end, want, &mut payload);
+                if let Some(old) = evicted {
+                    shared.pool.put(old);
+                }
+                FetchResponse::ok(req.id, payload)
+            }
+            Ok(None) => {
+                shared.pool.put(payload);
+                FetchResponse::error(req.id, Status::NotFound)
+            }
+            Err(_) => {
+                shared.pool.put(payload);
+                FetchResponse::error(req.id, Status::BadRequest)
+            }
+        }
     }
 }
 
@@ -360,13 +638,12 @@ mod tests {
         server.shutdown();
     }
 
-    #[test]
-    fn chunked_fetch_reassembles_and_hits_datacache() {
+    fn chunked_fetch_roundtrip(options: ServerOptions) -> MofSupplierServer {
         let recs: Vec<Record> = (0..2000)
             .map(|i| (format!("k{i:05}").into_bytes(), vec![0xAB; 64]))
             .collect();
         let store = store_with_one_mof(recs);
-        let server = MofSupplierServer::start_with(store, 4 << 10, 8).unwrap();
+        let server = MofSupplierServer::start_with_options(store, options).unwrap();
         let (mut r, mut w) = connect(server.addr());
 
         // Whole segment as reference.
@@ -376,8 +653,10 @@ mod tests {
         // Chunked fetch on the same (reused) connection.
         let mut assembled = Vec::new();
         let mut off = 0u64;
+        let mut id = 1u64;
         loop {
             FetchRequest {
+                id,
                 mof: 0,
                 reducer: 0,
                 offset: off,
@@ -387,6 +666,8 @@ mod tests {
             .unwrap();
             let resp = FetchResponse::read_from(&mut r).unwrap();
             assert_eq!(resp.status, Status::Ok);
+            assert_eq!(resp.id, id, "response id echoes the request id");
+            id += 1;
             if resp.payload.is_empty() {
                 break;
             }
@@ -394,10 +675,51 @@ mod tests {
             assembled.extend_from_slice(&resp.payload);
         }
         assert_eq!(assembled, whole);
+        server
+    }
+
+    #[test]
+    fn chunked_fetch_reassembles_and_hits_datacache() {
+        let server = chunked_fetch_roundtrip(ServerOptions {
+            buffer_bytes: 4 << 10,
+            prefetch_batch: 8,
+            ..ServerOptions::default()
+        });
         // Read-ahead must have served most chunks from memory.
         let hits = server.stats().datacache_hits.load(Ordering::Relaxed);
         let reqs = server.stats().requests.load(Ordering::Relaxed);
         assert!(hits * 2 > reqs, "hits {hits} of {reqs} requests");
+        // The disk thread ran ahead of the reader, and the pool recycled
+        // payload buffers: the pipeline gauges are coherent.
+        let snap = server.stats_snapshot();
+        assert!(snap.prefetched_batches > 0, "{snap:?}");
+        assert!(snap.sync_stages >= 1, "{snap:?}");
+        assert_eq!(snap.prefetch_queue_len, 0, "queue drained: {snap:?}");
+        assert!(snap.prefetch_queue_peak >= 1, "{snap:?}");
+        // Every chunked serve draws from the pool (the disk thread draws
+        // too), and recycling makes most of those draws allocation-free.
+        assert!(
+            snap.bufpool.hits + snap.bufpool.misses >= snap.requests - 1,
+            "{snap:?}"
+        );
+        assert!(snap.bufpool.returns > 0, "{snap:?}");
+        assert!(snap.bufpool.hit_rate() > 0.25, "{snap:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn inline_staging_baseline_serves_identical_bytes() {
+        let server = chunked_fetch_roundtrip(ServerOptions {
+            buffer_bytes: 4 << 10,
+            prefetch_batch: 8,
+            prefetch: false,
+            ..ServerOptions::default()
+        });
+        let snap = server.stats_snapshot();
+        assert_eq!(snap.prefetched_batches, 0, "no disk thread: {snap:?}");
+        assert_eq!(snap.sync_stages, 0, "{snap:?}");
+        let hits = server.stats().datacache_hits.load(Ordering::Relaxed);
+        assert!(hits > 0, "inline staging still feeds the DataCache");
         server.shutdown();
     }
 
@@ -410,6 +732,20 @@ mod tests {
         FetchRequest::whole_segment(42, 0).write_to(&mut w).unwrap();
         let resp = FetchResponse::read_from(&mut r).unwrap();
         assert_eq!(resp.status, Status::NotFound);
+        // A *chunked* miss takes the sync-stage path through the disk
+        // thread and must come back NotFound too, not hang.
+        FetchRequest {
+            id: 5,
+            mof: 42,
+            reducer: 0,
+            offset: 0,
+            len: 1 << 10,
+        }
+        .write_to(&mut w)
+        .unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+        assert_eq!(resp.id, 5);
         server.shutdown();
     }
 

@@ -8,10 +8,24 @@
 //! DataCache, Fig. 5). The map holds one staged range per key; staging
 //! replaces the previous range.
 //!
+//! Two things make the map pipeline-aware:
+//!
+//! * a range remembers whether it reaches the **end of its segment**
+//!   (`at_end`), so the prefetch machinery knows when running further
+//!   ahead would be wasted disk work;
+//! * a hit reports when the reader is **close to draining** the range
+//!   ([`Hit::stage_next`]), which is the signal the server turns into an
+//!   asynchronous read-ahead job — the disk thread stages the next range
+//!   while the network is still transmitting this one.
+//!
+//! The `_into` variants copy into a caller-supplied buffer (from the
+//! [`crate::bufpool::BufPool`]) instead of allocating, and staging
+//! returns the evicted range's buffer so it can be recycled too.
+//!
 //! Locking: the single `staged` mutex is held only to copy a hit out or
 //! swap a range in — never across disk I/O. In the documented order it
-//! sits after `store`, because the server's slow path reads the store
-//! first and stages the result; a hit never takes `store` at all.
+//! sits after `store`, because the prefetch path reads the store first
+//! and stages the result; a hit never takes `store` at all.
 
 use crate::sync::{lock, Mutex};
 use std::collections::HashMap;
@@ -22,6 +36,17 @@ struct StagedRange {
     /// Segment offset of `bytes[0]`.
     offset: u64,
     bytes: Vec<u8>,
+    /// Whether this range reaches the end of its segment (a shorter-
+    /// than-requested store read proved there is nothing beyond it).
+    at_end: bool,
+}
+
+/// What a successful [`StageCache::hit_into`] learned beyond the bytes.
+pub(crate) struct Hit {
+    /// `Some(next)` when the hit consumed into the low-water tail of the
+    /// range and the segment continues past it: the caller should queue
+    /// an asynchronous read-ahead starting at absolute offset `next`.
+    pub(crate) stage_next: Option<u64>,
 }
 
 /// Keyed staging map (the DataCache).
@@ -37,27 +62,85 @@ impl<K: Hash + Eq> StageCache<K> {
         }
     }
 
-    /// Serve `[offset, offset+want)` from the staged range, if the whole
-    /// request lies inside it. Checked arithmetic and `get` make the hit
-    /// test total: an offset below the staged base, a range past its
-    /// end, or any u64 overflow is a miss, never a panic.
-    pub(crate) fn hit(&self, key: &K, offset: u64, want: u64) -> Option<Vec<u8>> {
+    /// Serve `[offset, offset+want)` from the staged range into `out`,
+    /// if the whole request lies inside it. Checked arithmetic and `get`
+    /// make the hit test total: an offset below the staged base, a range
+    /// past its end, or any u64 overflow is a miss, never a panic.
+    ///
+    /// On a hit, [`Hit::stage_next`] is set when at most `low_water`
+    /// bytes remain beyond the request and the segment continues past
+    /// this range.
+    pub(crate) fn hit_into(
+        &self,
+        key: &K,
+        offset: u64,
+        want: u64,
+        low_water: u64,
+        out: &mut Vec<u8>,
+    ) -> Option<Hit> {
         let staged = lock(&self.staged);
         let s = staged.get(key)?;
         let lo = offset.checked_sub(s.offset).map(|lo| lo as usize)?;
-        let chunk = lo
+        let chunk = match lo
             .checked_add(want as usize)
-            .and_then(|hi| s.bytes.get(lo..hi))?;
-        Some(chunk.to_vec())
+            .and_then(|hi| s.bytes.get(lo..hi))
+        {
+            Some(chunk) => chunk,
+            // A request running into (or past) the end of an at-end
+            // range is served clamped — possibly empty. The segment
+            // truly ends inside this range, so a shorter answer is the
+            // final answer; treating it as a miss would send pipelined
+            // past-EOF speculation to the disk, where its empty result
+            // would evict the live range it raced.
+            None if s.at_end => s.bytes.get(lo.min(s.bytes.len())..).unwrap_or_default(),
+            None => return None,
+        };
+        out.clear();
+        out.extend_from_slice(chunk);
+        let end = s.offset.saturating_add(s.bytes.len() as u64);
+        let remaining = end.saturating_sub(offset.saturating_add(want));
+        let stage_next = (!s.at_end && remaining <= low_water).then_some(end);
+        Some(Hit { stage_next })
     }
 
     /// Stage `bytes` (read from the store at `offset`) as `key`'s new
-    /// range and serve the first `want` bytes of it.
-    pub(crate) fn stage(&self, key: K, offset: u64, bytes: Vec<u8>, want: u64) -> Vec<u8> {
+    /// range, serve its first `want` bytes into `out`, and return the
+    /// evicted range's buffer (if any) for recycling.
+    pub(crate) fn stage_into(
+        &self,
+        key: K,
+        offset: u64,
+        bytes: Vec<u8>,
+        at_end: bool,
+        want: u64,
+        out: &mut Vec<u8>,
+    ) -> Option<Vec<u8>> {
         let serve_len = (want as usize).min(bytes.len());
-        let payload = bytes.get(..serve_len).unwrap_or_default().to_vec();
-        lock(&self.staged).insert(key, StagedRange { offset, bytes });
-        payload
+        out.clear();
+        out.extend_from_slice(bytes.get(..serve_len).unwrap_or_default());
+        let evicted = lock(&self.staged).insert(
+            key,
+            StagedRange {
+                offset,
+                bytes,
+                at_end,
+            },
+        );
+        evicted.map(|r| r.bytes)
+    }
+
+    /// Whether a read-ahead starting at `offset` would be redundant:
+    /// the staged range already contains `offset`, or it reaches the
+    /// segment end and `offset` lies at or beyond it.
+    pub(crate) fn covers(&self, key: &K, offset: u64) -> bool {
+        let staged = lock(&self.staged);
+        match staged.get(key) {
+            Some(s) => {
+                let end = s.offset.saturating_add(s.bytes.len() as u64);
+                (offset >= s.offset && offset < end) || (s.at_end && offset >= end)
+            }
+            None => false,
+        }
     }
 }
 
@@ -68,6 +151,17 @@ mod loom_tests {
     use super::*;
     use std::sync::Arc;
 
+    fn hit(cache: &StageCache<u8>, key: u8, offset: u64, want: u64) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        cache.hit_into(&key, offset, want, 0, &mut out).map(|_| out)
+    }
+
+    fn stage(cache: &StageCache<u8>, key: u8, offset: u64, bytes: Vec<u8>, want: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        cache.stage_into(key, offset, bytes, false, want, &mut out);
+        out
+    }
+
     /// Two connection threads race a stage against a hit on the same
     /// key. In every interleaving a served chunk is byte-exact for its
     /// requested range — a reader sees a complete staged range or a
@@ -77,8 +171,8 @@ mod loom_tests {
         loom::model(|| {
             let cache = Arc::new(StageCache::<u8>::new());
             let c2 = Arc::clone(&cache);
-            let h = loom::thread::spawn(move || c2.stage(0u8, 0, vec![1, 2, 3, 4], 2));
-            if let Some(chunk) = cache.hit(&0u8, 1, 2) {
+            let h = loom::thread::spawn(move || stage(&c2, 0u8, 0, vec![1, 2, 3, 4], 2));
+            if let Some(chunk) = hit(&cache, 0u8, 1, 2) {
                 assert_eq!(chunk, vec![2, 3]);
             }
             let served = match h.join() {
@@ -87,30 +181,42 @@ mod loom_tests {
             };
             assert_eq!(served, vec![1, 2]);
             // After both finish, the staged range serves hits exactly.
-            assert_eq!(cache.hit(&0u8, 2, 2), Some(vec![3, 4]));
+            assert_eq!(hit(&cache, 0u8, 2, 2), Some(vec![3, 4]));
         });
     }
 
     /// Two threads stage different ranges for one key concurrently. The
     /// survivor is one of the two complete ranges (last write wins),
-    /// and a later hit is consistent with whichever survived.
+    /// a later hit is consistent with whichever survived, and exactly
+    /// one of the racers gets the loser's buffer back for recycling.
     #[test]
     fn loom_concurrent_stages_last_write_wins() {
         loom::model(|| {
             let cache = Arc::new(StageCache::<u8>::new());
             let c2 = Arc::clone(&cache);
-            let h = loom::thread::spawn(move || c2.stage(0u8, 0, vec![10, 11], 2));
-            let s2 = cache.stage(0u8, 2, vec![20, 21], 2);
-            assert_eq!(s2, vec![20, 21]);
-            match h.join() {
-                Ok(s1) => assert_eq!(s1, vec![10, 11]),
+            let h = loom::thread::spawn(move || {
+                let mut out = Vec::new();
+                let evicted = c2.stage_into(0u8, 0, vec![10, 11], false, 2, &mut out);
+                (out, evicted)
+            });
+            let mut out2 = Vec::new();
+            let ev2 = cache.stage_into(0u8, 2, vec![20, 21], false, 2, &mut out2);
+            assert_eq!(out2, vec![20, 21]);
+            let (out1, ev1) = match h.join() {
+                Ok(r) => r,
                 Err(_) => panic!("stager panicked"),
-            }
-            let survivor = (cache.hit(&0u8, 0, 2), cache.hit(&0u8, 2, 2));
+            };
+            assert_eq!(out1, vec![10, 11]);
+            let survivor = (hit(&cache, 0u8, 0, 2), hit(&cache, 0u8, 2, 2));
             assert!(
                 matches!(survivor, (Some(_), None) | (None, Some(_))),
                 "exactly one complete range survives: {survivor:?}"
             );
+            // The losing range's buffer was returned to exactly one
+            // caller (the one that staged second); never both, never a
+            // phantom buffer.
+            let evictions = [&ev1, &ev2].iter().filter(|e| e.is_some()).count();
+            assert_eq!(evictions, 1, "{ev1:?} {ev2:?}");
         });
     }
 }
@@ -119,31 +225,95 @@ mod loom_tests {
 mod tests {
     use super::*;
 
+    fn hit(cache: &StageCache<u8>, key: u8, offset: u64, want: u64) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        cache.hit_into(&key, offset, want, 0, &mut out).map(|_| out)
+    }
+
+    fn stage(cache: &StageCache<u8>, key: u8, offset: u64, bytes: Vec<u8>, want: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        cache.stage_into(key, offset, bytes, false, want, &mut out);
+        out
+    }
+
     #[test]
     fn hit_requires_containment() {
         let cache = StageCache::<u8>::new();
-        assert_eq!(cache.hit(&1, 0, 4), None, "empty cache misses");
-        let served = cache.stage(1, 100, vec![1, 2, 3, 4, 5, 6], 4);
+        assert_eq!(hit(&cache, 1, 0, 4), None, "empty cache misses");
+        let served = stage(&cache, 1, 100, vec![1, 2, 3, 4, 5, 6], 4);
         assert_eq!(served, vec![1, 2, 3, 4]);
-        assert_eq!(cache.hit(&1, 102, 3), Some(vec![3, 4, 5]));
-        assert_eq!(cache.hit(&1, 99, 2), None, "below staged base");
-        assert_eq!(cache.hit(&1, 104, 4), None, "past staged end");
-        assert_eq!(cache.hit(&1, u64::MAX, 2), None, "overflowing offset");
+        assert_eq!(hit(&cache, 1, 102, 3), Some(vec![3, 4, 5]));
+        assert_eq!(hit(&cache, 1, 99, 2), None, "below staged base");
+        assert_eq!(hit(&cache, 1, 104, 4), None, "past staged end");
+        assert_eq!(hit(&cache, 1, u64::MAX, 2), None, "overflowing offset");
     }
 
     #[test]
     fn stage_serves_at_most_available() {
         let cache = StageCache::<u8>::new();
-        let served = cache.stage(1, 0, vec![7, 8], 10);
+        let served = stage(&cache, 1, 0, vec![7, 8], 10);
         assert_eq!(served, vec![7, 8], "want capped to staged bytes");
     }
 
     #[test]
-    fn restage_replaces_range() {
+    fn restage_replaces_range_and_returns_evicted_buffer() {
         let cache = StageCache::<u8>::new();
-        cache.stage(1, 0, vec![1, 2, 3], 3);
-        cache.stage(1, 10, vec![4, 5, 6], 3);
-        assert_eq!(cache.hit(&1, 0, 2), None, "old range gone");
-        assert_eq!(cache.hit(&1, 10, 3), Some(vec![4, 5, 6]));
+        let mut out = Vec::new();
+        assert!(cache
+            .stage_into(1, 0, vec![1, 2, 3], false, 3, &mut out)
+            .is_none());
+        let evicted = cache.stage_into(1, 10, vec![4, 5, 6], false, 3, &mut out);
+        assert_eq!(evicted, Some(vec![1, 2, 3]), "old buffer comes back");
+        assert_eq!(hit(&cache, 1, 0, 2), None, "old range gone");
+        assert_eq!(hit(&cache, 1, 10, 3), Some(vec![4, 5, 6]));
+    }
+
+    #[test]
+    fn tail_hits_request_read_ahead() {
+        let cache = StageCache::<u8>::new();
+        let mut out = Vec::new();
+        // Range [100, 108), segment continues beyond it.
+        cache.stage_into(1, 100, vec![0; 8], false, 2, &mut out);
+        // Head of the range with 2 bytes of low-water: plenty left.
+        let h = cache.hit_into(&1, 100, 2, 2, &mut out).unwrap();
+        assert_eq!(h.stage_next, None);
+        // Consuming to within low-water of the end: stage at 108 next.
+        let h = cache.hit_into(&1, 104, 2, 2, &mut out).unwrap();
+        assert_eq!(h.stage_next, Some(108));
+        // Same tail hit on an at-end range: nothing beyond to stage.
+        cache.stage_into(2, 100, vec![0; 8], true, 2, &mut out);
+        let h = cache.hit_into(&2, 104, 2, 2, &mut out).unwrap();
+        assert_eq!(h.stage_next, None);
+    }
+
+    #[test]
+    fn at_end_range_serves_clamped_and_empty_tails() {
+        let cache = StageCache::<u8>::new();
+        let mut out = Vec::new();
+        cache.stage_into(1, 100, vec![1, 2, 3, 4], true, 0, &mut out);
+        // Runs into the end: clamped, not a miss.
+        assert_eq!(hit(&cache, 1, 102, 8), Some(vec![3, 4]));
+        // At and past the end: empty — the stream's EOF answer.
+        assert_eq!(hit(&cache, 1, 104, 4), Some(vec![]));
+        assert_eq!(hit(&cache, 1, 200, 4), Some(vec![]));
+        // A mid-segment range still misses past its staged end.
+        cache.stage_into(2, 100, vec![1, 2, 3, 4], false, 0, &mut out);
+        assert_eq!(hit(&cache, 2, 102, 8), None);
+    }
+
+    #[test]
+    fn covers_tracks_range_and_segment_end() {
+        let cache = StageCache::<u8>::new();
+        assert!(!cache.covers(&1, 0), "empty cache covers nothing");
+        let mut out = Vec::new();
+        cache.stage_into(1, 100, vec![0; 8], false, 0, &mut out);
+        assert!(cache.covers(&1, 100));
+        assert!(cache.covers(&1, 107));
+        assert!(!cache.covers(&1, 108), "just past a mid-segment range");
+        assert!(!cache.covers(&1, 99));
+        // An at-end range also covers everything past the segment end.
+        cache.stage_into(2, 100, vec![0; 8], true, 0, &mut out);
+        assert!(cache.covers(&2, 108));
+        assert!(cache.covers(&2, 10_000));
     }
 }

@@ -1,14 +1,20 @@
-//! Recovery counters for the real dataplane.
+//! Recovery counters and pipeline gauges for the real dataplane.
 //!
 //! [`FetchStats`] is the observable face of the retry/timeout machinery:
 //! the chaos tests (and operators of a real deployment) read it to
 //! confirm that injected faults were actually hit and recovered from,
-//! rather than silently avoided.
+//! rather than silently avoided. The pipeline gauges (`queued_ops`,
+//! `window_inflight` and their peaks) additionally expose whether the
+//! background fetch scheduler actually overlapped work: a peak window
+//! occupancy above 1 is the direct witness that chunk `k+1` was on the
+//! wire while chunk `k` was still streaming back.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counters describing recovery activity. All methods are
-/// thread-safe; fetch worker threads update them concurrently.
+/// Counters describing recovery activity plus scheduler gauges. All
+/// methods are thread-safe; fetch worker threads update them
+/// concurrently. Counters are monotonic; the two `*_inflight`/`queued`
+/// gauges go up and down and read zero when the dataplane is quiescent.
 #[derive(Debug, Default)]
 pub struct FetchStats {
     retries: AtomicU64,
@@ -19,6 +25,11 @@ pub struct FetchStats {
     connect_failures: AtomicU64,
     resumed_bytes: AtomicU64,
     exhausted: AtomicU64,
+    queued_ops: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    window_inflight: AtomicU64,
+    window_peak: AtomicU64,
+    spec_discards: AtomicU64,
 }
 
 /// A point-in-time copy of [`FetchStats`].
@@ -41,6 +52,21 @@ pub struct FetchStatsSnapshot {
     pub resumed_bytes: u64,
     /// Operations that ran out of retry budget.
     pub exhausted: u64,
+    /// Fetch ops currently sitting in per-supplier scheduler queues
+    /// (gauge; zero when quiescent).
+    pub queued_ops: u64,
+    /// High-water mark of [`Self::queued_ops`].
+    pub queue_depth_peak: u64,
+    /// Pipelined requests currently on the wire awaiting their response
+    /// (gauge; zero when quiescent).
+    pub window_inflight: u64,
+    /// High-water mark of [`Self::window_inflight`] — above 1 proves
+    /// requests were actually pipelined, not serialized.
+    pub window_peak: u64,
+    /// Speculative pipelined responses discarded: the response landed at
+    /// a stale offset after a short read, or its op had already
+    /// completed or failed.
+    pub spec_discards: u64,
 }
 
 impl FetchStats {
@@ -90,6 +116,38 @@ impl FetchStats {
         self.exhausted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Gauge up: one op entered a scheduler queue.
+    pub fn record_op_queued(&self) {
+        let depth = self.queued_ops.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Gauge down: one op left its queue for a worker's active set.
+    pub fn record_op_dequeued(&self) {
+        self.queued_ops.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Gauge up: one pipelined request went on the wire.
+    pub fn record_window_send(&self) {
+        let inflight = self.window_inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.window_peak.fetch_max(inflight, Ordering::Relaxed);
+    }
+
+    /// Gauge down: one pipelined response was matched to its request.
+    pub fn record_window_recv(&self) {
+        self.window_inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Gauge down: `n` in-flight requests died with their connection.
+    pub fn record_window_drained(&self, n: u64) {
+        self.window_inflight.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Record one discarded speculative response.
+    pub fn record_spec_discard(&self) {
+        self.spec_discards.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy out all counters.
     pub fn snapshot(&self) -> FetchStatsSnapshot {
         FetchStatsSnapshot {
@@ -101,6 +159,11 @@ impl FetchStats {
             connect_failures: self.connect_failures.load(Ordering::Relaxed),
             resumed_bytes: self.resumed_bytes.load(Ordering::Relaxed),
             exhausted: self.exhausted.load(Ordering::Relaxed),
+            queued_ops: self.queued_ops.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            window_inflight: self.window_inflight.load(Ordering::Relaxed),
+            window_peak: self.window_peak.load(Ordering::Relaxed),
+            spec_discards: self.spec_discards.load(Ordering::Relaxed),
         }
     }
 }
@@ -140,5 +203,25 @@ mod tests {
         assert_eq!(snap.exhausted, 1);
         assert!(snap.any_recovery());
         assert!(!FetchStatsSnapshot::default().any_recovery());
+    }
+
+    #[test]
+    fn gauges_track_depth_and_peaks() {
+        let s = FetchStats::new();
+        s.record_op_queued();
+        s.record_op_queued();
+        s.record_op_dequeued();
+        s.record_window_send();
+        s.record_window_send();
+        s.record_window_send();
+        s.record_window_recv();
+        s.record_window_drained(2);
+        s.record_spec_discard();
+        let snap = s.snapshot();
+        assert_eq!(snap.queued_ops, 1);
+        assert_eq!(snap.queue_depth_peak, 2);
+        assert_eq!(snap.window_inflight, 0);
+        assert_eq!(snap.window_peak, 3);
+        assert_eq!(snap.spec_discards, 1);
     }
 }

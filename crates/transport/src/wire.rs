@@ -6,20 +6,31 @@
 //! (connections are cached and reused, unlike Hadoop's per-fetch HTTP).
 //!
 //! ```text
-//! request  := MAGIC u32 | mof u64 | reducer u32 | offset u64 | len u64
-//! response := status u8 | payload_len u64 | payload[payload_len]
+//! request  := MAGIC u32 | id u64 | mof u64 | reducer u32 | offset u64 | len u64
+//! response := status u8 | id u64 | payload_len u64 | payload[payload_len]
 //! ```
 //!
 //! `len == 0` requests the whole remainder of the segment from `offset`.
+//!
+//! `id` is a client-chosen request identifier echoed verbatim in the
+//! response. The server answers requests strictly in arrival order, so
+//! ids are not needed for reordering — they exist so a *pipelined*
+//! client with several requests in flight on one connection can verify
+//! that responses stay in lockstep with its outstanding window; an id
+//! mismatch means the stream desynchronized and the connection must be
+//! torn down rather than trusted.
 
 use bytes::{Buf, BufMut, BytesMut};
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
-/// Protocol magic ("JBS1").
-pub const REQUEST_MAGIC: u32 = 0x4A42_5331;
+/// Protocol magic ("JBS2" — v2 added pipelined request ids).
+pub const REQUEST_MAGIC: u32 = 0x4A42_5332;
 
 /// Size of an encoded request.
-pub const REQUEST_LEN: usize = 4 + 8 + 4 + 8 + 8;
+pub const REQUEST_LEN: usize = 4 + 8 + 8 + 4 + 8 + 8;
+
+/// Size of an encoded response header (status, id, payload length).
+pub const RESPONSE_HEADER_LEN: usize = 1 + 8 + 8;
 
 /// Upper bound on a response payload. A length header above this is
 /// treated as frame corruption rather than an allocation request —
@@ -56,6 +67,8 @@ impl Status {
 /// One fetch request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FetchRequest {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
     /// MOF id.
     pub mof: u64,
     /// Reducer (partition) number.
@@ -70,6 +83,7 @@ impl FetchRequest {
     /// Request a whole segment.
     pub fn whole_segment(mof: u64, reducer: u32) -> Self {
         FetchRequest {
+            id: 0,
             mof,
             reducer,
             offset: 0,
@@ -81,6 +95,7 @@ impl FetchRequest {
     pub fn encode(&self) -> [u8; REQUEST_LEN] {
         let mut buf = BytesMut::with_capacity(REQUEST_LEN);
         buf.put_u32(REQUEST_MAGIC);
+        buf.put_u64(self.id);
         buf.put_u64(self.mof);
         buf.put_u32(self.reducer);
         buf.put_u64(self.offset);
@@ -103,6 +118,7 @@ impl FetchRequest {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
         }
         Ok(FetchRequest {
+            id: buf.get_u64(),
             mof: buf.get_u64(),
             reducer: buf.get_u32(),
             offset: buf.get_u64(),
@@ -143,51 +159,96 @@ impl FetchRequest {
 pub struct FetchResponse {
     /// Outcome.
     pub status: Status,
+    /// Echo of the request's id.
+    pub id: u64,
     /// Segment bytes (empty unless `status == Ok`).
     pub payload: Vec<u8>,
 }
 
 impl FetchResponse {
-    /// A successful response.
-    pub fn ok(payload: Vec<u8>) -> Self {
+    /// A successful response to request `id`.
+    pub fn ok(id: u64, payload: Vec<u8>) -> Self {
         FetchResponse {
             status: Status::Ok,
+            id,
             payload,
         }
     }
 
-    /// An error response.
-    pub fn error(status: Status) -> Self {
+    /// An error response to request `id`.
+    pub fn error(id: u64, status: Status) -> Self {
         FetchResponse {
             status,
+            id,
             payload: Vec::new(),
         }
     }
 
+    fn encode_header(&self) -> [u8; RESPONSE_HEADER_LEN] {
+        let mut buf = BytesMut::with_capacity(RESPONSE_HEADER_LEN);
+        buf.put_u8(self.status as u8);
+        buf.put_u64(self.id);
+        buf.put_u64(self.payload.len() as u64);
+        let mut out = [0u8; RESPONSE_HEADER_LEN];
+        out.copy_from_slice(&buf);
+        out
+    }
+
     /// Write header + payload to a stream.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        let mut hdr = [0u8; 9];
-        let [status, len @ ..] = &mut hdr;
-        *status = self.status as u8;
-        *len = (self.payload.len() as u64).to_be_bytes();
-        w.write_all(&hdr)?;
+        w.write_all(&self.encode_header())?;
         w.write_all(&self.payload)
+    }
+
+    /// Write header + payload in one vectored syscall where the sink
+    /// supports it, avoiding the copy of payload bytes into a combined
+    /// frame buffer. Handles partial vectored writes and `Interrupted`.
+    pub fn write_vectored_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let hdr = self.encode_header();
+        let total = RESPONSE_HEADER_LEN + self.payload.len();
+        let mut written = 0usize;
+        while written < total {
+            let n = if written < RESPONSE_HEADER_LEN {
+                let bufs = [
+                    IoSlice::new(hdr.get(written..).unwrap_or_default()),
+                    IoSlice::new(&self.payload),
+                ];
+                w.write_vectored(&bufs)
+            } else {
+                let off = written - RESPONSE_HEADER_LEN;
+                w.write(self.payload.get(off..).unwrap_or_default())
+            };
+            match n {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "response frame write stalled",
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     /// Read a full response from a stream. Never panics: an unknown
     /// status byte or an implausible payload length is reported as
     /// `InvalidData` (frame corruption) without allocating.
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
-        let mut hdr = [0u8; 9];
+        let mut hdr = [0u8; RESPONSE_HEADER_LEN];
         r.read_exact(&mut hdr)?;
-        let [status_byte, len_bytes @ ..] = hdr;
+        let mut buf = hdr.as_slice();
+        let status_byte = buf.get_u8();
         let status = Status::from_u8(status_byte).ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("invalid status byte {status_byte:#04x}"),
             )
         })?;
-        let len = u64::from_be_bytes(len_bytes);
+        let id = buf.get_u64();
+        let len = buf.get_u64();
         if len > MAX_PAYLOAD as u64 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -196,7 +257,11 @@ impl FetchResponse {
         }
         let mut payload = vec![0u8; len as usize];
         r.read_exact(&mut payload)?;
-        Ok(FetchResponse { status, payload })
+        Ok(FetchResponse {
+            status,
+            id,
+            payload,
+        })
     }
 }
 
@@ -207,6 +272,7 @@ mod tests {
     #[test]
     fn request_roundtrip() {
         let req = FetchRequest {
+            id: 0xDEAD_BEEF,
             mof: 7,
             reducer: 3,
             offset: 4096,
@@ -248,26 +314,79 @@ mod tests {
 
     #[test]
     fn response_roundtrip() {
-        let resp = FetchResponse::ok(vec![1, 2, 3, 4, 5]);
+        let resp = FetchResponse::ok(11, vec![1, 2, 3, 4, 5]);
         let mut buf = Vec::new();
         resp.write_to(&mut buf).unwrap();
         let back = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap();
         assert_eq!(back, resp);
+        assert_eq!(back.id, 11);
+    }
+
+    #[test]
+    fn vectored_write_matches_plain_write() {
+        for payload in [Vec::new(), vec![7u8; 3], vec![0xA5; 64 << 10]] {
+            let resp = FetchResponse::ok(42, payload);
+            let mut plain = Vec::new();
+            resp.write_to(&mut plain).unwrap();
+            let mut vectored = Vec::new();
+            resp.write_vectored_to(&mut vectored).unwrap();
+            assert_eq!(plain, vectored);
+        }
+    }
+
+    /// A sink that accepts one byte per call, forcing the vectored
+    /// writer through every partial-write resume point (header split,
+    /// header/payload boundary, payload split).
+    struct TrickleSink(Vec<u8>);
+
+    impl Write for TrickleSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            match buf.first() {
+                Some(&b) => {
+                    self.0.push(b);
+                    Ok(1)
+                }
+                None => Ok(0),
+            }
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            for b in bufs {
+                if let Some(&byte) = b.first() {
+                    self.0.push(byte);
+                    return Ok(1);
+                }
+            }
+            Ok(0)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        let resp = FetchResponse::ok(9, (0..=255u8).collect());
+        let mut sink = TrickleSink(Vec::new());
+        resp.write_vectored_to(&mut sink).unwrap();
+        let mut plain = Vec::new();
+        resp.write_to(&mut plain).unwrap();
+        assert_eq!(sink.0, plain);
     }
 
     #[test]
     fn error_response_roundtrip() {
-        let resp = FetchResponse::error(Status::NotFound);
+        let resp = FetchResponse::error(3, Status::NotFound);
         let mut buf = Vec::new();
         resp.write_to(&mut buf).unwrap();
         let back = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap();
         assert_eq!(back.status, Status::NotFound);
+        assert_eq!(back.id, 3);
         assert!(back.payload.is_empty());
     }
 
     #[test]
     fn unknown_status_byte_is_corruption() {
-        let resp = FetchResponse::ok(vec![1, 2, 3]);
+        let resp = FetchResponse::ok(0, vec![1, 2, 3]);
         let mut buf = Vec::new();
         resp.write_to(&mut buf).unwrap();
         buf[0] = 0xEE;
@@ -277,12 +396,12 @@ mod tests {
 
     #[test]
     fn oversized_length_header_is_corruption_not_allocation() {
-        let resp = FetchResponse::ok(vec![9; 16]);
+        let resp = FetchResponse::ok(0, vec![9; 16]);
         let mut buf = Vec::new();
         resp.write_to(&mut buf).unwrap();
-        // Flip a high byte of the length field: the decoder must reject
-        // it before trying to allocate petabytes.
-        buf[1] ^= 0xFF;
+        // Flip a high byte of the length field (after status + id): the
+        // decoder must reject it before trying to allocate petabytes.
+        buf[1 + 8] ^= 0xFF;
         let err = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
@@ -291,14 +410,18 @@ mod tests {
     fn many_exchanges_on_one_stream() {
         let mut buf = Vec::new();
         for i in 0..10u64 {
-            FetchRequest::whole_segment(i, i as u32)
-                .write_to(&mut buf)
-                .unwrap();
+            FetchRequest {
+                id: i,
+                ..FetchRequest::whole_segment(i, i as u32)
+            }
+            .write_to(&mut buf)
+            .unwrap();
         }
         let mut cursor = std::io::Cursor::new(buf);
         for i in 0..10u64 {
             let req = FetchRequest::read_from(&mut cursor).unwrap().unwrap();
             assert_eq!(req.mof, i);
+            assert_eq!(req.id, i);
         }
         assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), None);
     }

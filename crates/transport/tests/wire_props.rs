@@ -1,7 +1,8 @@
 //! Property tests of the fetch wire protocol: encode/decode round-trips
-//! for every representable request and response, and — the property the
-//! fault-injection harness leans on — decoding NEVER panics on arbitrary
-//! or truncated bytes, it returns an error.
+//! for every representable request and response (including the pipelined
+//! request ids), and — the property the fault-injection harness leans
+//! on — decoding NEVER panics on arbitrary or truncated bytes, it
+//! returns an error.
 
 use jbs_transport::wire::{FetchRequest, FetchResponse, Status, MAX_PAYLOAD, REQUEST_LEN};
 use proptest::prelude::*;
@@ -11,12 +12,13 @@ proptest! {
     /// Any request round-trips through the fixed-size encoding.
     #[test]
     fn request_roundtrips(
+        id in any::<u64>(),
         mof in any::<u64>(),
         reducer in any::<u32>(),
         offset in any::<u64>(),
         len in any::<u64>(),
     ) {
-        let req = FetchRequest { mof, reducer, offset, len };
+        let req = FetchRequest { id, mof, reducer, offset, len };
         let enc = req.encode();
         prop_assert_eq!(enc.len(), REQUEST_LEN);
         prop_assert_eq!(FetchRequest::decode(&enc).unwrap(), req);
@@ -26,9 +28,11 @@ proptest! {
         prop_assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), None);
     }
 
-    /// Any response with an in-cap payload round-trips through the frame.
+    /// Any response with an in-cap payload round-trips through the frame,
+    /// id included — by both the plain and the vectored writer.
     #[test]
     fn response_roundtrips(
+        id in any::<u64>(),
         payload in prop::collection::vec(any::<u8>(), 0..4096),
         status_pick in 0u8..3,
     ) {
@@ -37,11 +41,15 @@ proptest! {
             1 => Status::NotFound,
             _ => Status::BadRequest,
         };
-        let resp = FetchResponse { status, payload };
+        let resp = FetchResponse { status, id, payload };
         let mut buf = Vec::new();
         resp.write_to(&mut buf).unwrap();
-        let back = FetchResponse::read_from(&mut Cursor::new(buf)).unwrap();
-        prop_assert_eq!(back, resp);
+        let back = FetchResponse::read_from(&mut Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(&back, &resp);
+        prop_assert_eq!(back.id, id);
+        let mut vbuf = Vec::new();
+        resp.write_vectored_to(&mut vbuf).unwrap();
+        prop_assert_eq!(vbuf, buf);
     }
 
     /// Decoding arbitrary garbage never panics — it errors or (by fluke)
@@ -68,11 +76,12 @@ proptest! {
     /// every truncation of a valid response frame is a clean error.
     #[test]
     fn truncations_error_cleanly(
+        id in any::<u64>(),
         mof in any::<u64>(),
         payload in prop::collection::vec(any::<u8>(), 1..512),
         cut_frac in 0u8..100,
     ) {
-        let req = FetchRequest { mof, reducer: 1, offset: 0, len: 0 };
+        let req = FetchRequest { id, mof, reducer: 1, offset: 0, len: 0 };
         let enc = req.encode();
         let cut = (enc.len() - 1) * cut_frac as usize / 100;
         prop_assert!(FetchRequest::decode(&enc[..cut]).is_err());
@@ -80,7 +89,7 @@ proptest! {
             prop_assert!(FetchRequest::read_from(&mut Cursor::new(enc[..cut].to_vec())).is_err());
         }
 
-        let resp = FetchResponse::ok(payload);
+        let resp = FetchResponse::ok(id, payload);
         let mut frame = Vec::new();
         resp.write_to(&mut frame).unwrap();
         let cut = (frame.len() - 1) * cut_frac as usize / 100;
@@ -91,20 +100,47 @@ proptest! {
     /// Single-bit flips in a request frame either fail the magic check or
     /// decode to a *different* request — corruption is never silently the
     /// same request (headers have no unused bits the decoder ignores).
+    /// With the id field this now also covers the pipelining invariant:
+    /// a flipped id bit yields a request whose echo will not match the
+    /// client's outstanding window.
     #[test]
     fn request_bitflips_never_alias(
+        id in any::<u64>(),
         mof in any::<u64>(),
         reducer in any::<u32>(),
         offset in any::<u64>(),
         len in any::<u64>(),
         bit in 0usize..(8 * REQUEST_LEN),
     ) {
-        let req = FetchRequest { mof, reducer, offset, len };
+        let req = FetchRequest { id, mof, reducer, offset, len };
         let mut enc = req.encode();
         enc[bit / 8] ^= 1 << (bit % 8);
         match FetchRequest::decode(&enc) {
             Err(_) => {}
             Ok(decoded) => prop_assert_ne!(decoded, req),
+        }
+    }
+
+    /// Single-bit flips in a response *header* never alias either: the
+    /// decoder rejects the frame, or the decoded (status, id, length)
+    /// triple differs from what was sent.
+    #[test]
+    fn response_header_bitflips_never_alias(
+        id in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        bit in 0usize..(8 * 17),
+    ) {
+        let resp = FetchResponse::ok(id, payload);
+        let mut frame = Vec::new();
+        resp.write_to(&mut frame).unwrap();
+        frame[bit / 8] ^= 1 << (bit % 8);
+        match FetchResponse::read_from(&mut Cursor::new(&frame)) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert!(
+                decoded.status != resp.status
+                    || decoded.id != resp.id
+                    || decoded.payload.len() != resp.payload.len()
+            ),
         }
     }
 }

@@ -61,6 +61,9 @@ pub fn transport_client_config(cfg: &core::JbsConfig) -> transport::ClientConfig
     transport::ClientConfig {
         buffer_bytes: cfg.buffer_bytes,
         max_connections: cfg.max_connections,
+        // The simulator's read-ahead depth doubles as the pipelining
+        // window: buffers in flight per supplier connection.
+        window: cfg.prefetch_batch.max(1) as usize,
         retry: transport::RetryPolicy {
             max_retries: cfg.fetch_retry_max,
             base_backoff: Duration::from_nanos(cfg.fetch_backoff_base.as_nanos()),
@@ -88,6 +91,7 @@ mod tests {
         let tc = transport_client_config(&cfg);
         assert_eq!(tc.retry.max_retries, 7);
         assert_eq!(tc.buffer_bytes, 64 << 10);
+        assert_eq!(tc.window, cfg.prefetch_batch as usize);
         assert_eq!(tc.max_connections, cfg.max_connections);
         assert_eq!(
             tc.read_timeout.as_nanos() as u64,

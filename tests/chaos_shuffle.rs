@@ -68,8 +68,7 @@ fn shuffle_survives_seeded_chaos_byte_exact() {
     // Node 0: the supplier that is DOWN when the shuffle starts. Its MOFs
     // live in a caller-managed directory so the restarted incarnation can
     // reopen them.
-    let node0_dir =
-        std::env::temp_dir().join(format!("jbs-chaos-node0-{}", std::process::id()));
+    let node0_dir = std::env::temp_dir().join(format!("jbs-chaos-node0-{}", std::process::id()));
     std::fs::create_dir_all(&node0_dir).expect("node0 dir");
     let node0_addr = {
         let mut store = MofStore::at(&node0_dir).expect("node0 store");
@@ -95,12 +94,9 @@ fn shuffle_survives_seeded_chaos_byte_exact() {
         for (m, records) in records_for_node(node, &mut rng).into_iter().enumerate() {
             all_records.extend(records.clone());
             store
-                .write_mof(
-                    (node * MAPS_PER_NODE + m) as u64,
-                    records,
-                    REDUCERS,
-                    |k| partitioner.partition(k),
-                )
+                .write_mof((node * MAPS_PER_NODE + m) as u64, records, REDUCERS, |k| {
+                    partitioner.partition(k)
+                })
                 .expect("write mof");
         }
         let plan = chaos_plan(7000 + node as u64);
@@ -175,7 +171,10 @@ fn shuffle_survives_seeded_chaos_byte_exact() {
     assert!(fs.retries >= 1, "no retries recorded: {fs:?}");
     assert!(fs.reconnects >= 1, "no reconnects recorded: {fs:?}");
     assert!(fs.resets >= 1, "no resets observed: {fs:?}");
-    assert!(fs.timeouts >= 1, "no stall-driven timeouts observed: {fs:?}");
+    assert!(
+        fs.timeouts >= 1,
+        "no stall-driven timeouts observed: {fs:?}"
+    );
     assert!(
         fs.connect_failures >= 1,
         "dead node 0 should have refused at least one dial: {fs:?}"
@@ -187,6 +186,57 @@ fn shuffle_survives_seeded_chaos_byte_exact() {
         let ps = plan.stats();
         assert!(ps.resets >= 1, "plan injected no reset: {ps:?}");
         assert!(ps.stalls >= 1, "plan injected no stall: {ps:?}");
+    }
+
+    // Pipeline gauge coherence, chaos notwithstanding. The merge has
+    // returned, so after the workers drain their speculative tails the
+    // live gauges must read zero while the peaks prove the pipeline ran.
+    let fs = {
+        let mut fs = client.fetch_stats();
+        for _ in 0..400 {
+            if fs.queued_ops == 0 && fs.window_inflight == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            fs = client.fetch_stats();
+        }
+        fs
+    };
+    assert_eq!(fs.queued_ops, 0, "ops stuck in peer queues: {fs:?}");
+    assert_eq!(fs.window_inflight, 0, "requests stuck in flight: {fs:?}");
+    assert!(fs.window_peak >= 1, "pipelining never engaged: {fs:?}");
+    assert!(fs.queue_depth_peak >= 1, "no op ever queued: {fs:?}");
+    for (addr, depth) in client.queue_depths() {
+        assert_eq!(depth, 0, "queue for {addr} not drained");
+    }
+
+    // Supplier-side coherence: the prefetch queue drains once traffic
+    // stops, and the buffer pool never returns more than it handed out.
+    for s in &servers {
+        let mut snap = s.stats_snapshot();
+        for _ in 0..400 {
+            if snap.prefetch_queue_len == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            snap = s.stats_snapshot();
+        }
+        assert_eq!(snap.prefetch_queue_len, 0, "stage jobs stranded: {snap:?}");
+        assert!(snap.prefetch_queue_peak >= snap.prefetch_queue_len);
+        assert!(snap.requests >= 1 && snap.bytes >= 1, "{snap:?}");
+        assert!(
+            snap.datacache_hits >= 1,
+            "read-ahead never paid off: {snap:?}"
+        );
+        assert!(
+            snap.sync_stages + snap.prefetched_batches >= 1,
+            "disk thread never staged: {snap:?}"
+        );
+        let bp = snap.bufpool;
+        assert!(
+            bp.returns + bp.dropped <= bp.hits + bp.misses,
+            "pool returned buffers it never handed out: {bp:?}"
+        );
     }
 
     let revived = restarter.join().expect("restart thread");
@@ -205,9 +255,7 @@ fn resumed_fetch_continues_at_received_offset() {
     let mut rng = DetRng::new(99);
     let records = gen_terasort_records(2000, &mut rng);
     let mut store = MofStore::temp().expect("store");
-    store
-        .write_mof(0, records, 1, |_| 0)
-        .expect("write mof");
+    store.write_mof(0, records, 1, |_| 0).expect("write mof");
 
     let buffer: u64 = 4 << 10;
     let plan = FaultPlan::builder(1)
@@ -285,5 +333,8 @@ fn same_seed_yields_identical_fault_schedule() {
     let mismatches = (0..300)
         .filter(|_| c.decide(Hook::ServerWriteResponse) != d.decide(Hook::ServerWriteResponse))
         .count();
-    assert!(mismatches > 0, "different seeds produced identical schedules");
+    assert!(
+        mismatches > 0,
+        "different seeds produced identical schedules"
+    );
 }
