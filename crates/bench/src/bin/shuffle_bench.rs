@@ -16,6 +16,7 @@
 //! seconds-scale configuration for CI.
 
 use jbs_des::DetRng;
+use jbs_obs::Trace;
 use jbs_transport::client::SegmentRef;
 use jbs_transport::{ClientConfig, MofStore, MofSupplierServer, NetMergerClient, ServerOptions};
 use std::io::Write as _;
@@ -84,6 +85,14 @@ struct Measured {
     mib_per_sec: f64,
     /// Checksum of all payloads, to pin byte-identity across modes.
     checksum: u64,
+    /// Mean seconds per run with at least one `disk.read` span open
+    /// (union over all suppliers), from the structured trace.
+    disk_read_secs: f64,
+    /// Mean seconds per run with at least one `net.xmit` span open.
+    net_xmit_secs: f64,
+    /// Mean disk/net overlap fraction per run (of the smaller union):
+    /// the Fig. 4 → Fig. 5 transition as a number.
+    overlap_frac: f64,
 }
 
 fn main() {
@@ -121,13 +130,23 @@ fn main() {
 
     let serial = run_mode(&sc, false);
     println!(
-        "  serial:    {:>8.1} MiB/s  ({:.3} s, {} bytes)",
-        serial.mib_per_sec, serial.secs, serial.bytes
+        "  serial:    {:>8.1} MiB/s  ({:.3} s, {} bytes; disk {:.3} s, net {:.3} s, overlap {:.2})",
+        serial.mib_per_sec,
+        serial.secs,
+        serial.bytes,
+        serial.disk_read_secs,
+        serial.net_xmit_secs,
+        serial.overlap_frac
     );
     let pipelined = run_mode(&sc, true);
     println!(
-        "  pipelined: {:>8.1} MiB/s  ({:.3} s, {} bytes)",
-        pipelined.mib_per_sec, pipelined.secs, pipelined.bytes
+        "  pipelined: {:>8.1} MiB/s  ({:.3} s, {} bytes; disk {:.3} s, net {:.3} s, overlap {:.2})",
+        pipelined.mib_per_sec,
+        pipelined.secs,
+        pipelined.bytes,
+        pipelined.disk_read_secs,
+        pipelined.net_xmit_secs,
+        pipelined.overlap_frac
     );
 
     assert_eq!(
@@ -151,7 +170,13 @@ fn run_mode(sc: &Scenario, pipelined: bool) -> Measured {
     let mut bytes = 0u64;
     let mut checksum = 0u64;
     let mut total = Duration::ZERO;
+    let mut disk_ns = 0u64;
+    let mut xmit_ns = 0u64;
+    let mut frac_sum = 0f64;
     for run in 0..sc.runs {
+        // A fresh per-run trace shared by every supplier: the per-phase
+        // numbers below come from its `disk.read`/`net.xmit` spans.
+        let trace = Trace::recording(1 << 18);
         let mut servers = Vec::new();
         for node in 0..sc.nodes {
             let mut store = MofStore::temp().expect("store");
@@ -171,6 +196,7 @@ fn run_mode(sc: &Scenario, pipelined: bool) -> Measured {
                 prefetch: pipelined,
                 synthetic_disk_delay: sc.disk_delay,
                 faults: None,
+                trace: trace.clone(),
             };
             servers.push(MofSupplierServer::start_with_options(store, options).expect("server"));
         }
@@ -219,6 +245,12 @@ fn run_mode(sc: &Scenario, pipelined: bool) -> Measured {
             }
         }
         total += start.elapsed();
+        // Phase accounting happens outside the timed section.
+        let q = trace.query();
+        assert_eq!(trace.dropped(), 0, "trace ring sized too small for run");
+        disk_ns += q.union_nanos("disk.read");
+        xmit_ns += q.union_nanos("net.xmit");
+        frac_sum += q.overlap_fraction("disk.read", "net.xmit");
         if run == 0 {
             bytes = run_bytes;
             checksum = run_sum;
@@ -230,11 +262,15 @@ fn run_mode(sc: &Scenario, pipelined: bool) -> Measured {
         }
     }
     let secs = total.as_secs_f64() / sc.runs as f64;
+    let runs = sc.runs as f64;
     Measured {
         bytes,
         secs,
         mib_per_sec: bytes as f64 / (1 << 20) as f64 / secs,
         checksum,
+        disk_read_secs: disk_ns as f64 / 1e9 / runs,
+        net_xmit_secs: xmit_ns as f64 / 1e9 / runs,
+        overlap_frac: frac_sum / runs,
     }
 }
 
@@ -270,8 +306,9 @@ fn render_json(
 ) -> String {
     let mode = |m: &Measured| {
         format!(
-            "{{ \"bytes\": {}, \"secs\": {:.6}, \"mib_per_sec\": {:.2} }}",
-            m.bytes, m.secs, m.mib_per_sec
+            "{{ \"bytes\": {}, \"secs\": {:.6}, \"mib_per_sec\": {:.2}, \
+             \"disk_read_secs\": {:.6}, \"net_xmit_secs\": {:.6}, \"overlap_frac\": {:.4} }}",
+            m.bytes, m.secs, m.mib_per_sec, m.disk_read_secs, m.net_xmit_secs, m.overlap_frac
         )
     };
     format!(

@@ -39,6 +39,11 @@ const NATIVE_THREADS_PER_NODE: f64 = 6.0;
 pub struct JbsShuffle {
     cfg: JbsConfig,
     label: String,
+    /// Sim-time structured trace (disabled unless [`JbsShuffle::traced`]).
+    trace: jbs_obs::Trace,
+    /// Drives the trace's manual clock to each event's sim time, keeping
+    /// recorded timestamps deterministic across runs.
+    clock: Option<jbs_obs::ManualClock>,
 }
 
 impl Default for JbsShuffle {
@@ -59,12 +64,29 @@ impl JbsShuffle {
         JbsShuffle {
             cfg,
             label: "JBS".to_string(),
+            trace: jbs_obs::Trace::disabled(),
+            clock: None,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &JbsConfig {
         &self.cfg
+    }
+
+    /// Record up to `capacity` sim events against a [`jbs_obs::ManualClock`]
+    /// set to each event's sim time — identical runs yield byte-identical
+    /// traces (see the `traced_run_is_deterministic` test).
+    pub fn traced(mut self, capacity: usize) -> Self {
+        let clock = jbs_obs::ManualClock::new();
+        self.trace = jbs_obs::Trace::recording_with(capacity, clock.clock());
+        self.clock = Some(clock);
+        self
+    }
+
+    /// The engine's trace handle (disabled unless [`JbsShuffle::traced`]).
+    pub fn trace(&self) -> &jbs_obs::Trace {
+        &self.trace
     }
 }
 
@@ -198,6 +220,11 @@ impl ShuffleEngine for JbsShuffle {
         }
 
         while let Some((t, ev)) = q.pop() {
+            // Pin the trace clock to this event's sim time so every event
+            // recorded while handling it carries a deterministic timestamp.
+            if let Some(clock) = &self.clock {
+                clock.set(t.as_nanos());
+            }
             match ev {
                 Ev::Inject { client } => match mergers[client].next_action(t) {
                     NextAction::Done => {} // buffer retires
@@ -212,6 +239,12 @@ impl ShuffleEngine for JbsShuffle {
                             let head = mergers[client].head_of(group);
                             (head.mof, head.reducer, head.seg_off)
                         };
+                        self.trace.instant(
+                            "sim.inject",
+                            jbs_obs::Entity::node(client as u64),
+                            remote as u64,
+                            len,
+                        );
                         // Mark the range taken now so concurrent buffers
                         // pick disjoint chunks; completion time is recorded
                         // at Send.
@@ -281,6 +314,12 @@ impl ShuffleEngine for JbsShuffle {
                     reducer,
                     len,
                 } => {
+                    self.trace.instant(
+                        "sim.send",
+                        jbs_obs::Entity::node(remote as u64),
+                        client as u64,
+                        len,
+                    );
                     let timing = cluster.fabric.transfer(t, remote, client, len);
 
                     // Receive + levitated merge on the client.
@@ -439,6 +478,43 @@ mod tests {
             ablated.shuffle_all_ready,
             full.shuffle_all_ready
         );
+    }
+
+    #[test]
+    fn traced_run_is_deterministic() {
+        use jbs_mapred::sim::SimCluster;
+        let traced_jsonl = || {
+            let mut cluster = SimCluster::new(ClusterConfig::tiny(Protocol::Rdma), 1);
+            let plan = ShufflePlan::synthetic(4, 4, 2, 1 << 20, 100);
+            cluster.warm_mofs(&plan);
+            let mut engine = JbsShuffle::new().traced(1 << 16);
+            engine.run(&mut cluster, &plan);
+            (engine.trace().snapshot().len(), engine.trace().to_jsonl())
+        };
+        let (n, a) = traced_jsonl();
+        let (_, b) = traced_jsonl();
+        assert!(n > 0, "traced run recorded nothing");
+        assert_eq!(a, b, "identical runs must yield byte-identical traces");
+        // Every injected chunk eventually goes on the wire, byte for byte.
+        let q = jbs_obs::TraceQuery::new(
+            jbs_obs::jsonl::parse_jsonl(&a).expect("trace round-trips"),
+        );
+        let injected: u64 = q.values_b("sim.inject").iter().sum();
+        let sent: u64 = q.values_b("sim.send").iter().sum();
+        assert_eq!(injected, sent);
+        assert!(q.entities("sim.inject").len() >= 2, "multiple nodes traced");
+    }
+
+    #[test]
+    fn untraced_engine_records_nothing() {
+        let mut engine = JbsShuffle::new();
+        assert!(!engine.trace().is_enabled());
+        let mut cluster =
+            jbs_mapred::sim::SimCluster::new(ClusterConfig::tiny(Protocol::Rdma), 1);
+        let plan = ShufflePlan::synthetic(2, 2, 2, 1 << 20, 100);
+        cluster.warm_mofs(&plan);
+        engine.run(&mut cluster, &plan);
+        assert!(engine.trace().snapshot().is_empty());
     }
 
     #[test]

@@ -202,6 +202,7 @@ pub struct StreamingMerge<S: RecordStream> {
     records_out: u64,
     primed: bool,
     failed: bool,
+    trace: jbs_obs::Trace,
 }
 
 impl<S: RecordStream> StreamingMerge<S> {
@@ -213,7 +214,15 @@ impl<S: RecordStream> StreamingMerge<S> {
             records_out: 0,
             primed: false,
             failed: false,
+            trace: jbs_obs::Trace::disabled(),
         }
+    }
+
+    /// Record a `merge.pull` instant per heap pull (entity = the stream
+    /// the pulled record came from) to `trace`.
+    pub fn with_trace(mut self, trace: jbs_obs::Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     fn prime(&mut self) -> io::Result<()> {
@@ -257,6 +266,12 @@ impl<S: RecordStream> StreamingMerge<S> {
             }
         }
         self.records_out += 1;
+        self.trace.instant(
+            "merge.pull",
+            jbs_obs::Entity::stream(entry.stream as u64),
+            self.records_out,
+            entry.key.len() as u64 + entry.value.len() as u64,
+        );
         Ok(Some((entry.key, entry.value)))
     }
 
@@ -419,6 +434,29 @@ mod tests {
             .collect_all()
             .unwrap();
         assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn merge_pull_trace_attributes_records_to_streams() {
+        let a = segment_bytes(&[rec("a", "1"), rec("c", "3")]);
+        let b = segment_bytes(&[rec("b", "2")]);
+        let trace = jbs_obs::Trace::recording(64);
+        let merged = StreamingMerge::new(vec![
+            SliceStream::chunked(&a, 7),
+            SliceStream::chunked(&b, 7),
+        ])
+        .with_trace(trace.clone())
+        .collect_all()
+        .unwrap();
+        assert_eq!(merged.len(), 3);
+        let q = trace.query();
+        assert_eq!(q.count("merge.pull"), 3);
+        assert_eq!(
+            q.entity(jbs_obs::Entity::stream(0)).count("merge.pull"),
+            2,
+            "stream 0 contributed a and c"
+        );
+        assert_eq!(q.entity(jbs_obs::Entity::stream(1)).count("merge.pull"), 1);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Clock abstraction: wall-clock nanoseconds in the real dataplane,
+//! externally-driven sim-time nanoseconds in deterministic builds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Time source for a recorder. All timestamps are nanoseconds from an
+/// arbitrary per-trace origin; only differences and orderings matter.
+#[derive(Clone, Debug)]
+pub enum Clock {
+    /// Monotonic wall clock, nanoseconds since the anchor (normally the
+    /// moment the recorder was created).
+    Wall(Instant),
+    /// Externally driven clock: reads whatever the owning [`ManualClock`]
+    /// last stored. The discrete-event simulator sets it to the current
+    /// event's sim time before recording, so traces are deterministic.
+    Manual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A wall clock anchored now.
+    pub fn wall() -> Self {
+        Clock::Wall(Instant::now())
+    }
+
+    /// Current time in nanoseconds since the clock's origin.
+    pub fn now(&self) -> u64 {
+        match self {
+            Clock::Wall(anchor) => anchor.elapsed().as_nanos() as u64,
+            Clock::Manual(cell) => cell.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Handle that drives a [`Clock::Manual`]. Cloning shares the cell, so
+/// the simulator keeps one handle and every trace built from
+/// [`ManualClock::clock`] observes its updates.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A manual clock starting at 0 ns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A [`Clock`] view over this handle, for [`crate::Trace::recording_with`].
+    pub fn clock(&self) -> Clock {
+        Clock::Manual(Arc::clone(&self.0))
+    }
+
+    /// Jump the clock to an absolute nanosecond value.
+    pub fn set(&self, nanos: u64) {
+        self.0.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Move the clock forward and return the new value.
+    pub fn advance(&self, nanos: u64) -> u64 {
+        self.0.fetch_add(nanos, Ordering::Relaxed) + nanos
+    }
+
+    /// Current value.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = Clock::wall();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_shared_and_exact() {
+        let m = ManualClock::new();
+        let c = m.clock();
+        assert_eq!(c.now(), 0);
+        m.set(1_000);
+        assert_eq!(c.now(), 1_000);
+        assert_eq!(m.advance(500), 1_500);
+        assert_eq!(c.now(), 1_500);
+        let m2 = m.clone();
+        m2.set(7);
+        assert_eq!(c.now(), 7);
+    }
+}

@@ -1,0 +1,39 @@
+//! # jbs-obs — structured tracing for the shuffle dataplane
+//!
+//! The aggregate counters in `transport::stats` say *how much* happened;
+//! this crate records *when*. Every instrumentation point emits either an
+//! instant event or a span (start/end pair captured as one record on
+//! close) tagged with a thread id, an [`Entity`] (peer, MOF, connection,
+//! …) and two free `u64` payload words. Events land in a bounded ring
+//! buffer behind one uncontended mutex — a disabled [`Trace`] is a single
+//! `Option` check, so production paths keep their cost when tracing is
+//! off.
+//!
+//! The clock is abstracted: the real dataplane uses a monotonic wall
+//! clock anchored at recorder creation, while the deterministic simulator
+//! drives a [`ManualClock`] with sim-time nanoseconds so traces are
+//! bit-identical across runs.
+//!
+//! Exporters:
+//! * [`jsonl`] — one JSON object per line, hand-rolled (the workspace has
+//!   no serde) and round-trippable through [`jsonl::parse_jsonl`];
+//! * [`timeline`] — a human-readable text timeline for eyeballs;
+//! * [`TraceQuery`] — the programmatic view tests assert against:
+//!   entity filters, span-union overlap fractions, inter-arrival and
+//!   per-entity positional gaps, happens-before checks.
+//!
+//! Adding an instrumentation point is two lines: thread a `Trace` handle
+//! into the component and call `trace.instant(..)` or hold
+//! `trace.span(..)` across the timed region (see `DESIGN.md` §11).
+
+mod clock;
+mod event;
+pub mod jsonl;
+mod query;
+mod record;
+pub mod timeline;
+
+pub use clock::{Clock, ManualClock};
+pub use event::{Entity, EntityKind, Event, EventKind};
+pub use query::TraceQuery;
+pub use record::{SpanGuard, Trace};

@@ -1,0 +1,342 @@
+//! `TraceQuery`: the programmatic trace view tests assert against.
+//!
+//! All methods operate on a snapshot (recording order = ascending `seq`)
+//! and return plain values, so assertions read as statements about the
+//! dataplane's timeline rather than trace plumbing.
+
+use crate::event::{Entity, EntityKind, Event, EventKind};
+
+/// A queryable snapshot of recorded events.
+#[derive(Debug, Clone)]
+pub struct TraceQuery {
+    events: Vec<Event>,
+}
+
+impl TraceQuery {
+    /// Wrap a snapshot; events are sorted by `seq` (recording order).
+    pub fn new(mut events: Vec<Event>) -> Self {
+        events.sort_by_key(|e| e.seq);
+        TraceQuery { events }
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Sub-query of events with this exact name.
+    pub fn named(&self, name: &str) -> TraceQuery {
+        TraceQuery {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.name == name)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Sub-query of events tagged with this exact entity.
+    pub fn entity(&self, entity: Entity) -> TraceQuery {
+        TraceQuery {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.entity == entity)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Sub-query of events whose entity has this kind.
+    pub fn entity_kind(&self, kind: EntityKind) -> TraceQuery {
+        TraceQuery {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.entity.kind == kind)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// How many events carry this name.
+    pub fn count(&self, name: &str) -> usize {
+        self.events.iter().filter(|e| e.name == name).count()
+    }
+
+    /// Distinct entities appearing on events with this name, sorted.
+    pub fn entities(&self, name: &str) -> Vec<Entity> {
+        let mut out: Vec<Entity> = self
+            .events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.entity)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Merged (disjoint, sorted) time intervals covered by spans with
+    /// this name.
+    fn intervals(&self, name: &str) -> Vec<(u64, u64)> {
+        let mut ivs: Vec<(u64, u64)> = self
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span && e.name == name && e.end > e.t)
+            .map(|e| (e.t, e.end))
+            .collect();
+        ivs.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ivs.len());
+        for (s, e) in ivs {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        merged
+    }
+
+    /// Total nanoseconds covered by at least one span with this name.
+    pub fn union_nanos(&self, name: &str) -> u64 {
+        self.intervals(name).iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Nanoseconds during which a span named `a` and a span named `b`
+    /// were simultaneously open.
+    pub fn overlap_nanos(&self, a: &str, b: &str) -> u64 {
+        let (xa, xb) = (self.intervals(a), self.intervals(b));
+        let (mut i, mut j, mut total) = (0, 0, 0u64);
+        while i < xa.len() && j < xb.len() {
+            let lo = xa[i].0.max(xb[j].0);
+            let hi = xa[i].1.min(xb[j].1);
+            if hi > lo {
+                total += hi - lo;
+            }
+            if xa[i].1 <= xb[j].1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        total
+    }
+
+    /// Overlap between `a`-spans and `b`-spans as a fraction of the
+    /// smaller union: 1.0 means the shorter activity ran entirely under
+    /// the longer one; 0.0 means they never coincided (or one is absent).
+    pub fn overlap_fraction(&self, a: &str, b: &str) -> f64 {
+        let denom = self.union_nanos(a).min(self.union_nanos(b));
+        if denom == 0 {
+            return 0.0;
+        }
+        self.overlap_nanos(a, b) as f64 / denom as f64
+    }
+
+    /// Start-time gaps between consecutive events with this name,
+    /// ordered by start time. Empty if fewer than two events match.
+    pub fn inter_arrival_gaps(&self, name: &str) -> Vec<u64> {
+        let mut ts: Vec<u64> = self
+            .events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.t)
+            .collect();
+        ts.sort_unstable();
+        ts.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// The payload-`b` values of events with this name, in recording
+    /// order — handy for asserting schedules (e.g. backoff delays).
+    pub fn values_b(&self, name: &str) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.b)
+            .collect()
+    }
+
+    /// Worst starvation of `entity` in the recording-order sequence of
+    /// events named `name`: the maximum number of consecutive positions
+    /// (including the run-in before its first appearance and the run-out
+    /// after its last) in which the entity does not appear. `None` if the
+    /// entity never appears. A perfectly round-robined sequence over `k`
+    /// entities yields `k` for each of them.
+    pub fn max_positional_gap(&self, name: &str, entity: Entity) -> Option<usize> {
+        let seq: Vec<&Event> = self.events.iter().filter(|e| e.name == name).collect();
+        let positions: Vec<usize> = seq
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.entity == entity)
+            .map(|(i, _)| i)
+            .collect();
+        let first = *positions.first()?;
+        let mut worst = first + 1; // run-in: positions 0..=first
+        for w in positions.windows(2) {
+            worst = worst.max(w[1] - w[0]);
+        }
+        worst = worst.max(seq.len() - positions.last().unwrap());
+        Some(worst)
+    }
+
+    /// True when every `a`-event finishes before any `b`-event starts
+    /// (and both exist).
+    pub fn happens_before(&self, a: &str, b: &str) -> bool {
+        let max_end_a = self
+            .events
+            .iter()
+            .filter(|e| e.name == a)
+            .map(|e| e.end)
+            .max();
+        let min_t_b = self
+            .events
+            .iter()
+            .filter(|e| e.name == b)
+            .map(|e| e.t)
+            .min();
+        matches!((max_end_a, min_t_b), (Some(ea), Some(tb)) if ea <= tb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn span(seq: u64, t: u64, end: u64, name: &'static str, entity: Entity) -> Event {
+        Event {
+            seq,
+            t,
+            end,
+            kind: EventKind::Span,
+            thread: 0,
+            entity,
+            name: Cow::Borrowed(name),
+            a: 0,
+            b: 0,
+        }
+    }
+
+    fn instant(seq: u64, t: u64, name: &'static str, entity: Entity) -> Event {
+        Event {
+            seq,
+            t,
+            end: t,
+            kind: EventKind::Instant,
+            thread: 0,
+            entity,
+            name: Cow::Borrowed(name),
+            a: 0,
+            b: seq,
+        }
+    }
+
+    #[test]
+    fn union_merges_overlapping_spans() {
+        let q = TraceQuery::new(vec![
+            span(0, 0, 10, "read", Entity::mof(0)),
+            span(1, 5, 20, "read", Entity::mof(1)),
+            span(2, 30, 40, "read", Entity::mof(0)),
+        ]);
+        assert_eq!(q.union_nanos("read"), 30); // [0,20) + [30,40)
+    }
+
+    #[test]
+    fn overlap_fraction_full_partial_none() {
+        let q = TraceQuery::new(vec![
+            span(0, 0, 100, "read", Entity::NONE),
+            span(1, 40, 60, "xmit", Entity::NONE),
+        ]);
+        assert_eq!(q.overlap_nanos("read", "xmit"), 20);
+        assert!((q.overlap_fraction("read", "xmit") - 1.0).abs() < 1e-9);
+
+        let q = TraceQuery::new(vec![
+            span(0, 0, 100, "read", Entity::NONE),
+            span(1, 50, 150, "xmit", Entity::NONE),
+        ]);
+        assert!((q.overlap_fraction("read", "xmit") - 0.5).abs() < 1e-9);
+
+        let q = TraceQuery::new(vec![
+            span(0, 0, 10, "read", Entity::NONE),
+            span(1, 10, 20, "xmit", Entity::NONE),
+        ]);
+        assert_eq!(q.overlap_fraction("read", "xmit"), 0.0);
+        assert_eq!(q.overlap_fraction("read", "absent"), 0.0);
+    }
+
+    #[test]
+    fn instants_do_not_contribute_to_unions() {
+        let q = TraceQuery::new(vec![instant(0, 5, "read", Entity::NONE)]);
+        assert_eq!(q.union_nanos("read"), 0);
+    }
+
+    #[test]
+    fn inter_arrival_gaps_sorted_by_time() {
+        let q = TraceQuery::new(vec![
+            instant(2, 30, "tick", Entity::NONE),
+            instant(0, 0, "tick", Entity::NONE),
+            instant(1, 10, "tick", Entity::NONE),
+        ]);
+        assert_eq!(q.inter_arrival_gaps("tick"), vec![10, 20]);
+        assert!(q.inter_arrival_gaps("absent").is_empty());
+    }
+
+    #[test]
+    fn positional_gap_of_round_robin_is_entity_count() {
+        // dispatch order: p0 p1 p2 p0 p1 p2 p0 p1 p2
+        let evs: Vec<Event> = (0..9)
+            .map(|i| instant(i, i * 10, "dispatch", Entity::peer(i % 3)))
+            .collect();
+        let q = TraceQuery::new(evs);
+        for p in 0..3 {
+            assert_eq!(q.max_positional_gap("dispatch", Entity::peer(p)), Some(3));
+        }
+        assert_eq!(q.max_positional_gap("dispatch", Entity::peer(9)), None);
+    }
+
+    #[test]
+    fn positional_gap_detects_starvation() {
+        // p1 starved: p0 p0 p0 p0 p1
+        let mut evs: Vec<Event> = (0..4)
+            .map(|i| instant(i, i, "dispatch", Entity::peer(0)))
+            .collect();
+        evs.push(instant(4, 4, "dispatch", Entity::peer(1)));
+        let q = TraceQuery::new(evs);
+        assert_eq!(q.max_positional_gap("dispatch", Entity::peer(1)), Some(5));
+        assert_eq!(q.max_positional_gap("dispatch", Entity::peer(0)), Some(2));
+    }
+
+    #[test]
+    fn happens_before_requires_strict_separation() {
+        let q = TraceQuery::new(vec![
+            span(0, 0, 10, "setup", Entity::NONE),
+            span(1, 10, 20, "work", Entity::NONE),
+        ]);
+        assert!(q.happens_before("setup", "work"));
+        assert!(!q.happens_before("work", "setup"));
+        assert!(!q.happens_before("setup", "absent"));
+    }
+
+    #[test]
+    fn filters_compose() {
+        let q = TraceQuery::new(vec![
+            instant(0, 0, "get", Entity::pool(0)),
+            instant(1, 1, "get", Entity::pool(1)),
+            instant(2, 2, "put", Entity::pool(0)),
+        ]);
+        assert_eq!(q.named("get").len(), 2);
+        assert_eq!(q.entity(Entity::pool(0)).len(), 2);
+        assert_eq!(q.named("get").entity(Entity::pool(0)).len(), 1);
+        assert_eq!(q.entity_kind(EntityKind::Pool).len(), 3);
+        assert_eq!(q.entities("get"), vec![Entity::pool(0), Entity::pool(1)]);
+        assert_eq!(q.values_b("get"), vec![0, 1]);
+    }
+}

@@ -1,0 +1,344 @@
+//! The recorder: a cloneable [`Trace`] handle over a bounded ring of
+//! [`Event`]s behind one mutex.
+//!
+//! Cost model: a disabled trace is an `Option::None` check per call — no
+//! lock, no clock read. An enabled trace pays one clock read plus one
+//! short uncontended mutex section (assign `seq`, push, maybe evict).
+//! Spans are recorded *on close* as a single event carrying both
+//! endpoints, so eviction can drop a whole span but never tear one.
+
+use crate::clock::Clock;
+use crate::event::{Entity, Event, EventKind};
+use crate::query::TraceQuery;
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Dense per-process thread tag: 0 for the first thread that records,
+/// 1 for the next, and so on. Stable for the life of the thread.
+fn thread_tag() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TAG: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TAG.with(|t| *t)
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    /// Next sequence number to assign.
+    seq: u64,
+    /// Events evicted because the ring was full.
+    dropped: u64,
+}
+
+pub(crate) struct Recorder {
+    ring: Mutex<Ring>,
+    cap: usize,
+    clock: Clock,
+    /// Spans currently open (guards alive); purely diagnostic.
+    open: AtomicU64,
+}
+
+impl Recorder {
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &self,
+        kind: EventKind,
+        t: u64,
+        end: u64,
+        thread: u64,
+        entity: Entity,
+        name: &'static str,
+        a: u64,
+        b: u64,
+    ) {
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let seq = ring.seq;
+        ring.seq += 1;
+        if ring.events.len() == self.cap {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(Event {
+            seq,
+            t,
+            end,
+            kind,
+            thread,
+            entity,
+            name: Cow::Borrowed(name),
+            a,
+            b,
+        });
+    }
+}
+
+/// Cloneable tracing handle. All clones share one recorder; a handle
+/// built with [`Trace::disabled`] (also the `Default`) records nothing
+/// and costs one branch per call, which is how production configs embed
+/// a `Trace` field unconditionally.
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Option<Arc<Recorder>>,
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Trace(disabled)"),
+            Some(r) => write!(f, "Trace(recording, cap={})", r.cap),
+        }
+    }
+}
+
+impl Trace {
+    /// A no-op handle: every call is a single branch.
+    pub fn disabled() -> Self {
+        Trace { inner: None }
+    }
+
+    /// Record up to `capacity` events (oldest evicted first) against a
+    /// wall clock anchored now.
+    pub fn recording(capacity: usize) -> Self {
+        Self::recording_with(capacity, Clock::wall())
+    }
+
+    /// Record against an explicit clock — pass a
+    /// [`crate::ManualClock::clock`] view for sim-time determinism.
+    pub fn recording_with(capacity: usize, clock: Clock) -> Self {
+        Trace {
+            inner: Some(Arc::new(Recorder {
+                ring: Mutex::new(Ring {
+                    events: VecDeque::with_capacity(capacity.max(1)),
+                    seq: 0,
+                    dropped: 0,
+                }),
+                cap: capacity.max(1),
+                clock,
+                open: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record a point event.
+    pub fn instant(&self, name: &'static str, entity: Entity, a: u64, b: u64) {
+        if let Some(rec) = &self.inner {
+            let now = rec.clock.now();
+            rec.push(
+                EventKind::Instant,
+                now,
+                now,
+                thread_tag(),
+                entity,
+                name,
+                a,
+                b,
+            );
+        }
+    }
+
+    /// Open a span; the returned guard records one `Span` event (with
+    /// both endpoints) when dropped. Hold it across the timed region.
+    #[must_use = "a span is recorded when the guard drops; binding it to _ closes it immediately"]
+    pub fn span(&self, name: &'static str, entity: Entity, a: u64, b: u64) -> SpanGuard<'_> {
+        match &self.inner {
+            None => SpanGuard {
+                rec: None,
+                name,
+                entity,
+                a,
+                b,
+                t0: 0,
+                thread: 0,
+            },
+            Some(rec) => {
+                rec.open.fetch_add(1, Ordering::Relaxed);
+                SpanGuard {
+                    rec: Some(rec),
+                    name,
+                    entity,
+                    a,
+                    b,
+                    t0: rec.clock.now(),
+                    thread: thread_tag(),
+                }
+            }
+        }
+    }
+
+    /// Copy out the current ring contents, in recording order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(rec) => {
+                let ring = rec.ring.lock().unwrap_or_else(|p| p.into_inner());
+                ring.events.iter().cloned().collect()
+            }
+        }
+    }
+
+    /// Snapshot wrapped for assertions.
+    pub fn query(&self) -> TraceQuery {
+        TraceQuery::new(self.snapshot())
+    }
+
+    /// Events evicted so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(rec) => rec.ring.lock().unwrap_or_else(|p| p.into_inner()).dropped,
+        }
+    }
+
+    /// Spans whose guards are currently alive.
+    pub fn open_spans(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(rec) => rec.open.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all recorded events (the sequence counter keeps running).
+    pub fn clear(&self) {
+        if let Some(rec) = &self.inner {
+            let mut ring = rec.ring.lock().unwrap_or_else(|p| p.into_inner());
+            ring.events.clear();
+        }
+    }
+
+    /// Export the current snapshot as JSONL (see [`crate::jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        crate::jsonl::to_jsonl(&self.snapshot())
+    }
+}
+
+/// RAII guard for an open span; see [`Trace::span`].
+pub struct SpanGuard<'a> {
+    rec: Option<&'a Recorder>,
+    name: &'static str,
+    entity: Entity,
+    a: u64,
+    b: u64,
+    t0: u64,
+    thread: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec {
+            let end = rec.clock.now().max(self.t0);
+            rec.push(
+                EventKind::Span,
+                self.t0,
+                end,
+                self.thread,
+                self.entity,
+                self.name,
+                self.a,
+                self.b,
+            );
+            rec.open.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::disabled();
+        t.instant("x", Entity::NONE, 0, 0);
+        let _g = t.span("y", Entity::NONE, 0, 0);
+        assert!(!t.is_enabled());
+        assert!(t.snapshot().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Trace::default().is_enabled());
+    }
+
+    #[test]
+    fn span_records_on_close_with_both_endpoints() {
+        let clk = ManualClock::new();
+        let t = Trace::recording_with(16, clk.clock());
+        clk.set(100);
+        let g = t.span("disk.read", Entity::mof(3), 64, 128);
+        assert_eq!(t.open_spans(), 1);
+        assert!(t.snapshot().is_empty(), "nothing recorded while open");
+        clk.set(350);
+        drop(g);
+        assert_eq!(t.open_spans(), 0);
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::Span);
+        assert_eq!((evs[0].t, evs[0].end), (100, 350));
+        assert_eq!(evs[0].duration(), 250);
+        assert_eq!(evs[0].entity, Entity::mof(3));
+        assert_eq!((evs[0].a, evs[0].b), (64, 128));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first_and_counts_drops() {
+        let clk = ManualClock::new();
+        let t = Trace::recording_with(3, clk.clock());
+        for i in 0..5u64 {
+            clk.set(i * 10);
+            t.instant("tick", Entity::NONE, i, 0);
+        }
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(evs[0].a, 2, "survivors are the newest");
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let t = Trace::recording(8);
+        let t2 = t.clone();
+        t.instant("a", Entity::NONE, 0, 0);
+        t2.instant("b", Entity::NONE, 0, 0);
+        assert_eq!(t.snapshot().len(), 2);
+        t.clear();
+        assert!(t2.snapshot().is_empty());
+    }
+
+    #[test]
+    fn wall_clock_spans_have_nonzero_order() {
+        let t = Trace::recording(8);
+        {
+            let _g = t.span("work", Entity::NONE, 0, 0);
+            std::thread::yield_now();
+        }
+        t.instant("after", Entity::NONE, 0, 0);
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].end <= evs[1].t || evs[0].end == evs[1].t);
+        assert!(evs[0].end >= evs[0].t);
+    }
+
+    #[test]
+    fn threads_get_distinct_tags() {
+        let t = Trace::recording(8);
+        t.instant("main", Entity::NONE, 0, 0);
+        let t2 = t.clone();
+        std::thread::spawn(move || t2.instant("other", Entity::NONE, 0, 0))
+            .join()
+            .unwrap();
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_ne!(evs[0].thread, evs[1].thread);
+    }
+}

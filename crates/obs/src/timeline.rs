@@ -1,0 +1,97 @@
+//! Human-readable text timeline: one line per event, sorted by start
+//! time, with durations for spans. For eyeballs and bug reports; tests
+//! should use [`crate::TraceQuery`] instead.
+
+use crate::event::{Event, EventKind};
+use std::fmt::Write as _;
+
+/// Format nanoseconds as a fixed-width human quantity.
+fn fmt_nanos(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:>10.3}s ", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:>10.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:>10.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns:>10}ns")
+    }
+}
+
+/// Render a text timeline of the events, ordered by start time (ties by
+/// sequence number).
+pub fn render_timeline(events: &[Event]) -> String {
+    let mut sorted: Vec<&Event> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.t, e.seq));
+    let mut out = String::with_capacity(sorted.len() * 80);
+    for e in sorted {
+        let _ = write!(out, "[{}", fmt_nanos(e.t));
+        match e.kind {
+            EventKind::Span => {
+                let _ = write!(out, " +{}", fmt_nanos(e.duration()));
+            }
+            EventKind::Instant => out.push_str("             "),
+        }
+        let _ = writeln!(
+            out,
+            "] t{:02} {:<10} {:<18} a={} b={}",
+            e.thread,
+            e.entity.to_string(),
+            e.name,
+            e.a,
+            e.b
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Entity;
+    use std::borrow::Cow;
+
+    #[test]
+    fn renders_sorted_with_durations() {
+        let events = vec![
+            Event {
+                seq: 1,
+                t: 2_500,
+                end: 2_500,
+                kind: EventKind::Instant,
+                thread: 0,
+                entity: Entity::NONE,
+                name: Cow::Borrowed("cache.hit"),
+                a: 1,
+                b: 2,
+            },
+            Event {
+                seq: 0,
+                t: 1_000,
+                end: 3_000_000,
+                kind: EventKind::Span,
+                thread: 3,
+                entity: Entity::mof(7),
+                name: Cow::Borrowed("disk.read"),
+                a: 0,
+                b: 65536,
+            },
+        ];
+        let text = render_timeline(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("disk.read"), "earlier start first");
+        assert!(lines[0].contains("mof:7"));
+        assert!(lines[0].contains("+"));
+        assert!(lines[1].contains("cache.hit"));
+        assert!(text.contains("a=0 b=65536"));
+    }
+
+    #[test]
+    fn nanos_formatting_picks_units() {
+        assert!(fmt_nanos(12).trim().ends_with("ns"));
+        assert!(fmt_nanos(12_000).trim().ends_with("us"));
+        assert!(fmt_nanos(12_000_000).trim().ends_with("ms"));
+        assert!(fmt_nanos(12_000_000_000).trim().ends_with('s'));
+    }
+}

@@ -52,11 +52,23 @@ pub(crate) struct BufPool {
     misses: AtomicU64,
     returns: AtomicU64,
     dropped: AtomicU64,
+    /// Handout/recycle instants (`buf.get`/`buf.put`); disabled by
+    /// default — the loom models construct via [`BufPool::new`] so the
+    /// model checker never sees the recorder's (std) mutex.
+    trace: jbs_obs::Trace,
 }
 
 impl BufPool {
-    /// A pool holding at most `cap` idle buffers.
+    /// A pool holding at most `cap` idle buffers, tracing disabled.
+    /// Production constructs via [`BufPool::with_trace`]; this is the
+    /// entry point the unit tests and loom models use.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(cap: usize) -> Self {
+        Self::with_trace(cap, jbs_obs::Trace::disabled())
+    }
+
+    /// A pool that records `buf.get`/`buf.put` instants to `trace`.
+    pub(crate) fn with_trace(cap: usize, trace: jbs_obs::Trace) -> Self {
         BufPool {
             bufs: Mutex::new(Vec::new()),
             cap,
@@ -64,6 +76,7 @@ impl BufPool {
             misses: AtomicU64::new(0),
             returns: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            trace,
         }
     }
 
@@ -74,11 +87,15 @@ impl BufPool {
         match recycled {
             Some(buf) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.trace
+                    .instant("buf.get", jbs_obs::Entity::pool(0), 1, buf.capacity() as u64);
                 debug_assert!(buf.is_empty());
                 buf
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.trace
+                    .instant("buf.get", jbs_obs::Entity::pool(0), 0, 0);
                 Vec::new()
             }
         }
@@ -91,16 +108,23 @@ impl BufPool {
         buf.clear();
         if buf.capacity() == 0 {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.trace
+                .instant("buf.put", jbs_obs::Entity::pool(0), 0, 0);
             return;
         }
+        let cap_bytes = buf.capacity() as u64;
         let mut bufs = lock(&self.bufs);
         if bufs.len() < self.cap {
             bufs.push(buf);
             drop(bufs);
             self.returns.fetch_add(1, Ordering::Relaxed);
+            self.trace
+                .instant("buf.put", jbs_obs::Entity::pool(0), 1, cap_bytes);
         } else {
             drop(bufs);
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.trace
+                .instant("buf.put", jbs_obs::Entity::pool(0), 0, cap_bytes);
         }
     }
 

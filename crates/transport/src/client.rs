@@ -89,6 +89,9 @@ pub struct ClientConfig {
     pub retry_seed: u64,
     /// Optional fault-injection plan (tests only; `None` in production).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Structured tracing sink; [`jbs_obs::Trace::disabled`] (the
+    /// default) is a single branch per instrumentation point.
+    pub trace: jbs_obs::Trace,
 }
 
 impl Default for ClientConfig {
@@ -103,6 +106,7 @@ impl Default for ClientConfig {
             write_timeout: Duration::from_secs(5),
             retry_seed: 0x4A42_5331,
             faults: None,
+            trace: jbs_obs::Trace::disabled(),
         }
     }
 }
@@ -352,6 +356,12 @@ impl NetMergerClient {
                         let mut rng = lock(&self.backoff_rng);
                         self.shared.config.retry.backoff(attempt, &mut rng)
                     };
+                    let _backoff = self.shared.config.trace.span(
+                        "retry.backoff",
+                        jbs_obs::Entity::peer(u64::from(seg.addr.port())),
+                        u64::from(attempt),
+                        delay.as_nanos() as u64,
+                    );
                     std::thread::sleep(delay);
                 }
                 Err(e) if e.is_retryable() => {
@@ -490,6 +500,7 @@ impl NetMergerClient {
             .map(|&seg| NetworkSegmentStream::new(self, seg))
             .collect();
         StreamingMerge::new(streams)
+            .with_trace(self.shared.config.trace.clone())
             .collect_all()
             .map_err(|e| TransportError::from_io("levitated merge", e))
     }

@@ -47,6 +47,7 @@ use crate::prefetch::Pop;
 use crate::sync::{lock, Mutex};
 use crate::wire::{FetchRequest, FetchResponse, Status};
 use jbs_des::DetRng;
+use jbs_obs::Entity;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
@@ -163,6 +164,11 @@ impl FetchScheduler {
     /// contact. An op refused by a closed queue (client shutting down)
     /// fails through its own completion channel.
     pub(crate) fn submit(&self, op: FetchOp) {
+        let (peer_id, mof, reducer) = (
+            u64::from(op.seg.addr.port()),
+            op.seg.mof,
+            u64::from(op.seg.reducer),
+        );
         let (queue, tick) = {
             let mut peers = lock(&self.peers);
             let h = peers
@@ -173,6 +179,12 @@ impl FetchScheduler {
         match queue.push(op) {
             Ok(()) => {
                 self.shared.fetch_stats.record_op_queued();
+                self.shared.config.trace.instant(
+                    "sched.dispatch",
+                    Entity::peer(peer_id),
+                    mof,
+                    reducer,
+                );
                 let _ = tick.send(());
             }
             Err(op) => fail_op(op, shutdown_error()),
@@ -304,6 +316,17 @@ struct Worker {
 }
 
 impl Worker {
+    /// Trace handle shared with the owning client config.
+    fn trace(&self) -> &jbs_obs::Trace {
+        &self.shared.config.trace
+    }
+
+    /// This worker's trace entity: the supplier, keyed by TCP port
+    /// (loopback addresses differ only there).
+    fn peer(&self) -> Entity {
+        Entity::peer(u64::from(self.addr.port()))
+    }
+
     fn new(
         addr: SocketAddr,
         shared: Arc<ClientShared>,
@@ -372,6 +395,12 @@ impl Worker {
             match self.queue.try_pop() {
                 Pop::Item(op) => {
                     self.shared.fetch_stats.record_op_dequeued();
+                    self.trace().instant(
+                        "sched.admit",
+                        self.peer(),
+                        op.seg.mof,
+                        u64::from(op.seg.reducer),
+                    );
                     if self.conn.is_some() {
                         // The pipelined analogue of a connection-cache
                         // hit: this op rides the worker's live socket.
@@ -500,7 +529,17 @@ impl Worker {
             len,
         });
         self.shared.fetch_stats.record_window_send();
+        self.trace().instant("sched.send", self.peer(), offset, len);
+        let peer = self.peer();
         if let Some(a) = self.active.get_mut(&key) {
+            if offset > a.committed {
+                // This request runs ahead of confirmed data: offset
+                // speculation in action.
+                self.shared
+                    .config
+                    .trace
+                    .instant("sched.speculate", peer, offset, a.committed);
+            }
             a.spec = offset.saturating_add(len);
         }
         Ok(())
@@ -530,6 +569,8 @@ impl Worker {
             });
         };
         self.shared.fetch_stats.record_window_recv();
+        self.trace()
+            .instant("sched.recv", self.peer(), resp.id, resp.payload.len() as u64);
         if resp.id != exp.id {
             // In-order pipelining means the echoed id MUST match the
             // oldest unanswered request; anything else is a
@@ -571,12 +612,21 @@ impl Worker {
             // The op already completed (or failed); this was a
             // speculative request past its end.
             self.shared.fetch_stats.record_spec_discard();
+            self.shared
+                .config
+                .trace
+                .instant("sched.spec_discard", self.peer(), exp.offset, 0);
             return Ok(());
         };
         if exp.offset != a.committed {
             // Stale speculation: a short read moved the committed offset
             // below where this request was aimed.
+            let committed = a.committed;
             self.shared.fetch_stats.record_spec_discard();
+            self.shared
+                .config
+                .trace
+                .instant("sched.spec_discard", self.peer(), exp.offset, committed);
             return Ok(());
         }
         if a.op.limit > 0 {
@@ -657,6 +707,12 @@ impl Worker {
                 .config
                 .retry
                 .backoff(self.attempts, &mut self.rng);
+            let _backoff = self.trace().span(
+                "retry.backoff",
+                self.peer(),
+                u64::from(self.attempts),
+                delay.as_nanos() as u64,
+            );
             std::thread::sleep(delay);
         } else {
             self.shared.fetch_stats.record_exhausted();

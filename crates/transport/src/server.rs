@@ -40,6 +40,7 @@ use crate::stats::{FetchStats, FetchStatsSnapshot};
 use crate::store::MofStore;
 use crate::sync::{lock, Mutex};
 use crate::wire::{FetchRequest, FetchResponse, Status};
+use jbs_obs::Entity;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -105,6 +106,9 @@ pub struct ServerOptions {
     pub synthetic_disk_delay: Duration,
     /// Optional fault-injection plan (tests only; `None` in production).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Structured tracing sink; [`jbs_obs::Trace::disabled`] (the
+    /// default) is a single branch per instrumentation point.
+    pub trace: jbs_obs::Trace,
 }
 
 impl Default for ServerOptions {
@@ -115,6 +119,7 @@ impl Default for ServerOptions {
             prefetch: true,
             synthetic_disk_delay: Duration::ZERO,
             faults: None,
+            trace: jbs_obs::Trace::disabled(),
         }
     }
 }
@@ -199,7 +204,7 @@ impl MofSupplierServer {
             staged: StageCache::new(),
             // Enough idle buffers for every connection thread plus the
             // disk thread to hold one in flight.
-            pool: BufPool::new(64),
+            pool: BufPool::with_trace(64, options.trace.clone()),
             prefetch: PrefetchQueue::new(),
             prefetch_tick: tick_tx,
             stats: SupplierStats::default(),
@@ -236,10 +241,14 @@ impl MofSupplierServer {
                     FaultAction::Stall(d) => std::thread::sleep(d),
                     _ => {}
                 }
-                accept_shared
+                let conn_no = accept_shared
                     .stats
                     .connections
                     .fetch_add(1, Ordering::Relaxed);
+                accept_shared
+                    .options
+                    .trace
+                    .instant("server.accept", Entity::conn(conn_no), 0, 0);
                 let conn_shared = Arc::clone(&accept_shared);
                 std::thread::spawn(move || {
                     handle_connection(stream, &conn_shared);
@@ -352,6 +361,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
+        let (req_mof, req_offset) = (req.mof, req.offset);
         let resp = serve(shared, req);
         // Count before the response is visible to the peer, so stats read
         // after a completed exchange are never stale.
@@ -360,6 +370,13 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             .stats
             .bytes
             .fetch_add(resp.payload.len() as u64, Ordering::Relaxed);
+        // net.Xmit: staging is done, the response heads for the socket.
+        let xmit = shared.options.trace.span(
+            "net.xmit",
+            Entity::mof(req_mof),
+            req_offset,
+            resp.payload.len() as u64,
+        );
         match faults::decide(&shared.options.faults, Hook::ServerWriteResponse) {
             FaultAction::Allow | FaultAction::RefuseConnect => {
                 resp.write_vectored_to(&mut writer)?;
@@ -398,6 +415,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             }
         }
         writer.flush()?;
+        drop(xmit);
         // The response made it to the socket; recycle its payload buffer.
         shared.pool.put(resp.payload);
     }
@@ -415,6 +433,11 @@ fn read_ahead(
     offset: u64,
 ) -> io::Result<Option<(Vec<u8>, bool)>> {
     let ahead = shared.options.buffer_bytes * shared.options.prefetch_batch;
+    // disk.Read: the synthetic latency is part of the modeled disk pass.
+    let _read_span = shared
+        .options
+        .trace
+        .span("disk.read", Entity::mof(mof), offset, ahead);
     let delay = shared.options.synthetic_disk_delay;
     if !delay.is_zero() {
         std::thread::sleep(delay);
@@ -468,6 +491,10 @@ fn run_stage_job(shared: &Shared, job: StageJob) {
             .is_some()
         {
             shared.stats.datacache_hits.fetch_add(1, Ordering::Relaxed);
+            shared
+                .options
+                .trace
+                .instant("cache.hit", Entity::mof(job.mof), job.offset, job.want);
             let _ = reply.send(Ok(Some(payload)));
             return;
         }
@@ -543,6 +570,10 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
         .hit_into(&key, req.offset, want, low_water, &mut payload)
     {
         shared.stats.datacache_hits.fetch_add(1, Ordering::Relaxed);
+        shared
+            .options
+            .trace
+            .instant("cache.hit", Entity::mof(req.mof), req.offset, want);
         if shared.options.prefetch {
             if let Some(next) = hit.stage_next {
                 let queued = shared.prefetch.push(StageJob {
@@ -553,6 +584,10 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
                     reply: None,
                 });
                 if queued.is_ok() {
+                    shared
+                        .options
+                        .trace
+                        .instant("prefetch.queue", Entity::mof(req.mof), next, 0);
                     let _ = shared.prefetch_tick.send(());
                 }
             }
@@ -577,6 +612,12 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
             return FetchResponse::error(req.id, Status::BadRequest);
         }
         let _ = shared.prefetch_tick.send(());
+        // The only place a connection thread waits for the disk in the
+        // pipelined discipline: a cold miss.
+        let _wait = shared
+            .options
+            .trace
+            .span("prefetch.wait", Entity::mof(req.mof), req.offset, want);
         match reply_rx.recv() {
             Ok(Ok(Some(bytes))) => FetchResponse::ok(req.id, bytes),
             Ok(Ok(None)) => FetchResponse::error(req.id, Status::NotFound),

@@ -11,7 +11,10 @@
 //! * [`lints::determinism`] — no wall clocks / sleeps / OS entropy in
 //!   the simulated-time crates (`des`, `mapred/sim`, `core`);
 //! * [`lints::hygiene`] — workspace `[lints]` opt-in everywhere and the
-//!   `unsafe` fence.
+//!   `unsafe` fence;
+//! * [`lints::print`] — no stdout/stderr prints on the instrumented
+//!   dataplane crates (`transport`, `net`, `core`); report through
+//!   `jbs-obs` traces and typed stats instead.
 //!
 //! Exemptions live in `crates/xtask/allow.toml` ([`policy`]), each with
 //! a mandatory one-line justification; stale entries are themselves
@@ -35,6 +38,8 @@ pub struct Config {
     pub determinism_dirs: Vec<PathBuf>,
     /// Directories (relative) whose sources feed the lock-order graph.
     pub lock_dirs: Vec<PathBuf>,
+    /// Directories (relative) whose sources get the print lint.
+    pub print_dirs: Vec<PathBuf>,
 }
 
 impl Config {
@@ -49,6 +54,11 @@ impl Config {
                 "crates/mapred/src/sim".into(),
             ],
             lock_dirs: vec!["crates/transport/src".into()],
+            print_dirs: vec![
+                "crates/transport/src".into(),
+                "crates/net/src".into(),
+                "crates/core/src".into(),
+            ],
         }
     }
 }
@@ -90,6 +100,14 @@ pub fn analyze(config: &Config, policy: &Policy) -> std::io::Result<Report> {
                 &rel(&config.root, &path),
                 &scanned,
             ));
+        }
+    }
+
+    // No prints on the instrumented dataplane.
+    for dir in &config.print_dirs {
+        for path in rust_files(&config.root.join(dir))? {
+            let scanned = lexer::scan(&std::fs::read_to_string(&path)?);
+            findings.extend(lints::print::check(&rel(&config.root, &path), &scanned));
         }
     }
 

@@ -8,6 +8,7 @@ pub mod determinism;
 pub mod hygiene;
 pub mod lockorder;
 pub mod panics;
+pub mod print;
 
 use std::fmt;
 use std::path::PathBuf;
@@ -15,7 +16,8 @@ use std::path::PathBuf;
 /// One rule violation at one call site.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Lint family (`panic`, `lock-order`, `determinism`, `hygiene`).
+    /// Lint family (`panic`, `lock-order`, `determinism`, `hygiene`,
+    /// `print`).
     pub lint: &'static str,
     /// File the violation is in.
     pub file: PathBuf,

@@ -20,6 +20,7 @@ fn fixture_config(root: &Path) -> Config {
         panic_dirs: vec!["crates/dataplane/src".into()],
         determinism_dirs: vec!["crates/sim/src".into()],
         lock_dirs: vec!["crates/dataplane/src".into()],
+        print_dirs: vec!["crates/dataplane/src".into()],
     }
 }
 
@@ -85,6 +86,31 @@ fn bad_fixture_trips_determinism() {
         .iter()
         .filter(|f| f.lint == "determinism")
         .all(|f| f.file.ends_with("clock.rs")));
+}
+
+#[test]
+fn bad_fixture_trips_every_print_macro_exactly_once() {
+    let r = run("bad", &fixture_policy(""));
+    for needle in ["`println!`", "`eprintln!`", "`print!`", "`eprint!`", "`dbg!`"] {
+        assert_eq!(
+            count(&r, "print", needle),
+            1,
+            "exactly one seeded `{needle}` violation"
+        );
+    }
+    // The in-test println and the string-literal mention must NOT fire,
+    // and no print finding may leak out of the seeded file.
+    assert!(r
+        .findings
+        .iter()
+        .filter(|f| f.lint == "print")
+        .all(|f| f.file.ends_with("prints.rs")));
+    // The print fixture must not muddy the panic family's counts.
+    assert!(r
+        .findings
+        .iter()
+        .filter(|f| f.lint == "panic")
+        .all(|f| !f.file.ends_with("prints.rs")));
 }
 
 #[test]

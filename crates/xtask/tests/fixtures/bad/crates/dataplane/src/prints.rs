@@ -1,0 +1,27 @@
+//! Seeded print-lint violations: each denied macro appears exactly once
+//! outside test code. Kept free of panic/lock patterns so this file
+//! never muddies the other families' fixture counts.
+
+pub fn chatty(len: u64) {
+    println!("sending {len} bytes");
+    eprintln!("warning: slow peer");
+    print!("progress.");
+    eprint!("!");
+    let doubled = dbg!(len * 2);
+    let _ = doubled;
+}
+
+pub fn fine(len: u64) -> u64 {
+    // A string literal mentioning println!("x") is not an invocation.
+    let label = "println!(this is prose)";
+    let _ = label;
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("test output is exempt");
+    }
+}

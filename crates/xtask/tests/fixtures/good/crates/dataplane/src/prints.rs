@@ -1,0 +1,18 @@
+//! The fixed counterpart of `bad/.../prints.rs`: production code stays
+//! silent (counters, not stdout), prints survive only under `#[cfg(test)]`.
+
+pub fn quiet(len: u64) -> u64 {
+    // Report through state the caller can query, not the terminal.
+    let my_print_count = len;
+    my_print_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::quiet;
+
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("harness output: {}", quiet(1));
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`core`] | `jbs-core` | **the paper's contribution**: `JbsShuffle` + `HadoopShuffle` |
 //! | [`transport`] | `jbs-transport` | real TCP MOFSupplier/NetMerger over loopback |
 //! | [`workloads`] | `jbs-workloads` | Terasort + Tarazu workloads, generators, partitioners |
+//! | [`obs`] | `jbs-obs` | structured tracing: spans/instants, ring recorder, `TraceQuery` |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use jbs_disk as disk;
 pub use jbs_jvm as jvm;
 pub use jbs_mapred as mapred;
 pub use jbs_net as net;
+pub use jbs_obs as obs;
 pub use jbs_transport as transport;
 pub use jbs_workloads as workloads;
 
