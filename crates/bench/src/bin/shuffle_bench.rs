@@ -9,11 +9,15 @@
 //! * **pipelined** — servers run the dedicated disk prefetch thread and
 //!   the client keeps a bounded window of requests in flight per
 //!   supplier, injected round-robin across segments (`fetch_all`).
+//! * **pipelined+crc** — the pipelined discipline with the v3 wire
+//!   dialect: every chunk payload arrives CRC32C-sealed and is
+//!   verified before admission, so the delta against plain pipelined
+//!   is the end-to-end integrity overhead as a number.
 //!
-//! Both modes move byte-identical data through fresh stores and
-//! servers, so the only variable is the scheduling discipline. Results
-//! go to `BENCH_shuffle.json` (override with `--out`); `--smoke` runs a
-//! seconds-scale configuration for CI.
+//! All modes move byte-identical data through fresh stores and
+//! servers, so the only variables are the scheduling discipline and
+//! the checksum. Results go to `BENCH_shuffle.json` (override with
+//! `--out`); `--smoke` runs a seconds-scale configuration for CI.
 
 use jbs_des::DetRng;
 use jbs_obs::Trace;
@@ -128,35 +132,44 @@ fn main() {
         sc.runs
     );
 
-    let serial = run_mode(&sc, false);
-    println!(
-        "  serial:    {:>8.1} MiB/s  ({:.3} s, {} bytes; disk {:.3} s, net {:.3} s, overlap {:.2})",
-        serial.mib_per_sec,
-        serial.secs,
-        serial.bytes,
-        serial.disk_read_secs,
-        serial.net_xmit_secs,
-        serial.overlap_frac
-    );
-    let pipelined = run_mode(&sc, true);
-    println!(
-        "  pipelined: {:>8.1} MiB/s  ({:.3} s, {} bytes; disk {:.3} s, net {:.3} s, overlap {:.2})",
-        pipelined.mib_per_sec,
-        pipelined.secs,
-        pipelined.bytes,
-        pipelined.disk_read_secs,
-        pipelined.net_xmit_secs,
-        pipelined.overlap_frac
-    );
+    let report = |label: &str, m: &Measured| {
+        println!(
+            "  {label:<14} {:>8.1} MiB/s  ({:.3} s, {} bytes; disk {:.3} s, net {:.3} s, overlap {:.2})",
+            m.mib_per_sec, m.secs, m.bytes, m.disk_read_secs, m.net_xmit_secs, m.overlap_frac
+        );
+    };
+    let serial = run_mode(&sc, false, false);
+    report("serial:", &serial);
+    let pipelined = run_mode(&sc, true, false);
+    report("pipelined:", &pipelined);
+    let pipelined_crc = run_mode(&sc, true, true);
+    report("pipelined+crc:", &pipelined_crc);
 
     assert_eq!(
         serial.checksum, pipelined.checksum,
         "modes must move byte-identical data"
     );
+    assert_eq!(
+        serial.checksum, pipelined_crc.checksum,
+        "the checksummed dialect must move byte-identical data"
+    );
     let speedup = pipelined.mib_per_sec / serial.mib_per_sec;
-    println!("  speedup:   {speedup:.2}x");
+    let speedup_crc = pipelined_crc.mib_per_sec / serial.mib_per_sec;
+    // Fraction of pipelined throughput spent sealing + verifying.
+    let crc_overhead_frac = 1.0 - pipelined_crc.mib_per_sec / pipelined.mib_per_sec;
+    println!("  speedup:        {speedup:.2}x");
+    println!("  speedup (crc):  {speedup_crc:.2}x  (integrity overhead {crc_overhead_frac:.3})");
 
-    let json = render_json(&sc, smoke, &serial, &pipelined, speedup);
+    let json = render_json(
+        &sc,
+        smoke,
+        &serial,
+        &pipelined,
+        &pipelined_crc,
+        speedup,
+        speedup_crc,
+        crc_overhead_frac,
+    );
     let mut f = std::fs::File::create(&out).expect("create output file");
     f.write_all(json.as_bytes()).expect("write output file");
     println!("  wrote {out}");
@@ -166,7 +179,7 @@ fn main() {
 /// timed run (fresh, so every run pays the full cold disk schedule —
 /// the thing the two modes order differently), and return the mean
 /// throughput over the fetch loops alone.
-fn run_mode(sc: &Scenario, pipelined: bool) -> Measured {
+fn run_mode(sc: &Scenario, pipelined: bool, checksum_on: bool) -> Measured {
     let mut bytes = 0u64;
     let mut checksum = 0u64;
     let mut total = Duration::ZERO;
@@ -175,8 +188,10 @@ fn run_mode(sc: &Scenario, pipelined: bool) -> Measured {
     let mut frac_sum = 0f64;
     for run in 0..sc.runs {
         // A fresh per-run trace shared by every supplier: the per-phase
-        // numbers below come from its `disk.read`/`net.xmit` spans.
-        let trace = Trace::recording(1 << 18);
+        // numbers below come from its `disk.read`/`net.xmit` spans. The
+        // v3 dialect adds integrity events per chunk, hence the deeper
+        // ring.
+        let trace = Trace::recording(1 << 20);
         let mut servers = Vec::new();
         for node in 0..sc.nodes {
             let mut store = MofStore::temp().expect("store");
@@ -197,6 +212,7 @@ fn run_mode(sc: &Scenario, pipelined: bool) -> Measured {
                 synthetic_disk_delay: sc.disk_delay,
                 faults: None,
                 trace: trace.clone(),
+                ..ServerOptions::default()
             };
             servers.push(MofSupplierServer::start_with_options(store, options).expect("server"));
         }
@@ -222,6 +238,7 @@ fn run_mode(sc: &Scenario, pipelined: bool) -> Measured {
         let client = NetMergerClient::with_client_config(ClientConfig {
             buffer_bytes: sc.buffer_bytes,
             window: sc.window,
+            checksum: checksum_on,
             ..ClientConfig::default()
         });
 
@@ -297,12 +314,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Hand-rolled JSON (the workspace deliberately has no serde).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     sc: &Scenario,
     smoke: bool,
     serial: &Measured,
     pipelined: &Measured,
+    pipelined_crc: &Measured,
     speedup: f64,
+    speedup_crc: f64,
+    crc_overhead_frac: f64,
 ) -> String {
     let mode = |m: &Measured| {
         format!(
@@ -316,7 +337,8 @@ fn render_json(
          \"nodes\": {},\n    \"mofs_per_node\": {},\n    \"reducers\": {},\n    \
          \"records_per_mof\": {},\n    \"buffer_bytes\": {},\n    \"prefetch_batch\": {},\n    \"window\": {},\n    \
          \"disk_delay_ms\": {},\n    \"runs\": {}\n  }},\n  \"serial\": {},\n  \
-         \"pipelined\": {},\n  \"speedup\": {speedup:.2}\n}}\n",
+         \"pipelined\": {},\n  \"pipelined_crc\": {},\n  \"speedup\": {speedup:.2},\n  \
+         \"speedup_crc\": {speedup_crc:.2},\n  \"crc_overhead_frac\": {crc_overhead_frac:.4}\n}}\n",
         sc.nodes,
         sc.mofs_per_node,
         sc.reducers,
@@ -328,5 +350,6 @@ fn render_json(
         sc.runs,
         mode(serial),
         mode(pipelined),
+        mode(pipelined_crc),
     )
 }

@@ -48,6 +48,22 @@ pub struct JbsConfig {
     pub fetch_backoff_max: SimTime,
     /// Per-request read/write deadline on the real dataplane.
     pub fetch_io_timeout: SimTime,
+    /// End-to-end integrity on the real dataplane: fetch in the v3 wire
+    /// dialect so every chunk payload arrives CRC32C-sealed and is
+    /// verified before the merge admits it. `false` pins peers to the
+    /// checksum-free v2 dialect (legacy fleets, overhead measurement).
+    pub checksum: bool,
+    /// MOFSupplier admission control: fetch jobs one peer may hold
+    /// in flight (queued + staging) before further requests are shed
+    /// with a retryable `Busy` pushback instead of stalling everyone.
+    pub max_inflight_per_peer: u64,
+    /// Consecutive connection-level failures before a supplier's
+    /// circuit breaker opens and new fetch ops for it fail fast
+    /// (half-open probes re-admit it). 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a draining MOFSupplier waits for in-flight exchanges
+    /// to finish before hard-closing the remaining connections.
+    pub drain_timeout: SimTime,
 }
 
 impl Default for JbsConfig {
@@ -66,6 +82,10 @@ impl Default for JbsConfig {
             fetch_backoff_base: SimTime::from_millis(10),
             fetch_backoff_max: SimTime::from_millis(500),
             fetch_io_timeout: SimTime::from_secs(5),
+            checksum: true,
+            max_inflight_per_peer: 256,
+            breaker_threshold: 8,
+            drain_timeout: SimTime::from_secs(5),
         }
     }
 }
@@ -105,6 +125,12 @@ impl JbsConfig {
         if self.fetch_io_timeout == SimTime::ZERO {
             return Err("fetch i/o timeout must be positive".into());
         }
+        if self.max_inflight_per_peer == 0 {
+            return Err("per-peer in-flight cap must be positive".into());
+        }
+        if self.drain_timeout == SimTime::ZERO {
+            return Err("drain timeout must be positive".into());
+        }
         Ok(())
     }
 }
@@ -119,6 +145,29 @@ mod tests {
         assert_eq!(c.buffer_bytes, 128 << 10);
         assert_eq!(c.max_connections, 512);
         assert!(c.round_robin_injection && c.group_by_mof && c.pipelined_prefetch);
+        assert!(c.checksum, "integrity on by default");
+        assert_eq!(c.max_inflight_per_peer, 256);
+        assert_eq!(c.breaker_threshold, 8);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn robustness_knob_validation() {
+        let c = JbsConfig {
+            max_inflight_per_peer: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = JbsConfig {
+            drain_timeout: SimTime::ZERO,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        // Breaker threshold 0 is a valid "disabled" setting.
+        let c = JbsConfig {
+            breaker_threshold: 0,
+            ..JbsConfig::default()
+        };
         assert!(c.validate().is_ok());
     }
 

@@ -31,12 +31,12 @@ use crate::sched::{FetchDone, FetchOp, FetchScheduler};
 use crate::slot::{SlotEvent, SlotMap};
 use crate::stats::{FetchStats, FetchStatsSnapshot};
 use crate::sync::{lock, Mutex};
-use crate::wire::{FetchRequest, FetchResponse, Status};
+use crate::wire::{FetchRequest, FetchResponse, Status, WireVersion, FLAG_BYPASS_CACHE};
 use jbs_des::DetRng;
 use jbs_mapred::levitate::{RecordParser, RecordStream, StreamingMerge};
 use jbs_mapred::merge::{KWayMerge, Record};
 use jbs_mapred::mof::SegmentReader;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{mpsc, Arc};
@@ -92,6 +92,25 @@ pub struct ClientConfig {
     /// Structured tracing sink; [`jbs_obs::Trace::disabled`] (the
     /// default) is a single branch per instrumentation point.
     pub trace: jbs_obs::Trace,
+    /// End-to-end integrity: open every peer in the v3 dialect so chunk
+    /// payloads arrive CRC32C-sealed and are verified before they are
+    /// admitted to the merge. `false` pins every peer to v2 (no
+    /// checksums, no busy frames) — the escape hatch for measuring the
+    /// checksum overhead or talking to a fleet of legacy suppliers.
+    pub checksum: bool,
+    /// Integrity re-fetch budget: how many targeted cache-bypass
+    /// re-fetches one chunk position may consume (CRC mismatches and
+    /// short-EOF accounting violations) before the typed error
+    /// surfaces.
+    pub integrity_retries: u32,
+    /// Per-peer circuit breaker (pipelined path): consecutive
+    /// connection-level failures before the peer's breaker opens and
+    /// new ops fail fast with [`TransportError::CircuitOpen`]. `0`
+    /// disables the breaker entirely.
+    pub breaker_threshold: u32,
+    /// Base cooldown an open breaker waits before granting its single
+    /// half-open probe; doubles on every failed probe (capped at 64x).
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ClientConfig {
@@ -107,6 +126,10 @@ impl Default for ClientConfig {
             retry_seed: 0x4A42_5331,
             faults: None,
             trace: jbs_obs::Trace::disabled(),
+            checksum: true,
+            integrity_retries: 2,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(100),
         }
     }
 }
@@ -116,11 +139,85 @@ pub(crate) struct Conn {
     pub(crate) writer: TcpStream,
 }
 
+/// Per-peer dialect negotiation state (client-driven; see `wire.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeerVersion {
+    /// Speaking v3, unconfirmed. Counts connections that died before
+    /// *any* v3 response arrived — the legacy-server signature.
+    Probing(u32),
+    /// Pinned v3: this peer has produced a v3 response.
+    V3,
+    /// Downgraded: consecutive fresh connections died before any v3
+    /// response; the peer is treated as a legacy v2 supplier.
+    V2,
+}
+
+/// Probing connections that may die before a peer is declared legacy.
+const V3_PROBE_BUDGET: u32 = 2;
+
+/// The client side of wire-version negotiation: every peer starts in
+/// v3, pins v3 on the first v3 response, and is downgraded to v2 only
+/// after [`V3_PROBE_BUDGET`] connections died without any v3 response
+/// (a genuine v2-only server drops the unknown magic every time).
+/// Dial failures never count — a dead peer is not a legacy peer.
+pub(crate) struct VersionMap {
+    enabled: bool,
+    versions: Mutex<HashMap<SocketAddr, PeerVersion>>,
+}
+
+impl VersionMap {
+    pub(crate) fn new(enabled: bool) -> Self {
+        VersionMap {
+            enabled,
+            versions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The dialect to frame the next request to `addr` in.
+    pub(crate) fn version_for(&self, addr: SocketAddr) -> WireVersion {
+        if !self.enabled {
+            return WireVersion::V2;
+        }
+        match lock(&self.versions).get(&addr) {
+            Some(PeerVersion::V2) => WireVersion::V2,
+            _ => WireVersion::V3,
+        }
+    }
+
+    /// A v3 response arrived from `addr`: pin the peer to v3. Pinned
+    /// peers never downgrade — later connection deaths are failures,
+    /// not negotiation signals.
+    pub(crate) fn confirm_v3(&self, addr: SocketAddr) {
+        if self.enabled {
+            lock(&self.versions).insert(addr, PeerVersion::V3);
+        }
+    }
+
+    /// A connection to `addr` died before any v3 response arrived on
+    /// it. After [`V3_PROBE_BUDGET`] such deaths the peer is downgraded
+    /// to the legacy dialect.
+    pub(crate) fn record_probe_failure(&self, addr: SocketAddr) {
+        if !self.enabled {
+            return;
+        }
+        let mut versions = lock(&self.versions);
+        let state = versions.entry(addr).or_insert(PeerVersion::Probing(0));
+        if let PeerVersion::Probing(n) = *state {
+            *state = if n + 1 >= V3_PROBE_BUDGET {
+                PeerVersion::V2
+            } else {
+                PeerVersion::Probing(n + 1)
+            };
+        }
+    }
+}
+
 /// State shared between the client facade and the scheduler's worker
 /// threads.
 pub(crate) struct ClientShared {
     pub(crate) stats: Mutex<ClientStats>,
     pub(crate) fetch_stats: FetchStats,
+    pub(crate) versions: VersionMap,
     pub(crate) config: ClientConfig,
 }
 
@@ -232,6 +329,7 @@ impl NetMergerClient {
         let shared = Arc::new(ClientShared {
             stats: Mutex::new(ClientStats::default()),
             fetch_stats: FetchStats::new(),
+            versions: VersionMap::new(config.checksum),
             config: ClientConfig {
                 buffer_bytes: config.buffer_bytes.max(1),
                 window: config.window.max(1),
@@ -290,16 +388,35 @@ impl NetMergerClient {
     /// retry loop wraps. Serial requests carry id 0 and expect it back:
     /// the exchange is lockstep, so any other echo is a desynchronized
     /// stream.
-    fn try_fetch_chunk(&self, seg: SegmentRef, offset: u64, len: u64) -> Result<Vec<u8>> {
-        self.with_conn(seg.addr, |conn| {
+    ///
+    /// Returns the payload plus the total segment length when the peer
+    /// spoke v3 (`OkCrc`), which the caller feeds into expected-length
+    /// accounting. A payload failing its CRC sets `bypass_next` so the
+    /// retry issues a targeted cache-bypass re-fetch.
+    fn try_fetch_chunk(
+        &self,
+        seg: SegmentRef,
+        offset: u64,
+        len: u64,
+        bypass: bool,
+        bypass_next: &mut bool,
+    ) -> Result<(Vec<u8>, Option<u64>)> {
+        let version = self.shared.versions.version_for(seg.addr);
+        let flags = if bypass && version == WireVersion::V3 {
+            FLAG_BYPASS_CACHE
+        } else {
+            0
+        };
+        let res = self.with_conn(seg.addr, |conn| {
             FetchRequest {
                 id: 0,
                 mof: seg.mof,
                 reducer: seg.reducer,
                 offset,
                 len,
+                flags,
             }
-            .write_to(&mut conn.writer)
+            .write_versioned(&mut conn.writer, version)
             .map_err(|e| TransportError::from_io("write request", e))?;
             match faults::decide(&self.shared.config.faults, Hook::ClientReadResponse) {
                 FaultAction::Reset => {
@@ -320,7 +437,38 @@ impl NetMergerClient {
             match resp.status {
                 Status::Ok => {
                     lock(&self.shared.stats).bytes_fetched += resp.payload.len() as u64;
-                    Ok(resp.payload)
+                    Ok((resp.payload, None))
+                }
+                Status::OkCrc => {
+                    self.shared.versions.confirm_v3(seg.addr);
+                    if !resp.crc_ok() {
+                        // The frame parsed cleanly but the payload does
+                        // not match its seal: damage on disk, in cache,
+                        // or in RAM. Re-fetch with the bypass flag so
+                        // the supplier re-reads from disk instead of
+                        // re-serving the same poisoned bytes.
+                        *bypass_next = true;
+                        return Err(TransportError::Corrupt {
+                            detail: format!(
+                                "payload CRC32C mismatch at offset {offset} of mof {} reducer {}",
+                                seg.mof, seg.reducer
+                            ),
+                        });
+                    }
+                    self.shared.config.trace.instant(
+                        "integrity.verify",
+                        jbs_obs::Entity::mof(seg.mof),
+                        offset,
+                        resp.payload.len() as u64,
+                    );
+                    lock(&self.shared.stats).bytes_fetched += resp.payload.len() as u64;
+                    Ok((resp.payload, Some(resp.seg_len)))
+                }
+                Status::Busy => {
+                    self.shared.versions.confirm_v3(seg.addr);
+                    Err(TransportError::Busy {
+                        retry_after: Duration::from_millis(resp.retry_after_ms),
+                    })
                 }
                 Status::NotFound => Err(TransportError::NotFound {
                     what: format!("mof {} reducer {}", seg.mof, seg.reducer),
@@ -332,30 +480,75 @@ impl NetMergerClient {
                     ),
                 }),
             }
-        })
+        });
+        if let Err(e) = &res {
+            // Negotiation: a connection that died before any v3
+            // response may be a legacy server rejecting the magic.
+            // Dial failures and typed verdicts are not that signature.
+            if version == WireVersion::V3
+                && matches!(
+                    e,
+                    TransportError::Reset { .. }
+                        | TransportError::Timeout { .. }
+                        | TransportError::Io { .. }
+                )
+            {
+                self.shared.versions.record_probe_failure(seg.addr);
+            }
+        }
+        res
     }
 
     /// Fetch one chunk under the retry policy. `offset` doubles as the
     /// resume point: a retried chunk re-requests exactly `[offset, ...)`,
-    /// so bytes before `offset` are never refetched.
-    fn fetch_chunk_with_retry(&self, seg: SegmentRef, offset: u64, len: u64) -> Result<Vec<u8>> {
+    /// so bytes before `offset` are never refetched. `bypass_next`
+    /// seeds the first attempt with the cache-bypass flag (the caller
+    /// already convicted the cached bytes); later attempts set it
+    /// themselves on CRC mismatch. A `Busy` pushback sleeps the
+    /// supplier's hint instead of the backoff curve when the hint is
+    /// longer.
+    fn fetch_chunk_with_retry(
+        &self,
+        seg: SegmentRef,
+        offset: u64,
+        len: u64,
+        mut bypass_next: bool,
+    ) -> Result<(Vec<u8>, Option<u64>)> {
         let mut attempt = 0u32;
         loop {
-            match self.try_fetch_chunk(seg, offset, len) {
-                Ok(payload) => return Ok(payload),
+            let bypass = std::mem::take(&mut bypass_next);
+            match self.try_fetch_chunk(seg, offset, len, bypass, &mut bypass_next) {
+                Ok(out) => return Ok(out),
                 Err(e) if e.is_retryable() && attempt < self.shared.config.retry.max_retries => {
                     attempt += 1;
                     record_failure(&self.shared.fetch_stats, &e);
-                    self.shared.fetch_stats.record_retry();
+                    if bypass_next {
+                        // Integrity-driven targeted re-fetch: tracked
+                        // apart from connection-level retries.
+                        self.shared.fetch_stats.record_corrupt_refetch();
+                        self.shared.config.trace.instant(
+                            "integrity.refetch",
+                            jbs_obs::Entity::mof(seg.mof),
+                            offset,
+                            u64::from(attempt),
+                        );
+                    } else {
+                        self.shared.fetch_stats.record_retry();
+                    }
                     if attempt == 1 && offset > 0 {
                         // The segment resumes mid-stream: everything
                         // before `offset` survives this recovery.
                         self.shared.fetch_stats.record_resumed_bytes(offset);
                     }
-                    let delay = {
+                    let mut delay = {
                         let mut rng = lock(&self.backoff_rng);
                         self.shared.config.retry.backoff(attempt, &mut rng)
                     };
+                    if let TransportError::Busy { retry_after } = &e {
+                        // Typed pushback: honor the supplier's hint.
+                        self.shared.fetch_stats.record_busy_backoff();
+                        delay = delay.max(*retry_after);
+                    }
                     let _backoff = self.shared.config.trace.span(
                         "retry.backoff",
                         jbs_obs::Entity::peer(u64::from(seg.addr.port())),
@@ -381,13 +574,53 @@ impl NetMergerClient {
     /// at the received offset across transient failures. Serial: each
     /// chunk waits for the previous one — the baseline the pipelined
     /// path is measured against.
+    ///
+    /// Under v3 the segment's total length (carried on every `OkCrc`
+    /// frame) is enforced: an empty chunk before `expected` bytes have
+    /// arrived — a truncation landing exactly on a chunk boundary,
+    /// which v2 cannot tell from clean EOF — triggers a bounded
+    /// cache-bypass re-fetch and then a typed
+    /// [`TransportError::Truncated`].
     pub fn fetch_segment(&self, seg: SegmentRef) -> Result<Vec<u8>> {
         let mut out = Vec::new();
         let mut offset = 0u64;
+        let mut expected: Option<u64> = None;
+        let mut integrity_retries = 0u32;
+        let mut refetch = false;
         loop {
-            let chunk =
-                self.fetch_chunk_with_retry(seg, offset, self.shared.config.buffer_bytes)?;
+            let (chunk, seg_len) = self.fetch_chunk_with_retry(
+                seg,
+                offset,
+                self.shared.config.buffer_bytes,
+                refetch,
+            )?;
+            refetch = false;
+            if seg_len.is_some() {
+                expected = seg_len;
+            }
             if chunk.is_empty() {
+                if let Some(exp) = expected {
+                    if offset < exp {
+                        // Short clean EOF: the accounting says more
+                        // bytes must exist.
+                        if integrity_retries < self.shared.config.integrity_retries {
+                            integrity_retries += 1;
+                            self.shared.fetch_stats.record_corrupt_refetch();
+                            self.shared.config.trace.instant(
+                                "integrity.refetch",
+                                jbs_obs::Entity::mof(seg.mof),
+                                offset,
+                                u64::from(integrity_retries),
+                            );
+                            refetch = true;
+                            continue;
+                        }
+                        return Err(TransportError::Truncated {
+                            got: offset,
+                            expected: exp,
+                        });
+                    }
+                }
                 return Ok(out);
             }
             offset += chunk.len() as u64;
@@ -424,7 +657,7 @@ impl NetMergerClient {
         // one result and dropped its sender clone.
         drop(tx);
         let mut out: Vec<Option<Vec<u8>>> = segs.iter().map(|_| None).collect();
-        let mut first_err: Option<(u64, TransportError)> = None;
+        let mut failures: Vec<(u64, TransportError)> = Vec::new();
         for done in rx {
             match done.result {
                 Ok(bytes) => {
@@ -432,14 +665,19 @@ impl NetMergerClient {
                         *slot = Some(bytes);
                     }
                 }
-                Err(e) => {
-                    if first_err.as_ref().is_none_or(|(t, _)| done.token < *t) {
-                        first_err = Some((done.token, e));
-                    }
-                }
+                Err(e) => failures.push((done.token, e)),
             }
         }
-        if let Some((_, e)) = first_err {
+        // One failure surfaces with its full segment context; several
+        // aggregate into a partial-failure report naming every failed
+        // segment instead of an opaque first-error.
+        if failures.len() > 1 {
+            failures.sort_by_key(|(t, _)| *t);
+            return Err(TransportError::Partial {
+                failures: failures.into_iter().map(|(_, e)| e).collect(),
+            });
+        }
+        if let Some((_, e)) = failures.pop() {
             return Err(e);
         }
         let mut res = Vec::with_capacity(out.len());
@@ -484,7 +722,8 @@ impl NetMergerClient {
     /// exchange, retried on transient failure). An empty payload means
     /// the segment is exhausted.
     pub fn fetch_chunk(&self, seg: SegmentRef, offset: u64) -> Result<Vec<u8>> {
-        self.fetch_chunk_with_retry(seg, offset, self.shared.config.buffer_bytes)
+        self.fetch_chunk_with_retry(seg, offset, self.shared.config.buffer_bytes, false)
+            .map(|(bytes, _)| bytes)
     }
 
     /// **The network-levitated merge over real sockets**: merge a
@@ -998,6 +1237,248 @@ mod tests {
         let first = stream.next_record().unwrap().unwrap();
         assert!(!first.0.is_empty());
         assert_eq!(stream.offset(), 4 << 10, "exactly one buffer received");
+        server.shutdown();
+    }
+
+    #[test]
+    fn v3_pins_after_first_response_and_every_chunk_verifies() {
+        let server = server_with_records(1000, 1);
+        let trace = jbs_obs::Trace::recording(1 << 14);
+        let client = NetMergerClient::with_client_config(ClientConfig {
+            buffer_bytes: 4 << 10,
+            trace: trace.clone(),
+            ..ClientConfig::default()
+        });
+        let seg = SegmentRef {
+            addr: server.addr(),
+            mof: 0,
+            reducer: 0,
+        };
+        let bytes = client.fetch_segment(seg).unwrap();
+        assert!(!bytes.is_empty());
+        assert_eq!(
+            lock(&client.shared.versions.versions).get(&server.addr()),
+            Some(&PeerVersion::V3),
+            "peer pinned v3 after its first v3 response"
+        );
+        // Every received chunk passed verification before admission.
+        let verifies = trace.query().count("integrity.verify");
+        assert!(verifies >= 2, "per-chunk verification ran: {verifies}");
+        assert_eq!(client.fetch_stats().corrupt_refetches, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn checksum_disabled_stays_on_v2() {
+        let server = server_with_records(100, 1);
+        let client = NetMergerClient::with_client_config(ClientConfig {
+            checksum: false,
+            ..ClientConfig::default()
+        });
+        let seg = SegmentRef {
+            addr: server.addr(),
+            mof: 0,
+            reducer: 0,
+        };
+        client.fetch_segment(seg).unwrap();
+        assert_eq!(
+            client.shared.versions.version_for(server.addr()),
+            WireVersion::V2
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn corrupted_payload_is_refetched_with_bypass() {
+        let server_plan = FaultPlan::builder(8)
+            .force(
+                Hook::ServerPayload,
+                0,
+                crate::faults::FaultKind::CorruptPayload,
+            )
+            .build();
+        let mut store = MofStore::temp().unwrap();
+        let records: Vec<Record> = (0..1500)
+            .map(|i| (format!("key-{i:06}").into_bytes(), vec![i as u8; 20]))
+            .collect();
+        store.write_mof(0, records, 1, |_| 0).unwrap();
+        let server = crate::server::MofSupplierServer::start_with_options(
+            store,
+            crate::server::ServerOptions {
+                buffer_bytes: 4 << 10,
+                faults: Some(Arc::clone(&server_plan)),
+                ..crate::server::ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let client = NetMergerClient::with_client_config(ClientConfig {
+            buffer_bytes: 4 << 10,
+            ..ClientConfig::default()
+        });
+        let seg = SegmentRef {
+            addr: server.addr(),
+            mof: 0,
+            reducer: 0,
+        };
+        let first = client.fetch_segment(seg).unwrap();
+        let clean = client.fetch_segment(seg).unwrap();
+        assert_eq!(first, clean, "corruption never reached the caller");
+        let fs = client.fetch_stats();
+        assert_eq!(fs.corrupt_refetches, 1, "{fs:?}");
+        assert_eq!(server_plan.stats().payload_corruptions, 1);
+        assert_eq!(
+            server.stats_snapshot().bypass_reads,
+            1,
+            "the re-fetch carried the bypass flag"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn busy_pushback_is_honored_not_fatal() {
+        let plan = FaultPlan::builder(9)
+            .force(Hook::ServerAdmission, 0, crate::faults::FaultKind::Busy)
+            .build();
+        let mut store = MofStore::temp().unwrap();
+        let records: Vec<Record> = (0..200)
+            .map(|i| (format!("k{i:04}").into_bytes(), vec![3; 16]))
+            .collect();
+        store.write_mof(0, records, 1, |_| 0).unwrap();
+        let server = crate::server::MofSupplierServer::start_with_options(
+            store,
+            crate::server::ServerOptions {
+                faults: Some(Arc::clone(&plan)),
+                busy_retry_hint: Duration::from_millis(5),
+                ..crate::server::ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let client = NetMergerClient::new();
+        let seg = SegmentRef {
+            addr: server.addr(),
+            mof: 0,
+            reducer: 0,
+        };
+        let bytes = client.fetch_segment(seg).unwrap();
+        assert!(!bytes.is_empty());
+        let fs = client.fetch_stats();
+        assert_eq!(fs.busy_backoffs, 1, "{fs:?}");
+        assert_eq!(server.stats_snapshot().busy_rejections, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn boundary_truncation_lie_recovers_via_refetch() {
+        // One clean-EOF lie: the accounting notices the shortfall and a
+        // bypass re-fetch makes the segment whole.
+        let plan = FaultPlan::builder(10)
+            .force(Hook::ServerPayload, 0, crate::faults::FaultKind::CleanEof)
+            .build();
+        let mut store = MofStore::temp().unwrap();
+        let records: Vec<Record> = (0..800)
+            .map(|i| (format!("k{i:05}").into_bytes(), vec![i as u8; 24]))
+            .collect();
+        store.write_mof(0, records, 1, |_| 0).unwrap();
+        let server = crate::server::MofSupplierServer::start_with_options(
+            store,
+            crate::server::ServerOptions {
+                buffer_bytes: 4 << 10,
+                faults: Some(Arc::clone(&plan)),
+                ..crate::server::ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let client = NetMergerClient::with_client_config(ClientConfig {
+            buffer_bytes: 4 << 10,
+            ..ClientConfig::default()
+        });
+        let seg = SegmentRef {
+            addr: server.addr(),
+            mof: 0,
+            reducer: 0,
+        };
+        let lied = client.fetch_segment(seg).unwrap();
+        let clean = client.fetch_segment(seg).unwrap();
+        assert_eq!(lied, clean, "the lie was detected and repaired");
+        assert!(client.fetch_stats().corrupt_refetches >= 1);
+        assert_eq!(plan.stats().clean_eof_lies, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn persistent_truncation_surfaces_typed_error() {
+        // The lie repeats past the integrity budget: the caller gets a
+        // typed Truncated error, not a silently short segment. (Under
+        // v2 this exact failure is invisible — the documented blindness
+        // the v3 seg_len accounting exists to close.)
+        let plan = FaultPlan::builder(11)
+            .force(Hook::ServerPayload, 0, crate::faults::FaultKind::CleanEof)
+            .force(Hook::ServerPayload, 1, crate::faults::FaultKind::CleanEof)
+            .force(Hook::ServerPayload, 2, crate::faults::FaultKind::CleanEof)
+            .build();
+        let mut store = MofStore::temp().unwrap();
+        let records: Vec<Record> = (0..200)
+            .map(|i| (format!("k{i:04}").into_bytes(), vec![7; 16]))
+            .collect();
+        store.write_mof(0, records, 1, |_| 0).unwrap();
+        let server = crate::server::MofSupplierServer::start_with_options(
+            store,
+            crate::server::ServerOptions {
+                faults: Some(Arc::clone(&plan)),
+                ..crate::server::ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let client = NetMergerClient::new();
+        let err = client
+            .fetch_segment(SegmentRef {
+                addr: server.addr(),
+                mof: 0,
+                reducer: 0,
+            })
+            .unwrap_err();
+        match err {
+            TransportError::Truncated { got, expected } => {
+                assert_eq!(got, 0);
+                assert!(expected > 0);
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
+        assert_eq!(client.fetch_stats().corrupt_refetches, 2, "budget spent");
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_failures_aggregate_into_partial_report() {
+        let server = server_with_records(100, 1);
+        let client = NetMergerClient::new();
+        let segs = [
+            SegmentRef {
+                addr: server.addr(),
+                mof: 0,
+                reducer: 0,
+            },
+            SegmentRef {
+                addr: server.addr(),
+                mof: 98,
+                reducer: 1,
+            },
+            SegmentRef {
+                addr: server.addr(),
+                mof: 99,
+                reducer: 2,
+            },
+        ];
+        let err = client.fetch_all(&segs).unwrap_err();
+        match &err {
+            TransportError::Partial { failures } => {
+                assert_eq!(failures.len(), 2);
+                for f in failures {
+                    assert!(matches!(f, TransportError::Segment { .. }), "{f}");
+                }
+            }
+            other => panic!("expected partial report, got {other}"),
+        }
         server.shutdown();
     }
 

@@ -34,10 +34,35 @@ pub enum TransportError {
         /// Which operation observed the drop.
         during: &'static str,
     },
-    /// A frame arrived but failed to decode.
+    /// A frame arrived but failed to decode, or its payload failed the
+    /// end-to-end checksum.
     Corrupt {
         /// What was wrong with the bytes.
         detail: String,
+    },
+    /// The stream ended before the bytes the peer promised arrived —
+    /// detected by expected-length accounting against the segment
+    /// length a v3 `OkCrc` frame carries, so a truncation landing
+    /// exactly on a chunk boundary no longer masquerades as clean EOF.
+    Truncated {
+        /// Bytes received so far.
+        got: u64,
+        /// Bytes the segment was declared to hold.
+        expected: u64,
+    },
+    /// The supplier is shedding load (admission control): retry after
+    /// the hinted delay.
+    Busy {
+        /// The supplier's retry-after hint.
+        retry_after: std::time::Duration,
+    },
+    /// The per-peer circuit breaker is open: recent consecutive
+    /// failures exceeded the threshold, so requests to this peer fail
+    /// fast instead of burning the retry budget. Not retryable — the
+    /// breaker itself schedules the half-open probe.
+    CircuitOpen {
+        /// The peer whose breaker is open.
+        peer: String,
     },
     /// The supplier does not have the requested object.
     NotFound {
@@ -76,6 +101,15 @@ pub enum TransportError {
         /// The error of the last attempt.
         last: Box<TransportError>,
     },
+    /// Several independent segment fetches failed in one `fetch_all`.
+    /// The consolidated report keeps every per-segment failure (each a
+    /// [`TransportError::Segment`] with its own peer context) so a
+    /// partial outage reads as "these peers failed" instead of one
+    /// opaque first-error.
+    Partial {
+        /// Every failed fetch, in submission order.
+        failures: Vec<TransportError>,
+    },
     /// Any other I/O failure.
     Io {
         /// Which operation failed.
@@ -109,10 +143,12 @@ impl TransportError {
     /// Whether a retry with a fresh connection can plausibly succeed.
     ///
     /// Transient network failures (dial errors, timeouts, resets,
-    /// corrupt frames, generic I/O) are retryable; semantic failures
-    /// (missing segment, malformed request, out-of-bounds read) and an
-    /// already-exhausted budget are not. Segment context is transparent:
-    /// it classifies as whatever it wraps.
+    /// corrupt frames, truncations, overload pushback, generic I/O) are
+    /// retryable; semantic failures (missing segment, malformed
+    /// request, out-of-bounds read), an open circuit breaker (the
+    /// breaker schedules its own probe), and an already-exhausted
+    /// budget are not. Segment context is transparent: it classifies as
+    /// whatever it wraps.
     pub fn is_retryable(&self) -> bool {
         match self {
             TransportError::Segment { source, .. } => source.is_retryable(),
@@ -122,6 +158,8 @@ impl TransportError {
                     | TransportError::Timeout { .. }
                     | TransportError::Reset { .. }
                     | TransportError::Corrupt { .. }
+                    | TransportError::Truncated { .. }
+                    | TransportError::Busy { .. }
                     | TransportError::Io { .. }
             ),
         }
@@ -158,6 +196,19 @@ impl TransportError {
             },
             TransportError::OutOfBounds { detail } => TransportError::OutOfBounds {
                 detail: detail.clone(),
+            },
+            TransportError::Truncated { got, expected } => TransportError::Truncated {
+                got: *got,
+                expected: *expected,
+            },
+            TransportError::Busy { retry_after } => TransportError::Busy {
+                retry_after: *retry_after,
+            },
+            TransportError::CircuitOpen { peer } => TransportError::CircuitOpen {
+                peer: peer.clone(),
+            },
+            TransportError::Partial { failures } => TransportError::Partial {
+                failures: failures.iter().map(TransportError::duplicate).collect(),
             },
             TransportError::Segment {
                 mof,
@@ -200,6 +251,32 @@ impl fmt::Display for TransportError {
             TransportError::OutOfBounds { detail } => {
                 write!(f, "out-of-bounds access: {detail}")
             }
+            TransportError::Truncated { got, expected } => {
+                write!(
+                    f,
+                    "segment truncated: got {got} of {expected} expected bytes"
+                )
+            }
+            TransportError::Busy { retry_after } => {
+                write!(
+                    f,
+                    "supplier busy; retry after {} ms",
+                    retry_after.as_millis()
+                )
+            }
+            TransportError::CircuitOpen { peer } => {
+                write!(f, "circuit breaker open for {peer}; failing fast")
+            }
+            TransportError::Partial { failures } => {
+                write!(f, "{} segment fetches failed: [", failures.len())?;
+                for (i, e) in failures.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
             TransportError::Segment {
                 mof,
                 reducer,
@@ -229,6 +306,9 @@ impl std::error::Error for TransportError {
             }
             TransportError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             TransportError::Segment { source, .. } => Some(source.as_ref()),
+            TransportError::Partial { failures } => failures
+                .first()
+                .map(|e| e as &(dyn std::error::Error + 'static)),
             _ => None,
         }
     }
@@ -248,6 +328,15 @@ fn io_kind(e: &TransportError) -> io::ErrorKind {
         }
         TransportError::NotFound { .. } => io::ErrorKind::NotFound,
         TransportError::OutOfBounds { .. } => io::ErrorKind::InvalidInput,
+        TransportError::Truncated { .. } => io::ErrorKind::UnexpectedEof,
+        // "Try again later"; Busy is normally absorbed by the retry
+        // loop long before any io::Error bridge sees it.
+        TransportError::Busy { .. } => io::ErrorKind::WouldBlock,
+        TransportError::CircuitOpen { .. } => io::ErrorKind::ConnectionRefused,
+        TransportError::Partial { failures } => failures
+            .first()
+            .map(io_kind)
+            .unwrap_or(io::ErrorKind::Other),
         TransportError::Segment { source, .. } => io_kind(source),
         TransportError::RetriesExhausted { last, .. } => io_kind(last),
         TransportError::Io { source, .. } => source.kind(),
@@ -345,6 +434,65 @@ mod tests {
             }),
         };
         assert!(!terminal.is_retryable());
+    }
+
+    #[test]
+    fn robustness_variants_classify() {
+        let busy = TransportError::Busy {
+            retry_after: std::time::Duration::from_millis(50),
+        };
+        assert!(busy.is_retryable(), "busy is explicit retry pushback");
+        assert!(!busy.is_timeout());
+        assert!(busy.to_string().contains("50 ms"));
+
+        let trunc = TransportError::Truncated {
+            got: 100,
+            expected: 256,
+        };
+        assert!(trunc.is_retryable());
+        let msg = trunc.to_string();
+        assert!(msg.contains("100") && msg.contains("256"), "{msg}");
+        let e: io::Error = trunc.into();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+
+        let open = TransportError::CircuitOpen {
+            peer: "10.0.0.9:4242".into(),
+        };
+        assert!(!open.is_retryable(), "breaker schedules its own probes");
+        assert!(open.to_string().contains("10.0.0.9:4242"));
+
+        // Segment context stays transparent over the new variants.
+        let seg = TransportError::Segment {
+            mof: 1,
+            reducer: 2,
+            peer: "p".into(),
+            source: Box::new(TransportError::Busy {
+                retry_after: std::time::Duration::ZERO,
+            }),
+        };
+        assert!(seg.is_retryable());
+    }
+
+    #[test]
+    fn partial_reports_every_failure() {
+        let seg = |mof: u64, peer: &str| TransportError::Segment {
+            mof,
+            reducer: 0,
+            peer: peer.into(),
+            source: Box::new(TransportError::Reset { during: "read" }),
+        };
+        let partial = TransportError::Partial {
+            failures: vec![seg(3, "hostA:1"), seg(9, "hostB:2")],
+        };
+        assert!(!partial.is_retryable());
+        let msg = partial.to_string();
+        assert!(msg.contains("2 segment fetches failed"), "{msg}");
+        assert!(msg.contains("hostA:1") && msg.contains("hostB:2"), "{msg}");
+        assert!(msg.contains("mof 3") && msg.contains("mof 9"), "{msg}");
+        let d = partial.duplicate();
+        assert_eq!(d.to_string(), msg);
+        let e: io::Error = partial.into();
+        assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
     }
 
     #[test]

@@ -30,10 +30,18 @@ pub enum Hook {
     VerbsConnect,
     /// Verbs one-sided read.
     VerbsRead,
+    /// Server admission decision for one request (busy storms: force
+    /// typed `Busy` pushback even when capacity remains).
+    ServerAdmission,
+    /// Server payload about to ship, checksum already computed
+    /// (payload corruption the frame structure cannot catch — only the
+    /// end-to-end CRC32C can; also hosts the boundary-truncation
+    /// clean-EOF lie).
+    ServerPayload,
 }
 
 impl Hook {
-    const COUNT: usize = 6;
+    const COUNT: usize = 8;
 
     /// All hooks, in index order.
     pub const ALL: [Hook; Hook::COUNT] = [
@@ -43,6 +51,8 @@ impl Hook {
         Hook::ServerWriteResponse,
         Hook::VerbsConnect,
         Hook::VerbsRead,
+        Hook::ServerAdmission,
+        Hook::ServerPayload,
     ];
 
     fn index(self) -> usize {
@@ -53,6 +63,8 @@ impl Hook {
             Hook::ServerWriteResponse => 3,
             Hook::VerbsConnect => 4,
             Hook::VerbsRead => 5,
+            Hook::ServerAdmission => 6,
+            Hook::ServerPayload => 7,
         }
     }
 }
@@ -73,6 +85,16 @@ pub enum FaultAction {
     /// Pause for the given duration before proceeding (drives the
     /// peer's read deadline).
     Stall(Duration),
+    /// Reply `Busy` pushback regardless of real capacity (busy storm).
+    Busy,
+    /// Flip one payload byte *after* the checksum was computed: the
+    /// frame stays structurally valid and only end-to-end verification
+    /// can catch it.
+    CorruptPayload,
+    /// Serve an empty payload as if the segment cleanly ended here —
+    /// the boundary-truncation lie that v2 cannot distinguish from a
+    /// real end-of-segment.
+    CleanEof,
 }
 
 /// Fault kinds, for forcing a specific action at a specific occurrence.
@@ -88,6 +110,12 @@ pub enum FaultKind {
     Corrupt,
     /// See [`FaultAction::Stall`].
     Stall,
+    /// See [`FaultAction::Busy`].
+    Busy,
+    /// See [`FaultAction::CorruptPayload`].
+    CorruptPayload,
+    /// See [`FaultAction::CleanEof`].
+    CleanEof,
 }
 
 /// Per-hook probabilities and forced occurrences.
@@ -98,6 +126,9 @@ struct HookRules {
     p_truncate: f64,
     p_corrupt: f64,
     p_stall: f64,
+    p_busy: f64,
+    p_corrupt_payload: f64,
+    p_clean_eof: f64,
     stall: Duration,
     /// `(occurrence, kind)`: the `occurrence`-th firing (0-based) of
     /// this hook takes `kind` unconditionally.
@@ -112,6 +143,9 @@ impl HookRules {
             FaultKind::Truncate => FaultAction::Truncate,
             FaultKind::Corrupt => FaultAction::Corrupt,
             FaultKind::Stall => FaultAction::Stall(self.stall),
+            FaultKind::Busy => FaultAction::Busy,
+            FaultKind::CorruptPayload => FaultAction::CorruptPayload,
+            FaultKind::CleanEof => FaultAction::CleanEof,
         }
     }
 }
@@ -124,6 +158,9 @@ pub struct FaultStats {
     truncations: AtomicU64,
     corruptions: AtomicU64,
     stalls: AtomicU64,
+    busy_storms: AtomicU64,
+    payload_corruptions: AtomicU64,
+    clean_eof_lies: AtomicU64,
 }
 
 /// A point-in-time copy of [`FaultStats`].
@@ -139,12 +176,25 @@ pub struct FaultStatsSnapshot {
     pub corruptions: u64,
     /// Artificial stalls injected.
     pub stalls: u64,
+    /// Forced `Busy` pushback replies injected.
+    pub busy_storms: u64,
+    /// Post-checksum payload corruptions injected.
+    pub payload_corruptions: u64,
+    /// Clean-EOF truncation lies injected.
+    pub clean_eof_lies: u64,
 }
 
 impl FaultStatsSnapshot {
     /// Total faults injected.
     pub fn total(&self) -> u64 {
-        self.refusals + self.resets + self.truncations + self.corruptions + self.stalls
+        self.refusals
+            + self.resets
+            + self.truncations
+            + self.corruptions
+            + self.stalls
+            + self.busy_storms
+            + self.payload_corruptions
+            + self.clean_eof_lies
     }
 }
 
@@ -202,6 +252,9 @@ impl FaultPlan {
                     (rules.p_truncate, FaultKind::Truncate),
                     (rules.p_corrupt, FaultKind::Corrupt),
                     (rules.p_stall, FaultKind::Stall),
+                    (rules.p_busy, FaultKind::Busy),
+                    (rules.p_corrupt_payload, FaultKind::CorruptPayload),
+                    (rules.p_clean_eof, FaultKind::CleanEof),
                 ];
                 let mut chosen = FaultAction::Allow;
                 for (p, kind) in ladder {
@@ -231,6 +284,15 @@ impl FaultPlan {
             FaultAction::Stall(_) => {
                 self.stats.stalls.fetch_add(1, Ordering::Relaxed);
             }
+            FaultAction::Busy => {
+                self.stats.busy_storms.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::CorruptPayload => {
+                self.stats.payload_corruptions.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::CleanEof => {
+                self.stats.clean_eof_lies.fetch_add(1, Ordering::Relaxed);
+            }
         }
         action
     }
@@ -243,6 +305,9 @@ impl FaultPlan {
             truncations: self.stats.truncations.load(Ordering::Relaxed),
             corruptions: self.stats.corruptions.load(Ordering::Relaxed),
             stalls: self.stats.stalls.load(Ordering::Relaxed),
+            busy_storms: self.stats.busy_storms.load(Ordering::Relaxed),
+            payload_corruptions: self.stats.payload_corruptions.load(Ordering::Relaxed),
+            clean_eof_lies: self.stats.clean_eof_lies.load(Ordering::Relaxed),
         }
     }
 }
@@ -297,6 +362,27 @@ impl FaultPlanBuilder {
         let r = &mut self.rules[hook.index()];
         r.p_stall = p;
         r.stall = d;
+        self
+    }
+
+    /// Force `Busy` pushback at `hook` with probability `p` (meaningful
+    /// at [`Hook::ServerAdmission`]).
+    pub fn busy(mut self, hook: Hook, p: f64) -> Self {
+        self.rules[hook.index()].p_busy = p;
+        self
+    }
+
+    /// Flip a payload byte after the checksum at `hook` with
+    /// probability `p` (meaningful at [`Hook::ServerPayload`]).
+    pub fn corrupt_payload(mut self, hook: Hook, p: f64) -> Self {
+        self.rules[hook.index()].p_corrupt_payload = p;
+        self
+    }
+
+    /// Serve a lying clean EOF at `hook` with probability `p`
+    /// (meaningful at [`Hook::ServerPayload`]).
+    pub fn clean_eof(mut self, hook: Hook, p: f64) -> Self {
+        self.rules[hook.index()].p_clean_eof = p;
         self
     }
 
@@ -399,6 +485,31 @@ mod tests {
         for _ in 0..500 {
             assert_eq!(p.decide(Hook::VerbsConnect), FaultAction::Allow);
         }
+    }
+
+    #[test]
+    fn robustness_hooks_fire_and_count() {
+        let p = FaultPlan::builder(17)
+            .busy(Hook::ServerAdmission, 0.5)
+            .corrupt_payload(Hook::ServerPayload, 0.3)
+            .clean_eof(Hook::ServerPayload, 0.3)
+            .force(Hook::ServerPayload, 0, FaultKind::CorruptPayload)
+            .force(Hook::ServerPayload, 1, FaultKind::CleanEof)
+            .build();
+        assert_eq!(p.decide(Hook::ServerPayload), FaultAction::CorruptPayload);
+        assert_eq!(p.decide(Hook::ServerPayload), FaultAction::CleanEof);
+        for _ in 0..200 {
+            let a = p.decide(Hook::ServerAdmission);
+            assert!(matches!(a, FaultAction::Allow | FaultAction::Busy));
+        }
+        let s = p.stats();
+        assert!(s.busy_storms > 0, "busy storm never fired");
+        assert!(s.payload_corruptions >= 1);
+        assert!(s.clean_eof_lies >= 1);
+        assert_eq!(
+            s.total(),
+            s.busy_storms + s.payload_corruptions + s.clean_eof_lies
+        );
     }
 
     #[test]

@@ -52,7 +52,15 @@
 //! * [`faults`] — a seeded [`faults::FaultPlan`] that injects those
 //!   same failures at named hooks, deterministically, for chaos tests
 //!   (`tests/chaos_shuffle.rs`).
+//!
+//! On top sits the survivability layer (DESIGN.md §12): end-to-end
+//! CRC32C integrity on every v3 chunk with targeted cache-bypass
+//! re-fetch on mismatch, supplier admission control replying typed
+//! `Busy` pushback instead of stalling (plus graceful drain shutdown),
+//! and a per-peer circuit breaker in the fetch scheduler that fails
+//! fast on dead peers and probes them half-open on a backoff schedule.
 
+mod breaker;
 mod bufpool;
 pub mod client;
 pub mod error;

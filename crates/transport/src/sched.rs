@@ -40,18 +40,20 @@
 //! `stats` only with nothing else held. Neither is ever held across
 //! socket I/O, sleeps, or a channel send.
 
+use crate::breaker::{Admit, Breaker, Transition};
 use crate::client::{dial, record_failure, ClientShared, SegmentRef};
 use crate::error::{Result, TransportError};
 use crate::faults::{self, FaultAction, Hook};
 use crate::prefetch::Pop;
 use crate::sync::{lock, Mutex};
-use crate::wire::{FetchRequest, FetchResponse, Status};
+use crate::wire::{FetchRequest, FetchResponse, Status, WireVersion, FLAG_BYPASS_CACHE};
 use jbs_des::DetRng;
 use jbs_obs::Entity;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// One queued fetch: a chunk (or whole remainder) of one segment.
 pub(crate) struct FetchOp {
@@ -143,12 +145,18 @@ impl<T> DispatchQueue<T> {
 pub(crate) struct FetchScheduler {
     shared: Arc<ClientShared>,
     peers: Mutex<HashMap<SocketAddr, PeerHandle>>,
+    /// Monotonic time origin shared with every worker, so the circuit
+    /// breakers (which never read a clock themselves) see one timeline.
+    anchor: Instant,
 }
 
 struct PeerHandle {
     queue: Arc<DispatchQueue<FetchOp>>,
     /// Wakes the worker when it is parked with nothing active.
     tick: mpsc::Sender<()>,
+    /// This peer's circuit breaker, shared with its worker: the submit
+    /// path fails fast against it while the worker drives transitions.
+    breaker: Arc<Breaker>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -157,25 +165,40 @@ impl FetchScheduler {
         FetchScheduler {
             shared,
             peers: Mutex::new(HashMap::new()),
+            anchor: Instant::now(),
         }
     }
 
     /// Hand an op to its supplier's worker, spawning the worker on first
-    /// contact. An op refused by a closed queue (client shutting down)
+    /// contact. An op for a peer whose circuit breaker is open fails
+    /// fast with [`TransportError::CircuitOpen`] — no queueing, no wire
+    /// traffic. An op refused by a closed queue (client shutting down)
     /// fails through its own completion channel.
     pub(crate) fn submit(&self, op: FetchOp) {
+        let addr = op.seg.addr;
         let (peer_id, mof, reducer) = (
             u64::from(op.seg.addr.port()),
             op.seg.mof,
             u64::from(op.seg.reducer),
         );
-        let (queue, tick) = {
+        let (queue, tick, breaker) = {
             let mut peers = lock(&self.peers);
             let h = peers
                 .entry(op.seg.addr)
-                .or_insert_with(|| spawn_worker(op.seg.addr, Arc::clone(&self.shared)));
-            (Arc::clone(&h.queue), h.tick.clone())
+                .or_insert_with(|| spawn_worker(op.seg.addr, Arc::clone(&self.shared), self.anchor));
+            (Arc::clone(&h.queue), h.tick.clone(), Arc::clone(&h.breaker))
         };
+        if breaker.is_open(self.anchor.elapsed().as_nanos() as u64) {
+            self.shared.fetch_stats.record_breaker_fast_fail();
+            self.shared
+                .config
+                .trace
+                .instant("breaker.fast_fail", Entity::peer(peer_id), mof, reducer);
+            fail_op(op, TransportError::CircuitOpen {
+                peer: addr.to_string(),
+            });
+            return;
+        }
         match queue.push(op) {
             Ok(()) => {
                 self.shared.fetch_stats.record_op_queued();
@@ -257,16 +280,22 @@ fn addr_seed(addr: &SocketAddr) -> u64 {
     h.finish()
 }
 
-fn spawn_worker(addr: SocketAddr, shared: Arc<ClientShared>) -> PeerHandle {
+fn spawn_worker(addr: SocketAddr, shared: Arc<ClientShared>, anchor: Instant) -> PeerHandle {
     let queue = Arc::new(DispatchQueue::new());
     let (tick_tx, tick_rx) = mpsc::channel();
+    let breaker = Arc::new(Breaker::new(
+        shared.config.breaker_threshold,
+        shared.config.breaker_cooldown.as_nanos() as u64,
+    ));
     let worker_queue = Arc::clone(&queue);
+    let worker_breaker = Arc::clone(&breaker);
     let worker = std::thread::spawn(move || {
-        Worker::new(addr, shared, worker_queue, tick_rx).run();
+        Worker::new(addr, shared, worker_queue, tick_rx, worker_breaker, anchor).run();
     });
     PeerHandle {
         queue,
         tick: tick_tx,
+        breaker,
         worker: Some(worker),
     }
 }
@@ -284,6 +313,19 @@ struct ActiveOp {
     /// Offset up to which resume credit was already recorded, so one op
     /// surviving several reconnects doesn't double-count.
     resume_mark: u64,
+    /// Segment length declared by the supplier's v3 `OkCrc` frames —
+    /// the accounting that unmasks a truncation landing exactly on a
+    /// chunk boundary. `None` until the first v3 response (v2 peers
+    /// never fill it; their clean EOFs are trusted blind).
+    expected: Option<u64>,
+    /// The next request at the committed offset must carry
+    /// [`FLAG_BYPASS_CACHE`]: the last chunk there failed verification,
+    /// so the supplier must re-read disk, not its (possibly poisoned)
+    /// cache.
+    bypass_next: bool,
+    /// Remaining targeted re-fetches (CRC mismatches + boundary-EOF
+    /// lies) before the typed error surfaces for this op.
+    refetch_budget: u32,
 }
 
 /// One request on the wire, awaiting its response in FIFO order.
@@ -313,6 +355,17 @@ struct Worker {
     ever_connected: bool,
     rng: DetRng,
     closed: bool,
+    /// This peer's circuit breaker (shared with the submit path).
+    breaker: Arc<Breaker>,
+    /// Monotonic origin for breaker timestamps.
+    anchor: Instant,
+    /// Dialect the current connection incarnation speaks, decided by
+    /// the [`crate::client::VersionMap`] at dial time.
+    conn_version: WireVersion,
+    /// Whether any v3 response arrived on the current connection — the
+    /// signal that separates "legacy server dropped the unknown magic"
+    /// from an ordinary mid-stream failure during negotiation.
+    saw_v3_response: bool,
 }
 
 impl Worker {
@@ -332,6 +385,8 @@ impl Worker {
         shared: Arc<ClientShared>,
         queue: Arc<DispatchQueue<FetchOp>>,
         ticks: mpsc::Receiver<()>,
+        breaker: Arc<Breaker>,
+        anchor: Instant,
     ) -> Self {
         let seed = shared.config.retry_seed ^ addr_seed(&addr);
         Worker {
@@ -350,6 +405,35 @@ impl Worker {
             ever_connected: false,
             rng: DetRng::new(seed),
             closed: false,
+            breaker,
+            anchor,
+            conn_version: WireVersion::V2,
+            saw_v3_response: false,
+        }
+    }
+
+    /// Nanoseconds since the scheduler's monotonic anchor.
+    fn now(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Sleep until the breaker's probe time in short slices, staying
+    /// responsive to scheduler shutdown (the tick sender disappearing).
+    fn park_until(&mut self, retry_at_nanos: u64) {
+        const SLICE: Duration = Duration::from_millis(20);
+        loop {
+            match self.ticks.try_recv() {
+                Ok(()) | Err(mpsc::TryRecvError::Empty) => {}
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    self.closed = true;
+                    return;
+                }
+            }
+            let now = self.now();
+            if now >= retry_at_nanos {
+                return;
+            }
+            std::thread::sleep(Duration::from_nanos(retry_at_nanos - now).min(SLICE));
         }
     }
 
@@ -418,6 +502,9 @@ impl Worker {
                             committed,
                             spec: committed,
                             resume_mark: committed,
+                            expected: None,
+                            bypass_next: false,
+                            refetch_budget: self.shared.config.integrity_retries,
                         },
                     );
                 }
@@ -430,10 +517,27 @@ impl Worker {
         }
     }
 
-    /// One scheduling step: connect if needed, top up the in-flight
-    /// window round-robin across active ops, then consume one response.
+    /// One scheduling step: connect if needed (subject to the circuit
+    /// breaker), top up the in-flight window round-robin across active
+    /// ops, then consume one response.
     fn pump(&mut self) -> Result<()> {
         if self.conn.is_none() {
+            match self.breaker.try_acquire(self.now()) {
+                Admit::Yes => {}
+                Admit::Probe => {
+                    // This connection attempt IS the half-open probe;
+                    // its outcome reports through the normal
+                    // success/failure paths below.
+                    self.trace()
+                        .instant("breaker.half_open", self.peer(), 0, 0);
+                }
+                Admit::No { retry_at_nanos } => {
+                    // Open: already-admitted work parks until the probe
+                    // time instead of hammering a dead peer.
+                    self.park_until(retry_at_nanos);
+                    return Ok(());
+                }
+            }
             let conn = dial(self.addr, &self.shared.config)?;
             lock(&self.shared.stats).connections_established += 1;
             if self.ever_connected {
@@ -441,6 +545,8 @@ impl Worker {
             }
             self.ever_connected = true;
             self.conn = Some(conn);
+            self.conn_version = self.shared.versions.version_for(self.addr);
+            self.saw_v3_response = false;
         }
         self.fill_window()?;
         if self.outstanding.is_empty() {
@@ -506,6 +612,11 @@ impl Worker {
             return Ok(());
         };
         let (mof, reducer) = (a.op.seg.mof, a.op.seg.reducer);
+        // A targeted re-fetch after a failed verification asks the
+        // supplier to re-read disk instead of serving the poisoned
+        // cache entry back (v3-only; v2 has no flags byte).
+        let bypass =
+            a.bypass_next && offset == a.committed && self.conn_version == WireVersion::V3;
         let id = self.next_id;
         self.next_id += 1;
         let Some(conn) = self.conn.as_mut() else {
@@ -519,8 +630,9 @@ impl Worker {
             reducer,
             offset,
             len,
+            flags: if bypass { FLAG_BYPASS_CACHE } else { 0 },
         }
-        .write_to(&mut conn.writer)
+        .write_versioned(&mut conn.writer, self.conn_version)
         .map_err(|e| TransportError::from_io("write request", e))?;
         self.outstanding.push_back(Outstanding {
             id,
@@ -541,6 +653,9 @@ impl Worker {
                     .instant("sched.speculate", peer, offset, a.committed);
             }
             a.spec = offset.saturating_add(len);
+            if bypass {
+                a.bypass_next = false;
+            }
         }
         Ok(())
     }
@@ -585,8 +700,35 @@ impl Worker {
         // Any well-formed, correctly-matched response is progress: the
         // connection works, so the failure budget resets.
         self.attempts = 0;
+        if self.breaker.on_success(self.now()) == Transition::Closed {
+            self.trace().instant("breaker.close", self.peer(), 0, 0);
+        }
         match resp.status {
             Status::Ok => self.apply_payload(exp, resp.payload),
+            Status::OkCrc => {
+                self.shared.versions.confirm_v3(self.addr);
+                self.saw_v3_response = true;
+                if !resp.crc_ok() {
+                    self.on_bad_payload(exp);
+                    return Ok(());
+                }
+                self.trace().instant(
+                    "integrity.verify",
+                    self.peer(),
+                    exp.offset,
+                    resp.payload.len() as u64,
+                );
+                if let Some(a) = self.active.get_mut(&exp.key) {
+                    a.expected = Some(resp.seg_len);
+                }
+                self.apply_payload(exp, resp.payload)
+            }
+            Status::Busy => {
+                self.shared.versions.confirm_v3(self.addr);
+                self.saw_v3_response = true;
+                self.on_busy(exp, resp.retry_after_ms);
+                Ok(())
+            }
             Status::NotFound => {
                 let what = self.describe(exp.key);
                 self.complete(exp.key, Err(TransportError::NotFound { what }));
@@ -598,6 +740,64 @@ impl Worker {
                 Ok(())
             }
         }
+    }
+
+    /// A pipelined payload failed its CRC32C. If it targeted the
+    /// committed offset of a live op, aim a targeted cache-bypass
+    /// re-fetch there (bounded by the integrity budget); a stale
+    /// speculative frame is discarded like any other.
+    fn on_bad_payload(&mut self, exp: Outstanding) {
+        enum Verdict {
+            Stale,
+            Refetch,
+            Exhausted,
+        }
+        let verdict = match self.active.get_mut(&exp.key) {
+            None => Verdict::Stale,
+            Some(a) if exp.offset != a.committed => Verdict::Stale,
+            Some(a) if a.refetch_budget == 0 => Verdict::Exhausted,
+            Some(a) => {
+                a.refetch_budget -= 1;
+                a.bypass_next = true;
+                a.spec = a.committed;
+                Verdict::Refetch
+            }
+        };
+        match verdict {
+            Verdict::Stale => {
+                self.shared.fetch_stats.record_spec_discard();
+                self.trace()
+                    .instant("sched.spec_discard", self.peer(), exp.offset, 0);
+            }
+            Verdict::Refetch => {
+                self.shared.fetch_stats.record_corrupt_refetch();
+                self.trace()
+                    .instant("integrity.refetch", self.peer(), exp.offset, exp.len);
+            }
+            Verdict::Exhausted => self.complete(
+                exp.key,
+                Err(TransportError::Corrupt {
+                    detail: format!(
+                        "pipelined chunk at offset {} failed CRC32C verification \
+                         after targeted re-fetches",
+                        exp.offset
+                    ),
+                }),
+            ),
+        }
+    }
+
+    /// The supplier shed this request under admission control: honor
+    /// the retry-after hint before injecting more requests, and re-aim
+    /// the op so the denied chunk is re-requested.
+    fn on_busy(&mut self, exp: Outstanding, retry_after_ms: u64) {
+        self.shared.fetch_stats.record_busy_backoff();
+        self.trace()
+            .instant("sched.busy", self.peer(), exp.offset, retry_after_ms);
+        if let Some(a) = self.active.get_mut(&exp.key) {
+            a.spec = a.committed;
+        }
+        std::thread::sleep(Duration::from_millis(retry_after_ms.min(1_000)));
     }
 
     fn describe(&self, key: u64) -> String {
@@ -631,13 +831,73 @@ impl Worker {
         }
         if a.op.limit > 0 {
             // Single-exchange chunk: the payload (possibly short or
-            // empty at segment end) IS the result.
+            // empty at segment end) IS the result — but an empty chunk
+            // *before* the v3-declared segment end is a boundary
+            // truncation lie, not an EOF (a levitated stream would
+            // otherwise terminate early and silently lose records).
+            if payload.is_empty() {
+                if let Some(exp_len) = a.expected {
+                    if exp.offset < exp_len {
+                        if a.refetch_budget > 0 {
+                            a.refetch_budget -= 1;
+                            a.bypass_next = true;
+                            a.spec = a.committed;
+                            self.shared.fetch_stats.record_corrupt_refetch();
+                            self.shared.config.trace.instant(
+                                "integrity.refetch",
+                                self.peer(),
+                                exp.offset,
+                                exp_len,
+                            );
+                            return Ok(());
+                        }
+                        self.complete(
+                            exp.key,
+                            Err(TransportError::Truncated {
+                                got: exp.offset,
+                                expected: exp_len,
+                            }),
+                        );
+                        return Ok(());
+                    }
+                }
+            }
             lock(&self.shared.stats).bytes_fetched += payload.len() as u64;
             self.complete(exp.key, Ok(payload));
             return Ok(());
         }
         if payload.is_empty() {
-            // Empty at exactly the committed offset: end of segment.
+            // Empty at exactly the committed offset: end of segment —
+            // unless the v3 accounting says bytes are still owed, in
+            // which case this "clean EOF" is a truncation lie landing
+            // exactly on a chunk boundary.
+            if let Some(exp_len) = a.expected {
+                if a.committed < exp_len {
+                    if a.refetch_budget > 0 {
+                        a.refetch_budget -= 1;
+                        a.bypass_next = true;
+                        a.spec = a.committed;
+                        let committed = a.committed;
+                        self.shared.fetch_stats.record_corrupt_refetch();
+                        self.shared.config.trace.instant(
+                            "integrity.refetch",
+                            self.peer(),
+                            committed,
+                            exp_len,
+                        );
+                        return Ok(());
+                    }
+                    let got = a.committed;
+                    self.complete(
+                        exp.key,
+                        Err(TransportError::Truncated {
+                            got,
+                            expected: exp_len,
+                        }),
+                    );
+                    return Ok(());
+                }
+            }
             let buf = std::mem::take(&mut a.buf);
             self.complete(exp.key, Ok(buf));
             return Ok(());
@@ -676,6 +936,26 @@ impl Worker {
     /// retry or fail everything with exhausted context.
     fn on_failure(&mut self, e: TransportError) {
         record_failure(&self.shared.fetch_stats, &e);
+        // Version negotiation: a connection that died mid-stream before
+        // producing ANY v3 response is the legacy-server signature (a
+        // v2-only supplier drops the unknown magic). Dial failures are
+        // excluded — a dead peer is not a legacy peer.
+        if self.conn_version == WireVersion::V3
+            && !self.saw_v3_response
+            && matches!(
+                e,
+                TransportError::Reset { .. }
+                    | TransportError::Timeout { .. }
+                    | TransportError::Io { .. }
+            )
+            && self.conn.is_some()
+        {
+            self.shared.versions.record_probe_failure(self.addr);
+        }
+        if self.breaker.on_failure(self.now()) == Transition::Opened {
+            self.trace()
+                .instant("breaker.open", self.peer(), u64::from(self.attempts + 1), 0);
+        }
         self.conn = None;
         let drained = self.outstanding.len() as u64;
         self.outstanding.clear();

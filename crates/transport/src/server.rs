@@ -39,10 +39,11 @@ use crate::staging::StageCache;
 use crate::stats::{FetchStats, FetchStatsSnapshot};
 use crate::store::MofStore;
 use crate::sync::{lock, Mutex};
-use crate::wire::{FetchRequest, FetchResponse, Status};
+use crate::wire::{FetchRequest, FetchResponse, Status, WireVersion};
 use jbs_obs::Entity;
+use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -63,6 +64,12 @@ pub struct SupplierStats {
     pub prefetched_batches: AtomicU64,
     /// Miss-path stages a connection thread had to wait for.
     pub sync_stages: AtomicU64,
+    /// Requests shed with typed `Busy` pushback (admission control or an
+    /// injected busy storm) instead of being served.
+    pub busy_rejections: AtomicU64,
+    /// Cache-bypass re-reads served (a client's targeted re-fetch after
+    /// a checksum mismatch).
+    pub bypass_reads: AtomicU64,
 }
 
 /// A point-in-time copy of the supplier's pipeline observability:
@@ -81,6 +88,10 @@ pub struct SupplierStatsSnapshot {
     pub prefetched_batches: u64,
     /// Miss-path stages a connection thread had to wait for.
     pub sync_stages: u64,
+    /// Requests shed with typed `Busy` pushback instead of being served.
+    pub busy_rejections: u64,
+    /// Cache-bypass re-reads served after client checksum mismatches.
+    pub bypass_reads: u64,
     /// Stage jobs currently queued for the disk thread.
     pub prefetch_queue_len: u64,
     /// High-water mark of the prefetch queue.
@@ -109,6 +120,20 @@ pub struct ServerOptions {
     /// Structured tracing sink; [`jbs_obs::Trace::disabled`] (the
     /// default) is a single branch per instrumentation point.
     pub trace: jbs_obs::Trace,
+    /// Admission: concurrently-served connections at or above this bound
+    /// are shed with `Busy` pushback instead of admitted. A bound of 0
+    /// sheds everything (useful in tests).
+    pub max_connections: u64,
+    /// Admission: concurrently-served connections *per peer IP* at or
+    /// above this bound are shed — one misbehaving NetMerger cannot
+    /// monopolize the supplier's connection threads.
+    pub max_inflight_per_peer: u64,
+    /// Admission: a request that would push the disk thread's stage
+    /// queue to this depth is shed rather than queued behind a backlog
+    /// the disk cannot clear — pushback instead of an unbounded stall.
+    pub prefetch_queue_cap: u64,
+    /// Retry-after hint carried in `Busy` pushback frames.
+    pub busy_retry_hint: Duration,
 }
 
 impl Default for ServerOptions {
@@ -120,6 +145,10 @@ impl Default for ServerOptions {
             synthetic_disk_delay: Duration::ZERO,
             faults: None,
             trace: jbs_obs::Trace::disabled(),
+            max_connections: 1024,
+            max_inflight_per_peer: 256,
+            prefetch_queue_cap: 4096,
+            busy_retry_hint: Duration::from_millis(25),
         }
     }
 }
@@ -139,6 +168,16 @@ struct Shared {
     stats: SupplierStats,
     fetch_stats: FetchStats,
     stop: AtomicBool,
+    /// Drain mode: stop admitting, finish in-flight exchanges, exit.
+    draining: AtomicBool,
+    /// Connections currently being served (admission + drain gauge).
+    active_conns: AtomicU64,
+    /// Connections currently being served, per peer IP (admission).
+    conns_per_peer: Mutex<HashMap<IpAddr, u64>>,
+    /// Total segment lengths, cached off the store index so v3 `OkCrc`
+    /// replies don't pay an index lock per chunk. Never held together
+    /// with any other lock.
+    seg_lens: Mutex<HashMap<(u64, u32), u64>>,
     options: ServerOptions,
 }
 
@@ -210,6 +249,10 @@ impl MofSupplierServer {
             stats: SupplierStats::default(),
             fetch_stats: FetchStats::new(),
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            active_conns: AtomicU64::new(0),
+            conns_per_peer: Mutex::new(HashMap::new()),
+            seg_lens: Mutex::new(HashMap::new()),
             options: ServerOptions {
                 buffer_bytes: options.buffer_bytes.max(1),
                 prefetch_batch: options.prefetch_batch.max(1),
@@ -227,7 +270,9 @@ impl MofSupplierServer {
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
-                if accept_shared.stop.load(Ordering::Acquire) {
+                if accept_shared.stop.load(Ordering::Acquire)
+                    || accept_shared.draining.load(Ordering::Acquire)
+                {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
@@ -241,6 +286,17 @@ impl MofSupplierServer {
                     FaultAction::Stall(d) => std::thread::sleep(d),
                     _ => {}
                 }
+                // Admission: a connection over the global or per-peer
+                // bound gets one typed `Busy` reply, never a thread of
+                // its own.
+                let peer_ip = stream.peer_addr().ok().map(|a| a.ip());
+                if !admit(&accept_shared, peer_ip) {
+                    let busy_shared = Arc::clone(&accept_shared);
+                    std::thread::spawn(move || {
+                        reject_busy(stream, &busy_shared);
+                    });
+                    continue;
+                }
                 let conn_no = accept_shared
                     .stats
                     .connections
@@ -251,7 +307,7 @@ impl MofSupplierServer {
                     .instant("server.accept", Entity::conn(conn_no), 0, 0);
                 let conn_shared = Arc::clone(&accept_shared);
                 std::thread::spawn(move || {
-                    handle_connection(stream, &conn_shared);
+                    handle_connection(stream, &conn_shared, peer_ip);
                 });
             }
         });
@@ -284,6 +340,8 @@ impl MofSupplierServer {
             connections: s.connections.load(Ordering::Relaxed),
             prefetched_batches: s.prefetched_batches.load(Ordering::Relaxed),
             sync_stages: s.sync_stages.load(Ordering::Relaxed),
+            busy_rejections: s.busy_rejections.load(Ordering::Relaxed),
+            bypass_reads: s.bypass_reads.load(Ordering::Relaxed),
             prefetch_queue_len: self.shared.prefetch.len() as u64,
             prefetch_queue_peak: self.shared.prefetch.peak() as u64,
             bufpool: self.shared.pool.stats(),
@@ -304,6 +362,33 @@ impl MofSupplierServer {
     /// Stop accepting and shut down.
     pub fn shutdown(mut self) {
         self.do_shutdown();
+    }
+
+    /// Graceful drain: stop admitting new work, let every in-flight
+    /// exchange finish, then shut down. Returns `true` if all
+    /// connections closed within `timeout`; `false` means the deadline
+    /// expired and the remainder was torn down hard.
+    pub fn drain(mut self, timeout: Duration) -> bool {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.options.trace.instant(
+            "server.drain",
+            Entity::conn(0),
+            timeout.as_millis() as u64,
+            self.shared.active_conns.load(Ordering::Acquire),
+        );
+        // Wake the accept loop so it observes the drain flag and stops.
+        let _ = TcpStream::connect(self.addr);
+        let deadline = std::time::Instant::now() + timeout;
+        let mut clean = true;
+        while self.shared.active_conns.load(Ordering::Acquire) > 0 {
+            if std::time::Instant::now() >= deadline {
+                clean = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.do_shutdown();
+        clean
     }
 
     fn do_shutdown(&mut self) {
@@ -339,7 +424,79 @@ impl Drop for MofSupplierServer {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+/// Admission check at accept time: reserve an active-connection slot
+/// (global and per-peer) or refuse. The reservation is released by
+/// [`release`] when the connection thread exits.
+fn admit(shared: &Shared, peer_ip: Option<IpAddr>) -> bool {
+    if shared.draining.load(Ordering::Acquire) {
+        return false;
+    }
+    if shared.active_conns.load(Ordering::Acquire) >= shared.options.max_connections {
+        return false;
+    }
+    if let Some(ip) = peer_ip {
+        let mut peers_map = lock(&shared.conns_per_peer);
+        let count = peers_map.entry(ip).or_insert(0);
+        if *count >= shared.options.max_inflight_per_peer {
+            return false;
+        }
+        *count += 1;
+    }
+    shared.active_conns.fetch_add(1, Ordering::AcqRel);
+    true
+}
+
+/// Release the admission slot taken by [`admit`].
+fn release(shared: &Shared, peer_ip: Option<IpAddr>) {
+    if let Some(ip) = peer_ip {
+        let mut peers_map = lock(&shared.conns_per_peer);
+        if let Some(count) = peers_map.get_mut(&ip) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                peers_map.remove(&ip);
+            }
+        }
+    }
+    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Shed one request with typed pushback: a v3 requester gets a `Busy`
+/// frame carrying the retry-after hint; the legacy v2 dialect has no
+/// pushback frame, so the connection is closed instead (`Ok(false)`).
+fn push_back<W: io::Write>(
+    shared: &Shared,
+    w: &mut W,
+    req: &FetchRequest,
+    version: WireVersion,
+) -> io::Result<bool> {
+    shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    let hint = shared.options.busy_retry_hint.as_millis() as u64;
+    shared
+        .options
+        .trace
+        .instant("server.busy", Entity::mof(req.mof), req.offset, hint);
+    if version == WireVersion::V2 {
+        return Ok(false);
+    }
+    FetchResponse::busy(req.id, hint).write_to(w)?;
+    w.flush()?;
+    Ok(true)
+}
+
+/// A connection refused admission: answer its first request with `Busy`
+/// pushback (instead of stalling it behind capacity that does not
+/// exist) and drop the socket.
+fn reject_busy(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let Ok(clone) = stream.try_clone() else { return };
+    let mut reader = io::BufReader::new(clone);
+    let mut writer = stream;
+    if let Ok(Some((req, version))) = FetchRequest::read_from(&mut reader) {
+        let _ = push_back(shared, &mut writer, &req, version);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, peer_ip: Option<IpAddr>) {
     if let Err(e) = serve_connection(stream, shared) {
         // The peer vanished or the socket failed: count it, drop the
         // connection, keep the supplier alive.
@@ -350,6 +507,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             _ => shared.fetch_stats.record_reset(),
         }
     }
+    release(shared, peer_ip);
 }
 
 fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
@@ -357,12 +515,54 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let mut reader = io::BufReader::new(stream.try_clone()?);
     let mut writer = io::BufWriter::new(stream);
     use std::io::Write;
-    while let Some(req) = FetchRequest::read_from(&mut reader)? {
+    while let Some((req, version)) = FetchRequest::read_from(&mut reader)? {
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
+        // Per-request shedding: an injected busy storm, or a stage
+        // queue already past its bound (queueing more would stall the
+        // peer behind a backlog the disk cannot clear).
+        let shed = faults::decide(&shared.options.faults, Hook::ServerAdmission)
+            == FaultAction::Busy
+            || (shared.options.prefetch
+                && shared.prefetch.len() as u64 >= shared.options.prefetch_queue_cap);
+        if shed {
+            if push_back(shared, &mut writer, &req, version)? {
+                continue;
+            }
+            return Ok(());
+        }
         let (req_mof, req_offset) = (req.mof, req.offset);
-        let resp = serve(shared, req);
+        let mut resp = serve(shared, req, version);
+        // Post-checksum payload faults: structurally valid frames whose
+        // damage only end-to-end verification can catch.
+        if !resp.payload.is_empty() && matches!(resp.status, Status::Ok | Status::OkCrc) {
+            match faults::decide(&shared.options.faults, Hook::ServerPayload) {
+                FaultAction::CorruptPayload => {
+                    // The CRC in the header (if any) was computed before
+                    // this flip; the frame still parses cleanly.
+                    if let Some(b) = resp.payload.first_mut() {
+                        *b ^= 0x01;
+                    }
+                }
+                FaultAction::CleanEof => {
+                    // The boundary-truncation lie: pretend the segment
+                    // cleanly ended before this chunk. v2 cannot tell
+                    // this from a real end-of-segment; v3's seg_len
+                    // accounting can.
+                    let seg_len = resp.seg_len;
+                    let status = resp.status;
+                    let id = resp.id;
+                    shared.pool.put(std::mem::take(&mut resp.payload));
+                    resp = if status == Status::OkCrc {
+                        FetchResponse::ok_crc(id, Vec::new(), seg_len)
+                    } else {
+                        FetchResponse::ok(id, Vec::new())
+                    };
+                }
+                _ => {}
+            }
+        }
         // Count before the response is visible to the peer, so stats read
         // after a completed exchange are never stale.
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -378,7 +578,11 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             resp.payload.len() as u64,
         );
         match faults::decide(&shared.options.faults, Hook::ServerWriteResponse) {
-            FaultAction::Allow | FaultAction::RefuseConnect => {
+            FaultAction::Allow
+            | FaultAction::RefuseConnect
+            | FaultAction::Busy
+            | FaultAction::CorruptPayload
+            | FaultAction::CleanEof => {
                 resp.write_vectored_to(&mut writer)?;
             }
             FaultAction::Stall(d) => {
@@ -418,8 +622,61 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         drop(xmit);
         // The response made it to the socket; recycle its payload buffer.
         shared.pool.put(resp.payload);
+        if shared.draining.load(Ordering::Acquire) {
+            // Drain: the in-flight exchange finished; close instead of
+            // taking another request.
+            break;
+        }
     }
     Ok(())
+}
+
+/// Total length of one reducer's segment, from the per-supplier cache
+/// or (on first touch) the store's index. `None` for an unknown
+/// MOF/reducer. The two locks are taken strictly in sequence, never
+/// nested.
+fn segment_len(shared: &Shared, mof: u64, reducer: u32) -> Option<u64> {
+    let key = (mof, reducer);
+    {
+        let cache = lock(&shared.seg_lens);
+        if let Some(&len) = cache.get(&key) {
+            return Some(len);
+        }
+    }
+    let len = {
+        let mut store = lock(&shared.store);
+        match store.index(mof) {
+            Ok(ix) => ix.entry(reducer as usize).map(|e| e.part_len),
+            Err(_) => None,
+        }
+    }?;
+    lock(&shared.seg_lens).insert(key, len);
+    Some(len)
+}
+
+/// Wrap served bytes in the dialect the request arrived in: v3 gets an
+/// `OkCrc` frame (payload CRC32C + total segment length), v2 the plain
+/// `Ok` frame it has always received.
+fn finish_ok(shared: &Shared, req: &FetchRequest, version: WireVersion, payload: Vec<u8>) -> FetchResponse {
+    match version {
+        WireVersion::V2 => FetchResponse::ok(req.id, payload),
+        WireVersion::V3 => match segment_len(shared, req.mof, req.reducer) {
+            Some(seg_len) => {
+                shared.options.trace.instant(
+                    "integrity.seal",
+                    Entity::mof(req.mof),
+                    req.offset,
+                    payload.len() as u64,
+                );
+                FetchResponse::ok_crc(req.id, payload, seg_len)
+            }
+            // Bytes came back for a segment the index cannot size —
+            // should be unreachable, but answering without the integrity
+            // extension beats inventing a seg_len the client would then
+            // enforce.
+            None => FetchResponse::ok(req.id, payload),
+        },
+    }
 }
 
 /// One grouped read-ahead from the store: `prefetch_batch` buffers
@@ -538,12 +795,37 @@ fn run_stage_job(shared: &Shared, job: StageJob) {
 }
 
 /// Serve one request through the DataCache read-ahead.
-fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
+fn serve(shared: &Shared, req: FetchRequest, version: WireVersion) -> FetchResponse {
     let want = if req.len == 0 {
         u64::MAX
     } else {
         req.len.min(shared.options.buffer_bytes)
     };
+    let key = (req.mof, req.reducer);
+
+    // Targeted cache-bypass re-fetch (v3, after a client-side checksum
+    // mismatch): the staged range for this key is suspect — drop it and
+    // answer straight from disk, so poisoned DataCache bytes are never
+    // served twice.
+    if req.bypass_cache() {
+        if let Some(poisoned) = shared.staged.invalidate(&key) {
+            shared.pool.put(poisoned);
+        }
+        shared.stats.bypass_reads.fetch_add(1, Ordering::Relaxed);
+        shared
+            .options
+            .trace
+            .instant("integrity.bypass", Entity::mof(req.mof), req.offset, req.len);
+        let read = {
+            let mut store = lock(&shared.store);
+            store.read_segment_range(req.mof, req.reducer, req.offset, req.len)
+        };
+        return match read {
+            Ok(Some(bytes)) => finish_ok(shared, &req, version, bytes),
+            Ok(None) => FetchResponse::error(req.id, Status::NotFound),
+            Err(_) => FetchResponse::error(req.id, Status::BadRequest),
+        };
+    }
 
     // Whole-segment requests bypass staging.
     if req.len == 0 {
@@ -552,13 +834,12 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
             store.read_segment_range(req.mof, req.reducer, req.offset, 0)
         };
         return match read {
-            Ok(Some(bytes)) => FetchResponse::ok(req.id, bytes),
+            Ok(Some(bytes)) => finish_ok(shared, &req, version, bytes),
             Ok(None) => FetchResponse::error(req.id, Status::NotFound),
             Err(_) => FetchResponse::error(req.id, Status::BadRequest),
         };
     }
 
-    let key = (req.mof, req.reducer);
     // Queue the next read-ahead once the reader is within half a batch
     // of draining the staged range — early enough for the disk to win
     // the race against the network.
@@ -592,7 +873,7 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
                 }
             }
         }
-        return FetchResponse::ok(req.id, payload);
+        return finish_ok(shared, &req, version, payload);
     }
 
     // Miss. Pipelined: hand the read to the disk thread and wait for
@@ -619,7 +900,7 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
             .trace
             .span("prefetch.wait", Entity::mof(req.mof), req.offset, want);
         match reply_rx.recv() {
-            Ok(Ok(Some(bytes))) => FetchResponse::ok(req.id, bytes),
+            Ok(Ok(Some(bytes))) => finish_ok(shared, &req, version, bytes),
             Ok(Ok(None)) => FetchResponse::error(req.id, Status::NotFound),
             Ok(Err(_)) | Err(_) => FetchResponse::error(req.id, Status::BadRequest),
         }
@@ -633,7 +914,7 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
                 if let Some(old) = evicted {
                     shared.pool.put(old);
                 }
-                FetchResponse::ok(req.id, payload)
+                finish_ok(shared, &req, version, payload)
             }
             Ok(None) => {
                 shared.pool.put(payload);
@@ -651,6 +932,7 @@ fn serve(shared: &Shared, req: FetchRequest) -> FetchResponse {
 mod tests {
     use super::*;
     use crate::faults::FaultKind;
+    use crate::wire::FLAG_BYPASS_CACHE;
     use jbs_mapred::merge::Record;
 
     fn store_with_one_mof(records: Vec<Record>) -> MofStore {
@@ -702,6 +984,7 @@ mod tests {
                 reducer: 0,
                 offset: off,
                 len: 4 << 10,
+                flags: 0,
             }
             .write_to(&mut w)
             .unwrap();
@@ -781,6 +1064,7 @@ mod tests {
             reducer: 0,
             offset: 0,
             len: 1 << 10,
+            flags: 0,
         }
         .write_to(&mut w)
         .unwrap();
@@ -856,6 +1140,185 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
         assert_eq!(plan.stats().truncations, 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn v3_requests_get_okcrc_with_valid_crc_and_seg_len() {
+        let recs: Vec<Record> = (0..200)
+            .map(|i| (format!("k{i:04}").into_bytes(), vec![i as u8; 32]))
+            .collect();
+        let server = MofSupplierServer::start(store_with_one_mof(recs)).unwrap();
+        let (mut r, mut w) = connect(server.addr());
+        // Whole segment in one v3 exchange: seg_len equals the payload.
+        FetchRequest::whole_segment(0, 0)
+            .write_versioned(&mut w, WireVersion::V3)
+            .unwrap();
+        let whole = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(whole.status, Status::OkCrc);
+        assert!(whole.crc_ok(), "server-computed CRC verifies");
+        assert_eq!(whole.seg_len, whole.payload.len() as u64);
+        // A chunked v3 fetch carries the same total seg_len on every
+        // chunk — the client's expected-length accounting anchor.
+        let chunk = FetchRequest {
+            id: 9,
+            mof: 0,
+            reducer: 0,
+            offset: 64,
+            len: 1 << 10,
+            flags: 0,
+        };
+        chunk.write_versioned(&mut w, WireVersion::V3).unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::OkCrc);
+        assert_eq!(resp.id, 9);
+        assert!(resp.crc_ok());
+        assert_eq!(resp.seg_len, whole.seg_len);
+        assert_eq!(resp.payload, whole.payload[64..64 + (1 << 10)]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn v2_requests_still_get_plain_ok_frames() {
+        let server =
+            MofSupplierServer::start(store_with_one_mof(vec![(b"k".to_vec(), b"v".to_vec())]))
+                .unwrap();
+        let (mut r, mut w) = connect(server.addr());
+        FetchRequest::whole_segment(0, 0).write_to(&mut w).unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::Ok, "v2 dialect answered in kind");
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_busy_storm_sheds_then_serves() {
+        let recs: Vec<Record> = (0..50)
+            .map(|i| (format!("k{i:03}").into_bytes(), vec![5; 16]))
+            .collect();
+        let plan = FaultPlan::builder(4)
+            .force(Hook::ServerAdmission, 0, FaultKind::Busy)
+            .build();
+        let server = MofSupplierServer::start_with_options(
+            store_with_one_mof(recs),
+            ServerOptions {
+                faults: Some(Arc::clone(&plan)),
+                busy_retry_hint: Duration::from_millis(7),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let (mut r, mut w) = connect(server.addr());
+        let req = FetchRequest::whole_segment(0, 0);
+        req.write_versioned(&mut w, WireVersion::V3).unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::Busy);
+        assert_eq!(resp.retry_after_ms, 7, "hint travels in the frame");
+        assert!(resp.payload.is_empty());
+        // The connection survived the pushback: the retry is served.
+        req.write_versioned(&mut w, WireVersion::V3).unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::OkCrc);
+        assert!(!resp.payload.is_empty());
+        assert_eq!(server.stats_snapshot().busy_rejections, 1);
+        assert_eq!(plan.stats().busy_storms, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_cap_replies_busy_to_unadmitted_connection() {
+        let server = MofSupplierServer::start_with_options(
+            store_with_one_mof(vec![(b"k".to_vec(), b"v".to_vec())]),
+            ServerOptions {
+                max_connections: 0, // zero capacity: shed everything
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let (mut r, mut w) = connect(server.addr());
+        FetchRequest::whole_segment(0, 0)
+            .write_versioned(&mut w, WireVersion::V3)
+            .unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::Busy);
+        assert!(resp.retry_after_ms > 0, "hint is a real backoff");
+        assert_eq!(server.stats_snapshot().busy_rejections, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bypass_flag_skips_poisoned_datacache() {
+        let recs: Vec<Record> = (0..2000)
+            .map(|i| (format!("k{i:05}").into_bytes(), vec![0xCD; 64]))
+            .collect();
+        let server = MofSupplierServer::start_with(store_with_one_mof(recs), 4 << 10, 8).unwrap();
+        let (mut r, mut w) = connect(server.addr());
+        // Warm the DataCache, remembering the true first chunk.
+        let chunk = FetchRequest {
+            id: 1,
+            mof: 0,
+            reducer: 0,
+            offset: 0,
+            len: 4 << 10,
+            flags: 0,
+        };
+        chunk.write_versioned(&mut w, WireVersion::V3).unwrap();
+        let truth = FetchResponse::read_from(&mut r).unwrap().payload;
+        // Poison the staged range the way bad RAM would: same offsets,
+        // wrong bytes.
+        let mut scratch = Vec::new();
+        server
+            .shared
+            .staged
+            .stage_into((0, 0), 0, vec![0xEE; 32 << 10], false, 0, &mut scratch);
+        // A plain re-fetch serves the poison (this is the failure the
+        // integrity layer exists to catch)...
+        chunk.write_versioned(&mut w, WireVersion::V3).unwrap();
+        let poisoned = FetchResponse::read_from(&mut r).unwrap().payload;
+        assert_eq!(poisoned, vec![0xEE; 4 << 10]);
+        // ...and the bypass re-fetch invalidates it and re-reads disk.
+        FetchRequest {
+            flags: FLAG_BYPASS_CACHE,
+            ..chunk
+        }
+        .write_versioned(&mut w, WireVersion::V3)
+        .unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::OkCrc);
+        assert!(resp.crc_ok());
+        assert_eq!(resp.payload, truth);
+        assert_eq!(server.stats_snapshot().bypass_reads, 1);
+        // The poisoned range is gone: the next cached fetch re-stages
+        // from disk and serves truth again.
+        chunk.write_versioned(&mut w, WireVersion::V3).unwrap();
+        assert_eq!(FetchResponse::read_from(&mut r).unwrap().payload, truth);
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_finishes_inflight_then_refuses_new_work() {
+        let recs: Vec<Record> = (0..100)
+            .map(|i| (format!("k{i:03}").into_bytes(), vec![2; 16]))
+            .collect();
+        let server = MofSupplierServer::start(store_with_one_mof(recs)).unwrap();
+        let addr = server.addr();
+        let (mut r, mut w) = connect(addr);
+        FetchRequest::whole_segment(0, 0).write_to(&mut w).unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        // Close our connection so the drain can converge, then drain.
+        drop((r, w));
+        assert!(
+            server.drain(Duration::from_secs(5)),
+            "drain converged within its deadline"
+        );
+        // The drained supplier is gone: a new exchange cannot complete.
+        let refused = TcpStream::connect(addr)
+            .and_then(|mut s| {
+                FetchRequest::whole_segment(0, 0).write_to(&mut s)?;
+                let mut rd = io::BufReader::new(s.try_clone()?);
+                FetchResponse::read_from(&mut rd)
+            })
+            .is_err();
+        assert!(refused, "no exchanges after drain");
     }
 
     #[test]

@@ -129,6 +129,13 @@ impl<K: Hash + Eq> StageCache<K> {
         evicted.map(|r| r.bytes)
     }
 
+    /// Drop `key`'s staged range, returning its buffer for recycling.
+    /// The cache-bypass re-fetch path: after a checksum mismatch the
+    /// staged bytes are suspect and must not be served again.
+    pub(crate) fn invalidate(&self, key: &K) -> Option<Vec<u8>> {
+        lock(&self.staged).remove(key).map(|r| r.bytes)
+    }
+
     /// Whether a read-ahead starting at `offset` would be redundant:
     /// the staged range already contains `offset`, or it reaches the
     /// segment end and `offset` lies at or beyond it.
@@ -299,6 +306,16 @@ mod tests {
         // A mid-segment range still misses past its staged end.
         cache.stage_into(2, 100, vec![1, 2, 3, 4], false, 0, &mut out);
         assert_eq!(hit(&cache, 2, 102, 8), None);
+    }
+
+    #[test]
+    fn invalidate_drops_range_and_returns_buffer() {
+        let cache = StageCache::<u8>::new();
+        assert_eq!(cache.invalidate(&1), None, "nothing staged");
+        let mut out = Vec::new();
+        cache.stage_into(1, 0, vec![1, 2, 3], false, 3, &mut out);
+        assert_eq!(cache.invalidate(&1), Some(vec![1, 2, 3]));
+        assert_eq!(hit(&cache, 1, 0, 2), None, "range gone after invalidate");
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct FetchStats {
     window_inflight: AtomicU64,
     window_peak: AtomicU64,
     spec_discards: AtomicU64,
+    corrupt_refetches: AtomicU64,
+    busy_backoffs: AtomicU64,
+    breaker_fast_fails: AtomicU64,
 }
 
 /// A point-in-time copy of [`FetchStats`].
@@ -67,6 +70,16 @@ pub struct FetchStatsSnapshot {
     /// a stale offset after a short read, or its op had already
     /// completed or failed.
     pub spec_discards: u64,
+    /// Targeted re-fetches issued after a payload failed its CRC32C —
+    /// re-read from the supplier's disk with the cache-bypass flag, as
+    /// distinct from connection-level retries.
+    pub corrupt_refetches: u64,
+    /// `Busy` pushback frames honored: the client slept the supplier's
+    /// retry-after hint instead of tearing the connection down.
+    pub busy_backoffs: u64,
+    /// Fetch ops failed fast because the peer's circuit breaker was
+    /// open (no wire traffic was attempted).
+    pub breaker_fast_fails: u64,
 }
 
 impl FetchStats {
@@ -148,6 +161,21 @@ impl FetchStats {
         self.spec_discards.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one targeted cache-bypass re-fetch after a CRC mismatch.
+    pub fn record_corrupt_refetch(&self) {
+        self.corrupt_refetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one honored `Busy` pushback (slept the hint, will retry).
+    pub fn record_busy_backoff(&self) {
+        self.busy_backoffs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one op failed fast on an open circuit breaker.
+    pub fn record_breaker_fast_fail(&self) {
+        self.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy out all counters.
     pub fn snapshot(&self) -> FetchStatsSnapshot {
         FetchStatsSnapshot {
@@ -164,6 +192,9 @@ impl FetchStats {
             window_inflight: self.window_inflight.load(Ordering::Relaxed),
             window_peak: self.window_peak.load(Ordering::Relaxed),
             spec_discards: self.spec_discards.load(Ordering::Relaxed),
+            corrupt_refetches: self.corrupt_refetches.load(Ordering::Relaxed),
+            busy_backoffs: self.busy_backoffs.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
         }
     }
 }
@@ -223,5 +254,18 @@ mod tests {
         assert_eq!(snap.window_inflight, 0);
         assert_eq!(snap.window_peak, 3);
         assert_eq!(snap.spec_discards, 1);
+    }
+
+    #[test]
+    fn robustness_counters_accumulate() {
+        let s = FetchStats::new();
+        s.record_corrupt_refetch();
+        s.record_corrupt_refetch();
+        s.record_busy_backoff();
+        s.record_breaker_fast_fail();
+        let snap = s.snapshot();
+        assert_eq!(snap.corrupt_refetches, 2);
+        assert_eq!(snap.busy_backoffs, 1);
+        assert_eq!(snap.breaker_fast_fails, 1);
     }
 }

@@ -6,8 +6,9 @@
 //! (connections are cached and reused, unlike Hadoop's per-fetch HTTP).
 //!
 //! ```text
-//! request  := MAGIC u32 | id u64 | mof u64 | reducer u32 | offset u64 | len u64
-//! response := status u8 | id u64 | payload_len u64 | payload[payload_len]
+//! v2 request  := MAGIC2 u32 | id u64 | mof u64 | reducer u32 | offset u64 | len u64
+//! v3 request  := MAGIC3 u32 | flags u8 | id u64 | mof u64 | reducer u32 | offset u64 | len u64
+//! response    := status u8 | id u64 | len u64 | ext | payload[...]
 //! ```
 //!
 //! `len == 0` requests the whole remainder of the segment from `offset`.
@@ -19,6 +20,31 @@
 //! that responses stay in lockstep with its outstanding window; an id
 //! mismatch means the stream desynchronized and the connection must be
 //! torn down rather than trusted.
+//!
+//! ## Version 3: integrity and overload extensions
+//!
+//! A v3 request differs from v2 only in its magic and one `flags` byte
+//! ([`FLAG_BYPASS_CACHE`]: the supplier must re-read from disk instead
+//! of serving staged DataCache bytes — the targeted re-fetch a client
+//! issues after a checksum mismatch, so poisoned cache contents are
+//! never re-served). A server answers in the dialect the *request* was
+//! framed in, so old and new peers interoperate per-exchange:
+//!
+//! * [`Status::OkCrc`] (v3 only) — the 17-byte header is followed by a
+//!   12-byte extension: `crc32c u32 | seg_len u64`, then the payload.
+//!   `crc32c` covers exactly the payload bytes; `seg_len` is the total
+//!   length of the addressed segment, which lets the client account for
+//!   expected bytes and turn a truncation landing exactly on a chunk
+//!   boundary (indistinguishable from clean EOF in v2) into a typed
+//!   error.
+//! * [`Status::Busy`] (v3 only) — admission control: the supplier is
+//!   shedding load. No payload; the header's `len` field carries a
+//!   retry-after hint in milliseconds instead of a payload length.
+//!
+//! Version negotiation is client-driven: a client opens with v3 and a
+//! genuine v2-only server rejects the unknown magic by dropping the
+//! connection, which the client observes as a reset *before any v3
+//! response* and downgrades that peer to v2 (see `client.rs`).
 
 use bytes::{Buf, BufMut, BytesMut};
 use std::io::{self, IoSlice, Read, Write};
@@ -26,17 +52,42 @@ use std::io::{self, IoSlice, Read, Write};
 /// Protocol magic ("JBS2" — v2 added pipelined request ids).
 pub const REQUEST_MAGIC: u32 = 0x4A42_5332;
 
-/// Size of an encoded request.
+/// Protocol magic ("JBS3" — v3 added checksums, busy frames, flags).
+pub const REQUEST_MAGIC_V3: u32 = 0x4A42_5333;
+
+/// Size of an encoded v2 request.
 pub const REQUEST_LEN: usize = 4 + 8 + 8 + 4 + 8 + 8;
+
+/// Size of an encoded v3 request (v2 plus the flags byte).
+pub const REQUEST_LEN_V3: usize = REQUEST_LEN + 1;
 
 /// Size of an encoded response header (status, id, payload length).
 pub const RESPONSE_HEADER_LEN: usize = 1 + 8 + 8;
+
+/// Size of the v3 integrity extension following an [`Status::OkCrc`]
+/// header: payload CRC32C (u32) + total segment length (u64).
+pub const CRC_EXT_LEN: usize = 4 + 8;
+
+/// Request flag (v3): bypass the supplier's staged DataCache and re-read
+/// the range from disk. Set on the targeted re-fetch after a checksum
+/// mismatch so poisoned cache bytes are not served twice.
+pub const FLAG_BYPASS_CACHE: u8 = 1;
 
 /// Upper bound on a response payload. A length header above this is
 /// treated as frame corruption rather than an allocation request —
 /// without it, a single flipped header bit would make the client try
 /// to allocate (and then block reading) up to 2^64 bytes.
 pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Which request dialect a peer spoke. The server echoes the dialect of
+/// each request; the client tracks one per peer (see `client.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireVersion {
+    /// "JBS2": no checksum, no flags, no busy frames.
+    V2,
+    /// "JBS3": flags byte, `OkCrc` integrity frames, `Busy` frames.
+    V3,
+}
 
 /// Response status codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +98,12 @@ pub enum Status {
     NotFound = 1,
     /// Malformed request.
     BadRequest = 2,
+    /// Payload follows, preceded by the v3 integrity extension
+    /// (`crc32c u32 | seg_len u64`).
+    OkCrc = 3,
+    /// Supplier is shedding load; retry after the hinted delay. The
+    /// header's `len` field carries the hint in milliseconds.
+    Busy = 4,
 }
 
 impl Status {
@@ -59,6 +116,8 @@ impl Status {
             0 => Some(Status::Ok),
             1 => Some(Status::NotFound),
             2 => Some(Status::BadRequest),
+            3 => Some(Status::OkCrc),
+            4 => Some(Status::Busy),
             _ => None,
         }
     }
@@ -77,6 +136,9 @@ pub struct FetchRequest {
     pub offset: u64,
     /// Bytes requested (0 = rest of the segment).
     pub len: u64,
+    /// v3 request flags ([`FLAG_BYPASS_CACHE`]); dropped on the v2
+    /// frame, which has no flags byte.
+    pub flags: u8,
 }
 
 impl FetchRequest {
@@ -88,10 +150,16 @@ impl FetchRequest {
             reducer,
             offset: 0,
             len: 0,
+            flags: 0,
         }
     }
 
-    /// Encode to the wire format.
+    /// Does this request carry the cache-bypass flag?
+    pub fn bypass_cache(&self) -> bool {
+        self.flags & FLAG_BYPASS_CACHE != 0
+    }
+
+    /// Encode to the legacy v2 wire format (flags are dropped).
     pub fn encode(&self) -> [u8; REQUEST_LEN] {
         let mut buf = BytesMut::with_capacity(REQUEST_LEN);
         buf.put_u32(REQUEST_MAGIC);
@@ -105,53 +173,115 @@ impl FetchRequest {
         out
     }
 
-    /// Decode from the wire format.
-    pub fn decode(mut buf: &[u8]) -> io::Result<Self> {
-        if buf.len() < REQUEST_LEN {
+    /// Encode to the v3 wire format (magic + flags byte).
+    pub fn encode_v3(&self) -> [u8; REQUEST_LEN_V3] {
+        let mut buf = BytesMut::with_capacity(REQUEST_LEN_V3);
+        buf.put_u32(REQUEST_MAGIC_V3);
+        buf.put_u8(self.flags);
+        buf.put_u64(self.id);
+        buf.put_u64(self.mof);
+        buf.put_u32(self.reducer);
+        buf.put_u64(self.offset);
+        buf.put_u64(self.len);
+        let mut out = [0u8; REQUEST_LEN_V3];
+        out.copy_from_slice(&buf);
+        out
+    }
+
+    /// Decode either request dialect, reporting which one was spoken.
+    pub fn decode(mut buf: &[u8]) -> io::Result<(Self, WireVersion)> {
+        if buf.len() < 4 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "short request",
             ));
         }
         let magic = buf.get_u32();
-        if magic != REQUEST_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        let (version, need) = match magic {
+            REQUEST_MAGIC => (WireVersion::V2, REQUEST_LEN - 4),
+            REQUEST_MAGIC_V3 => (WireVersion::V3, REQUEST_LEN_V3 - 4),
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic")),
+        };
+        if buf.len() < need {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short request",
+            ));
         }
-        Ok(FetchRequest {
-            id: buf.get_u64(),
-            mof: buf.get_u64(),
-            reducer: buf.get_u32(),
-            offset: buf.get_u64(),
-            len: buf.get_u64(),
-        })
+        let flags = match version {
+            WireVersion::V2 => 0,
+            WireVersion::V3 => buf.get_u8(),
+        };
+        Ok((
+            FetchRequest {
+                id: buf.get_u64(),
+                mof: buf.get_u64(),
+                reducer: buf.get_u32(),
+                offset: buf.get_u64(),
+                len: buf.get_u64(),
+                flags,
+            },
+            version,
+        ))
     }
 
-    /// Write this request to a stream.
+    /// Write this request as a v2 frame.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         w.write_all(&self.encode())
     }
 
-    /// Read one request from a stream. Returns `Ok(None)` on clean EOF
-    /// before any byte (the peer closed a reused connection).
-    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<Self>> {
-        let mut buf = [0u8; REQUEST_LEN];
-        let mut filled = 0;
-        while filled < REQUEST_LEN {
-            match r.read(buf.get_mut(filled..).unwrap_or_default()) {
-                Ok(0) if filled == 0 => return Ok(None),
-                Ok(0) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "truncated request",
-                    ))
-                }
-                Ok(n) => filled += n,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
+    /// Write this request in the given dialect.
+    pub fn write_versioned<W: Write>(&self, w: &mut W, version: WireVersion) -> io::Result<()> {
+        match version {
+            WireVersion::V2 => w.write_all(&self.encode()),
+            WireVersion::V3 => w.write_all(&self.encode_v3()),
         }
-        Self::decode(&buf).map(Some)
     }
+
+    /// Read one request (either dialect) from a stream. Returns
+    /// `Ok(None)` on clean EOF before any byte (the peer closed a
+    /// reused connection).
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<(Self, WireVersion)>> {
+        let mut buf = [0u8; REQUEST_LEN_V3];
+        // The magic tells us how much more to read.
+        if !fill(r, buf.get_mut(..4).unwrap_or_default(), true)? {
+            return Ok(None);
+        }
+        let magic = buf
+            .get(..4)
+            .and_then(|b| b.try_into().ok())
+            .map(u32::from_be_bytes)
+            .unwrap_or(0);
+        let total = match magic {
+            REQUEST_MAGIC => REQUEST_LEN,
+            REQUEST_MAGIC_V3 => REQUEST_LEN_V3,
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic")),
+        };
+        fill(r, buf.get_mut(4..total).unwrap_or_default(), false)?;
+        Self::decode(buf.get(..total).unwrap_or_default()).map(Some)
+    }
+}
+
+/// Read exactly `buf.len()` bytes, looping on `Interrupted`. Returns
+/// `Ok(false)` on clean EOF before any byte iff `eof_ok`; mid-buffer
+/// EOF is always `UnexpectedEof`.
+fn fill<R: Read>(r: &mut R, buf: &mut [u8], eof_ok: bool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(buf.get_mut(filled..).unwrap_or_default()) {
+            Ok(0) if filled == 0 && eof_ok => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated request",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
 }
 
 /// One fetch response.
@@ -161,17 +291,58 @@ pub struct FetchResponse {
     pub status: Status,
     /// Echo of the request's id.
     pub id: u64,
-    /// Segment bytes (empty unless `status == Ok`).
+    /// Segment bytes (empty unless `status` is `Ok`/`OkCrc`).
     pub payload: Vec<u8>,
+    /// CRC32C over `payload`; meaningful iff `status == OkCrc`.
+    pub crc: u32,
+    /// Total length of the addressed segment; meaningful iff
+    /// `status == OkCrc`. Lets the client account expected bytes and
+    /// detect truncation that lands exactly on a chunk boundary.
+    pub seg_len: u64,
+    /// Retry-after hint in milliseconds; meaningful iff
+    /// `status == Busy`.
+    pub retry_after_ms: u64,
 }
 
 impl FetchResponse {
-    /// A successful response to request `id`.
+    /// A successful v2 response to request `id` (no checksum).
     pub fn ok(id: u64, payload: Vec<u8>) -> Self {
         FetchResponse {
             status: Status::Ok,
             id,
             payload,
+            crc: 0,
+            seg_len: 0,
+            retry_after_ms: 0,
+        }
+    }
+
+    /// A successful v3 response: payload checksummed at the supplier,
+    /// total segment length carried for expected-byte accounting.
+    pub fn ok_crc(id: u64, payload: Vec<u8>, seg_len: u64) -> Self {
+        let crc = jbs_checksum::crc32c(&payload);
+        FetchResponse {
+            status: Status::OkCrc,
+            id,
+            payload,
+            crc,
+            seg_len,
+            retry_after_ms: 0,
+        }
+    }
+
+    /// An overload response: no payload, retry after `retry_after_ms`.
+    pub fn busy(id: u64, retry_after_ms: u64) -> Self {
+        FetchResponse {
+            status: Status::Busy,
+            id,
+            payload: Vec::new(),
+            crc: 0,
+            seg_len: 0,
+            // The hint travels in the header's len field, which the
+            // reader bounds at MAX_PAYLOAD; clamp so a large hint is
+            // never mistaken for corruption.
+            retry_after_ms: retry_after_ms.min(60_000),
         }
     }
 
@@ -181,41 +352,62 @@ impl FetchResponse {
             status,
             id,
             payload: Vec::new(),
+            crc: 0,
+            seg_len: 0,
+            retry_after_ms: 0,
         }
     }
 
-    fn encode_header(&self) -> [u8; RESPONSE_HEADER_LEN] {
-        let mut buf = BytesMut::with_capacity(RESPONSE_HEADER_LEN);
-        buf.put_u8(self.status as u8);
-        buf.put_u64(self.id);
-        buf.put_u64(self.payload.len() as u64);
-        let mut out = [0u8; RESPONSE_HEADER_LEN];
-        out.copy_from_slice(&buf);
-        out
+    /// Does the payload match the carried checksum? Always true for
+    /// non-`OkCrc` frames (v2 carries nothing to verify).
+    pub fn crc_ok(&self) -> bool {
+        self.status != Status::OkCrc || jbs_checksum::crc32c(&self.payload) == self.crc
     }
 
-    /// Write header + payload to a stream.
+    /// Header plus (for `OkCrc`) the integrity extension: everything
+    /// that precedes the payload on the wire.
+    fn encode_head(&self) -> ([u8; RESPONSE_HEADER_LEN + CRC_EXT_LEN], usize) {
+        let mut buf = BytesMut::with_capacity(RESPONSE_HEADER_LEN + CRC_EXT_LEN);
+        buf.put_u8(self.status as u8);
+        buf.put_u64(self.id);
+        if self.status == Status::Busy {
+            buf.put_u64(self.retry_after_ms);
+        } else {
+            buf.put_u64(self.payload.len() as u64);
+        }
+        if self.status == Status::OkCrc {
+            buf.put_u32(self.crc);
+            buf.put_u64(self.seg_len);
+        }
+        let used = buf.len();
+        let mut out = [0u8; RESPONSE_HEADER_LEN + CRC_EXT_LEN];
+        out.get_mut(..used).unwrap_or_default().copy_from_slice(&buf);
+        (out, used)
+    }
+
+    /// Write the frame to a stream.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        w.write_all(&self.encode_header())?;
+        let (head, used) = self.encode_head();
+        w.write_all(head.get(..used).unwrap_or_default())?;
         w.write_all(&self.payload)
     }
 
-    /// Write header + payload in one vectored syscall where the sink
+    /// Write head + payload in one vectored syscall where the sink
     /// supports it, avoiding the copy of payload bytes into a combined
     /// frame buffer. Handles partial vectored writes and `Interrupted`.
     pub fn write_vectored_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        let hdr = self.encode_header();
-        let total = RESPONSE_HEADER_LEN + self.payload.len();
+        let (head, used) = self.encode_head();
+        let total = used + self.payload.len();
         let mut written = 0usize;
         while written < total {
-            let n = if written < RESPONSE_HEADER_LEN {
+            let n = if written < used {
                 let bufs = [
-                    IoSlice::new(hdr.get(written..).unwrap_or_default()),
+                    IoSlice::new(head.get(written..used).unwrap_or_default()),
                     IoSlice::new(&self.payload),
                 ];
                 w.write_vectored(&bufs)
             } else {
-                let off = written - RESPONSE_HEADER_LEN;
+                let off = written - used;
                 w.write(self.payload.get(off..).unwrap_or_default())
             };
             match n {
@@ -255,12 +447,33 @@ impl FetchResponse {
                 format!("payload length {len} exceeds cap {MAX_PAYLOAD}"),
             ));
         }
+        if status == Status::Busy {
+            return Ok(FetchResponse {
+                status,
+                id,
+                payload: Vec::new(),
+                crc: 0,
+                seg_len: 0,
+                retry_after_ms: len,
+            });
+        }
+        let (crc, seg_len) = if status == Status::OkCrc {
+            let mut ext = [0u8; CRC_EXT_LEN];
+            r.read_exact(&mut ext)?;
+            let mut ebuf = ext.as_slice();
+            (ebuf.get_u32(), ebuf.get_u64())
+        } else {
+            (0, 0)
+        };
         let mut payload = vec![0u8; len as usize];
         r.read_exact(&mut payload)?;
         Ok(FetchResponse {
             status,
             id,
             payload,
+            crc,
+            seg_len,
+            retry_after_ms: 0,
         })
     }
 }
@@ -277,16 +490,45 @@ mod tests {
             reducer: 3,
             offset: 4096,
             len: 128 << 10,
+            flags: 0,
         };
         let enc = req.encode();
         assert_eq!(enc.len(), REQUEST_LEN);
-        assert_eq!(FetchRequest::decode(&enc).unwrap(), req);
+        assert_eq!(FetchRequest::decode(&enc).unwrap(), (req, WireVersion::V2));
+    }
+
+    #[test]
+    fn v3_request_roundtrip_carries_flags() {
+        let req = FetchRequest {
+            id: 5,
+            mof: 7,
+            reducer: 3,
+            offset: 4096,
+            len: 128 << 10,
+            flags: FLAG_BYPASS_CACHE,
+        };
+        let enc = req.encode_v3();
+        assert_eq!(enc.len(), REQUEST_LEN_V3);
+        let (back, version) = FetchRequest::decode(&enc).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(version, WireVersion::V3);
+        assert!(back.bypass_cache());
+    }
+
+    #[test]
+    fn v2_frame_drops_flags() {
+        let req = FetchRequest {
+            flags: FLAG_BYPASS_CACHE,
+            ..FetchRequest::whole_segment(1, 2)
+        };
+        let (back, _) = FetchRequest::decode(&req.encode()).unwrap();
+        assert!(!back.bypass_cache());
     }
 
     #[test]
     fn request_rejects_bad_magic() {
         let mut enc = FetchRequest::whole_segment(1, 2).encode();
-        enc[0] ^= 0xFF;
+        enc[0] ^= 0xF0;
         assert!(FetchRequest::decode(&enc).is_err());
         assert!(FetchRequest::decode(&enc[..8]).is_err());
     }
@@ -296,20 +538,30 @@ mod tests {
         let req = FetchRequest::whole_segment(9, 1);
         let mut buf = Vec::new();
         req.write_to(&mut buf).unwrap();
+        req.write_versioned(&mut buf, WireVersion::V3).unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), Some(req));
-        // Clean EOF after a full request -> None.
+        assert_eq!(
+            FetchRequest::read_from(&mut cursor).unwrap(),
+            Some((req, WireVersion::V2))
+        );
+        assert_eq!(
+            FetchRequest::read_from(&mut cursor).unwrap(),
+            Some((req, WireVersion::V3))
+        );
+        // Clean EOF after full requests -> None.
         assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), None);
     }
 
     #[test]
     fn truncated_request_is_an_error() {
-        let req = FetchRequest::whole_segment(9, 1);
-        let mut buf = Vec::new();
-        req.write_to(&mut buf).unwrap();
-        buf.truncate(REQUEST_LEN - 3);
-        let mut cursor = std::io::Cursor::new(buf);
-        assert!(FetchRequest::read_from(&mut cursor).is_err());
+        for version in [WireVersion::V2, WireVersion::V3] {
+            let req = FetchRequest::whole_segment(9, 1);
+            let mut buf = Vec::new();
+            req.write_versioned(&mut buf, version).unwrap();
+            buf.truncate(buf.len() - 3);
+            let mut cursor = std::io::Cursor::new(buf);
+            assert!(FetchRequest::read_from(&mut cursor).is_err());
+        }
     }
 
     #[test]
@@ -323,14 +575,63 @@ mod tests {
     }
 
     #[test]
+    fn okcrc_roundtrip_and_verify() {
+        let resp = FetchResponse::ok_crc(11, vec![1, 2, 3, 4, 5], 999);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.seg_len, 999);
+        assert!(back.crc_ok());
+    }
+
+    #[test]
+    fn payload_flip_fails_crc_but_reads_cleanly() {
+        let resp = FetchResponse::ok_crc(4, (0..=255u8).collect(), 256);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        // Flip one payload byte, past header + extension: the frame
+        // still parses (structure intact) but the checksum catches it.
+        let n = buf.len();
+        buf[n - 10] ^= 0x01;
+        let back = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert!(!back.crc_ok());
+    }
+
+    #[test]
+    fn busy_roundtrip_carries_hint() {
+        let resp = FetchResponse::busy(7, 250);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), RESPONSE_HEADER_LEN);
+        let back = FetchResponse::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.status, Status::Busy);
+        assert_eq!(back.retry_after_ms, 250);
+        assert!(back.payload.is_empty());
+    }
+
+    #[test]
+    fn busy_hint_is_clamped() {
+        let resp = FetchResponse::busy(7, u64::MAX);
+        assert!(resp.retry_after_ms <= 60_000);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        assert!(FetchResponse::read_from(&mut std::io::Cursor::new(buf)).is_ok());
+    }
+
+    #[test]
     fn vectored_write_matches_plain_write() {
         for payload in [Vec::new(), vec![7u8; 3], vec![0xA5; 64 << 10]] {
-            let resp = FetchResponse::ok(42, payload);
-            let mut plain = Vec::new();
-            resp.write_to(&mut plain).unwrap();
-            let mut vectored = Vec::new();
-            resp.write_vectored_to(&mut vectored).unwrap();
-            assert_eq!(plain, vectored);
+            for resp in [
+                FetchResponse::ok(42, payload.clone()),
+                FetchResponse::ok_crc(42, payload.clone(), payload.len() as u64),
+            ] {
+                let mut plain = Vec::new();
+                resp.write_to(&mut plain).unwrap();
+                let mut vectored = Vec::new();
+                resp.write_vectored_to(&mut vectored).unwrap();
+                assert_eq!(plain, vectored);
+            }
         }
     }
 
@@ -365,12 +666,16 @@ mod tests {
 
     #[test]
     fn vectored_write_survives_partial_writes() {
-        let resp = FetchResponse::ok(9, (0..=255u8).collect());
-        let mut sink = TrickleSink(Vec::new());
-        resp.write_vectored_to(&mut sink).unwrap();
-        let mut plain = Vec::new();
-        resp.write_to(&mut plain).unwrap();
-        assert_eq!(sink.0, plain);
+        for resp in [
+            FetchResponse::ok(9, (0..=255u8).collect()),
+            FetchResponse::ok_crc(9, (0..=255u8).collect(), 256),
+        ] {
+            let mut sink = TrickleSink(Vec::new());
+            resp.write_vectored_to(&mut sink).unwrap();
+            let mut plain = Vec::new();
+            resp.write_to(&mut plain).unwrap();
+            assert_eq!(sink.0, plain);
+        }
     }
 
     #[test]
@@ -410,18 +715,28 @@ mod tests {
     fn many_exchanges_on_one_stream() {
         let mut buf = Vec::new();
         for i in 0..10u64 {
-            FetchRequest {
+            let req = FetchRequest {
                 id: i,
                 ..FetchRequest::whole_segment(i, i as u32)
-            }
-            .write_to(&mut buf)
-            .unwrap();
+            };
+            let version = if i % 2 == 0 {
+                WireVersion::V2
+            } else {
+                WireVersion::V3
+            };
+            req.write_versioned(&mut buf, version).unwrap();
         }
         let mut cursor = std::io::Cursor::new(buf);
         for i in 0..10u64 {
-            let req = FetchRequest::read_from(&mut cursor).unwrap().unwrap();
+            let (req, version) = FetchRequest::read_from(&mut cursor).unwrap().unwrap();
             assert_eq!(req.mof, i);
             assert_eq!(req.id, i);
+            let expect = if i % 2 == 0 {
+                WireVersion::V2
+            } else {
+                WireVersion::V3
+            };
+            assert_eq!(version, expect);
         }
         assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), None);
     }

@@ -1,15 +1,18 @@
 //! Property tests of the fetch wire protocol: encode/decode round-trips
 //! for every representable request and response (including the pipelined
-//! request ids), and — the property the fault-injection harness leans
-//! on — decoding NEVER panics on arbitrary or truncated bytes, it
-//! returns an error.
+//! request ids and the v3 integrity extension), and — the property the
+//! fault-injection harness leans on — decoding NEVER panics on arbitrary
+//! or truncated bytes, it returns an error.
 
-use jbs_transport::wire::{FetchRequest, FetchResponse, Status, MAX_PAYLOAD, REQUEST_LEN};
+use jbs_transport::wire::{
+    FetchRequest, FetchResponse, Status, WireVersion, MAX_PAYLOAD, REQUEST_LEN, REQUEST_LEN_V3,
+};
 use proptest::prelude::*;
 use std::io::Cursor;
 
 proptest! {
-    /// Any request round-trips through the fixed-size encoding.
+    /// Any request round-trips through the fixed-size encoding, in both
+    /// dialects (the v2 frame has no flags byte, so flags stay zero).
     #[test]
     fn request_roundtrips(
         id in any::<u64>(),
@@ -17,14 +20,24 @@ proptest! {
         reducer in any::<u32>(),
         offset in any::<u64>(),
         len in any::<u64>(),
+        flags in any::<u8>(),
     ) {
-        let req = FetchRequest { id, mof, reducer, offset, len };
+        let req = FetchRequest { id, mof, reducer, offset, len, flags: 0 };
         let enc = req.encode();
         prop_assert_eq!(enc.len(), REQUEST_LEN);
-        prop_assert_eq!(FetchRequest::decode(&enc).unwrap(), req);
+        prop_assert_eq!(FetchRequest::decode(&enc).unwrap(), (req, WireVersion::V2));
         // And through the streaming reader.
         let mut cursor = Cursor::new(enc.to_vec());
-        prop_assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), Some(req));
+        prop_assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), Some((req, WireVersion::V2)));
+        prop_assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), None);
+
+        // The v3 frame carries flags.
+        let req3 = FetchRequest { flags, ..req };
+        let enc3 = req3.encode_v3();
+        prop_assert_eq!(enc3.len(), REQUEST_LEN_V3);
+        prop_assert_eq!(FetchRequest::decode(&enc3).unwrap(), (req3, WireVersion::V3));
+        let mut cursor = Cursor::new(enc3.to_vec());
+        prop_assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), Some((req3, WireVersion::V3)));
         prop_assert_eq!(FetchRequest::read_from(&mut cursor).unwrap(), None);
     }
 
@@ -34,19 +47,22 @@ proptest! {
     fn response_roundtrips(
         id in any::<u64>(),
         payload in prop::collection::vec(any::<u8>(), 0..4096),
-        status_pick in 0u8..3,
+        seg_len in any::<u64>(),
+        status_pick in 0u8..5,
     ) {
-        let status = match status_pick {
-            0 => Status::Ok,
-            1 => Status::NotFound,
-            _ => Status::BadRequest,
+        let resp = match status_pick {
+            0 => FetchResponse::ok(id, payload),
+            1 => FetchResponse::error(id, Status::NotFound),
+            2 => FetchResponse::error(id, Status::BadRequest),
+            3 => FetchResponse::ok_crc(id, payload, seg_len),
+            _ => FetchResponse::busy(id, seg_len % 60_000),
         };
-        let resp = FetchResponse { status, id, payload };
         let mut buf = Vec::new();
         resp.write_to(&mut buf).unwrap();
         let back = FetchResponse::read_from(&mut Cursor::new(&buf)).unwrap();
         prop_assert_eq!(&back, &resp);
         prop_assert_eq!(back.id, id);
+        prop_assert!(back.crc_ok());
         let mut vbuf = Vec::new();
         resp.write_vectored_to(&mut vbuf).unwrap();
         prop_assert_eq!(vbuf, buf);
@@ -73,23 +89,33 @@ proptest! {
     }
 
     /// Every truncation of a valid request frame is a clean error, and
-    /// every truncation of a valid response frame is a clean error.
+    /// every truncation of a valid response frame is a clean error —
+    /// in both dialects.
     #[test]
     fn truncations_error_cleanly(
         id in any::<u64>(),
         mof in any::<u64>(),
         payload in prop::collection::vec(any::<u8>(), 1..512),
         cut_frac in 0u8..100,
+        v3 in any::<bool>(),
     ) {
-        let req = FetchRequest { id, mof, reducer: 1, offset: 0, len: 0 };
-        let enc = req.encode();
+        let req = FetchRequest { id, mof, reducer: 1, offset: 0, len: 0, flags: 0 };
+        let enc: Vec<u8> = if v3 {
+            req.encode_v3().to_vec()
+        } else {
+            req.encode().to_vec()
+        };
         let cut = (enc.len() - 1) * cut_frac as usize / 100;
         prop_assert!(FetchRequest::decode(&enc[..cut]).is_err());
         if cut > 0 {
             prop_assert!(FetchRequest::read_from(&mut Cursor::new(enc[..cut].to_vec())).is_err());
         }
 
-        let resp = FetchResponse::ok(id, payload);
+        let resp = if v3 {
+            FetchResponse::ok_crc(id, payload.clone(), payload.len() as u64)
+        } else {
+            FetchResponse::ok(id, payload)
+        };
         let mut frame = Vec::new();
         resp.write_to(&mut frame).unwrap();
         let cut = (frame.len() - 1) * cut_frac as usize / 100;
@@ -112,12 +138,35 @@ proptest! {
         len in any::<u64>(),
         bit in 0usize..(8 * REQUEST_LEN),
     ) {
-        let req = FetchRequest { id, mof, reducer, offset, len };
+        let req = FetchRequest { id, mof, reducer, offset, len, flags: 0 };
         let mut enc = req.encode();
         enc[bit / 8] ^= 1 << (bit % 8);
         match FetchRequest::decode(&enc) {
             Err(_) => {}
-            Ok(decoded) => prop_assert_ne!(decoded, req),
+            Ok(decoded) => prop_assert_ne!(decoded, (req, WireVersion::V2)),
+        }
+    }
+
+    /// The same property for the v3 frame. A flip can land in the magic
+    /// and turn "JBS3" into "JBS2" — the fields then reparse shifted —
+    /// so the non-aliasing guarantee is on the (request, version) pair
+    /// the decoder reports, never on the request alone.
+    #[test]
+    fn v3_request_bitflips_never_alias(
+        id in any::<u64>(),
+        mof in any::<u64>(),
+        reducer in any::<u32>(),
+        offset in any::<u64>(),
+        len in any::<u64>(),
+        flags in any::<u8>(),
+        bit in 0usize..(8 * REQUEST_LEN_V3),
+    ) {
+        let req = FetchRequest { id, mof, reducer, offset, len, flags };
+        let mut enc = req.encode_v3();
+        enc[bit / 8] ^= 1 << (bit % 8);
+        match FetchRequest::decode(&enc) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_ne!(decoded, (req, WireVersion::V3)),
         }
     }
 
@@ -140,6 +189,37 @@ proptest! {
                 decoded.status != resp.status
                     || decoded.id != resp.id
                     || decoded.payload.len() != resp.payload.len()
+            ),
+        }
+    }
+
+    /// The v3 integrity guarantee the whole PR rests on: EVERY single-bit
+    /// flip anywhere in an `OkCrc` frame — header, extension, or payload —
+    /// is detected. Either the frame fails structurally, or the carried
+    /// checksum no longer matches the payload, or the decoded metadata
+    /// visibly differs; a flip can never hand the client silently-wrong
+    /// bytes that pass verification.
+    #[test]
+    fn okcrc_bitflips_always_detected(
+        id in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        seg_len in any::<u64>(),
+        flip_frac in 0u32..1_000_000,
+    ) {
+        let resp = FetchResponse::ok_crc(id, payload, seg_len);
+        let mut frame = Vec::new();
+        resp.write_to(&mut frame).unwrap();
+        let bit = (flip_frac as u64 * (frame.len() as u64 * 8) / 1_000_000) as usize;
+        frame[bit / 8] ^= 1 << (bit % 8);
+        match FetchResponse::read_from(&mut Cursor::new(&frame)) {
+            Err(_) => {} // structural rejection
+            Ok(decoded) => prop_assert!(
+                !decoded.crc_ok()
+                    || decoded.status != resp.status
+                    || decoded.id != resp.id
+                    || decoded.seg_len != resp.seg_len
+                    || decoded.payload.len() != resp.payload.len(),
+                "bit flip {} survived verification", bit
             ),
         }
     }

@@ -75,7 +75,25 @@ pub fn transport_client_config(cfg: &core::JbsConfig) -> transport::ClientConfig
         connect_timeout: io_timeout,
         read_timeout: io_timeout,
         write_timeout: io_timeout,
+        checksum: cfg.checksum,
+        breaker_threshold: cfg.breaker_threshold,
         ..transport::ClientConfig::default()
+    }
+}
+
+/// Build the real-dataplane supplier options from a [`core::JbsConfig`]:
+/// buffer size, prefetch depth, and the admission-control bounds that
+/// shed excess load with `Busy` pushback instead of stalling. The
+/// `drain_timeout` knob pairs with
+/// [`transport::MofSupplierServer::drain`] at decommission time.
+pub fn transport_server_options(cfg: &core::JbsConfig) -> transport::ServerOptions {
+    transport::ServerOptions {
+        buffer_bytes: cfg.buffer_bytes,
+        prefetch_batch: u64::from(cfg.prefetch_batch),
+        prefetch: cfg.pipelined_prefetch,
+        max_connections: cfg.max_connections as u64,
+        max_inflight_per_peer: cfg.max_inflight_per_peer,
+        ..transport::ServerOptions::default()
     }
 }
 
@@ -102,5 +120,23 @@ mod tests {
         // The configured client actually works.
         let client = transport::NetMergerClient::with_client_config(tc);
         assert_eq!(client.fetch_stats().retries, 0);
+    }
+
+    #[test]
+    fn jbs_config_drives_supplier_admission_control() {
+        let cfg = core::JbsConfig {
+            max_inflight_per_peer: 33,
+            buffer_bytes: 64 << 10,
+            checksum: false,
+            breaker_threshold: 0,
+            ..core::JbsConfig::default()
+        };
+        let so = transport_server_options(&cfg);
+        assert_eq!(so.max_inflight_per_peer, 33);
+        assert_eq!(so.buffer_bytes, 64 << 10);
+        assert_eq!(so.max_connections, cfg.max_connections as u64);
+        let tc = transport_client_config(&cfg);
+        assert!(!tc.checksum, "v2 pin propagates");
+        assert_eq!(tc.breaker_threshold, 0, "breaker disable propagates");
     }
 }

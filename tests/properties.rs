@@ -166,8 +166,8 @@ proptest! {
     /// Wire requests round-trip through encode/decode.
     #[test]
     fn wire_request_roundtrip(id in any::<u64>(), mof in any::<u64>(), reducer in any::<u32>(), offset in any::<u64>(), len in any::<u64>()) {
-        let req = FetchRequest { id, mof, reducer, offset, len };
-        prop_assert_eq!(FetchRequest::decode(&req.encode()).unwrap(), req);
+        let req = FetchRequest { id, mof, reducer, offset, len, flags: 0 };
+        prop_assert_eq!(FetchRequest::decode(&req.encode()).unwrap().0, req);
     }
 
     /// Wire responses round-trip through a stream.

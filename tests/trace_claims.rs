@@ -86,6 +86,7 @@ fn pipelined_shuffle_overlaps_disk_read_with_net_xmit() {
                 synthetic_disk_delay: disk_delay,
                 faults: Some(wire_cost),
                 trace: trace.clone(),
+                ..ServerOptions::default()
             },
         )
         .expect("server");
