@@ -13,14 +13,23 @@
 //!   dialect: every chunk payload arrives CRC32C-sealed and is
 //!   verified before admission, so the delta against plain pipelined
 //!   is the end-to-end integrity overhead as a number.
+//! * **hybrid-mem / hybrid-spill** — the same segments served from an
+//!   attached hybrid store instead of the MOF path. `hybrid-mem` gives
+//!   the store enough budget that every byte stays in the MEMORY tier
+//!   (zero disk reads); `hybrid-spill` shrinks the budget so the
+//!   watermarks push nearly everything to the LOCALFILE tier, with the
+//!   same synthetic seek delay charged per spill-file read. The delta
+//!   is the memory-tier hit rate as throughput.
 //!
 //! All modes move byte-identical data through fresh stores and
-//! servers, so the only variables are the scheduling discipline and
-//! the checksum. Results go to `BENCH_shuffle.json` (override with
-//! `--out`); `--smoke` runs a seconds-scale configuration for CI.
+//! servers, so the only variables are the scheduling discipline, the
+//! checksum, and the serving tier. Results go to `BENCH_shuffle.json`
+//! (override with `--out`); `--smoke` runs a seconds-scale
+//! configuration for CI.
 
 use jbs_des::DetRng;
 use jbs_obs::Trace;
+use jbs_store_hybrid::{HybridConfig, HybridStore};
 use jbs_transport::client::SegmentRef;
 use jbs_transport::{ClientConfig, MofStore, MofSupplierServer, NetMergerClient, ServerOptions};
 use std::io::Write as _;
@@ -99,6 +108,33 @@ struct Measured {
     overlap_frac: f64,
 }
 
+/// Measured result of one hybrid-store mode.
+struct HybridMeasured {
+    /// Payload bytes moved per timed run.
+    bytes: u64,
+    /// Mean wall-clock seconds per run.
+    secs: f64,
+    /// Throughput in MiB/s derived from the two above.
+    mib_per_sec: f64,
+    /// Checksum of all payloads, to pin byte-identity across modes.
+    checksum: u64,
+    /// Reads (summed over runs and stores) that served at least one
+    /// byte from the MEMORY tier.
+    memory_reads: u64,
+    /// Reads that had to touch the LOCALFILE spill file — each one
+    /// charged the synthetic seek delay.
+    local_reads: u64,
+    /// Watermark spill trips (0 when the budget holds everything).
+    spill_trips: u64,
+}
+
+fn report_hybrid(label: &str, m: &HybridMeasured) {
+    println!(
+        "  {label:<14} {:>8.1} MiB/s  ({:.3} s, {} bytes; {} mem reads, {} spill reads, {} trips)",
+        m.mib_per_sec, m.secs, m.bytes, m.memory_reads, m.local_reads, m.spill_trips
+    );
+}
+
 fn main() {
     let mut smoke = false;
     let mut out = String::from("BENCH_shuffle.json");
@@ -144,6 +180,10 @@ fn main() {
     report("pipelined:", &pipelined);
     let pipelined_crc = run_mode(&sc, true, true);
     report("pipelined+crc:", &pipelined_crc);
+    let hybrid_mem = run_hybrid_mode(&sc, true);
+    report_hybrid("hybrid-mem:", &hybrid_mem);
+    let hybrid_spill = run_hybrid_mode(&sc, false);
+    report_hybrid("hybrid-spill:", &hybrid_spill);
 
     assert_eq!(
         serial.checksum, pipelined.checksum,
@@ -153,12 +193,35 @@ fn main() {
         serial.checksum, pipelined_crc.checksum,
         "the checksummed dialect must move byte-identical data"
     );
+    assert_eq!(
+        serial.checksum, hybrid_mem.checksum,
+        "the memory tier must serve byte-identical data"
+    );
+    assert_eq!(
+        serial.checksum, hybrid_spill.checksum,
+        "the spilled tiers must serve byte-identical data"
+    );
+    assert_eq!(
+        hybrid_mem.local_reads, 0,
+        "a within-budget memory tier must never touch the spill file"
+    );
+    assert!(
+        hybrid_spill.local_reads > 0,
+        "the shrunk budget must push reads to the LOCALFILE tier"
+    );
     let speedup = pipelined.mib_per_sec / serial.mib_per_sec;
     let speedup_crc = pipelined_crc.mib_per_sec / serial.mib_per_sec;
     // Fraction of pipelined throughput spent sealing + verifying.
     let crc_overhead_frac = 1.0 - pipelined_crc.mib_per_sec / pipelined.mib_per_sec;
+    // Memory-tier hits as throughput: same bytes, zero disk reads.
+    let hybrid_mem_speedup = hybrid_mem.mib_per_sec / hybrid_spill.mib_per_sec;
     println!("  speedup:        {speedup:.2}x");
     println!("  speedup (crc):  {speedup_crc:.2}x  (integrity overhead {crc_overhead_frac:.3})");
+    println!(
+        "  memory tier:    {hybrid_mem_speedup:.2}x over spilled \
+         ({} memory reads vs {} spill-file reads)",
+        hybrid_mem.memory_reads, hybrid_spill.local_reads
+    );
 
     let json = render_json(
         &sc,
@@ -166,9 +229,12 @@ fn main() {
         &serial,
         &pipelined,
         &pipelined_crc,
+        &hybrid_mem,
+        &hybrid_spill,
         speedup,
         speedup_crc,
         crc_overhead_frac,
+        hybrid_mem_speedup,
     );
     let mut f = std::fs::File::create(&out).expect("create output file");
     f.write_all(json.as_bytes()).expect("write output file");
@@ -291,6 +357,142 @@ fn run_mode(sc: &Scenario, pipelined: bool, checksum_on: bool) -> Measured {
     }
 }
 
+/// Shuffle the same segments out of supplier-attached hybrid stores
+/// instead of the MOF path. `mem_resident` sizes the memory budget to
+/// hold everything (pure MEMORY-tier serving); otherwise the budget is
+/// two transport buffers, so the 0.5/0.2 watermarks spill nearly every
+/// byte to the LOCALFILE tier and each spill-file read is charged the
+/// same synthetic seek delay the disk modes pay per read-ahead batch.
+fn run_hybrid_mode(sc: &Scenario, mem_resident: bool) -> HybridMeasured {
+    let mut bytes = 0u64;
+    let mut checksum = 0u64;
+    let mut total = Duration::ZERO;
+    let mut memory_reads = 0u64;
+    let mut local_reads = 0u64;
+    let mut spill_trips = 0u64;
+    for run in 0..sc.runs {
+        let trace = Trace::recording(1 << 20);
+        let mut servers = Vec::new();
+        let mut hybrids = Vec::new();
+        for node in 0..sc.nodes {
+            // Stage the segments through a scratch MOF store so the
+            // hybrid tiers hold bit-identical bytes to the disk modes.
+            let mut scratch = MofStore::temp().expect("scratch store");
+            let hybrid = HybridStore::new(HybridConfig {
+                memory_budget: if mem_resident {
+                    256 << 20
+                } else {
+                    2 * sc.buffer_bytes as usize
+                },
+                synthetic_local_read_delay: if mem_resident {
+                    Duration::ZERO
+                } else {
+                    sc.disk_delay
+                },
+                trace: trace.clone(),
+                ..HybridConfig::default()
+            })
+            .expect("hybrid store");
+            for m in 0..sc.mofs_per_node {
+                let mof = (node * sc.mofs_per_node + m) as u64;
+                let records = synth_records(mof, sc.records_per_mof);
+                let parts = sc.reducers;
+                scratch
+                    .write_mof(mof, records, parts, |k| {
+                        k.first().copied().unwrap_or(0) as usize % parts
+                    })
+                    .expect("write mof");
+                for r in 0..sc.reducers as u32 {
+                    let seg = scratch
+                        .read_segment_range(mof, r, 0, 0)
+                        .expect("read segment")
+                        .expect("segment exists");
+                    for chunk in seg.chunks(sc.buffer_bytes as usize) {
+                        hybrid.append(mof, r, chunk).expect("hybrid append");
+                    }
+                }
+            }
+            let options = ServerOptions {
+                buffer_bytes: sc.buffer_bytes,
+                prefetch_batch: sc.prefetch_batch,
+                prefetch: true,
+                synthetic_disk_delay: sc.disk_delay,
+                faults: None,
+                trace: trace.clone(),
+                hybrid: Some(hybrid.clone()),
+                ..ServerOptions::default()
+            };
+            // The MOF store is empty: every request is answered by the
+            // hybrid store's tiers.
+            let store = MofStore::temp().expect("empty store");
+            servers.push(MofSupplierServer::start_with_options(store, options).expect("server"));
+            hybrids.push(hybrid);
+        }
+
+        let per_reducer: Vec<Vec<SegmentRef>> = (0..sc.reducers as u32)
+            .map(|r| {
+                servers
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(node, s)| {
+                        (0..sc.mofs_per_node).map(move |m| SegmentRef {
+                            addr: s.addr(),
+                            mof: (node * sc.mofs_per_node + m) as u64,
+                            reducer: r,
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let client = NetMergerClient::with_client_config(ClientConfig {
+            buffer_bytes: sc.buffer_bytes,
+            window: sc.window,
+            checksum: false,
+            ..ClientConfig::default()
+        });
+
+        let start = Instant::now();
+        let mut run_bytes = 0u64;
+        let mut run_sum = 0u64;
+        for segs in &per_reducer {
+            for p in client.fetch_all(segs).expect("hybrid fetch") {
+                run_bytes += p.len() as u64;
+                run_sum = run_sum.wrapping_add(fnv1a(&p));
+            }
+        }
+        total += start.elapsed();
+        for h in &hybrids {
+            let stats = h.stats();
+            memory_reads += stats.memory_hits;
+            local_reads += stats.local_hits;
+            spill_trips += stats.spill_trips;
+        }
+        if run == 0 {
+            bytes = run_bytes;
+            checksum = run_sum;
+        } else {
+            assert_eq!(bytes, run_bytes, "runs must move identical bytes");
+        }
+        for s in servers {
+            s.shutdown();
+        }
+        for h in hybrids {
+            h.close();
+        }
+    }
+    let secs = total.as_secs_f64() / sc.runs as f64;
+    HybridMeasured {
+        bytes,
+        secs,
+        mib_per_sec: bytes as f64 / (1 << 20) as f64 / secs,
+        checksum,
+        memory_reads,
+        local_reads,
+        spill_trips,
+    }
+}
+
 /// Deterministic per-MOF records: 10-byte random keys, 90-byte values.
 fn synth_records(mof: u64, n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
     let mut rng = DetRng::new(0x5348_5546 ^ mof);
@@ -321,9 +523,12 @@ fn render_json(
     serial: &Measured,
     pipelined: &Measured,
     pipelined_crc: &Measured,
+    hybrid_mem: &HybridMeasured,
+    hybrid_spill: &HybridMeasured,
     speedup: f64,
     speedup_crc: f64,
     crc_overhead_frac: f64,
+    hybrid_mem_speedup: f64,
 ) -> String {
     let mode = |m: &Measured| {
         format!(
@@ -332,13 +537,22 @@ fn render_json(
             m.bytes, m.secs, m.mib_per_sec, m.disk_read_secs, m.net_xmit_secs, m.overlap_frac
         )
     };
+    let hybrid = |m: &HybridMeasured| {
+        format!(
+            "{{ \"bytes\": {}, \"secs\": {:.6}, \"mib_per_sec\": {:.2}, \
+             \"memory_reads\": {}, \"local_reads\": {}, \"spill_trips\": {} }}",
+            m.bytes, m.secs, m.mib_per_sec, m.memory_reads, m.local_reads, m.spill_trips
+        )
+    };
     format!(
         "{{\n  \"bench\": \"shuffle_dataplane\",\n  \"smoke\": {smoke},\n  \"config\": {{\n    \
          \"nodes\": {},\n    \"mofs_per_node\": {},\n    \"reducers\": {},\n    \
          \"records_per_mof\": {},\n    \"buffer_bytes\": {},\n    \"prefetch_batch\": {},\n    \"window\": {},\n    \
          \"disk_delay_ms\": {},\n    \"runs\": {}\n  }},\n  \"serial\": {},\n  \
-         \"pipelined\": {},\n  \"pipelined_crc\": {},\n  \"speedup\": {speedup:.2},\n  \
-         \"speedup_crc\": {speedup_crc:.2},\n  \"crc_overhead_frac\": {crc_overhead_frac:.4}\n}}\n",
+         \"pipelined\": {},\n  \"pipelined_crc\": {},\n  \"hybrid_mem\": {},\n  \
+         \"hybrid_spill\": {},\n  \"speedup\": {speedup:.2},\n  \
+         \"speedup_crc\": {speedup_crc:.2},\n  \"crc_overhead_frac\": {crc_overhead_frac:.4},\n  \
+         \"hybrid_mem_speedup\": {hybrid_mem_speedup:.2}\n}}\n",
         sc.nodes,
         sc.mofs_per_node,
         sc.reducers,
@@ -351,5 +565,7 @@ fn render_json(
         mode(serial),
         mode(pipelined),
         mode(pipelined_crc),
+        hybrid(hybrid_mem),
+        hybrid(hybrid_spill),
     )
 }

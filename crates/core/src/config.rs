@@ -64,6 +64,20 @@ pub struct JbsConfig {
     /// How long a draining MOFSupplier waits for in-flight exchanges
     /// to finish before hard-closing the remaining connections.
     pub drain_timeout: SimTime,
+    /// Memory budget of the supplier-side hybrid store's MEMORY tier
+    /// (Uniffle-style MEMORY_LOCALFILE): incoming partition writes
+    /// buffer here until the watermarks spill them.
+    pub hybrid_memory_budget: u64,
+    /// Fraction of `hybrid_memory_budget` at which the memory tier
+    /// trips a spill to LOCALFILE.
+    pub memory_spill_high_watermark: f64,
+    /// Fraction of `hybrid_memory_budget` a tripped spill flushes down
+    /// to before stopping.
+    pub memory_spill_low_watermark: f64,
+    /// Per-partition memory cap: a partition buffering more than this
+    /// is force-spilled even below the high watermark, so one skewed
+    /// reducer cannot monopolize the memory tier.
+    pub huge_partition_limit: u64,
 }
 
 impl Default for JbsConfig {
@@ -86,6 +100,10 @@ impl Default for JbsConfig {
             max_inflight_per_peer: 256,
             breaker_threshold: 8,
             drain_timeout: SimTime::from_secs(5),
+            hybrid_memory_budget: 64 << 20,
+            memory_spill_high_watermark: 0.5,
+            memory_spill_low_watermark: 0.2,
+            huge_partition_limit: 16 << 20,
         }
     }
 }
@@ -131,6 +149,18 @@ impl JbsConfig {
         if self.drain_timeout == SimTime::ZERO {
             return Err("drain timeout must be positive".into());
         }
+        if self.hybrid_memory_budget == 0 {
+            return Err("hybrid memory budget must be positive".into());
+        }
+        if !(self.memory_spill_low_watermark > 0.0
+            && self.memory_spill_low_watermark < self.memory_spill_high_watermark
+            && self.memory_spill_high_watermark <= 1.0)
+        {
+            return Err("spill watermarks must satisfy 0 < low < high <= 1".into());
+        }
+        if self.huge_partition_limit == 0 {
+            return Err("huge-partition limit must be positive".into());
+        }
         Ok(())
     }
 }
@@ -169,6 +199,36 @@ mod tests {
             ..JbsConfig::default()
         };
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn hybrid_knob_validation() {
+        let c = JbsConfig::default();
+        assert_eq!(c.hybrid_memory_budget, 64 << 20);
+        assert_eq!(c.memory_spill_high_watermark, 0.5);
+        assert_eq!(c.memory_spill_low_watermark, 0.2);
+        assert_eq!(c.huge_partition_limit, 16 << 20);
+        let c = JbsConfig {
+            hybrid_memory_budget: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        // Inverted watermarks are rejected.
+        let c = JbsConfig {
+            memory_spill_high_watermark: 0.1,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = JbsConfig {
+            memory_spill_high_watermark: 1.5,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = JbsConfig {
+            huge_partition_limit: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

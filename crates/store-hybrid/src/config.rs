@@ -1,0 +1,144 @@
+//! Hybrid-store configuration: memory budget, watermarks, tier knobs.
+
+use jbs_obs::Trace;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration for a [`crate::HybridStore`].
+///
+/// The defaults mirror the Uniffle `MEMORY_LOCALFILE` storage type this
+/// store reproduces: spill trips at `0.5` of the memory budget and
+/// flushes buffers in batched sequential writes until usage is back
+/// under `0.2`.
+#[derive(Clone)]
+pub struct HybridConfig {
+    /// Total bytes the MEMORY tier may hold. In-memory usage never
+    /// exceeds this: appends that would overflow it spill first (inline
+    /// mode) or block until the flusher makes room (background mode).
+    pub memory_budget: usize,
+    /// Fraction of `memory_budget` that trips a spill (0 < low < high ≤ 1).
+    pub high_watermark: f64,
+    /// Fraction of `memory_budget` a spill trip flushes down to.
+    pub low_watermark: f64,
+    /// Per-partition cap on buffered bytes: a partition exceeding it is
+    /// force-spilled even below the high watermark, so one skewed
+    /// reducer cannot monopolize the memory tier.
+    pub huge_partition_limit: usize,
+    /// `true` runs spill trips on a dedicated flusher thread woken by
+    /// the tripping writer (the production shape); `false` runs them
+    /// inline on the tripping writer (deterministic, used by the
+    /// property tests and loom models).
+    pub background_flush: bool,
+    /// Synthetic per-buffer delay charged inside each spill write, so
+    /// tests can hold the store mid-spill long enough to race it.
+    pub synthetic_spill_delay: Duration,
+    /// Synthetic delay charged per LOCALFILE read, standing in for a
+    /// rotational-disk seek when benchmarking memory-tier hit rates.
+    pub synthetic_local_read_delay: Duration,
+    /// Directory for the LOCALFILE tier's spill file; `None` creates a
+    /// per-store temp dir removed on drop.
+    pub data_dir: Option<PathBuf>,
+    /// Directory for the simulated REMOTE tier's objects; `None`
+    /// creates a per-store temp dir removed on drop. Point two stores
+    /// at one surviving dir to model decommission + re-attach.
+    pub remote_dir: Option<PathBuf>,
+    /// Trace every tier transition (`tier.spill` spans, `spill.write` /
+    /// `tier.remote` / `mem.hit` instants).
+    pub trace: Trace,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            memory_budget: 64 << 20,
+            high_watermark: 0.5,
+            low_watermark: 0.2,
+            huge_partition_limit: 16 << 20,
+            background_flush: false,
+            synthetic_spill_delay: Duration::ZERO,
+            synthetic_local_read_delay: Duration::ZERO,
+            data_dir: None,
+            remote_dir: None,
+            trace: Trace::disabled(),
+        }
+    }
+}
+
+impl HybridConfig {
+    /// Check knob coherence; returns the offending rule on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.memory_budget == 0 {
+            return Err("memory_budget must be > 0".into());
+        }
+        if !(self.low_watermark > 0.0 && self.low_watermark < self.high_watermark) {
+            return Err("watermarks must satisfy 0 < low < high".into());
+        }
+        if self.high_watermark > 1.0 {
+            return Err("high_watermark must be <= 1".into());
+        }
+        if self.huge_partition_limit == 0 {
+            return Err("huge_partition_limit must be > 0".into());
+        }
+        Ok(())
+    }
+
+    /// The byte threshold that trips a spill.
+    pub(crate) fn high_bytes(&self) -> usize {
+        watermark_bytes(self.memory_budget, self.high_watermark)
+    }
+
+    /// The byte level a spill trip flushes down to.
+    pub(crate) fn low_bytes(&self) -> usize {
+        watermark_bytes(self.memory_budget, self.low_watermark)
+    }
+}
+
+fn watermark_bytes(budget: usize, frac: f64) -> usize {
+    // Saturating f64 -> usize conversion: frac is validated to (0, 1].
+    let raw = (budget as f64) * frac;
+    if raw >= budget as f64 {
+        budget
+    } else if raw <= 0.0 {
+        0
+    } else {
+        raw as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        let cfg = HybridConfig::default();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.high_bytes(), 32 << 20);
+        assert!((cfg.low_bytes() as i64 - (64 << 20) / 5).abs() <= 1);
+    }
+
+    #[test]
+    fn watermark_order_is_enforced() {
+        let cfg = HybridConfig {
+            high_watermark: 0.2,
+            low_watermark: 0.5,
+            ..HybridConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = HybridConfig {
+            high_watermark: 1.5,
+            ..HybridConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = HybridConfig {
+            memory_budget: 0,
+            ..HybridConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = HybridConfig {
+            huge_partition_limit: 0,
+            ..HybridConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Simulated REMOTE tier: a directory of per-partition objects.
+//!
+//! Each object `part-{mof}-{reducer}.obj` holds that partition's full
+//! byte prefix at the moment it was drained, so a partition's logical
+//! offset `o` is the object offset `o` — no extra index is needed. The
+//! directory outlives the store that wrote it: quick decommission
+//! drains every partition here, and a replacement supplier re-attaches
+//! with [`crate::HybridStore::attach_remote`].
+
+use crate::sync::{lock, Mutex};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+pub(crate) struct RemoteStore {
+    dir: PathBuf,
+    /// Object lengths by partition; the `objects` lock is never held
+    /// together with the store's `inner` lock (file reads resolve the
+    /// path without consulting the map at all).
+    objects: Mutex<HashMap<(u64, u32), u64>>,
+}
+
+impl RemoteStore {
+    /// Open (or create) the object directory, indexing what's there.
+    pub(crate) fn at(dir: &Path) -> io::Result<RemoteStore> {
+        fs::create_dir_all(dir)?;
+        let mut map = HashMap::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(key) = parse_object_name(&name.to_string_lossy()) {
+                map.insert(key, entry.metadata()?.len());
+            }
+        }
+        Ok(RemoteStore {
+            dir: dir.to_path_buf(),
+            objects: Mutex::new(map),
+        })
+    }
+
+    fn path(&self, mof: u64, reducer: u32) -> PathBuf {
+        self.dir.join(format!("part-{mof}-{reducer}.obj"))
+    }
+
+    /// Store (or replace) the object for one partition.
+    pub(crate) fn put(&self, mof: u64, reducer: u32, bytes: &[u8]) -> io::Result<()> {
+        fs::write(self.path(mof, reducer), bytes)?;
+        let mut objects = lock(&self.objects);
+        objects.insert((mof, reducer), bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset` of one partition's object.
+    pub(crate) fn read(&self, mof: u64, reducer: u32, offset: u64, len: u64) -> io::Result<Vec<u8>> {
+        let mut f = fs::File::open(self.path(mof, reducer))?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Every stored partition with its object length, sorted.
+    pub(crate) fn list(&self) -> Vec<((u64, u32), u64)> {
+        let objects = lock(&self.objects);
+        let mut v: Vec<_> = objects.iter().map(|(k, l)| (*k, *l)).collect();
+        drop(objects);
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Parse `part-{mof}-{reducer}.obj`; anything else is ignored.
+fn parse_object_name(name: &str) -> Option<(u64, u32)> {
+    let rest = name.strip_prefix("part-")?.strip_suffix(".obj")?;
+    let (mof, reducer) = rest.split_once('-')?;
+    Some((mof.parse().ok()?, reducer.parse().ok()?))
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_names_round_trip() {
+        assert_eq!(parse_object_name("part-3-7.obj"), Some((3, 7)));
+        assert_eq!(parse_object_name("part-3.obj"), None);
+        assert_eq!(parse_object_name("spill.data"), None);
+        assert_eq!(parse_object_name("part-x-7.obj"), None);
+    }
+
+    #[test]
+    fn put_read_and_reattach() {
+        let dir = std::env::temp_dir().join(format!("jbs-remote-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = RemoteStore::at(&dir).unwrap();
+        store.put(1, 2, b"hello world").unwrap();
+        assert_eq!(store.read(1, 2, 6, 5).unwrap(), b"world");
+        // A second store over the same dir sees the object.
+        let again = RemoteStore::at(&dir).unwrap();
+        assert_eq!(again.list(), vec![((1, 2), 11)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,1246 @@
+//! The three-tier hybrid store: MEMORY / LOCALFILE / REMOTE.
+//!
+//! Incoming partition writes land in a bounded in-memory buffer (the
+//! MEMORY tier). When usage trips the high watermark — or one partition
+//! outgrows the huge-partition limit — buffers are sealed one at a time
+//! and flushed in batched sequential writes to a single append-only
+//! spill file (the LOCALFILE tier) until usage is back under the low
+//! watermark. [`HybridStore::drain_to_remote`] moves everything to the
+//! REMOTE tier's per-partition objects for quick decommission, and
+//! [`HybridStore::attach_remote`] rebuilds a store over a surviving
+//! remote directory.
+//!
+//! ## Tier state machine (per partition)
+//!
+//! A partition's bytes are always, in logical offset order:
+//!
+//! ```text
+//! [ durable extents (LOCALFILE / REMOTE) | sealed spill buffer | active buffer ]
+//!   0 .. durable_len                       spilling               buffer
+//! ```
+//!
+//! Durable extents are immutable once committed; the sealed buffer
+//! stays readable (and counted against the memory budget) until its
+//! file write completes and the extent commits under the lock — so a
+//! reader can never observe a torn segment mid-spill. Every mutation
+//! commits bytes and counters in one critical section, which is what
+//! the stats-coherence property (`memory + spilled + remote ==
+//! total_written`) tests.
+//!
+//! ## Locking
+//!
+//! One mutex (`inner`) guards all partition state and counters; it is
+//! never held across file I/O (spill writes and reads plan under the
+//! lock, perform I/O unlocked, and re-lock to commit). A single-flusher
+//! token (`spill_active`) serializes all writers of the spill file; the
+//! condvar hands off between tripping writers, the flusher, and
+//! backpressured appenders — the handoff the `loom_` models explore.
+
+use crate::config::HybridConfig;
+use crate::remote::RemoteStore;
+use crate::sync::{lock, wait, Condvar, Mutex, MutexGuard};
+use jbs_obs::Entity;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static STORE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+type Key = (u64, u32);
+
+/// Where a committed extent's bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Place {
+    /// In the spill file, at `file_off`.
+    Local { file_off: u64 },
+    /// In the partition's remote object (object offset == partition
+    /// offset, since remote extents always cover the whole prefix).
+    Remote,
+}
+
+/// One committed, immutable run of partition bytes.
+#[derive(Debug, Clone, Copy)]
+struct Extent {
+    /// Logical offset within the partition.
+    offset: u64,
+    len: u64,
+    place: Place,
+}
+
+#[derive(Default)]
+struct Partition {
+    /// Committed extents, contiguous from offset 0.
+    extents: Vec<Extent>,
+    /// Total length of `extents`.
+    durable_len: u64,
+    /// A sealed buffer mid-flush: still readable, still counted
+    /// against the memory budget until its extent commits.
+    spilling: Option<Arc<Vec<u8>>>,
+    /// The active in-memory tail.
+    buffer: Vec<u8>,
+}
+
+impl Partition {
+    fn mem_len(&self) -> usize {
+        self.buffer.len() + self.spilling.as_ref().map_or(0, |s| s.len())
+    }
+
+    fn total_len(&self) -> u64 {
+        self.durable_len + self.mem_len() as u64
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    total_written: u64,
+    spilled_bytes: u64,
+    remote_bytes: u64,
+    memory_hits: u64,
+    local_hits: u64,
+    remote_hits: u64,
+    spill_trips: u64,
+    buffers_flushed: u64,
+    huge_forced: u64,
+    direct_writes: u64,
+    drains: u64,
+}
+
+struct Inner {
+    parts: BTreeMap<Key, Partition>,
+    /// Bytes currently resident in the MEMORY tier (buffers + sealed
+    /// spill buffers). Never exceeds the budget.
+    memory_used: usize,
+    /// Append offset of the spill file.
+    local_len: u64,
+    /// Single-flusher token: at most one thread writes the spill file.
+    spill_active: bool,
+    /// Largest append currently blocked on backpressure; a spill trip
+    /// drains far enough to admit it, then resets it to zero.
+    pressure: usize,
+    shutdown: bool,
+    /// A spill-path I/O failure; appends report it instead of blocking.
+    failed: Option<io::ErrorKind>,
+    stats: Counters,
+}
+
+/// A point-in-time view of tier residency and hit counters.
+///
+/// Residency is conserved: `memory_bytes + spilled_bytes + remote_bytes
+/// == total_written` after every operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStatsSnapshot {
+    /// Total bytes ever appended.
+    pub total_written: u64,
+    /// Bytes resident in the MEMORY tier.
+    pub memory_bytes: u64,
+    /// Bytes resident in the LOCALFILE tier.
+    pub spilled_bytes: u64,
+    /// Bytes resident in the REMOTE tier.
+    pub remote_bytes: u64,
+    /// Reads that served at least one byte from memory.
+    pub memory_hits: u64,
+    /// Reads that touched the spill file.
+    pub local_hits: u64,
+    /// Reads that touched a remote object.
+    pub remote_hits: u64,
+    /// Watermark/huge/pressure spill trips (one `tier.spill` span each).
+    pub spill_trips: u64,
+    /// Sealed buffers flushed across all trips.
+    pub buffers_flushed: u64,
+    /// Buffers flushed because their partition broke the huge limit.
+    pub huge_forced: u64,
+    /// Oversize appends written straight to the LOCALFILE tier.
+    pub direct_writes: u64,
+    /// Completed [`HybridStore::drain_to_remote`] calls.
+    pub drains: u64,
+}
+
+/// Per-partition tier residency, for tests and tier-placement claims.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierLayout {
+    /// Bytes in the MEMORY tier (active + sealed buffers).
+    pub memory: u64,
+    /// Bytes in LOCALFILE extents.
+    pub local: u64,
+    /// Bytes in REMOTE extents.
+    pub remote: u64,
+}
+
+/// A read piece planned under the lock, resolved after unlocking.
+enum Piece {
+    Copied(Vec<u8>),
+    Local { file_off: u64, len: u64 },
+    Remote { offset: u64, len: u64 },
+}
+
+/// Outcome of one drain commit attempt (see
+/// [`HybridStore::drain_to_remote`]).
+enum DrainStep {
+    /// Partition fully moved (or vanished); advance to the next key.
+    Done,
+    /// An append raced the object write; re-plan this partition.
+    Retry,
+    /// The object write failed; abort the drain.
+    Failed(io::Error),
+}
+
+/// Build a [`TierStatsSnapshot`] from the locked state.
+fn snapshot_of(g: &Inner) -> TierStatsSnapshot {
+    TierStatsSnapshot {
+        total_written: g.stats.total_written,
+        memory_bytes: g.memory_used as u64,
+        spilled_bytes: g.stats.spilled_bytes,
+        remote_bytes: g.stats.remote_bytes,
+        memory_hits: g.stats.memory_hits,
+        local_hits: g.stats.local_hits,
+        remote_hits: g.stats.remote_hits,
+        spill_trips: g.stats.spill_trips,
+        buffers_flushed: g.stats.buffers_flushed,
+        huge_forced: g.stats.huge_forced,
+        direct_writes: g.stats.direct_writes,
+        drains: g.stats.drains,
+    }
+}
+
+/// The three-tier hybrid store. See the module docs for the tier state
+/// machine; construct with [`HybridStore::new`] or
+/// [`HybridStore::attach_remote`].
+pub struct HybridStore {
+    cfg: HybridConfig,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    data_dir: PathBuf,
+    owns_data_dir: bool,
+    remote: RemoteStore,
+    remote_dir: PathBuf,
+    owns_remote_dir: bool,
+}
+
+impl std::fmt::Debug for HybridStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridStore")
+            .field("data_dir", &self.data_dir)
+            .field("remote_dir", &self.remote_dir)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl HybridStore {
+    /// Create an empty store. With `background_flush` a dedicated
+    /// flusher thread is spawned (not under `--cfg loom`, where the
+    /// models drive [`HybridStore::flusher_loop`] themselves); call
+    /// [`HybridStore::close`] to let it exit and release its handle.
+    pub fn new(cfg: HybridConfig) -> io::Result<Arc<HybridStore>> {
+        cfg.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let n = STORE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let (data_dir, owns_data_dir) = match &cfg.data_dir {
+            Some(d) => (d.clone(), false),
+            None => (
+                std::env::temp_dir().join(format!("jbs-hybrid-{}-{n}", std::process::id())),
+                true,
+            ),
+        };
+        let (remote_dir, owns_remote_dir) = match &cfg.remote_dir {
+            Some(d) => (d.clone(), false),
+            None => (
+                std::env::temp_dir().join(format!("jbs-hybrid-remote-{}-{n}", std::process::id())),
+                true,
+            ),
+        };
+        fs::create_dir_all(&data_dir)?;
+        fs::File::create(data_dir.join("spill.data"))?;
+        let remote = RemoteStore::at(&remote_dir)?;
+        let store = Arc::new(HybridStore {
+            cfg,
+            inner: Mutex::new(Inner {
+                parts: BTreeMap::new(),
+                memory_used: 0,
+                local_len: 0,
+                spill_active: false,
+                pressure: 0,
+                shutdown: false,
+                failed: None,
+                stats: Counters::default(),
+            }),
+            cv: Condvar::new(),
+            data_dir,
+            owns_data_dir,
+            remote,
+            remote_dir,
+            owns_remote_dir,
+        });
+        #[cfg(not(loom))]
+        if store.cfg.background_flush {
+            let s = Arc::clone(&store);
+            std::thread::Builder::new()
+                .name("hybrid-flusher".into())
+                .spawn(move || s.flusher_loop())
+                .map_err(io::Error::other)?;
+        }
+        Ok(store)
+    }
+
+    /// Rebuild a store over a surviving REMOTE directory: every listed
+    /// object becomes a fully-remote partition (the decommissioned
+    /// supplier's replacement path).
+    pub fn attach_remote(remote_dir: &Path, mut cfg: HybridConfig) -> io::Result<Arc<HybridStore>> {
+        cfg.remote_dir = Some(remote_dir.to_path_buf());
+        let store = HybridStore::new(cfg)?;
+        {
+            let mut g = lock(&store.inner);
+            for ((mof, reducer), len) in store.remote.list() {
+                let part = g.parts.entry((mof, reducer)).or_default();
+                part.extents.push(Extent {
+                    offset: 0,
+                    len,
+                    place: Place::Remote,
+                });
+                part.durable_len = len;
+                g.stats.total_written += len;
+                g.stats.remote_bytes += len;
+            }
+        }
+        Ok(store)
+    }
+
+    /// The LOCALFILE tier's directory.
+    pub fn local_dir(&self) -> &Path {
+        &self.data_dir
+    }
+
+    /// The REMOTE tier's object directory (survives this store).
+    pub fn remote_dir(&self) -> &Path {
+        &self.remote_dir
+    }
+
+    fn spill_path(&self) -> PathBuf {
+        self.data_dir.join("spill.data")
+    }
+
+    /// Append `data` to partition `(mof, reducer)`. Lands in the MEMORY
+    /// tier; trips the watermark/huge-partition spill machinery, and in
+    /// background mode blocks while the budget is exhausted until the
+    /// flusher makes room. Appends are atomic: concurrent readers see
+    /// all of `data` or none of it.
+    pub fn append(&self, mof: u64, reducer: u32, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        if data.len() >= self.cfg.memory_budget {
+            return self.append_oversize(mof, reducer, data);
+        }
+        let mut g = lock(&self.inner);
+        // Backpressure: the MEMORY tier never exceeds its budget.
+        while g.memory_used + data.len() > self.cfg.memory_budget {
+            if let Some(kind) = g.failed {
+                return Err(kind.into());
+            }
+            if g.shutdown {
+                return Err(io::ErrorKind::BrokenPipe.into());
+            }
+            g.pressure = g.pressure.max(data.len());
+            if !self.cfg.background_flush && !g.spill_active {
+                let (g2, res) = self.spill_trip(g);
+                g = g2;
+                res?;
+            } else {
+                // Wake the flusher (or wait out another writer's trip).
+                self.cv.notify_all();
+                g = wait(&self.cv, g);
+            }
+        }
+        let part = g.parts.entry((mof, reducer)).or_default();
+        part.buffer.extend_from_slice(data);
+        let part_mem = part.mem_len();
+        g.memory_used += data.len();
+        g.stats.total_written += data.len() as u64;
+        if g.memory_used >= self.cfg.high_bytes() || part_mem > self.cfg.huge_partition_limit {
+            if self.cfg.background_flush {
+                self.cv.notify_all();
+            } else if !g.spill_active {
+                let (tripped, res) = self.spill_trip(g);
+                drop(tripped);
+                res?;
+            }
+            // A trip already in flight re-reads usage every iteration
+            // and will absorb this append's contribution.
+        }
+        Ok(())
+    }
+
+    /// An append at least as large as the whole memory budget can never
+    /// fit in the MEMORY tier: flush the partition's buffered tail (to
+    /// keep extents contiguous), then write the data straight to the
+    /// LOCALFILE tier.
+    fn append_oversize(&self, mof: u64, reducer: u32, data: &[u8]) -> io::Result<()> {
+        let key = (mof, reducer);
+        let file_off = self.reserve_oversize(key, data.len() as u64)?;
+        let wres = self.write_local(key, file_off, data);
+        self.commit_oversize(key, file_off, data.len() as u64, wres)
+    }
+
+    /// Oversize phase 1 (one critical section): take the flusher token,
+    /// flush this partition's buffered tail so its extents stay
+    /// contiguous, and reserve `len` bytes of the spill file. On error
+    /// the token is released before returning.
+    fn reserve_oversize(&self, key: Key, len: u64) -> io::Result<u64> {
+        let mut g = lock(&self.inner);
+        while g.spill_active {
+            if g.shutdown {
+                return Err(io::ErrorKind::BrokenPipe.into());
+            }
+            g = wait(&self.cv, g);
+        }
+        g.spill_active = true;
+        if g
+            .parts
+            .get(&key)
+            .is_some_and(|p| !p.buffer.is_empty())
+        {
+            let (g2, res) = self.flush_one(g, key, false);
+            g = g2;
+            if let Err(e) = res {
+                g.spill_active = false;
+                self.cv.notify_all();
+                return Err(e);
+            }
+        }
+        let file_off = g.local_len;
+        g.local_len += len;
+        Ok(file_off)
+    }
+
+    /// Oversize phase 2 (one critical section, entered after the
+    /// unlocked file write): commit the direct extent — or park the
+    /// write error — and release the flusher token either way.
+    fn commit_oversize(
+        &self,
+        key: Key,
+        file_off: u64,
+        len: u64,
+        wres: io::Result<()>,
+    ) -> io::Result<()> {
+        let mut g = lock(&self.inner);
+        let result = match wres {
+            Ok(()) => {
+                let part = g.parts.entry(key).or_default();
+                part.extents.push(Extent {
+                    offset: part.durable_len,
+                    len,
+                    place: Place::Local { file_off },
+                });
+                part.durable_len += len;
+                g.stats.total_written += len;
+                g.stats.spilled_bytes += len;
+                g.stats.direct_writes += 1;
+                self.cfg
+                    .trace
+                    .instant("spill.direct", Entity::mof(key.0), file_off, len);
+                Ok(())
+            }
+            Err(e) => {
+                g.failed = Some(e.kind());
+                Err(e)
+            }
+        };
+        g.spill_active = false;
+        self.cv.notify_all();
+        drop(g);
+        result
+    }
+
+    /// True when the flusher has work: the high watermark is tripped, a
+    /// backpressured append cannot fit, or a partition broke the huge
+    /// limit.
+    fn flush_needed(&self, g: &Inner) -> bool {
+        g.memory_used >= self.cfg.high_bytes()
+            || (g.pressure > 0 && g.memory_used + g.pressure > self.cfg.memory_budget)
+            || g.parts
+                .values()
+                .any(|p| p.mem_len() > self.cfg.huge_partition_limit)
+    }
+
+    /// The background flusher body: wait for a spill trigger, run one
+    /// trip, repeat until [`HybridStore::close`]. Public so the loom
+    /// models (and the `--cfg loom` build, which spawns no threads) can
+    /// drive the production loop from a modeled thread.
+    pub fn flusher_loop(&self) {
+        let mut g = lock(&self.inner);
+        loop {
+            if !g.spill_active && g.failed.is_none() && self.flush_needed(&g) {
+                let (g2, res) = self.spill_trip(g);
+                g = g2;
+                if res.is_err() {
+                    // The error is parked in `failed`; stop flushing but
+                    // keep the loop alive so close() still works.
+                    continue;
+                }
+                continue;
+            }
+            if g.shutdown {
+                break;
+            }
+            g = wait(&self.cv, g);
+        }
+    }
+
+    /// Let the background flusher (if any) exit and fail any appends
+    /// still blocked on backpressure.
+    pub fn close(&self) {
+        let mut g = lock(&self.inner);
+        g.shutdown = true;
+        self.cv.notify_all();
+        drop(g);
+    }
+
+    /// Pick the next buffer to flush: huge-limit violators first (their
+    /// whole buffer, regardless of watermarks), then the largest buffer
+    /// while usage is above `target`. `BTreeMap` order makes ties
+    /// deterministic.
+    fn pick_victim(&self, g: &Inner, target: usize) -> Option<(Key, bool)> {
+        let mut best: Option<(Key, usize)> = None;
+        let mut best_huge: Option<(Key, usize)> = None;
+        for (k, p) in &g.parts {
+            if p.buffer.is_empty() {
+                continue;
+            }
+            let mem = p.mem_len();
+            if mem > self.cfg.huge_partition_limit
+                && best_huge.as_ref().is_none_or(|(_, m)| mem > *m)
+            {
+                best_huge = Some((*k, mem));
+            }
+            if best.as_ref().is_none_or(|(_, m)| p.buffer.len() > *m) {
+                best = Some((*k, p.buffer.len()));
+            }
+        }
+        if let Some((k, _)) = best_huge {
+            return Some((k, true));
+        }
+        if g.memory_used > target {
+            return best.map(|(k, _)| (k, false));
+        }
+        None
+    }
+
+    /// One spill trip, entered with the `spill_active` token free and
+    /// taken for its duration: one `tier.spill` span; sealed buffers
+    /// flushed in batched sequential writes (each a `spill.write`
+    /// instant at an ascending file offset) until usage reaches the low
+    /// watermark — or, for huge-only trips, until no partition breaks
+    /// the limit.
+    fn spill_trip<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, Inner>,
+    ) -> (MutexGuard<'a, Inner>, io::Result<()>) {
+        g.spill_active = true;
+        g.stats.spill_trips += 1;
+        let span = self.cfg.trace.span(
+            "tier.spill",
+            Entity::NONE,
+            g.memory_used as u64,
+            self.cfg.low_bytes() as u64,
+        );
+        let mut drain_to_low = false;
+        let mut result = Ok(());
+        loop {
+            if g.memory_used >= self.cfg.high_bytes() || g.pressure > 0 {
+                drain_to_low = true;
+            }
+            let mut target = if drain_to_low {
+                self.cfg.low_bytes()
+            } else {
+                usize::MAX
+            };
+            if g.pressure > 0 {
+                target = target.min(self.cfg.memory_budget.saturating_sub(g.pressure));
+            }
+            let Some((key, huge)) = self.pick_victim(&g, target) else {
+                break;
+            };
+            let (g2, res) = self.flush_one(g, key, huge);
+            g = g2;
+            if let Err(e) = res {
+                result = Err(e);
+                break;
+            }
+        }
+        g.spill_active = false;
+        g.pressure = 0;
+        self.cv.notify_all();
+        drop(span);
+        (g, result)
+    }
+
+    /// Seal and flush one partition's buffer to the LOCALFILE tier.
+    /// Requires the `spill_active` token. The sealed buffer stays
+    /// readable and budget-counted until the extent commits, so no
+    /// reader can see a torn segment.
+    fn flush_one<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, Inner>,
+        key: Key,
+        huge: bool,
+    ) -> (MutexGuard<'a, Inner>, io::Result<()>) {
+        let Some(part) = g.parts.get_mut(&key) else {
+            return (g, Ok(()));
+        };
+        if !part.buffer.is_empty() && part.spilling.is_none() {
+            let sealed = Arc::new(std::mem::take(&mut part.buffer));
+            let len = sealed.len();
+            part.spilling = Some(Arc::clone(&sealed));
+            if huge {
+                g.stats.huge_forced += 1;
+            }
+            let file_off = g.local_len;
+            g.local_len += len as u64;
+            drop(g);
+            let wres = self.write_local(key, file_off, &sealed);
+            g = lock(&self.inner);
+            match wres {
+                Ok(()) => {
+                    if let Some(part) = g.parts.get_mut(&key) {
+                        part.extents.push(Extent {
+                            offset: part.durable_len,
+                            len: len as u64,
+                            place: Place::Local { file_off },
+                        });
+                        part.durable_len += len as u64;
+                        part.spilling = None;
+                    }
+                    g.memory_used = g.memory_used.saturating_sub(len);
+                    g.stats.spilled_bytes += len as u64;
+                    g.stats.buffers_flushed += 1;
+                    self.cv.notify_all();
+                }
+                Err(e) => {
+                    // Un-seal: the bytes stay in the MEMORY tier, ahead
+                    // of anything appended while the write ran.
+                    if let Some(part) = g.parts.get_mut(&key) {
+                        if let Some(sp) = part.spilling.take() {
+                            let mut restored = sp.as_ref().clone();
+                            restored.extend_from_slice(&part.buffer);
+                            part.buffer = restored;
+                        }
+                    }
+                    g.failed = Some(e.kind());
+                    return (g, Err(e));
+                }
+            }
+        }
+        (g, Ok(()))
+    }
+
+    fn write_local(&self, key: Key, file_off: u64, data: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new().write(true).open(self.spill_path())?;
+        f.seek(SeekFrom::Start(file_off))?;
+        f.write_all(data)?;
+        if !self.cfg.synthetic_spill_delay.is_zero() {
+            std::thread::sleep(self.cfg.synthetic_spill_delay);
+        }
+        self.cfg
+            .trace
+            .instant("spill.write", Entity::mof(key.0), file_off, data.len() as u64);
+        Ok(())
+    }
+
+    /// Read `[offset, offset+len)` of partition `(mof, reducer)`
+    /// (`len == 0` reads to the end). Mirrors the MOF store's contract:
+    /// `None` for an unknown partition, empty for a range past the end.
+    /// Serves memory-resident bytes straight from the MEMORY tier.
+    pub fn read_segment_range(
+        &self,
+        mof: u64,
+        reducer: u32,
+        offset: u64,
+        len: u64,
+    ) -> io::Result<Option<Vec<u8>>> {
+        let key = (mof, reducer);
+        let mut g = lock(&self.inner);
+        let Some(part) = g.parts.get(&key) else {
+            return Ok(None);
+        };
+        let plen = part.total_len();
+        if offset >= plen {
+            return Ok(Some(Vec::new()));
+        }
+        let want = if len == 0 {
+            plen - offset
+        } else {
+            len.min(plen - offset)
+        };
+        let end = offset + want;
+        let mut pieces: Vec<Piece> = Vec::new();
+        let (mut hit_mem, mut hit_local, mut hit_remote) = (false, false, false);
+        for ext in &part.extents {
+            let s = offset.max(ext.offset);
+            let e = end.min(ext.offset + ext.len);
+            if s >= e {
+                continue;
+            }
+            match ext.place {
+                Place::Local { file_off } => {
+                    pieces.push(Piece::Local {
+                        file_off: file_off + (s - ext.offset),
+                        len: e - s,
+                    });
+                    hit_local = true;
+                }
+                Place::Remote => {
+                    pieces.push(Piece::Remote {
+                        offset: s,
+                        len: e - s,
+                    });
+                    hit_remote = true;
+                }
+            }
+        }
+        let mut base = part.durable_len;
+        for mem in [
+            part.spilling.as_ref().map(|s| s.as_slice()),
+            Some(part.buffer.as_slice()),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let s = offset.max(base);
+            let e = end.min(base + mem.len() as u64);
+            if s < e {
+                let lo = (s - base) as usize;
+                let hi = (e - base) as usize;
+                let bytes = mem.get(lo..hi).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "memory tier range out of bounds")
+                })?;
+                pieces.push(Piece::Copied(bytes.to_vec()));
+                hit_mem = true;
+            }
+            base += mem.len() as u64;
+        }
+        if hit_mem {
+            g.stats.memory_hits += 1;
+        }
+        if hit_local {
+            g.stats.local_hits += 1;
+        }
+        if hit_remote {
+            g.stats.remote_hits += 1;
+        }
+        drop(g);
+        if hit_mem {
+            self.cfg.trace.instant("mem.hit", Entity::mof(mof), offset, want);
+        }
+        if hit_local && !self.cfg.synthetic_local_read_delay.is_zero() {
+            std::thread::sleep(self.cfg.synthetic_local_read_delay);
+        }
+        Ok(Some(self.assemble(key, pieces, want)?))
+    }
+
+    /// Read `len` bytes at `file_off` of the spill file, opening it at
+    /// most once per logical read via `cache`.
+    fn read_spill(
+        &self,
+        cache: &mut Option<fs::File>,
+        file_off: u64,
+        len: u64,
+    ) -> io::Result<Vec<u8>> {
+        if cache.is_none() {
+            *cache = Some(fs::File::open(self.spill_path())?);
+        }
+        let Some(f) = cache.as_mut() else {
+            return Err(io::Error::other("spill file just opened"));
+        };
+        f.seek(SeekFrom::Start(file_off))?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// The partition's current total length, if it exists.
+    pub fn partition_len(&self, mof: u64, reducer: u32) -> Option<u64> {
+        let g = lock(&self.inner);
+        g.parts.get(&(mof, reducer)).map(Partition::total_len)
+    }
+
+    /// All partitions, sorted.
+    pub fn partitions(&self) -> Vec<(u64, u32)> {
+        let g = lock(&self.inner);
+        g.parts.keys().copied().collect()
+    }
+
+    /// Per-tier residency of one partition.
+    pub fn layout(&self, mof: u64, reducer: u32) -> Option<TierLayout> {
+        let g = lock(&self.inner);
+        g.parts.get(&(mof, reducer)).map(|p| {
+            let mut layout = TierLayout {
+                memory: p.mem_len() as u64,
+                ..TierLayout::default()
+            };
+            for ext in &p.extents {
+                match ext.place {
+                    Place::Local { .. } => layout.local += ext.len,
+                    Place::Remote => layout.remote += ext.len,
+                }
+            }
+            layout
+        })
+    }
+
+    /// Snapshot the tier counters.
+    pub fn stats(&self) -> TierStatsSnapshot {
+        let g = lock(&self.inner);
+        snapshot_of(&g)
+    }
+
+    /// Quick decommission: move every partition's bytes to the REMOTE
+    /// tier. Takes the flusher token for its whole duration; concurrent
+    /// appends landing mid-drain are detected and the partition is
+    /// re-drained. Afterwards each drained partition is one REMOTE
+    /// extent, the spill file holds no live bytes, and the remote
+    /// directory can be re-attached by a replacement store.
+    pub fn drain_to_remote(&self) -> io::Result<TierStatsSnapshot> {
+        let span = self.cfg.trace.span("tier.drain", Entity::NONE, 0, 0);
+        let keys = self.acquire_drain_token();
+        let mut result = Ok(());
+        'keys: for key in keys {
+            // Per-partition plan → unlocked object write → commit; an
+            // append racing the write changes the fingerprint and the
+            // partition is re-drained.
+            loop {
+                let Some((pieces, total, fingerprint, local_bytes)) = self.plan_drain(key) else {
+                    continue 'keys;
+                };
+                let put = self
+                    .assemble(key, pieces, total)
+                    .and_then(|bytes| self.remote.put(key.0, key.1, &bytes));
+                match self.commit_drain(key, put, total, fingerprint, local_bytes) {
+                    DrainStep::Done => continue 'keys,
+                    DrainStep::Retry => {}
+                    DrainStep::Failed(e) => {
+                        result = Err(e);
+                        break 'keys;
+                    }
+                }
+            }
+        }
+        let snap = self.release_drain_token(result.is_ok());
+        drop(span);
+        result.map(|()| snap)
+    }
+
+    /// Drain phase 1 (one critical section): wait for and take the
+    /// flusher token, and list the partitions to move.
+    fn acquire_drain_token(&self) -> Vec<Key> {
+        let mut g = lock(&self.inner);
+        while g.spill_active {
+            g = wait(&self.cv, g);
+        }
+        g.spill_active = true;
+        g.parts.keys().copied().collect()
+    }
+
+    /// Drain phase 2 (one critical section): plan one partition's full
+    /// prefix — durable extents plus buffered tail — and fingerprint it
+    /// for the racing-append check. `None` means nothing left to move.
+    #[allow(clippy::type_complexity)]
+    fn plan_drain(&self, key: Key) -> Option<(Vec<Piece>, u64, (u64, usize), u64)> {
+        let g = lock(&self.inner);
+        let part = g.parts.get(&key)?;
+        let buf_len = part.buffer.len();
+        let total = part.total_len();
+        let fully_remote = buf_len == 0
+            && part
+                .extents
+                .iter()
+                .all(|e| e.place == Place::Remote);
+        if total == 0 || fully_remote {
+            return None;
+        }
+        let mut pieces: Vec<Piece> = Vec::new();
+        let mut local_bytes = 0u64;
+        for ext in &part.extents {
+            match ext.place {
+                Place::Local { file_off } => {
+                    pieces.push(Piece::Local {
+                        file_off,
+                        len: ext.len,
+                    });
+                    local_bytes += ext.len;
+                }
+                Place::Remote => pieces.push(Piece::Remote {
+                    offset: ext.offset,
+                    len: ext.len,
+                }),
+            }
+        }
+        pieces.push(Piece::Copied(part.buffer.clone()));
+        Some((pieces, total, (part.durable_len, buf_len), local_bytes))
+    }
+
+    /// Drain phase 3 (one critical section, entered after the unlocked
+    /// object write): swap the partition onto a single REMOTE extent if
+    /// its fingerprint still matches, else ask for a re-drain.
+    fn commit_drain(
+        &self,
+        key: Key,
+        put: io::Result<()>,
+        total: u64,
+        fingerprint: (u64, usize),
+        local_bytes: u64,
+    ) -> DrainStep {
+        let mut g = lock(&self.inner);
+        if let Err(e) = put {
+            return DrainStep::Failed(e);
+        }
+        let Some(part) = g.parts.get_mut(&key) else {
+            return DrainStep::Done;
+        };
+        if (part.durable_len, part.buffer.len()) != fingerprint {
+            // An append raced the object write; re-drain.
+            return DrainStep::Retry;
+        }
+        let buf_len = fingerprint.1;
+        part.extents = vec![Extent {
+            offset: 0,
+            len: total,
+            place: Place::Remote,
+        }];
+        part.durable_len = total;
+        part.buffer = Vec::new();
+        g.memory_used = g.memory_used.saturating_sub(buf_len);
+        g.stats.spilled_bytes = g.stats.spilled_bytes.saturating_sub(local_bytes);
+        g.stats.remote_bytes += local_bytes + buf_len as u64;
+        self.cfg
+            .trace
+            .instant("tier.remote", Entity::mof(key.0), u64::from(key.1), total);
+        self.cv.notify_all();
+        DrainStep::Done
+    }
+
+    /// Drain phase 4 (one critical section): count a completed drain,
+    /// release the flusher token, and snapshot the tier counters.
+    fn release_drain_token(&self, ok: bool) -> TierStatsSnapshot {
+        let mut g = lock(&self.inner);
+        if ok {
+            g.stats.drains += 1;
+        }
+        g.spill_active = false;
+        self.cv.notify_all();
+        snapshot_of(&g)
+    }
+
+    /// Resolve planned pieces (no locks held) into contiguous bytes.
+    fn assemble(&self, key: Key, pieces: Vec<Piece>, total: u64) -> io::Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(total as usize);
+        let mut spill_file: Option<fs::File> = None;
+        for piece in pieces {
+            match piece {
+                Piece::Copied(bytes) => out.extend_from_slice(&bytes),
+                Piece::Local { file_off, len } => {
+                    out.extend_from_slice(&self.read_spill(&mut spill_file, file_off, len)?);
+                }
+                Piece::Remote { offset, len } => {
+                    out.extend_from_slice(&self.remote.read(key.0, key.1, offset, len)?);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for HybridStore {
+    fn drop(&mut self) {
+        if self.owns_data_dir {
+            let _ = fs::remove_dir_all(&self.data_dir);
+        }
+        if self.owns_remote_dir {
+            let _ = fs::remove_dir_all(&self.remote_dir);
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn tiny(budget: usize) -> HybridConfig {
+        HybridConfig {
+            memory_budget: budget,
+            high_watermark: 0.5,
+            low_watermark: 0.2,
+            huge_partition_limit: budget,
+            ..HybridConfig::default()
+        }
+    }
+
+    fn pattern(n: usize, seed: u8) -> Vec<u8> {
+        (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn memory_tier_round_trip() {
+        let store = HybridStore::new(tiny(1024)).unwrap();
+        let data = pattern(100, 7);
+        store.append(1, 2, &data).unwrap();
+        assert_eq!(store.read_segment_range(1, 2, 0, 0).unwrap().unwrap(), data);
+        assert_eq!(
+            store.read_segment_range(1, 2, 10, 20).unwrap().unwrap(),
+            data[10..30]
+        );
+        assert!(store
+            .read_segment_range(1, 2, 1000, 0)
+            .unwrap()
+            .unwrap()
+            .is_empty());
+        assert!(store.read_segment_range(9, 9, 0, 0).unwrap().is_none());
+        let s = store.stats();
+        assert_eq!(s.total_written, 100);
+        assert_eq!(s.memory_bytes, 100);
+        assert_eq!(s.spilled_bytes, 0);
+        assert_eq!(s.spill_trips, 0);
+        assert!(s.memory_hits >= 2);
+        assert_eq!(store.partition_len(1, 2), Some(100));
+    }
+
+    #[test]
+    fn high_watermark_trip_flushes_to_low() {
+        let store = HybridStore::new(tiny(100)).unwrap();
+        let mut expected = Vec::new();
+        // 6 appends of 10 bytes: trips at >= 50.
+        for i in 0..6u8 {
+            let chunk = pattern(10, i);
+            expected.extend_from_slice(&chunk);
+            store.append(0, 0, &chunk).unwrap();
+        }
+        let s = store.stats();
+        assert!(s.spill_trips >= 1, "watermark should have tripped: {s:?}");
+        assert!(s.memory_bytes <= 20, "flush must reach low watermark: {s:?}");
+        assert_eq!(s.memory_bytes + s.spilled_bytes + s.remote_bytes, 60);
+        assert_eq!(store.read_segment_range(0, 0, 0, 0).unwrap().unwrap(), expected);
+        assert!(store.stats().local_hits >= 1);
+    }
+
+    #[test]
+    fn huge_partition_is_force_spilled_below_watermark() {
+        let cfg = HybridConfig {
+            memory_budget: 1000,
+            huge_partition_limit: 50,
+            ..tiny(1000)
+        };
+        let store = HybridStore::new(cfg).unwrap();
+        store.append(0, 0, &pattern(30, 1)).unwrap(); // small, stays
+        store.append(0, 1, &pattern(60, 2)).unwrap(); // breaks the limit
+        let s = store.stats();
+        assert!(s.huge_forced >= 1, "{s:?}");
+        let skewed = store.layout(0, 1).unwrap();
+        assert_eq!(skewed.memory, 0, "skewed partition force-spilled: {skewed:?}");
+        assert_eq!(skewed.local, 60);
+        let small = store.layout(0, 0).unwrap();
+        assert_eq!(small.memory, 30, "small partition stays resident");
+    }
+
+    #[test]
+    fn oversize_append_goes_direct_to_localfile() {
+        let store = HybridStore::new(tiny(64)).unwrap();
+        store.append(3, 1, &pattern(10, 1)).unwrap();
+        let big = pattern(200, 9);
+        store.append(3, 1, &big).unwrap();
+        let s = store.stats();
+        assert_eq!(s.direct_writes, 1);
+        assert_eq!(s.total_written, 210);
+        assert!(s.memory_bytes <= 64);
+        let mut expected = pattern(10, 1);
+        expected.extend_from_slice(&big);
+        assert_eq!(store.read_segment_range(3, 1, 0, 0).unwrap().unwrap(), expected);
+    }
+
+    #[test]
+    fn drain_moves_everything_remote_and_reattaches() {
+        let store = HybridStore::new(tiny(100)).unwrap();
+        let a = pattern(80, 3); // spills partly
+        let b = pattern(20, 4);
+        store.append(0, 0, &a).unwrap();
+        store.append(1, 5, &b).unwrap();
+        let snap = store.drain_to_remote().unwrap();
+        assert_eq!(snap.remote_bytes, 100, "{snap:?}");
+        assert_eq!(snap.memory_bytes, 0);
+        assert_eq!(snap.spilled_bytes, 0);
+        assert_eq!(snap.drains, 1);
+        assert_eq!(store.read_segment_range(0, 0, 0, 0).unwrap().unwrap(), a);
+        assert!(store.stats().remote_hits >= 1);
+        // A replacement store re-attaches the surviving remote dir.
+        let attached =
+            HybridStore::attach_remote(store.remote_dir(), tiny(100)).unwrap();
+        assert_eq!(attached.read_segment_range(0, 0, 0, 0).unwrap().unwrap(), a);
+        assert_eq!(attached.read_segment_range(1, 5, 0, 0).unwrap().unwrap(), b);
+        assert_eq!(attached.stats().remote_bytes, 100);
+        assert_eq!(attached.partitions(), vec![(0, 0), (1, 5)]);
+    }
+
+    #[test]
+    fn appends_after_drain_land_in_memory_again() {
+        let store = HybridStore::new(tiny(100)).unwrap();
+        store.append(0, 0, &pattern(30, 1)).unwrap();
+        store.drain_to_remote().unwrap();
+        store.append(0, 0, &pattern(10, 2)).unwrap();
+        let mut expected = pattern(30, 1);
+        expected.extend_from_slice(&pattern(10, 2));
+        assert_eq!(store.read_segment_range(0, 0, 0, 0).unwrap().unwrap(), expected);
+        let layout = store.layout(0, 0).unwrap();
+        assert_eq!(layout.remote, 30);
+        assert_eq!(layout.memory, 10);
+    }
+
+    #[test]
+    fn background_flusher_releases_backpressured_appends() {
+        let cfg = HybridConfig {
+            background_flush: true,
+            ..tiny(64)
+        };
+        let store = HybridStore::new(cfg).unwrap();
+        let mut expected = Vec::new();
+        // 10 x 48 bytes through a 64-byte budget: every append past the
+        // first must wait for the flusher.
+        for i in 0..10u8 {
+            let chunk = pattern(48, i);
+            expected.extend_from_slice(&chunk);
+            store.append(7, 0, &chunk).unwrap();
+        }
+        let s = store.stats();
+        assert!(s.memory_bytes as usize <= 64);
+        assert!(s.spill_trips >= 1);
+        assert_eq!(s.memory_bytes + s.spilled_bytes + s.remote_bytes, 480);
+        assert_eq!(store.read_segment_range(7, 0, 0, 0).unwrap().unwrap(), expected);
+        store.close();
+    }
+
+    #[test]
+    fn spill_trace_has_one_span_per_trip_with_sequential_writes() {
+        use jbs_obs::{EventKind, Trace, TraceQuery};
+        let trace = Trace::recording(4096);
+        let cfg = HybridConfig {
+            trace: trace.clone(),
+            ..tiny(100)
+        };
+        let store = HybridStore::new(cfg).unwrap();
+        for i in 0..12u8 {
+            store.append(0, 0, &pattern(10, i)).unwrap();
+        }
+        let trips = store.stats().spill_trips;
+        assert!(trips >= 2, "expected repeated trips, got {trips}");
+        let events = trace.snapshot();
+        let q = TraceQuery::new(events.clone());
+        assert_eq!(q.count("tier.spill") as u64, trips, "one span per trip");
+        // Batched sequential: spill.write file offsets strictly ascend.
+        let mut offs: Vec<u64> = events
+            .iter()
+            .filter(|e| e.name == "spill.write" && e.kind == EventKind::Instant)
+            .map(|e| e.a)
+            .collect();
+        assert!(!offs.is_empty());
+        let sorted = {
+            let mut s = offs.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(offs, sorted, "spill writes must be offset-ordered");
+        offs.dedup();
+        assert_eq!(offs.len(), sorted.len(), "each write at a fresh offset");
+    }
+}
+
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+
+    fn cfg(budget: usize, background: bool) -> HybridConfig {
+        HybridConfig {
+            memory_budget: budget,
+            high_watermark: 0.5,
+            low_watermark: 0.25,
+            huge_partition_limit: budget,
+            background_flush: background,
+            ..HybridConfig::default()
+        }
+    }
+
+    /// The writer/flusher handoff: a writer trips the watermark, then
+    /// blocks on backpressure; the flusher (running the production
+    /// [`HybridStore::flusher_loop`]) must drain and release it in
+    /// every schedule, and the bytes must come back exact.
+    #[test]
+    fn loom_spill_handoff_byte_exact() {
+        loom::model(|| {
+            let store = HybridStore::new(cfg(8, true)).unwrap();
+            let flusher = {
+                let s = Arc::clone(&store);
+                loom::thread::spawn(move || s.flusher_loop())
+            };
+            store.append(0, 0, &[1, 2, 3]).unwrap();
+            store.append(0, 0, &[4, 5, 6]).unwrap(); // trips (6 >= 4)
+            store.append(0, 0, &[7, 8, 9]).unwrap(); // 6+3 > 8: backpressure
+            store.close();
+            flusher.join().unwrap();
+            let s = store.stats();
+            assert!(s.memory_bytes <= 8, "budget held: {s:?}");
+            assert_eq!(s.memory_bytes + s.spilled_bytes + s.remote_bytes, 9);
+            assert!(s.spill_trips >= 1);
+            let bytes = store.read_segment_range(0, 0, 0, 0).unwrap().unwrap();
+            assert_eq!(bytes, [1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        });
+    }
+
+    /// A reader racing an inline spill must always see an exact prefix
+    /// of the appended bytes — never a torn segment.
+    #[test]
+    fn loom_no_torn_read_mid_spill() {
+        loom::model(|| {
+            let store = HybridStore::new(cfg(8, false)).unwrap();
+            store.append(0, 0, &[1, 2, 3]).unwrap();
+            let reader = {
+                let s = Arc::clone(&store);
+                loom::thread::spawn(move || s.read_segment_range(0, 0, 0, 0).unwrap().unwrap())
+            };
+            store.append(0, 0, &[4, 5, 6]).unwrap(); // trips an inline spill
+            let seen = reader.join().unwrap();
+            let full = [1u8, 2, 3, 4, 5, 6];
+            assert!(
+                seen.len() == 3 || seen.len() == 6,
+                "reads are append-atomic, got {} bytes",
+                seen.len()
+            );
+            assert_eq!(seen, full[..seen.len()], "torn read");
+            assert_eq!(
+                store.read_segment_range(0, 0, 0, 0).unwrap().unwrap(),
+                full
+            );
+        });
+    }
+
+    /// A reader racing `drain_to_remote` sees byte-exact data before,
+    /// during, and after the tier move.
+    #[test]
+    fn loom_drain_vs_reader() {
+        loom::model(|| {
+            let store = HybridStore::new(cfg(64, false)).unwrap();
+            store.append(2, 1, &[9, 8, 7, 6]).unwrap();
+            let drainer = {
+                let s = Arc::clone(&store);
+                loom::thread::spawn(move || s.drain_to_remote().unwrap())
+            };
+            let seen = store.read_segment_range(2, 1, 0, 0).unwrap().unwrap();
+            assert_eq!(seen, [9, 8, 7, 6]);
+            let snap = drainer.join().unwrap();
+            assert_eq!(snap.remote_bytes, 4);
+            assert_eq!(snap.memory_bytes, 0);
+            assert_eq!(
+                store.read_segment_range(2, 1, 0, 0).unwrap().unwrap(),
+                [9, 8, 7, 6]
+            );
+        });
+    }
+}

@@ -1,0 +1,38 @@
+//! Synchronization layer for the hybrid store, swappable to the loom
+//! model checker.
+//!
+//! Every mutex in this crate is acquired through [`lock`], which gives
+//! the crate the same two properties as the transport dataplane's
+//! `sync.rs`:
+//!
+//! * **poison tolerance** — a panicking writer must not wedge the store
+//!   for every later reader (the guarded state is a cache of partition
+//!   bytes plus counters, not an invariant a panic can half-update:
+//!   every mutation commits its counters and its bytes in one step);
+//! * **a syntactic anchor** — `cargo xtask analyze`'s lock-order lint
+//!   treats each `lock(&path)` call as an acquisition of the lock named
+//!   by `path`'s last segment and checks the crate-wide acquisition
+//!   graph against the documented order in `crates/xtask/allow.toml`
+//!   (`inner` before `objects`; neither held across file I/O).
+//!
+//! Building with `RUSTFLAGS="--cfg loom"` swaps these types for the
+//! vendored loom model checker's (see `shims/loom`), under which the
+//! `loom_` tests in [`crate::store`] explore every bounded interleaving
+//! of the writer/flusher spill handoff — the condvar below is the
+//! primitive the `shims/loom` `Condvar` was added for.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock a mutex, tolerating poison.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Wait on `cv` until woken, tolerating poison.
+pub(crate) fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,74 @@
+//! Cache/tier stats coherence: for any interleaving of writes, reads,
+//! and drains, the residency identity
+//! `memory_bytes + spilled_bytes + remote_bytes == total_written`
+//! holds after every operation, and hit/transition counters only ever
+//! grow.
+
+use jbs_store_hybrid::{HybridConfig, HybridStore, TierStatsSnapshot};
+use proptest::prelude::*;
+
+fn cfg() -> HybridConfig {
+    HybridConfig {
+        memory_budget: 200,
+        high_watermark: 0.5,
+        low_watermark: 0.2,
+        huge_partition_limit: 80,
+        ..HybridConfig::default()
+    }
+}
+
+fn monotone(prev: &TierStatsSnapshot, now: &TierStatsSnapshot) {
+    prop_assert!(now.total_written >= prev.total_written);
+    prop_assert!(now.memory_hits >= prev.memory_hits, "memory_hits regressed");
+    prop_assert!(now.local_hits >= prev.local_hits, "local_hits regressed");
+    prop_assert!(now.remote_hits >= prev.remote_hits, "remote_hits regressed");
+    prop_assert!(now.spill_trips >= prev.spill_trips);
+    prop_assert!(now.buffers_flushed >= prev.buffers_flushed);
+    prop_assert!(now.huge_forced >= prev.huge_forced);
+    prop_assert!(now.direct_writes >= prev.direct_writes);
+    prop_assert!(now.drains >= prev.drains);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn residency_is_conserved_and_counters_monotone(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 1..50),
+    ) {
+        let store = HybridStore::new(cfg()).unwrap();
+        let mut written = 0u64;
+        let mut prev = store.stats();
+        for (kind, part, arg) in ops {
+            let part = u32::from(part % 4);
+            match kind % 8 {
+                0..=4 => {
+                    let len = usize::from(arg % 70) + 1;
+                    let data = vec![kind.wrapping_add(part as u8); len];
+                    store.append(1, part, &data).unwrap();
+                    written += len as u64;
+                }
+                5 => {
+                    let _ = store.read_segment_range(1, part, u64::from(arg % 128), 0).unwrap();
+                }
+                6 => {
+                    let data = vec![0xAB; 230]; // oversize: direct-to-local
+                    store.append(1, part, &data).unwrap();
+                    written += 230;
+                }
+                _ => {
+                    store.drain_to_remote().unwrap();
+                }
+            }
+            let now = store.stats();
+            prop_assert_eq!(
+                now.memory_bytes + now.spilled_bytes + now.remote_bytes,
+                now.total_written,
+                "residency identity broken"
+            );
+            prop_assert_eq!(now.total_written, written, "total_written drifted");
+            monotone(&prev, &now);
+            prev = now;
+        }
+    }
+}

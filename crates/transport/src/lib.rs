@@ -26,6 +26,12 @@
 //! The integration tests under `tests/` run a full multi-"node" shuffle
 //! over 127.0.0.1 and verify byte-exact results against a reference sort.
 //!
+//! A supplier can additionally carry a memory-tier hybrid store
+//! ([`ServerOptions::hybrid`], from `jbs-store-hybrid`): partitions it
+//! holds are answered from its MEMORY/LOCALFILE/REMOTE tiers before the
+//! DataCache/disk path, and [`server::MofSupplierServer::drain`] doubles
+//! as quick decommission by pushing its contents to the REMOTE tier.
+//!
 //! * [`verbs`] — a software RDMA verbs layer: protection domains,
 //!   registered memory regions, the Fig. 6 `rdma_listen`/`rdma_connect`/
 //!   `rdma_accept` handshake with a server event thread, and one-sided

@@ -41,6 +41,7 @@ use crate::store::MofStore;
 use crate::sync::{lock, Mutex};
 use crate::wire::{FetchRequest, FetchResponse, Status, WireVersion};
 use jbs_obs::Entity;
+use jbs_store_hybrid::HybridStore;
 use std::collections::HashMap;
 use std::io;
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
@@ -70,6 +71,9 @@ pub struct SupplierStats {
     /// Cache-bypass re-reads served (a client's targeted re-fetch after
     /// a checksum mismatch).
     pub bypass_reads: AtomicU64,
+    /// Requests answered by the attached hybrid store's tiers (memory
+    /// tail or its own spill/remote extents) instead of the MOF path.
+    pub hybrid_hits: AtomicU64,
 }
 
 /// A point-in-time copy of the supplier's pipeline observability:
@@ -92,6 +96,8 @@ pub struct SupplierStatsSnapshot {
     pub busy_rejections: u64,
     /// Cache-bypass re-reads served after client checksum mismatches.
     pub bypass_reads: u64,
+    /// Requests answered by the attached hybrid store's tiers.
+    pub hybrid_hits: u64,
     /// Stage jobs currently queued for the disk thread.
     pub prefetch_queue_len: u64,
     /// High-water mark of the prefetch queue.
@@ -134,6 +140,11 @@ pub struct ServerOptions {
     pub prefetch_queue_cap: u64,
     /// Retry-after hint carried in `Busy` pushback frames.
     pub busy_retry_hint: Duration,
+    /// Optional memory-tier hybrid store. Partitions it holds are
+    /// answered from its tiers *before* the DataCache/disk path — hot
+    /// tails straight from memory — and [`MofSupplierServer::drain`]
+    /// pushes its contents to the REMOTE tier (quick decommission).
+    pub hybrid: Option<Arc<HybridStore>>,
 }
 
 impl Default for ServerOptions {
@@ -149,6 +160,7 @@ impl Default for ServerOptions {
             max_inflight_per_peer: 256,
             prefetch_queue_cap: 4096,
             busy_retry_hint: Duration::from_millis(25),
+            hybrid: None,
         }
     }
 }
@@ -342,6 +354,7 @@ impl MofSupplierServer {
             sync_stages: s.sync_stages.load(Ordering::Relaxed),
             busy_rejections: s.busy_rejections.load(Ordering::Relaxed),
             bypass_reads: s.bypass_reads.load(Ordering::Relaxed),
+            hybrid_hits: s.hybrid_hits.load(Ordering::Relaxed),
             prefetch_queue_len: self.shared.prefetch.len() as u64,
             prefetch_queue_peak: self.shared.prefetch.peak() as u64,
             bufpool: self.shared.pool.stats(),
@@ -357,6 +370,11 @@ impl MofSupplierServer {
     /// Faults injected so far, if a plan is installed.
     pub fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
         self.shared.options.faults.as_ref().map(|p| p.stats())
+    }
+
+    /// The hybrid store this supplier serves from, if one is attached.
+    pub fn hybrid(&self) -> Option<&Arc<HybridStore>> {
+        self.shared.options.hybrid.as_ref()
     }
 
     /// Stop accepting and shut down.
@@ -386,6 +404,21 @@ impl MofSupplierServer {
                 break;
             }
             std::thread::sleep(Duration::from_millis(2));
+        }
+        // Quick decommission: with a hybrid store attached, push every
+        // partition it holds (memory tails and local spill alike) to
+        // the REMOTE tier, so a successor supplier can
+        // `HybridStore::attach_remote` over the surviving objects.
+        if let Some(hybrid) = &self.shared.options.hybrid {
+            match hybrid.drain_to_remote() {
+                Ok(snap) => self.shared.options.trace.instant(
+                    "server.drain.remote",
+                    Entity::conn(0),
+                    snap.remote_bytes,
+                    snap.drains,
+                ),
+                Err(_) => clean = false,
+            }
         }
         self.do_shutdown();
         clean
@@ -636,6 +669,14 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
 /// MOF/reducer. The two locks are taken strictly in sequence, never
 /// nested.
 fn segment_len(shared: &Shared, mof: u64, reducer: u32) -> Option<u64> {
+    // Hybrid partitions first, and never through the cache: their
+    // length grows with every append, so a cached value would go stale
+    // and poison the v3 seg_len accounting.
+    if let Some(hybrid) = &shared.options.hybrid {
+        if let Some(len) = hybrid.partition_len(mof, reducer) {
+            return Some(len);
+        }
+    }
     let key = (mof, reducer);
     {
         let cache = lock(&shared.seg_lens);
@@ -690,6 +731,14 @@ fn read_ahead(
     offset: u64,
 ) -> io::Result<Option<(Vec<u8>, bool)>> {
     let ahead = shared.options.buffer_bytes * shared.options.prefetch_batch;
+    // Memory tier before disk, on the stage path too: a hybrid-held
+    // partition never costs a disk pass (or the synthetic delay).
+    if let Some(hybrid) = &shared.options.hybrid {
+        if let Some(bytes) = hybrid.read_segment_range(mof, reducer, offset, ahead)? {
+            let at_end = (bytes.len() as u64) < ahead;
+            return Ok(Some((bytes, at_end)));
+        }
+    }
     // disk.Read: the synthetic latency is part of the modeled disk pass.
     let _read_span = shared
         .options
@@ -794,6 +843,34 @@ fn run_stage_job(shared: &Shared, job: StageJob) {
     }
 }
 
+/// Memory-tier-first serving: if a hybrid store is attached and knows
+/// this partition, answer from its tiers (no DataCache, no disk-thread
+/// stage). `None` means the key is not hybrid-held — fall through to
+/// the MOF path.
+fn serve_hybrid(
+    shared: &Shared,
+    req: &FetchRequest,
+    version: WireVersion,
+    want: u64,
+) -> Option<FetchResponse> {
+    let hybrid = shared.options.hybrid.as_ref()?;
+    let len = if req.len == 0 { 0 } else { want };
+    match hybrid.read_segment_range(req.mof, req.reducer, req.offset, len) {
+        Ok(Some(bytes)) => {
+            shared.stats.hybrid_hits.fetch_add(1, Ordering::Relaxed);
+            shared.options.trace.instant(
+                "hybrid.hit",
+                Entity::mof(req.mof),
+                req.offset,
+                bytes.len() as u64,
+            );
+            Some(finish_ok(shared, req, version, bytes))
+        }
+        Ok(None) => None,
+        Err(_) => Some(FetchResponse::error(req.id, Status::BadRequest)),
+    }
+}
+
 /// Serve one request through the DataCache read-ahead.
 fn serve(shared: &Shared, req: FetchRequest, version: WireVersion) -> FetchResponse {
     let want = if req.len == 0 {
@@ -802,6 +879,15 @@ fn serve(shared: &Shared, req: FetchRequest, version: WireVersion) -> FetchRespo
         req.len.min(shared.options.buffer_bytes)
     };
     let key = (req.mof, req.reducer);
+
+    // Memory-tier-first: a partition living in the hybrid store is
+    // answered by its tiers directly — hot tails straight from memory,
+    // spilled extents from its own files. Those keys never enter the
+    // DataCache or the disk thread's queue, and the hybrid store's
+    // bytes are always fresh, so the bypass-cache flag is moot here.
+    if let Some(resp) = serve_hybrid(shared, &req, version, want) {
+        return resp;
+    }
 
     // Targeted cache-bypass re-fetch (v3, after a client-side checksum
     // mismatch): the staged range for this key is suspect — drop it and
@@ -959,6 +1045,46 @@ mod tests {
         assert!(!resp.payload.is_empty());
         assert_eq!(server.stats().requests.load(Ordering::Relaxed), 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn hybrid_partitions_are_served_memory_first_and_drained_remote() {
+        use jbs_store_hybrid::HybridConfig;
+        let hybrid = HybridStore::new(HybridConfig {
+            memory_budget: 1 << 20,
+            ..HybridConfig::default()
+        })
+        .unwrap();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        hybrid.append(7, 0, &payload).unwrap();
+        let remote_dir = hybrid.remote_dir().to_path_buf();
+        // The MofStore knows nothing about MOF 7 — only the hybrid does,
+        // and both serve side by side through one supplier.
+        let store = store_with_one_mof(vec![(b"k".to_vec(), vec![1; 8])]);
+        let server = MofSupplierServer::start_with_options(
+            store,
+            ServerOptions {
+                hybrid: Some(Arc::clone(&hybrid)),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let (mut r, mut w) = connect(server.addr());
+        FetchRequest::whole_segment(7, 0).write_to(&mut w).unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.payload, payload, "hybrid bytes byte-exact");
+        assert_eq!(server.stats().hybrid_hits.load(Ordering::Relaxed), 1);
+        FetchRequest::whole_segment(0, 0).write_to(&mut w).unwrap();
+        let resp = FetchResponse::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, Status::Ok, "MOF path still serves");
+        drop((r, w));
+        // Drain = quick decommission: hybrid contents move REMOTE.
+        assert!(server.drain(Duration::from_secs(5)));
+        let snap = hybrid.stats();
+        assert_eq!(snap.memory_bytes, 0);
+        assert_eq!(snap.remote_bytes, payload.len() as u64);
+        assert!(remote_dir.join("part-7-0.obj").exists());
     }
 
     fn chunked_fetch_roundtrip(options: ServerOptions) -> MofSupplierServer {

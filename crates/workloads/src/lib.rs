@@ -26,5 +26,5 @@ pub mod partition;
 pub mod suite;
 
 pub use generator::{gen_terasort_records, gen_text, TERASORT_KEY_LEN, TERASORT_RECORD_LEN};
-pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
+pub use partition::{HashPartitioner, Partitioner, RangePartitioner, ZipfPartitioner};
 pub use suite::{Benchmark, BENCH_INPUT_BYTES};

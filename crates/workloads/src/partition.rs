@@ -83,6 +83,58 @@ impl Partitioner for RangePartitioner {
     }
 }
 
+/// A Zipf-skewed partitioner: keys are hashed uniformly, then mapped
+/// through the inverse CDF of a Zipf(θ) distribution over partition
+/// indices, so partition 0 is the hottest and the tail decays as
+/// `1 / (i+1)^θ`. Deterministic per key (the same key always lands on
+/// the same reducer — it is a partitioner, not a sampler), which makes
+/// it the workload driver for skew-sensitive claims like the hybrid
+/// store's huge-partition limit.
+#[derive(Debug, Clone)]
+pub struct ZipfPartitioner {
+    /// Cumulative probability up to and including each partition.
+    cdf: Vec<f64>,
+}
+
+impl ZipfPartitioner {
+    /// A Zipf partitioner over `n >= 1` partitions with skew `theta > 0`
+    /// (larger θ = more skew; θ → 0 approaches uniform).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1);
+        assert!(theta > 0.0);
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfPartitioner { cdf }
+    }
+}
+
+impl Partitioner for ZipfPartitioner {
+    fn partition(&self, key: &[u8]) -> usize {
+        // FNV-1a hash -> uniform fraction in [0, 1) -> inverse CDF.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+
+    fn partitions(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +196,53 @@ mod tests {
     fn range_partitioner_empty_sample_degenerates() {
         let p = RangePartitioner::from_sample(vec![], 4);
         assert_eq!(p.partition(b"k"), 0);
+    }
+
+    #[test]
+    fn zipf_partitioner_is_deterministic_and_in_range() {
+        let p = ZipfPartitioner::new(8, 1.2);
+        assert_eq!(p.partitions(), 8);
+        for key in [b"alpha".to_vec(), b"beta".to_vec(), vec![0, 255, 3]] {
+            let a = p.partition(&key);
+            assert_eq!(a, p.partition(&key), "same key, same reducer");
+            assert!(a < 8);
+        }
+    }
+
+    #[test]
+    fn zipf_partitioner_skews_toward_partition_zero() {
+        let p = ZipfPartitioner::new(8, 1.2);
+        let mut rng = DetRng::new(11);
+        let mut counts = [0usize; 8];
+        for (k, _) in gen_terasort_records(8000, &mut rng) {
+            counts[p.partition(&k)] += 1;
+        }
+        // Partition 0 holds the head of the distribution: strictly the
+        // largest, and several times the coldest partition.
+        let hottest = counts[0];
+        assert!(counts.iter().skip(1).all(|&c| c < hottest), "{counts:?}");
+        let coldest = counts.iter().copied().min().unwrap_or(0);
+        assert!(
+            hottest > 4 * coldest.max(1),
+            "expected heavy skew: {counts:?}"
+        );
+        // Still a total function: every key lands somewhere.
+        assert_eq!(counts.iter().sum::<usize>(), 8000);
+    }
+
+    #[test]
+    fn zipf_low_theta_approaches_uniform() {
+        let skewed = ZipfPartitioner::new(8, 1.5);
+        let mild = ZipfPartitioner::new(8, 0.1);
+        let mut rng = DetRng::new(12);
+        let recs = gen_terasort_records(8000, &mut rng);
+        let share = |p: &ZipfPartitioner| {
+            let mut c = [0usize; 8];
+            for (k, _) in &recs {
+                c[p.partition(k)] += 1;
+            }
+            c[0] as f64 / 8000.0
+        };
+        assert!(share(&skewed) > 2.0 * share(&mild));
     }
 }

@@ -47,17 +47,25 @@ impl Config {
     pub fn for_workspace(root: &Path) -> Config {
         Config {
             root: root.to_path_buf(),
-            panic_dirs: vec!["crates/transport/src".into(), "crates/net/src".into()],
+            panic_dirs: vec![
+                "crates/transport/src".into(),
+                "crates/net/src".into(),
+                "crates/store-hybrid/src".into(),
+            ],
             determinism_dirs: vec![
                 "crates/des/src".into(),
                 "crates/core/src".into(),
                 "crates/mapred/src/sim".into(),
             ],
-            lock_dirs: vec!["crates/transport/src".into()],
+            lock_dirs: vec![
+                "crates/transport/src".into(),
+                "crates/store-hybrid/src".into(),
+            ],
             print_dirs: vec![
                 "crates/transport/src".into(),
                 "crates/net/src".into(),
                 "crates/core/src".into(),
+                "crates/store-hybrid/src".into(),
             ],
         }
     }

@@ -40,6 +40,7 @@ mod sched {
         Runnable,
         BlockedOnLock(usize),
         BlockedOnJoin(usize),
+        BlockedOnCondvar(usize),
         Finished,
     }
 
@@ -54,6 +55,7 @@ mod sched {
         pub counts: Vec<usize>,
         pub step: usize,
         pub locks: Vec<bool>, // held?
+        pub condvars: usize,
         pub failure: Option<String>,
         pub abort: bool,
     }
@@ -74,6 +76,7 @@ mod sched {
                     counts: Vec::new(),
                     step: 0,
                     locks: Vec::new(),
+                    condvars: 0,
                     failure: None,
                     abort: false,
                 }),
@@ -95,6 +98,12 @@ mod sched {
             let mut st = self.st();
             st.locks.push(false);
             st.locks.len() - 1
+        }
+
+        pub fn alloc_condvar(&self) -> usize {
+            let mut st = self.st();
+            st.condvars += 1;
+            st.condvars - 1
         }
 
         /// Pick the next thread to run among the runnable ones,
@@ -194,6 +203,56 @@ mod sched {
                 for s in st.threads.iter_mut() {
                     if *s == Status::BlockedOnLock(lock) {
                         *s = Status::Runnable;
+                    }
+                }
+            }
+            self.yield_point(me);
+        }
+
+        /// Atomically block `me` on condvar `cv` *and* release `lock`
+        /// (waking its blocked acquirers), then wait to be notified and
+        /// rescheduled. The caller re-acquires the mutex afterwards,
+        /// racing other acquirers exactly as a real condvar does. The
+        /// atomicity is the point: a notify between "release" and
+        /// "block" cannot be lost, only a notify before `wait` is
+        /// entered at all — which is the lost-wakeup bug the deadlock
+        /// detector then reports.
+        pub fn condvar_wait(&self, me: usize, cv: usize, lock: usize) {
+            let mut st = self.st();
+            st.threads[me] = Status::BlockedOnCondvar(cv);
+            st.locks[lock] = false;
+            for s in st.threads.iter_mut() {
+                if *s == Status::BlockedOnLock(lock) {
+                    *s = Status::Runnable;
+                }
+            }
+            if !st.abort {
+                self.pick_next(&mut st);
+            }
+            self.cv.notify_all();
+            while !(st.abort || st.threads[me] == Status::Runnable && st.current == me) {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let abort = st.abort;
+            drop(st);
+            if abort && !std::thread::panicking() {
+                panic!("loom: execution aborted (sibling thread failed or deadlock)");
+            }
+        }
+
+        /// Wake threads blocked on condvar `cv`: all of them, or (for
+        /// `notify_one`) the lowest-index waiter — a deterministic
+        /// choice, so exploration stays bounded. Notifying is itself a
+        /// decision point.
+        pub fn condvar_notify(&self, me: usize, cv: usize, all: bool) {
+            {
+                let mut st = self.st();
+                for s in st.threads.iter_mut() {
+                    if *s == Status::BlockedOnCondvar(cv) {
+                        *s = Status::Runnable;
+                        if !all {
+                            break;
+                        }
                     }
                 }
             }
@@ -478,6 +537,66 @@ pub mod sync {
         }
     }
 
+    /// A condition variable whose wait atomically releases the paired
+    /// mutex — the primitive the hybrid store's spill-trigger handoff
+    /// (writer trips the watermark, flusher wakes) is modeled with.
+    /// `notify_one` deterministically wakes the lowest-index waiter.
+    pub struct Condvar {
+        id: std::sync::OnceLock<usize>,
+    }
+
+    impl Condvar {
+        /// A new condvar with no waiters.
+        pub fn new() -> Condvar {
+            Condvar {
+                id: std::sync::OnceLock::new(),
+            }
+        }
+
+        fn id(&self) -> usize {
+            *self.id.get_or_init(|| current().0.alloc_condvar())
+        }
+
+        /// Release `guard`'s mutex and sleep until notified, then
+        /// re-acquire it (racing other acquirers, as with a real
+        /// condvar). Always `Ok`; see [`Mutex::lock`] on poisoning.
+        pub fn wait<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+            let (sched, me) = current();
+            let cv = self.id();
+            let lock = guard.lock;
+            // Drop the std-level guard first (mirroring MutexGuard::drop's
+            // ordering), then skip that Drop: the scheduler-side release
+            // happens atomically inside condvar_wait instead.
+            guard.inner.take();
+            std::mem::forget(guard);
+            sched.condvar_wait(me, cv, lock.id());
+            lock.lock()
+        }
+
+        /// Wake one waiter (the lowest-index one; deterministic).
+        pub fn notify_one(&self) {
+            let (sched, me) = current();
+            let cv = self.id();
+            sched.condvar_notify(me, cv, false);
+        }
+
+        /// Wake every waiter.
+        pub fn notify_all(&self) {
+            let (sched, me) = current();
+            let cv = self.id();
+            sched.condvar_notify(me, cv, true);
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+
     /// Scheduler-instrumented atomics. Every access is a decision
     /// point; all explored executions are sequentially consistent.
     pub mod atomic {
@@ -607,6 +726,52 @@ mod tests {
             let _gb = b.lock().unwrap_or_else(|e| e.into_inner());
             let _ga = a.lock().unwrap_or_else(|e| e.into_inner());
             drop((_gb, _ga));
+            let _ = h.join();
+        });
+    }
+
+    #[test]
+    fn condvar_predicate_loop_hands_off_in_every_interleaving() {
+        use super::sync::Condvar;
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let h = super::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+                // Predicate loop: immune to notify-before-wait.
+                while *g == 0 {
+                    g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+                assert_eq!(*g, 1);
+            });
+            let (m, cv) = &*pair;
+            {
+                let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+                *g = 1;
+            }
+            cv.notify_all();
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn condvar_lost_wakeup_is_caught_as_deadlock() {
+        use super::sync::Condvar;
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let h = super::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let g = m.lock().unwrap_or_else(|e| e.into_inner());
+                // Unconditional wait, no predicate: in the schedule where
+                // the notify lands first it is lost and this sleeps
+                // forever — which exploration must report as a deadlock.
+                let _g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            });
+            let (_, cv) = &*pair;
+            cv.notify_one();
             let _ = h.join();
         });
     }

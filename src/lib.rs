@@ -51,6 +51,7 @@ pub use jbs_jvm as jvm;
 pub use jbs_mapred as mapred;
 pub use jbs_net as net;
 pub use jbs_obs as obs;
+pub use jbs_store_hybrid as store_hybrid;
 pub use jbs_transport as transport;
 pub use jbs_workloads as workloads;
 
@@ -97,6 +98,21 @@ pub fn transport_server_options(cfg: &core::JbsConfig) -> transport::ServerOptio
     }
 }
 
+/// Build a hybrid-store configuration from a [`core::JbsConfig`]: the
+/// memory budget, spill watermarks, and huge-partition limit knobs map
+/// onto [`store_hybrid::HybridConfig`]. Pair the result with
+/// [`transport::ServerOptions::hybrid`] via
+/// [`store_hybrid::HybridStore::new`] to give a supplier a memory tier.
+pub fn hybrid_store_config(cfg: &core::JbsConfig) -> store_hybrid::HybridConfig {
+    store_hybrid::HybridConfig {
+        memory_budget: cfg.hybrid_memory_budget as usize,
+        high_watermark: cfg.memory_spill_high_watermark,
+        low_watermark: cfg.memory_spill_low_watermark,
+        huge_partition_limit: cfg.huge_partition_limit as usize,
+        ..store_hybrid::HybridConfig::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +154,26 @@ mod tests {
         let tc = transport_client_config(&cfg);
         assert!(!tc.checksum, "v2 pin propagates");
         assert_eq!(tc.breaker_threshold, 0, "breaker disable propagates");
+    }
+
+    #[test]
+    fn jbs_config_drives_the_hybrid_store() {
+        let cfg = core::JbsConfig {
+            hybrid_memory_budget: 1 << 20,
+            memory_spill_high_watermark: 0.6,
+            memory_spill_low_watermark: 0.3,
+            huge_partition_limit: 128 << 10,
+            ..core::JbsConfig::default()
+        };
+        let hc = hybrid_store_config(&cfg);
+        assert_eq!(hc.memory_budget, 1 << 20);
+        assert_eq!(hc.huge_partition_limit, 128 << 10);
+        assert!(hc.validate().is_ok());
+        // The configured store actually spills at the mapped watermarks.
+        let store = store_hybrid::HybridStore::new(hc).unwrap();
+        store.append(0, 0, &vec![7u8; 700 << 10]).unwrap();
+        let stats = store.stats();
+        assert!(stats.spill_trips >= 1, "0.6 watermark tripped: {stats:?}");
+        assert!(stats.memory_bytes <= (1 << 20) * 3 / 10);
     }
 }
