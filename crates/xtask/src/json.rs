@@ -1,0 +1,522 @@
+//! Machine-readable findings: `cargo xtask analyze --format json`.
+//!
+//! Hand-rolled serializer + parser (the workspace builds offline — no
+//! serde). The schema is versioned and intentionally flat:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "clean": true,
+//!   "findings":  [ { "id": "…", "lint": "…", "file": "…",
+//!                    "line": 0, "message": "…", "code": "…",
+//!                    "chain": ["Fn (file:line)", …] }, … ],
+//!   "baselined": [ …same shape… ],
+//!   "allowed":   [ …same shape… ],
+//!   "stale_allows": [ { "lint": "…", "file": "…", "contains": "…",
+//!                       "reason": "…", "defined_at": 0 }, … ]
+//! }
+//! ```
+//!
+//! **Finding IDs are stable across line shifts**: the id is an FNV-1a
+//! hash of `lint | file | code-or-message` — the line number is
+//! deliberately excluded so an unrelated edit above a baselined
+//! finding does not change its identity — with a `-N` ordinal suffix
+//! disambiguating repeats of the same code on the same file. CI diffs
+//! these ids against the committed `baseline.json`.
+
+use crate::lints::{self, Finding};
+use crate::policy::AllowEntry;
+use crate::Report;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// Schema version emitted and accepted.
+pub const VERSION: i64 = 1;
+
+// ---------------------------------------------------------------------
+// Stable finding IDs.
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn id_key(f: &Finding) -> String {
+    let anchor = if f.code.trim().is_empty() {
+        &f.message
+    } else {
+        &f.code
+    };
+    format!("{}|{}|{}", f.lint, f.file.display(), anchor.trim())
+}
+
+/// Stable ids for a slice of findings: FNV-1a of
+/// `lint|file|code-or-message`, with `-N` ordinals when the same key
+/// repeats (same denied call on two lines of one file).
+pub fn finding_ids(findings: &[Finding]) -> Vec<String> {
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let key = id_key(f);
+            let n = seen.entry(key.clone()).or_insert(0);
+            let id = if *n == 0 {
+                format!("{:016x}", fnv1a64(key.as_bytes()))
+            } else {
+                format!("{:016x}-{}", fnv1a64(key.as_bytes()), *n)
+            };
+            *n += 1;
+            id
+        })
+        .collect()
+}
+
+/// The id set of a serialized report — the baseline CI diffs against.
+pub fn baseline_ids(json: &str) -> Result<BTreeSet<String>, String> {
+    let report = parse_report(json)?;
+    Ok(finding_ids(&report.findings).into_iter().collect())
+}
+
+// ---------------------------------------------------------------------
+// Serializer.
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn finding_json(f: &Finding, id: &str, out: &mut String) {
+    out.push_str("    {\"id\": ");
+    esc(id, out);
+    out.push_str(", \"lint\": ");
+    esc(f.lint, out);
+    out.push_str(", \"file\": ");
+    esc(&f.file.to_string_lossy().replace('\\', "/"), out);
+    out.push_str(&format!(", \"line\": {}", f.line));
+    out.push_str(", \"message\": ");
+    esc(&f.message, out);
+    out.push_str(", \"code\": ");
+    esc(&f.code, out);
+    out.push_str(", \"chain\": [");
+    for (i, frame) in f.chain.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        esc(frame, out);
+    }
+    out.push_str("]}");
+}
+
+fn findings_json(findings: &[Finding], out: &mut String) {
+    let ids = finding_ids(findings);
+    out.push_str("[\n");
+    for (i, (f, id)) in findings.iter().zip(&ids).enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        finding_json(f, id, out);
+    }
+    out.push_str("\n  ]");
+}
+
+/// Serialize a full report.
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"version\": {VERSION},\n"));
+    out.push_str(&format!("  \"clean\": {},\n", report.clean()));
+    out.push_str("  \"findings\": ");
+    findings_json(&report.findings, &mut out);
+    out.push_str(",\n  \"baselined\": ");
+    findings_json(&report.baselined, &mut out);
+    out.push_str(",\n  \"allowed\": ");
+    findings_json(&report.allowed, &mut out);
+    out.push_str(",\n  \"stale_allows\": [\n");
+    for (i, a) in report.stale_allows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("    {\"lint\": ");
+        esc(&a.lint, &mut out);
+        out.push_str(", \"file\": ");
+        esc(&a.file, &mut out);
+        out.push_str(", \"contains\": ");
+        esc(&a.contains, &mut out);
+        out.push_str(", \"reason\": ");
+        esc(&a.reason, &mut out);
+        out.push_str(&format!(", \"defined_at\": {}}}", a.defined_at));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Parser (minimal JSON — enough for our own schema).
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(i64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    _src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            chars: src.chars().collect(),
+            pos: 0,
+            _src: src,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at offset {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{c}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(self.err(&format!("unexpected {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        for c in word.chars() {
+            if self.peek() != Some(c) {
+                return Err(self.err(&format!("expected `{word}`")));
+            }
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<i64>()
+            .map(Value::Num)
+            .map_err(|e| self.err(&format!("bad number `{text}`: {e}")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err(self.err("dangling escape"));
+                    };
+                    self.pos += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let mut v = 0u32;
+                            for _ in 0..4 {
+                                let Some(h) = self.peek().and_then(|c| c.to_digit(16)) else {
+                                    return Err(self.err("bad \\u escape"));
+                                };
+                                v = v * 16 + h;
+                                self.pos += 1;
+                            }
+                            out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(self.err(&format!("bad escape `\\{other}`"))),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(self.err(&format!("expected `,` or `]`, found {other:?}"))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => return Err(self.err(&format!("expected `,` or `}}`, found {other:?}"))),
+            }
+        }
+    }
+}
+
+fn get<'v>(obj: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field(obj: &[(String, Value)], key: &str) -> Result<String, String> {
+    match get(obj, key) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        other => Err(format!("field `{key}`: expected string, got {other:?}")),
+    }
+}
+
+fn num_field(obj: &[(String, Value)], key: &str) -> Result<usize, String> {
+    match get(obj, key) {
+        Some(Value::Num(n)) if *n >= 0 => Ok(*n as usize),
+        other => Err(format!(
+            "field `{key}`: expected non-negative number, got {other:?}"
+        )),
+    }
+}
+
+fn parse_finding(v: &Value) -> Result<Finding, String> {
+    let Value::Obj(obj) = v else {
+        return Err(format!("finding: expected object, got {v:?}"));
+    };
+    let lint_raw = str_field(obj, "lint")?;
+    let lint = lints::lint_name(&lint_raw).ok_or(format!("unknown lint `{lint_raw}`"))?;
+    let chain = match get(obj, "chain") {
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|i| match i {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(format!("chain frame: expected string, got {other:?}")),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+        other => return Err(format!("field `chain`: expected array, got {other:?}")),
+    };
+    Ok(Finding {
+        lint,
+        file: PathBuf::from(str_field(obj, "file")?),
+        line: num_field(obj, "line")?,
+        message: str_field(obj, "message")?,
+        code: str_field(obj, "code")?,
+        chain,
+    })
+}
+
+fn parse_findings(v: Option<&Value>, what: &str) -> Result<Vec<Finding>, String> {
+    match v {
+        Some(Value::Arr(items)) => items.iter().map(parse_finding).collect(),
+        None => Ok(Vec::new()),
+        other => Err(format!("`{what}`: expected array, got {other:?}")),
+    }
+}
+
+/// Parse a serialized report back into a [`Report`].
+pub fn parse_report(src: &str) -> Result<Report, String> {
+    let mut p = Parser::new(src);
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos < p.chars.len() {
+        return Err(p.err("trailing content after the report"));
+    }
+    let Value::Obj(obj) = root else {
+        return Err("report: expected a top-level object".into());
+    };
+    match get(&obj, "version") {
+        Some(Value::Num(v)) if *v == VERSION => {}
+        other => return Err(format!("unsupported report version {other:?}")),
+    }
+    let stale_allows = match get(&obj, "stale_allows") {
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|v| {
+                let Value::Obj(obj) = v else {
+                    return Err(format!("stale_allow: expected object, got {v:?}"));
+                };
+                Ok(AllowEntry {
+                    lint: str_field(obj, "lint")?,
+                    file: str_field(obj, "file")?,
+                    contains: str_field(obj, "contains")?,
+                    reason: str_field(obj, "reason")?,
+                    defined_at: num_field(obj, "defined_at")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+        other => return Err(format!("`stale_allows`: expected array, got {other:?}")),
+    };
+    Ok(Report {
+        findings: parse_findings(get(&obj, "findings"), "findings")?,
+        baselined: parse_findings(get(&obj, "baselined"), "baselined")?,
+        allowed: parse_findings(get(&obj, "allowed"), "allowed")?,
+        stale_allows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, file: &str, line: usize, msg: &str, code: &str) -> Finding {
+        Finding {
+            lint,
+            file: PathBuf::from(file),
+            line,
+            message: msg.to_string(),
+            code: code.to_string(),
+            chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_across_line_shifts() {
+        let a = finding("panic", "a.rs", 10, "m", "x.unwrap()");
+        let mut b = a.clone();
+        b.line = 99;
+        assert_eq!(finding_ids(&[a]), finding_ids(&[b]));
+    }
+
+    #[test]
+    fn repeated_keys_get_ordinals() {
+        let a = finding("panic", "a.rs", 10, "m", "x.unwrap()");
+        let b = finding("panic", "a.rs", 20, "m", "x.unwrap()");
+        let ids = finding_ids(&[a, b]);
+        assert_ne!(ids[0], ids[1]);
+        assert!(ids[1].ends_with("-1"), "{ids:?}");
+    }
+
+    #[test]
+    fn round_trips_a_report_with_escapes() {
+        let mut f = finding(
+            "lock-order",
+            "crates/t/src/x.rs",
+            7,
+            "acquires `b` while \"holding\" `a`\nnewline\ttab\\backslash",
+            "let b = lock(&self.b);",
+        );
+        f.chain = vec!["S::outer (crates/t/src/x.rs:3)".into()];
+        let report = Report {
+            findings: vec![f],
+            baselined: Vec::new(),
+            allowed: vec![finding("panic", "y.rs", 1, "m2", "c2")],
+            stale_allows: vec![AllowEntry {
+                lint: "panic".into(),
+                file: "z.rs".into(),
+                contains: "idx[".into(),
+                reason: "checked above".into(),
+                defined_at: 12,
+            }],
+        };
+        let json = to_json(&report);
+        let back = parse_report(&json).expect("parses");
+        assert_eq!(back.findings, report.findings);
+        assert_eq!(back.allowed, report.allowed);
+        assert_eq!(back.stale_allows.len(), 1);
+        assert_eq!(back.stale_allows[0].contains, "idx[");
+        assert_eq!(to_json(&back), json, "serialization is a fixpoint");
+    }
+
+    #[test]
+    fn unknown_lints_are_rejected() {
+        let json = r#"{"version": 1, "clean": true, "findings": [{"id": "x", "lint": "bogus", "file": "f", "line": 1, "message": "m", "code": "c", "chain": []}], "baselined": [], "allowed": [], "stale_allows": []}"#;
+        assert!(parse_report(json).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        assert!(parse_report(r#"{"version": 2, "findings": []}"#).is_err());
+    }
+}

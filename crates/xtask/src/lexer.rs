@@ -348,6 +348,402 @@ fn test_item_spans(masked: &str) -> Vec<(usize, usize)> {
     spans
 }
 
+/// One parameter of an extracted function signature.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (with any `mut` stripped); empty for patterns the
+    /// extractor does not model.
+    pub name: String,
+    /// The parameter's type text, verbatim (masked).
+    pub ty: String,
+}
+
+/// One function definition extracted from a masked file.
+///
+/// This is not a parse — just enough signature and body structure for
+/// the call-graph pass: who the function is (`Type::name` when inside
+/// an `impl` block), what it takes (so guard moves and callback
+/// parameters can be modeled), what it returns (guard smuggling), and
+/// where its body is (a char span into the masked text).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare name.
+    pub name: String,
+    /// `Type::name` inside an `impl Type` block, else `name`.
+    pub qualified: String,
+    /// Enclosing impl type, if any.
+    pub self_type: Option<String>,
+    /// Parameters (excluding any `self` receiver).
+    pub params: Vec<Param>,
+    /// Generic-parameter and `where`-clause text (for `Fn` bounds).
+    pub bounds: String,
+    /// Return-type text (empty for `()`).
+    pub ret: String,
+    /// Char span (half-open) of the body in the masked text, if the
+    /// item has one (trait declarations do not).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// Extract every function definition in `masked` (see [`FnDef`]).
+///
+/// Tracks `impl` blocks so methods get qualified names; `impl Trait for
+/// Type` attributes methods to `Type`. Nested functions are not
+/// descended into (their bodies stay part of the enclosing span).
+pub fn functions(masked: &str) -> Vec<FnDef> {
+    let b: Vec<char> = masked.chars().collect();
+    let mut line_of = Vec::with_capacity(b.len());
+    {
+        let mut ln = 1usize;
+        for &c in &b {
+            line_of.push(ln);
+            if c == '\n' {
+                ln += 1;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    // (type name, brace depth its block opened at)
+    let mut impls: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            '{' => {
+                depth += 1;
+                i += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                while impls.last().is_some_and(|&(_, d)| d > depth) {
+                    impls.pop();
+                }
+                i += 1;
+            }
+            'i' if word_at(&b, i, "impl") => {
+                // Parse the impl header up to its `{`.
+                let start = i + 4;
+                let mut j = start;
+                while j < b.len() && b[j] != '{' && b[j] != ';' {
+                    j += 1;
+                }
+                let header: String = b[start..j].iter().collect();
+                if b.get(j) == Some(&'{') {
+                    if let Some(ty) = impl_type(&header) {
+                        impls.push((ty, depth + 1));
+                    }
+                    depth += 1;
+                    i = j + 1;
+                } else {
+                    i = j;
+                }
+            }
+            'f' if word_at(&b, i, "fn") => {
+                let line = line_of.get(i).copied().unwrap_or(1);
+                // `next` is already past the body's closing brace, so
+                // nested `impl`/`fn` keywords inside stay attributed to
+                // this item and the impl brace accounting stays intact.
+                let (def, next) = parse_fn(&b, i, impls.last().map(|(t, _)| t.as_str()), line);
+                if let Some(mut def) = def {
+                    def.qualified = match &def.self_type {
+                        Some(t) => format!("{t}::{}", def.name),
+                        None => def.name.clone(),
+                    };
+                    out.push(def);
+                }
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Extract `field name → type head` pairs from every struct definition
+/// in `masked` (`extents: Vec<Extent>` → `("extents", "Vec")`). Used to
+/// type method receivers like `part.extents.push(…)`.
+pub fn struct_fields(masked: &str) -> Vec<(String, String)> {
+    let b: Vec<char> = masked.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if !word_at(&b, i, "struct") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 6;
+        // Name + optional generics, up to `{`, `(`, or `;`.
+        while j < b.len() && b[j] != '{' && b[j] != '(' && b[j] != ';' {
+            j += 1;
+        }
+        if b.get(j) != Some(&'{') {
+            // Tuple or unit struct: no named fields.
+            i = j + 1;
+            continue;
+        }
+        let Some(end) = matching_brace(&b, j) else {
+            break;
+        };
+        let body: String = b[j + 1..end].iter().collect();
+        for field in split_top_level(&body, ',') {
+            let Some(colon) = field.find(':') else {
+                continue;
+            };
+            let name = field[..colon]
+                .split_whitespace()
+                .next_back()
+                .unwrap_or("")
+                .to_string();
+            let head = type_head(&field[colon + 1..]);
+            if !name.is_empty() && !head.is_empty() {
+                out.push((name, head));
+            }
+        }
+        i = end + 1;
+    }
+    out
+}
+
+/// First path segment of a type (`Vec<Extent>` → `Vec`, `&mut T` → `T`).
+pub fn type_head(ty: &str) -> String {
+    let t = ty
+        .trim()
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim_start_matches("'static ")
+        .trim();
+    // Skip a leading lifetime.
+    let t = match t.strip_prefix('\'') {
+        Some(rest) => rest
+            .split_once(char::is_whitespace)
+            .map(|(_, r)| r)
+            .unwrap_or(""),
+        None => t,
+    };
+    t.chars().take_while(|&c| is_ident(c)).collect::<String>()
+}
+
+/// The last top-level type argument of a generic type, as a head name
+/// (`MutexGuard<'a, Inner>` → `Inner`). Empty when there are none.
+pub fn last_type_arg(ty: &str) -> String {
+    let Some(open) = ty.find('<') else {
+        return String::new();
+    };
+    let Some(close) = ty.rfind('>') else {
+        return String::new();
+    };
+    if close <= open {
+        return String::new();
+    }
+    let inner = &ty[open + 1..close];
+    split_top_level(inner, ',')
+        .into_iter()
+        .map(|s| s.trim().to_string())
+        .rfind(|s| !s.starts_with('\''))
+        .map(|s| type_head(&s))
+        .unwrap_or_default()
+}
+
+/// Split `s` on `sep` at zero `()`/`[]`/`{}`/`<>` nesting depth. Angle
+/// brackets are tracked `->`-aware so `Fn() -> T` does not desync.
+pub fn split_top_level(s: &str, sep: char) -> Vec<String> {
+    let b: Vec<char> = s.chars().collect();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let (mut par, mut ang) = (0isize, 0isize);
+    for (k, &c) in b.iter().enumerate() {
+        match c {
+            '(' | '[' | '{' => par += 1,
+            ')' | ']' | '}' => par -= 1,
+            '<' => ang += 1,
+            '>' if k == 0 || b[k - 1] != '-' => ang -= 1,
+            c if c == sep && par == 0 && ang <= 0 => {
+                out.push(b[start..k].iter().collect());
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail: String = b[start..].iter().collect();
+    if !tail.trim().is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Offset of the `}` matching the `{` at `open` (tracking all three
+/// bracket kinds), if balanced.
+pub fn matching_brace(b: &[char], open: usize) -> Option<usize> {
+    let close = match b.get(open) {
+        Some('{') => '}',
+        Some('(') => ')',
+        Some('[') => ']',
+        _ => return None,
+    };
+    let opener = b[open];
+    let mut depth = 0isize;
+    for (k, &c) in b.iter().enumerate().skip(open) {
+        if c == opener {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn word_at(b: &[char], i: usize, word: &str) -> bool {
+    let w: Vec<char> = word.chars().collect();
+    if i + w.len() > b.len() || b[i..i + w.len()] != w[..] {
+        return false;
+    }
+    let before_ok = i == 0 || !is_ident(b[i - 1]);
+    let after_ok = b.get(i + w.len()).is_none_or(|&c| !is_ident(c));
+    before_ok && after_ok
+}
+
+/// The implemented type of an impl header (`<T> SlotMap<K, C>` →
+/// `SlotMap`, `fmt::Display for Finding` → `Finding`).
+fn impl_type(header: &str) -> Option<String> {
+    let mut rest = header.trim();
+    // Skip leading generic parameters.
+    if rest.starts_with('<') {
+        let b: Vec<char> = rest.chars().collect();
+        let mut depth = 0isize;
+        let mut end = 0usize;
+        for (k, &c) in b.iter().enumerate() {
+            match c {
+                '<' => depth += 1,
+                '>' if k == 0 || b[k - 1] != '-' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = rest.get(end..).unwrap_or("").trim();
+    }
+    // `Trait for Type` → take the Type side; strip any where clause.
+    let target = match rest.find(" for ") {
+        Some(p) => &rest[p + 5..],
+        None => rest,
+    };
+    let target = target.split(" where ").next().unwrap_or(target).trim();
+    // Last path segment before generics: `lru::LruCache<K>` → `LruCache`.
+    let no_generics = target.split('<').next().unwrap_or(target);
+    let seg = no_generics.rsplit("::").next().unwrap_or(no_generics);
+    let name: String = seg.trim().chars().take_while(|&c| is_ident(c)).collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Parse one `fn` starting at offset `i` (the `fn` keyword). Returns
+/// the definition (if well-formed) and the offset to resume scanning at
+/// (past the body when there is one).
+fn parse_fn(b: &[char], i: usize, self_type: Option<&str>, line: usize) -> (Option<FnDef>, usize) {
+    let mut j = i + 2;
+    while j < b.len() && b[j].is_whitespace() {
+        j += 1;
+    }
+    let name_start = j;
+    while j < b.len() && is_ident(b[j]) {
+        j += 1;
+    }
+    let name: String = b[name_start..j].iter().collect();
+    if name.is_empty() {
+        return (None, j);
+    }
+    let mut bounds = String::new();
+    // Generic parameters (angle-balanced, `->`-aware).
+    if b.get(j) == Some(&'<') {
+        let mut depth = 0isize;
+        let start = j;
+        while j < b.len() {
+            match b[j] {
+                '<' => depth += 1,
+                '>' if j == 0 || b[j - 1] != '-' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        bounds.push_str(&b[start..j].iter().collect::<String>());
+    }
+    while j < b.len() && b[j].is_whitespace() {
+        j += 1;
+    }
+    if b.get(j) != Some(&'(') {
+        return (None, j);
+    }
+    let Some(close) = matching_brace(b, j) else {
+        return (None, j + 1);
+    };
+    let params_text: String = b[j + 1..close].iter().collect();
+    let params = split_top_level(&params_text, ',')
+        .into_iter()
+        .filter_map(|p| {
+            let p = p.trim();
+            if p == "self" || p.ends_with("self") && !p.contains(':') {
+                return None;
+            }
+            let (name_part, ty) = p.split_once(':')?;
+            let name = name_part
+                .split_whitespace()
+                .next_back()
+                .unwrap_or("")
+                .to_string();
+            Some(Param {
+                name,
+                ty: ty.trim().to_string(),
+            })
+        })
+        .collect();
+    // Return type and where clause, up to `{` or `;`.
+    let mut k = close + 1;
+    while k < b.len() && b[k] != '{' && b[k] != ';' {
+        k += 1;
+    }
+    let sig_tail: String = b[close + 1..k].iter().collect();
+    let (ret, where_clause) = match sig_tail.find(" where ") {
+        Some(p) => (sig_tail[..p].to_string(), sig_tail[p..].to_string()),
+        None => (sig_tail.clone(), String::new()),
+    };
+    bounds.push_str(&where_clause);
+    let ret = ret.trim().trim_start_matches("->").trim().to_string();
+    let (body, next) = if b.get(k) == Some(&'{') {
+        match matching_brace(b, k) {
+            Some(end) => (Some((k + 1, end)), end + 1),
+            None => (None, k + 1),
+        }
+    } else {
+        (None, k + 1)
+    };
+    (
+        Some(FnDef {
+            qualified: String::new(),
+            name,
+            self_type: self_type.map(str::to_string),
+            params,
+            bounds,
+            ret,
+            body,
+            line,
+        }),
+        next,
+    )
+}
+
 /// Does `haystack` contain `word` delimited by non-identifier chars?
 pub fn has_word(haystack: &str, word: &str) -> bool {
     let h: Vec<char> = haystack.chars().collect();
@@ -445,5 +841,71 @@ mod tests {
         let src = "#[cfg(all(test, not(loom)))]\nmod tests { fn f() { x.unwrap(); } }\n";
         let f = scan(src);
         assert!(f.lines[1].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_impl_block_covers_every_method() {
+        let src = "struct S;\n#[cfg(test)]\nimpl S {\n    fn helper(&self) { x.unwrap(); }\n    fn other(&self) {}\n}\nimpl S { fn live(&self) {} }\n";
+        let f = scan(src);
+        assert!(f.lines[3].in_test, "method inside #[cfg(test)] impl");
+        assert!(f.lines[4].in_test, "second method too");
+        assert!(!f.lines[6].in_test, "the next impl block is live");
+    }
+
+    #[test]
+    fn raw_string_braces_do_not_derail_function_extraction() {
+        let src = "fn f() { let s = r#\"fn ghost() { }\"#; }\nfn real() { g(); }\n";
+        let defs = functions(&mask(src));
+        let names: Vec<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["f", "real"], "no phantom fn from the raw string");
+        let real = &defs[1];
+        assert_eq!(real.line, 2);
+        assert!(real.body.is_some());
+    }
+
+    #[test]
+    fn char_literal_close_brace_does_not_derail_extraction() {
+        let src = "fn f() { let c = '}'; let o = '{'; }\nimpl S { fn m(&self) {} }\n";
+        let defs = functions(&mask(src));
+        assert_eq!(defs.len(), 2, "{defs:?}");
+        assert_eq!(
+            defs[1].qualified, "S::m",
+            "impl attribution survives the literals"
+        );
+    }
+
+    #[test]
+    fn lifetimes_survive_extraction_where_char_literals_are_masked() {
+        let src = "fn f<'a>(x: &'a str, c: char) -> &'a str { let q = 'a'; x }\n";
+        let defs = functions(&mask(src));
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].params.len(), 2);
+        assert_eq!(defs[0].params[0].ty, "&'a str", "lifetime kept in the type");
+        assert!(defs[0].ret.contains("&'a str"));
+    }
+
+    #[test]
+    fn nested_fn_and_impl_keep_outer_attribution() {
+        let src = "impl S {\n    fn outer(&self) {\n        fn inner() {}\n    }\n    fn after(&self) {}\n}\n";
+        let defs = functions(&mask(src));
+        let quals: Vec<&str> = defs.iter().map(|d| d.qualified.as_str()).collect();
+        assert!(quals.contains(&"S::outer"));
+        assert!(
+            quals.contains(&"S::after"),
+            "the impl stack survives a nested fn: {quals:?}"
+        );
+    }
+
+    #[test]
+    fn struct_fields_extracts_names_and_types() {
+        let src =
+            "pub struct Merger {\n    qps: Mutex<Vec<QueuePair>>,\n    pd: ProtectionDomain,\n}\n";
+        let fields = struct_fields(&mask(src));
+        assert!(fields
+            .iter()
+            .any(|(n, t)| n == "qps" && t.contains("Mutex")));
+        assert!(fields
+            .iter()
+            .any(|(n, t)| n == "pd" && t == "ProtectionDomain"));
     }
 }

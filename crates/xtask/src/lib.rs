@@ -1,31 +1,44 @@
 //! `cargo xtask analyze` — repo-specific static analysis for the JBS
 //! workspace.
 //!
-//! Four lint families, built on a hand-rolled scanner ([`lexer`]) so the
-//! workspace stays fully offline (no syn/proc-macro/registry deps):
+//! Seven lint families, built on a hand-rolled scanner ([`lexer`]) and
+//! an interprocedural call graph ([`callgraph`]) so the workspace stays
+//! fully offline (no syn/proc-macro/registry deps):
 //!
-//! * [`lints::panics`] — panic-freedom on the dataplane crates
-//!   (`crates/transport`, `crates/net`);
-//! * [`lints::lockorder`] — a static lock-acquisition graph over the
-//!   transport crate, cycle detection, and the documented order;
+//! * [`lints::panics`] — panic-freedom on the dataplane crates;
+//! * [`lints::lockorder`] — the workspace-wide lock-acquisition graph
+//!   (held sets propagated across calls to a fixpoint), cycle
+//!   detection, and the documented order;
+//! * [`lints::blocking`] — no file/socket I/O, `sleep`, or condvar
+//!   wait while any lock is held, through arbitrarily deep calls;
+//! * [`lints::guardbalance`] — lock guards and trace spans must have
+//!   structured lifetimes (no `let _ =`, no `mem::forget`, no
+//!   guard-returning functions outside the sync-primitive layer);
 //! * [`lints::determinism`] — no wall clocks / sleeps / OS entropy in
-//!   the simulated-time crates (`des`, `mapred/sim`, `core`);
-//! * [`lints::hygiene`] — workspace `[lints]` opt-in everywhere and the
-//!   `unsafe` fence;
+//!   the simulated-time crates;
+//! * [`lints::hygiene`] — workspace `[lints]` opt-in everywhere and
+//!   the `unsafe` fence;
 //! * [`lints::print`] — no stdout/stderr prints on the instrumented
-//!   dataplane crates (`transport`, `net`, `core`); report through
-//!   `jbs-obs` traces and typed stats instead.
+//!   dataplane crates; report through `jbs-obs` traces instead.
 //!
-//! Exemptions live in `crates/xtask/allow.toml` ([`policy`]), each with
-//! a mandatory one-line justification; stale entries are themselves
-//! errors. See DESIGN.md §9 for the contract this enforces.
+//! Lint scope is discovered from the workspace manifest's `members`
+//! list; crates opt *out* per family through `[policy]` keys in
+//! `crates/xtask/allow.toml` ([`policy`]). Exemptions for individual
+//! call sites are `[[allow]]` entries with a mandatory one-line
+//! justification; stale entries are themselves errors. Findings
+//! serialize to versioned JSON with stable ids ([`json`]) so CI can
+//! diff against a committed baseline. See DESIGN.md §9.
 
+pub mod callgraph;
+pub mod json;
 pub mod lexer;
 pub mod lints;
 pub mod policy;
 
+use lexer::ScannedFile;
 use lints::Finding;
 use policy::Policy;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// Which lints apply to which parts of the tree.
@@ -36,48 +49,116 @@ pub struct Config {
     pub panic_dirs: Vec<PathBuf>,
     /// Directories (relative) whose sources get the determinism lint.
     pub determinism_dirs: Vec<PathBuf>,
-    /// Directories (relative) whose sources feed the lock-order graph.
-    pub lock_dirs: Vec<PathBuf>,
+    /// Directories (relative) whose sources feed the interprocedural
+    /// analysis (lock order, blocking-under-lock, guard balance).
+    pub analysis_dirs: Vec<PathBuf>,
     /// Directories (relative) whose sources get the print lint.
     pub print_dirs: Vec<PathBuf>,
 }
 
 impl Config {
-    /// The JBS workspace layout.
-    pub fn for_workspace(root: &Path) -> Config {
-        Config {
-            root: root.to_path_buf(),
-            panic_dirs: vec![
-                "crates/transport/src".into(),
-                "crates/net/src".into(),
-                "crates/store-hybrid/src".into(),
-            ],
-            determinism_dirs: vec![
+    /// Discover the lint scope from the workspace manifest: every
+    /// `crates/*` member is in scope for every source lint unless its
+    /// crate name appears in the matching `[policy] *_exempt` list.
+    /// (`shims/*` members are vendored stand-ins — never linted as
+    /// sources, though hygiene still checks their manifests.)
+    pub fn for_workspace(root: &Path, policy: &Policy) -> std::io::Result<Config> {
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml"))?;
+        let mut crate_dirs: Vec<(String, PathBuf)> = Vec::new();
+        for member in workspace_members(&manifest) {
+            for dir in expand_member(root, &member)? {
+                let rel = dir.strip_prefix(root).unwrap_or(&dir).to_path_buf();
+                let relstr = rel.to_string_lossy().replace('\\', "/");
+                if !relstr.starts_with("crates/") {
+                    continue;
+                }
+                let name = dir
+                    .file_name()
+                    .map(|n| n.to_string_lossy().to_string())
+                    .unwrap_or_default();
+                if dir.join("src").is_dir() {
+                    crate_dirs.push((name, rel.join("src")));
+                }
+            }
+        }
+        crate_dirs.sort();
+        let select = |exempt: &[String]| -> Vec<PathBuf> {
+            crate_dirs
+                .iter()
+                .filter(|(name, _)| !exempt.iter().any(|e| e == name))
+                .map(|(_, d)| d.clone())
+                .collect()
+        };
+        let determinism_dirs = if policy.determinism_dirs.is_empty() {
+            vec![
                 "crates/des/src".into(),
                 "crates/core/src".into(),
                 "crates/mapred/src/sim".into(),
-            ],
-            lock_dirs: vec![
-                "crates/transport/src".into(),
-                "crates/store-hybrid/src".into(),
-            ],
-            print_dirs: vec![
-                "crates/transport/src".into(),
-                "crates/net/src".into(),
-                "crates/core/src".into(),
-                "crates/store-hybrid/src".into(),
-            ],
+            ]
+        } else {
+            policy.determinism_dirs.iter().map(PathBuf::from).collect()
+        };
+        Ok(Config {
+            root: root.to_path_buf(),
+            panic_dirs: select(&policy.panic_exempt),
+            determinism_dirs,
+            analysis_dirs: select(&policy.analysis_exempt),
+            print_dirs: select(&policy.print_exempt),
+        })
+    }
+}
+
+/// The `members = [...]` globs of the workspace manifest.
+fn workspace_members(manifest: &str) -> Vec<String> {
+    let Some(start) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = manifest[start..].find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = manifest[start + open..].find(']') else {
+        return Vec::new();
+    };
+    manifest[start + open + 1..start + open + close]
+        .split(',')
+        .filter_map(|p| {
+            let p = p.trim().trim_matches('"');
+            (!p.is_empty()).then(|| p.to_string())
+        })
+        .collect()
+}
+
+/// Expand one member glob (`crates/*`) or literal path.
+fn expand_member(root: &Path, member: &str) -> std::io::Result<Vec<PathBuf>> {
+    if let Some(prefix) = member.strip_suffix("/*") {
+        let base = root.join(prefix);
+        let mut out = Vec::new();
+        if base.is_dir() {
+            for entry in std::fs::read_dir(&base)? {
+                let path = entry?.path();
+                if path.is_dir() && path.join("Cargo.toml").is_file() {
+                    out.push(path);
+                }
+            }
         }
+        out.sort();
+        Ok(out)
+    } else {
+        let p = root.join(member);
+        Ok(if p.is_dir() { vec![p] } else { Vec::new() })
     }
 }
 
 /// The analyzer result: surviving findings plus stale allowlist entries.
 pub struct Report {
-    /// Findings not covered by the allowlist.
+    /// Findings not covered by the allowlist or baseline.
     pub findings: Vec<Finding>,
+    /// Findings present in the committed baseline (known debt).
+    pub baselined: Vec<Finding>,
     /// Allowlist entries that matched nothing (stale; also fatal).
     pub stale_allows: Vec<policy::AllowEntry>,
-    /// Findings that were suppressed by the allowlist (for `-v`).
+    /// Findings that were suppressed by the allowlist or by
+    /// `blocking_allowed_under` (for `-v`).
     pub allowed: Vec<Finding>,
 }
 
@@ -86,6 +167,35 @@ impl Report {
     pub fn clean(&self) -> bool {
         self.findings.is_empty() && self.stale_allows.is_empty()
     }
+
+    /// Move findings whose stable id is in `baseline` into the
+    /// baselined set (CI fails only on findings *not* in the baseline).
+    pub fn apply_baseline(&mut self, baseline: &BTreeSet<String>) {
+        let ids = json::finding_ids(&self.findings);
+        let mut keep = Vec::new();
+        for (f, id) in std::mem::take(&mut self.findings).into_iter().zip(ids) {
+            if baseline.contains(&id) {
+                self.baselined.push(f);
+            } else {
+                keep.push(f);
+            }
+        }
+        self.findings = keep;
+    }
+}
+
+/// Read and scan every source in the interprocedural analysis scope,
+/// keyed by workspace-relative path. Exposed for the integration tests
+/// that assert the call graph rediscovers known cross-function facts.
+pub fn scan_analysis_files(config: &Config) -> std::io::Result<Vec<(PathBuf, ScannedFile)>> {
+    let mut files = Vec::new();
+    for dir in &config.analysis_dirs {
+        for path in rust_files(&config.root.join(dir))? {
+            let scanned = lexer::scan(&std::fs::read_to_string(&path)?);
+            files.push((rel(&config.root, &path), scanned));
+        }
+    }
+    Ok(files)
 }
 
 /// Run every lint over the workspace under `config`, applying `policy`.
@@ -119,15 +229,16 @@ pub fn analyze(config: &Config, policy: &Policy) -> std::io::Result<Report> {
         }
     }
 
-    // Lock-order graph across the transport crate.
-    let mut edges = Vec::new();
-    for dir in &config.lock_dirs {
-        for path in rust_files(&config.root.join(dir))? {
-            let scanned = lexer::scan(&std::fs::read_to_string(&path)?);
-            edges.extend(lints::lockorder::edges(&rel(&config.root, &path), &scanned));
-        }
+    // The interprocedural pass: one scan feeds the call graph, the
+    // lock-order judgment, blocking-under-lock, and guard balance.
+    let files = scan_analysis_files(config)?;
+    let analysis = callgraph::analyze(&files, &policy.primitive_files);
+    findings.extend(lints::lockorder::check(&analysis.edges, policy));
+    let (blocked, waived) = lints::blocking::split(&analysis, policy);
+    findings.extend(blocked);
+    for (path, scanned) in &files {
+        findings.extend(lints::guardbalance::check(path, scanned, policy));
     }
-    findings.extend(lints::lockorder::check(&edges, policy));
 
     // Hygiene: manifests…
     let root_manifest = config.root.join("Cargo.toml");
@@ -152,7 +263,11 @@ pub fn analyze(config: &Config, policy: &Policy) -> std::io::Result<Report> {
         findings.extend(lints::hygiene::check_source(&relp, &masked, false));
     }
 
-    Ok(apply_allowlist(findings, policy))
+    let mut report = apply_allowlist(findings, policy);
+    // Blocking findings waived by `blocking_allowed_under` are not
+    // silent: they surface in the allowed set (`-v`).
+    report.allowed.extend(waived);
+    Ok(report)
 }
 
 /// Split findings into surviving / allowed, and collect stale entries.
@@ -182,6 +297,7 @@ pub fn apply_allowlist(findings: Vec<Finding>, policy: &Policy) -> Report {
         .collect();
     Report {
         findings: surviving,
+        baselined: Vec::new(),
         stale_allows,
         allowed,
     }

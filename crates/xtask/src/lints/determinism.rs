@@ -61,6 +61,7 @@ pub fn check(path: &Path, scanned: &ScannedFile) -> Vec<Finding> {
                     line: line.number,
                     message: format!("`{pat}`: {why} — `{}`", line.raw.trim()),
                     code: line.code.clone(),
+                    chain: Vec::new(),
                 });
             }
         }

@@ -1,0 +1,216 @@
+//! Guard-balance lint: lock guards and trace spans must have a
+//! structured lifetime.
+//!
+//! PR 4's trace assertions pair `span enter`/`span exit` events; the
+//! store's correctness proofs assume a `MutexGuard` acquired in a
+//! function either dies there or is *visibly* threaded to a callee
+//! typed to receive it. Three shapes break that discipline:
+//!
+//! 1. **Immediate drop**: `let _ = lock(&x);` or `let _ = span(…)` —
+//!    the guard/span dies at the end of the statement, so the critical
+//!    section / span body is empty. Always a bug (either the binding
+//!    should be named, or the call is pointless).
+//! 2. **Leaked guards**: `mem::forget(…)` / `Box::leak(…)` anywhere in
+//!    lint scope — a forgotten `MutexGuard` leaves the mutex locked
+//!    forever; a leaked span never closes.
+//! 3. **Guard smuggling**: a function that *returns* a `MutexGuard` it
+//!    acquired itself (no guard parameter). The caller now holds a
+//!    lock that no `lock(&…)` call in its own body announces, which
+//!    blinds both human readers and the lock-order analysis' local
+//!    view. The sync-primitive layer (`[policy] primitive_files`) is
+//!    exempt — wrapping acquisition is its whole job.
+
+use super::Finding;
+use crate::lexer::{self, ScannedFile};
+use crate::policy::Policy;
+use std::path::Path;
+
+/// Check one scanned file.
+pub fn check(path: &Path, scanned: &ScannedFile, policy: &Policy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let rel = path.to_string_lossy().replace('\\', "/");
+    let primitive = policy
+        .primitive_files
+        .iter()
+        .any(|s| rel.ends_with(s.as_str()));
+
+    for line in &scanned.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        // Shape 1: `let _ =` binding a guard or span to the wildcard.
+        if let Some(rest) = wildcard_rhs(code) {
+            let dropped = if rest.contains("lock(&") {
+                Some("lock guard")
+            } else if rest.contains(".span(") || rest.starts_with("span(") {
+                Some("trace span")
+            } else {
+                None
+            };
+            if let Some(what) = dropped {
+                findings.push(Finding {
+                    lint: "guard-balance",
+                    file: path.to_path_buf(),
+                    line: line.number,
+                    message: format!(
+                        "`let _ =` drops the {what} immediately — name the binding or delete the call"
+                    ),
+                    code: code.clone(),
+                    chain: Vec::new(),
+                });
+            }
+        }
+        // Shape 2: leak primitives.
+        for pat in ["mem::forget(", "forget(", "Box::leak("] {
+            if let Some(col) = find_call(code, pat) {
+                findings.push(Finding {
+                    lint: "guard-balance",
+                    file: path.to_path_buf(),
+                    line: line.number,
+                    message: format!(
+                        "`{}` defeats structured drop (col {col}) — a forgotten guard locks its mutex forever",
+                        pat.trim_end_matches('(')
+                    ),
+                    code: code.clone(),
+                    chain: Vec::new(),
+                });
+                break; // one finding per line
+            }
+        }
+    }
+
+    // Shape 3: guard smuggling, from the extracted signatures.
+    if !primitive {
+        for def in lexer::functions(&scanned.masked) {
+            let in_test = scanned
+                .lines
+                .get(def.line.saturating_sub(1))
+                .is_some_and(|l| l.in_test);
+            if in_test {
+                continue;
+            }
+            let returns_guard = def.ret.contains("MutexGuard");
+            let takes_guard = def.params.iter().any(|p| p.ty.contains("MutexGuard"));
+            if returns_guard && !takes_guard {
+                findings.push(Finding {
+                    lint: "guard-balance",
+                    file: path.to_path_buf(),
+                    line: def.line,
+                    message: format!(
+                        "`{}` returns a MutexGuard it acquired itself — callers hold a lock their own body never announces; thread the guard in as a parameter or keep the critical section local",
+                        def.qualified
+                    ),
+                    code: format!("fn {}(…) -> {}", def.name, def.ret.trim()),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// If `code` is a `let _ = …;` statement, the right-hand side.
+fn wildcard_rhs(code: &str) -> Option<&str> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("let _")?;
+    let rest = rest.trim_start();
+    rest.strip_prefix('=')
+}
+
+/// Column of a word-bounded call-site match of `pat` (ending in `(`).
+/// A `::` path prefix (`std::mem::forget`) still matches; an identifier
+/// tail (`no_forget`) or a method receiver (`x.forget`) does not.
+fn find_call(code: &str, pat: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(pat) {
+        let at = from + pos;
+        let bounded = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| lexer::is_ident(c) || c == '.');
+        if bounded {
+            return Some(at + 1);
+        }
+        from = at + pat.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&PathBuf::from("x.rs"), &scan(src), &Policy::default())
+    }
+
+    #[test]
+    fn wildcard_lock_binding_is_flagged() {
+        let f = run("fn f(&self) {\n    let _ = lock(&self.inner);\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("lock guard"));
+    }
+
+    #[test]
+    fn wildcard_span_binding_is_flagged() {
+        let f = run("fn f(&self) {\n    let _ = tracer.span(\"x\", &[]);\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("trace span"));
+    }
+
+    #[test]
+    fn named_bindings_are_clean() {
+        let f = run("fn f(&self) {\n    let _g = lock(&self.inner);\n    let _span = tracer.span(\"x\", &[]);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wildcard_on_plain_results_is_clean() {
+        let f = run("fn f(&self) {\n    let _ = self.tx.send(1);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn mem_forget_is_flagged() {
+        let f = run("fn f(g: G) {\n    mem::forget(g);\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        // The fully-qualified path matches too, exactly once.
+        let f = run("fn f(g: G) {\n    std::mem::forget(g);\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        // …but an unrelated suffix like `self.no_forget(x)` is not.
+        let f = run("fn f(&self) {\n    self.no_forget(1);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn guard_smuggling_is_flagged_but_threading_is_not() {
+        let smuggle = "impl S {\n    fn take(&self) -> MutexGuard<'_, Inner> {\n        lock(&self.inner)\n    }\n}\n";
+        let f = run(smuggle);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("S::take"));
+        // Guard-in, guard-out threading (the spill_trip shape) is fine.
+        let thread = "impl S {\n    fn trip<'a>(&'a self, g: MutexGuard<'a, Inner>) -> (MutexGuard<'a, Inner>, u32) {\n        (g, 0)\n    }\n}\n";
+        assert!(run(thread).is_empty());
+    }
+
+    #[test]
+    fn primitive_files_are_exempt_from_smuggling() {
+        let src = "pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> { m.lock().unwrap() }\n";
+        let policy = Policy {
+            primitive_files: vec!["sync.rs".into()],
+            ..Policy::default()
+        };
+        let f = check(&PathBuf::from("crates/x/src/sync.rs"), &scan(src), &policy);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)]\nmod t {\n    fn f(&self) { let _ = lock(&self.inner); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -29,6 +29,7 @@ pub fn check_manifest(path: &Path, text: &str) -> Vec<Finding> {
             line: 0,
             message: "manifest lacks `[lints]\\nworkspace = true`; every member must opt into the workspace lint set".into(),
             code: String::new(),
+            chain: Vec::new(),
         });
     }
     findings
@@ -48,6 +49,7 @@ pub fn check_root_manifest(path: &Path, text: &str) -> Vec<Finding> {
                 "root manifest must declare `[workspace.lints.rust]` with `unsafe_code = \"deny\"`"
                     .into(),
             code: String::new(),
+            chain: Vec::new(),
         });
     }
     findings
@@ -68,6 +70,7 @@ pub fn check_source(path: &Path, masked: &str, allowed_unsafe: bool) -> Vec<Find
                 line: idx + 1,
                 message: "`unsafe` is denied outside transport/src/verbs.rs and shims/".into(),
                 code: line.to_string(),
+                chain: Vec::new(),
             });
         }
     }

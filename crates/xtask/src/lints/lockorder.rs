@@ -1,189 +1,33 @@
-//! Lock-order lint: a static lock-acquisition graph for the dataplane.
+//! Lock-order lint: the documented-order and deadlock-cycle checks
+//! over the interprocedural acquisition graph.
 //!
-//! All mutex acquisition in `jbs-transport` goes through the shared
-//! poison-tolerant helper `sync::lock(&…)`, which gives this lint a
+//! All mutex acquisition in the dataplane goes through the shared
+//! poison-tolerant helper `sync::lock(&…)`, which gives the analysis a
 //! reliable syntactic anchor: every `lock(&path)` call is an
 //! acquisition of the lock named by `path`'s last segment
 //! (`self.conns` → `conns`, `slot.conn` → `conn`).
 //!
-//! Guard lifetimes are tracked heuristically but conservatively:
+//! Edge extraction lives in [`crate::callgraph`]: local guard lifetimes
+//! are simulated per function (let-bound = block-scoped, temporary =
+//! statement-scoped, `drop`/moves/`wait` modeled), and held sets
+//! propagate caller → callee to a fixpoint, so an edge like "callback
+//! locks `stats` while `SlotMap::with_conn` holds `conn`" is found
+//! without policy hints and reported with its full call chain.
 //!
-//! * a `let`-bound guard lives to the end of its enclosing block
-//!   (tracked by brace depth);
-//! * a temporary guard (`lock(&self.stats).x += 1;`) lives to the end
-//!   of its statement (the next `;` at or below its depth).
+//! This module judges the resulting edges:
 //!
-//! Acquiring lock `B` while any guard `A` is live records edge `A → B`.
-//! The lint then rejects
-//!
-//! 1. **cycles** in the resulting graph across the whole crate — the
-//!    classic ABBA deadlock (a self-edge `A → A` is a guaranteed
-//!    deadlock with `std::sync::Mutex` and is reported as a cycle);
+//! 1. **cycles** in the graph across the whole workspace — the classic
+//!    ABBA deadlock (a self-edge `A → A` is a guaranteed deadlock with
+//!    `std::sync::Mutex` and is reported as a cycle);
 //! 2. **order violations**: every edge must go strictly forward in the
 //!    documented order (`[policy] lock_order` in `allow.toml`), and
 //!    every lock name must appear in that order — so the documentation
 //!    cannot silently rot.
-//!
-//! Limits (documented in DESIGN.md §9): the analysis is per-function and
-//! syntactic — edges through calls (e.g. a callback locking `stats`
-//! while a caller holds `conn`) must be encoded in the documented order
-//! by hand, and explicit `drop(guard)` calls are not modeled (none are
-//! used on the dataplane).
 
 use super::Finding;
-use crate::lexer::{self, ScannedFile};
+use crate::callgraph::Edge;
 use crate::policy::Policy;
 use std::collections::{BTreeMap, BTreeSet};
-use std::path::{Path, PathBuf};
-
-/// One `A → B` acquisition edge with its witness site.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-pub struct Edge {
-    /// Lock already held.
-    pub held: String,
-    /// Lock acquired while holding `held`.
-    pub acquired: String,
-    /// Witness file.
-    pub file: PathBuf,
-    /// Witness line (1-based).
-    pub line: usize,
-}
-
-/// Extract the lock-acquisition edges of one scanned file.
-pub fn edges(path: &Path, scanned: &ScannedFile) -> Vec<Edge> {
-    #[derive(Debug)]
-    struct Guard {
-        name: String,
-        /// Brace depth at acquisition.
-        depth: usize,
-        /// Temporaries die at the next `;` at depth <= `depth`.
-        temporary: bool,
-    }
-
-    let chars: Vec<char> = scanned.masked.chars().collect();
-    // Map char offset -> line number and test-ness.
-    let mut line_of = Vec::with_capacity(chars.len());
-    {
-        let mut ln = 1usize;
-        for &c in &chars {
-            line_of.push(ln);
-            if c == '\n' {
-                ln += 1;
-            }
-        }
-    }
-    let in_test = |off: usize| {
-        let ln = line_of.get(off).copied().unwrap_or(1);
-        scanned.lines.get(ln - 1).is_some_and(|l| l.in_test)
-    };
-
-    let mut out = Vec::new();
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut depth = 0usize;
-    let mut i = 0usize;
-    while i < chars.len() {
-        match chars[i] {
-            '{' => {
-                depth += 1;
-                i += 1;
-            }
-            '}' => {
-                depth = depth.saturating_sub(1);
-                // Scoped guards die when their block closes; a temporary
-                // in a block-statement header (`match lock(&a)… { … }`)
-                // dies at the brace that returns to its own depth.
-                guards.retain(|g| g.depth <= depth && !(g.temporary && g.depth == depth));
-                i += 1;
-            }
-            ';' => {
-                guards.retain(|g| !(g.temporary && depth <= g.depth));
-                i += 1;
-            }
-            'l' if is_lock_call(&chars, i) => {
-                let (name, end) = lock_name(&chars, i);
-                if let Some(name) = name {
-                    if !in_test(i) {
-                        for g in &guards {
-                            out.push(Edge {
-                                held: g.name.clone(),
-                                acquired: name.clone(),
-                                file: path.to_path_buf(),
-                                line: line_of.get(i).copied().unwrap_or(0),
-                            });
-                        }
-                    }
-                    guards.push(Guard {
-                        name,
-                        depth,
-                        temporary: !stmt_has_let(&chars, i),
-                    });
-                }
-                i = end;
-            }
-            _ => i += 1,
-        }
-    }
-    out
-}
-
-/// Is `chars[i..]` a call of the `lock(&…)` helper (not a method call
-/// like `.lock(` and not an identifier suffix like `try_lock(`)?
-fn is_lock_call(chars: &[char], i: usize) -> bool {
-    if chars[i..].iter().take(5).collect::<String>() != "lock(" {
-        return false;
-    }
-    if i > 0 && (lexer::is_ident(chars[i - 1]) || chars[i - 1] == '.') {
-        return false;
-    }
-    chars.get(i + 5) == Some(&'&')
-}
-
-/// Parse the lock name out of `lock(&path)`; returns (name, end offset).
-fn lock_name(chars: &[char], i: usize) -> (Option<String>, usize) {
-    let mut j = i + 6; // past "lock(&"
-    let mut path = String::new();
-    while j < chars.len() && (lexer::is_ident(chars[j]) || chars[j] == '.' || chars[j] == ' ') {
-        path.push(chars[j]);
-        j += 1;
-    }
-    if chars.get(j) != Some(&')') {
-        // Not a simple `lock(&a.b.c)` form; skip rather than guess.
-        return (None, j);
-    }
-    let name = path
-        .trim()
-        .rsplit('.')
-        .next()
-        .map(str::to_string)
-        .filter(|s| !s.is_empty());
-    (name, j + 1)
-}
-
-/// Does the statement containing offset `i` bind with `let` (scoped
-/// guard) or not (temporary)? Scans backwards to the statement start.
-/// `if let` / `while let` scrutinees are NOT bindings of the guard —
-/// those temporaries die with the `if`/`while` statement.
-fn stmt_has_let(chars: &[char], i: usize) -> bool {
-    let mut j = i;
-    while j > 0 {
-        match chars[j - 1] {
-            ';' | '{' | '}' => break,
-            _ => j -= 1,
-        }
-    }
-    let stmt: String = chars[j..i].iter().collect();
-    let words: Vec<&str> = stmt
-        .split(|c: char| !lexer::is_ident(c))
-        .filter(|w| !w.is_empty())
-        .collect();
-    words.iter().enumerate().any(|(k, w)| {
-        *w == "let"
-            && !matches!(
-                k.checked_sub(1).and_then(|p| words.get(p)),
-                Some(&"if") | Some(&"while")
-            )
-    })
-}
 
 /// Check all edges for cycles and documented-order violations.
 pub fn check(all_edges: &[Edge], policy: &Policy) -> Vec<Finding> {
@@ -204,17 +48,17 @@ pub fn check(all_edges: &[Edge], policy: &Policy) -> Vec<Finding> {
                     e.acquired, e.held, policy.lock_order
                 ),
                 code: String::new(),
+                chain: e.chain.clone(),
             }),
             _ => {}
         }
     }
     for n in names {
         if policy.lock_rank(n).is_none() {
-            let witness = all_edges
-                .iter()
-                .find(|e| e.held == n || e.acquired == n)
-                .map(|e| (e.file.clone(), e.line));
-            let (file, line) = witness.unwrap_or_default();
+            let witness = all_edges.iter().find(|e| e.held == n || e.acquired == n);
+            let (file, line, chain) = witness
+                .map(|e| (e.file.clone(), e.line, e.chain.clone()))
+                .unwrap_or_default();
             findings.push(Finding {
                 lint: "lock-order",
                 file,
@@ -223,6 +67,7 @@ pub fn check(all_edges: &[Edge], policy: &Policy) -> Vec<Finding> {
                     "lock `{n}` participates in nesting but is not in `[policy] lock_order`; document it"
                 ),
                 code: String::new(),
+                chain,
             });
         }
     }
@@ -237,7 +82,9 @@ pub fn check(all_edges: &[Edge], policy: &Policy) -> Vec<Finding> {
             .iter()
             .find(|e| cycle.contains(&e.held) && cycle.contains(&e.acquired))
             .cloned();
-        let (file, line) = witness.map(|e| (e.file, e.line)).unwrap_or_default();
+        let (file, line, chain) = witness
+            .map(|e| (e.file, e.line, e.chain))
+            .unwrap_or_default();
         findings.push(Finding {
             lint: "lock-order",
             file,
@@ -247,6 +94,7 @@ pub fn check(all_edges: &[Edge], policy: &Policy) -> Vec<Finding> {
                 cycle.join(" -> ")
             ),
             code: String::new(),
+            chain,
         });
     }
     findings
@@ -306,48 +154,20 @@ fn find_cycle(adj: &BTreeMap<&str, BTreeSet<&str>>) -> Option<Vec<String>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::callgraph;
     use crate::lexer::scan;
     use std::path::PathBuf;
 
     fn edges_of(src: &str) -> Vec<Edge> {
-        edges(&PathBuf::from("x.rs"), &scan(src))
+        let files = vec![(PathBuf::from("x.rs"), scan(src))];
+        callgraph::analyze(&files, &[]).edges
     }
 
     fn policy(order: &[&str]) -> Policy {
         Policy {
             lock_order: order.iter().map(|s| s.to_string()).collect(),
-            allows: Vec::new(),
+            ..Policy::default()
         }
-    }
-
-    #[test]
-    fn scoped_guard_nesting_yields_edge() {
-        let src = "fn f(&self) { let a = lock(&self.alpha); let b = lock(&self.beta); }";
-        let e = edges_of(src);
-        assert_eq!(e.len(), 1, "{e:?}");
-        assert_eq!(
-            e.first().map(|e| (e.held.as_str(), e.acquired.as_str())),
-            Some(("alpha", "beta"))
-        );
-    }
-
-    #[test]
-    fn inner_block_releases_before_next_lock() {
-        let src = "fn f(&self) { let s = { let a = lock(&self.alpha); a.len() }; let b = lock(&self.beta); }";
-        assert!(edges_of(src).is_empty());
-    }
-
-    #[test]
-    fn temporary_guard_dies_at_statement_end() {
-        let src = "fn f(&self) { lock(&self.alpha).x += 1; let b = lock(&self.beta); }";
-        assert!(edges_of(src).is_empty());
-    }
-
-    #[test]
-    fn temporary_guard_nests_within_its_statement() {
-        let src = "fn f(&self) { lock(&self.alpha).insert(lock(&self.beta).pop()); }";
-        let e = edges_of(src);
-        assert_eq!(e.len(), 1, "{e:?}");
     }
 
     #[test]
@@ -364,6 +184,40 @@ mod tests {
         let e = edges_of("fn f(&self) { let a = lock(&self.alpha); let b = lock(&self.alpha); }");
         let f = check(&e, &policy(&["alpha"]));
         assert!(f.iter().any(|f| f.message.contains("cycle")), "{f:?}");
+    }
+
+    #[test]
+    fn cross_function_abba_is_a_cycle() {
+        // Each function is clean in isolation; the inversion only
+        // exists through the call.
+        let src = r#"
+impl S {
+    fn forward(&self) {
+        let a = lock(&self.alpha);
+        self.take_beta();
+    }
+    fn take_beta(&self) {
+        lock(&self.beta).touch();
+    }
+    fn backward(&self) {
+        let b = lock(&self.beta);
+        self.take_alpha();
+    }
+    fn take_alpha(&self) {
+        lock(&self.alpha).touch();
+    }
+}
+"#;
+        let e = edges_of(src);
+        let f = check(&e, &policy(&["alpha", "beta"]));
+        let cycle = f
+            .iter()
+            .find(|f| f.message.contains("cycle"))
+            .expect("cycle");
+        assert!(
+            !cycle.chain.is_empty(),
+            "cycle finding carries the call chain: {cycle:?}"
+        );
     }
 
     #[test]

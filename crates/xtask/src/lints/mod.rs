@@ -4,7 +4,9 @@
 //! allowlist, reports stale allowlist entries, and turns any surviving
 //! finding into a nonzero exit.
 
+pub mod blocking;
 pub mod determinism;
+pub mod guardbalance;
 pub mod hygiene;
 pub mod lockorder;
 pub mod panics;
@@ -14,10 +16,10 @@ use std::fmt;
 use std::path::PathBuf;
 
 /// One rule violation at one call site.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Lint family (`panic`, `lock-order`, `determinism`, `hygiene`,
-    /// `print`).
+    /// Lint family (`panic`, `lock-order`, `blocking`, `guard-balance`,
+    /// `determinism`, `hygiene`, `print`).
     pub lint: &'static str,
     /// File the violation is in.
     pub file: PathBuf,
@@ -27,6 +29,25 @@ pub struct Finding {
     pub message: String,
     /// The masked source line, for allowlist matching.
     pub code: String,
+    /// Call-chain frames (`Fn (file:line)`) for interprocedural
+    /// findings; empty for findings local to one function.
+    pub chain: Vec<String>,
+}
+
+/// Map a lint name back to its canonical `&'static str` (so a parsed
+/// JSON report uses the same statics as a live run).
+pub fn lint_name(name: &str) -> Option<&'static str> {
+    [
+        "panic",
+        "lock-order",
+        "blocking",
+        "guard-balance",
+        "determinism",
+        "hygiene",
+        "print",
+    ]
+    .into_iter()
+    .find(|&known| name == known)
 }
 
 impl fmt::Display for Finding {
@@ -38,6 +59,10 @@ impl fmt::Display for Finding {
             self.file.display(),
             self.line,
             self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    via {}", self.chain.join("\n     -> "))?;
+        }
+        Ok(())
     }
 }

@@ -62,6 +62,7 @@ pub fn check(path: &Path, scanned: &ScannedFile) -> Vec<Finding> {
                     line: line.number,
                     message: format!("{why} — `{}`", line.raw.trim()),
                     code: line.code.clone(),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -75,6 +76,7 @@ pub fn check(path: &Path, scanned: &ScannedFile) -> Vec<Finding> {
                     line.raw.trim()
                 ),
                 code: line.code.clone(),
+                chain: Vec::new(),
             });
         }
     }

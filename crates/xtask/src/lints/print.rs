@@ -15,11 +15,26 @@ use std::path::Path;
 
 /// Macro invocations denied in dataplane code.
 const DENIED: &[(&str, &str)] = &[
-    ("println!", "use a `jbs_obs::Trace` event or a stats counter, not stdout"),
-    ("print!", "use a `jbs_obs::Trace` event or a stats counter, not stdout"),
-    ("eprintln!", "use a `jbs_obs::Trace` event or a typed error, not stderr"),
-    ("eprint!", "use a `jbs_obs::Trace` event or a typed error, not stderr"),
-    ("dbg!", "debug prints do not belong on the dataplane; trace it instead"),
+    (
+        "println!",
+        "use a `jbs_obs::Trace` event or a stats counter, not stdout",
+    ),
+    (
+        "print!",
+        "use a `jbs_obs::Trace` event or a stats counter, not stdout",
+    ),
+    (
+        "eprintln!",
+        "use a `jbs_obs::Trace` event or a typed error, not stderr",
+    ),
+    (
+        "eprint!",
+        "use a `jbs_obs::Trace` event or a typed error, not stderr",
+    ),
+    (
+        "dbg!",
+        "debug prints do not belong on the dataplane; trace it instead",
+    ),
 ];
 
 /// True when `line` invokes the macro `pat` (which ends in `!`) as its
@@ -56,6 +71,7 @@ pub fn check(path: &Path, scanned: &ScannedFile) -> Vec<Finding> {
                     line: line.number,
                     message: format!("`{pat}`: {why} — `{}`", line.raw.trim()),
                     code: line.code.clone(),
+                    chain: Vec::new(),
                 });
                 // One finding per line: `println!` should not also
                 // report as `print!` were the guard ever relaxed.

@@ -1,14 +1,18 @@
-//! CLI entry point: `cargo xtask analyze [--root PATH] [-v]`.
+//! CLI entry point:
+//! `cargo xtask analyze [--root PATH] [--format text|json] [--baseline FILE] [-v]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use xtask::policy::Policy;
-use xtask::{analyze, Config};
+use xtask::{analyze, json, Config};
+
+const USAGE: &str =
+    "usage: cargo xtask analyze [--root PATH] [--format text|json] [--baseline FILE] [-v]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: cargo xtask analyze [--root PATH] [-v]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     if cmd != "analyze" {
@@ -17,12 +21,23 @@ fn main() -> ExitCode {
     }
     let mut root: Option<PathBuf> = None;
     let mut verbose = false;
+    let mut format = String::from("text");
+    let mut baseline: Option<PathBuf> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                other => {
+                    eprintln!("--format takes `text` or `json`, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => baseline = args.next().map(PathBuf::from),
             "-v" | "--verbose" => verbose = true,
             other => {
-                eprintln!("unknown flag `{other}`");
+                eprintln!("unknown flag `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
@@ -50,18 +65,59 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let config = Config::for_workspace(&root);
-    let report = match analyze(&config, &policy) {
+    let config = match Config::for_workspace(&root, &policy) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask: cannot discover workspace members: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut report = match analyze(&config, &policy) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask: analysis failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match json::baseline_ids(&text) {
+                Ok(ids) => report.apply_baseline(&ids),
+                Err(e) => {
+                    eprintln!("xtask: bad baseline {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("xtask: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if format == "json" {
+        // The report (findings, baselined debt, allowed exemptions,
+        // stale entries) goes to stdout; the verdict stays on stderr so
+        // the artifact is pure JSON.
+        print!("{}", json::to_json(&report));
+        if report.clean() {
+            eprintln!("xtask analyze: clean");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "xtask analyze: {} violation(s), {} stale allowlist entr(ies)",
+            report.findings.len(),
+            report.stale_allows.len()
+        );
+        return ExitCode::FAILURE;
+    }
 
     if verbose {
         for f in &report.allowed {
             println!("allowed  {f}");
+        }
+        for f in &report.baselined {
+            println!("baselined  {f}");
         }
     }
     for f in &report.findings {
@@ -75,9 +131,14 @@ fn main() -> ExitCode {
     }
     if report.clean() {
         println!(
-            "xtask analyze: clean ({} audited exemption{})",
+            "xtask analyze: clean ({} audited exemption{}{})",
             report.allowed.len(),
-            if report.allowed.len() == 1 { "" } else { "s" }
+            if report.allowed.len() == 1 { "" } else { "s" },
+            if report.baselined.is_empty() {
+                String::new()
+            } else {
+                format!(", {} baselined", report.baselined.len())
+            }
         );
         ExitCode::SUCCESS
     } else {

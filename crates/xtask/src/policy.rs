@@ -29,11 +29,30 @@ pub struct AllowEntry {
     pub defined_at: usize,
 }
 
-/// Parsed policy: documented lock order + allowlist.
+/// Parsed policy: documented lock order, lint-scope opt-outs, and the
+/// allowlist.
 #[derive(Debug, Default)]
 pub struct Policy {
     /// Lock names in their global acquisition order.
     pub lock_order: Vec<String>,
+    /// Crate names (directory names under `crates/`) opted out of the
+    /// panic-freedom lint.
+    pub panic_exempt: Vec<String>,
+    /// Crate names opted out of the print lint.
+    pub print_exempt: Vec<String>,
+    /// Crate names opted out of the interprocedural analysis
+    /// (lock-order, blocking, guard-balance).
+    pub analysis_exempt: Vec<String>,
+    /// Directories (relative to the workspace root) under the
+    /// determinism lint (simulated-time code).
+    pub determinism_dirs: Vec<String>,
+    /// Path suffixes of the sync-primitive layer (the `lock`/`wait`
+    /// helpers): exempt from blocking and guard-smuggling checks.
+    pub primitive_files: Vec<String>,
+    /// Locks that exist to serialize blocking work; blocking findings
+    /// where every held lock is listed here are suppressed (visible
+    /// with `-v`).
+    pub blocking_allowed_under: Vec<String>,
     /// Audited exemptions.
     pub allows: Vec<AllowEntry>,
 }
@@ -110,14 +129,22 @@ impl Policy {
             let (key, value) = split_kv(&line, lineno)?;
             match section {
                 Section::Policy => {
-                    if key == "lock_order" {
-                        policy.lock_order = parse_string_array(value, lineno)?;
-                    } else {
-                        return Err(PolicyError {
-                            line: lineno,
-                            message: format!("unknown policy key `{key}`"),
-                        });
-                    }
+                    let slot = match key {
+                        "lock_order" => &mut policy.lock_order,
+                        "panic_exempt" => &mut policy.panic_exempt,
+                        "print_exempt" => &mut policy.print_exempt,
+                        "analysis_exempt" => &mut policy.analysis_exempt,
+                        "determinism_dirs" => &mut policy.determinism_dirs,
+                        "primitive_files" => &mut policy.primitive_files,
+                        "blocking_allowed_under" => &mut policy.blocking_allowed_under,
+                        _ => {
+                            return Err(PolicyError {
+                                line: lineno,
+                                message: format!("unknown policy key `{key}`"),
+                            });
+                        }
+                    };
+                    *slot = parse_string_array(value, lineno)?;
                 }
                 Section::Allow => {
                     let entry = current.as_mut().ok_or(PolicyError {

@@ -19,13 +19,16 @@ fn fixture_config(root: &Path) -> Config {
         root: root.to_path_buf(),
         panic_dirs: vec!["crates/dataplane/src".into()],
         determinism_dirs: vec!["crates/sim/src".into()],
-        lock_dirs: vec!["crates/dataplane/src".into()],
+        analysis_dirs: vec!["crates/dataplane/src".into()],
         print_dirs: vec!["crates/dataplane/src".into()],
     }
 }
 
 fn fixture_policy(allows: &str) -> Policy {
-    let text = format!("[policy]\nlock_order = [\"alpha\", \"beta\"]\n{allows}");
+    let text = format!(
+        "[policy]\nlock_order = [\"alpha\", \"beta\", \"delta\", \"epsilon\"]\n\
+         primitive_files = [\"crates/dataplane/src/sync.rs\"]\n{allows}"
+    );
     Policy::parse(&text).expect("fixture policy parses")
 }
 
@@ -91,7 +94,13 @@ fn bad_fixture_trips_determinism() {
 #[test]
 fn bad_fixture_trips_every_print_macro_exactly_once() {
     let r = run("bad", &fixture_policy(""));
-    for needle in ["`println!`", "`eprintln!`", "`print!`", "`eprint!`", "`dbg!`"] {
+    for needle in [
+        "`println!`",
+        "`eprintln!`",
+        "`print!`",
+        "`eprint!`",
+        "`dbg!`",
+    ] {
         assert_eq!(
             count(&r, "print", needle),
             1,
@@ -126,6 +135,76 @@ fn bad_fixture_trips_lockorder_cycle_order_and_undocumented() {
         1,
         "undocumented lock reported"
     );
+}
+
+#[test]
+fn bad_fixture_trips_cross_function_lock_order() {
+    let r = run("bad", &fixture_policy(""));
+    let cross: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| {
+            f.lint == "lock-order"
+                && f.message.contains("`delta`")
+                && f.message.contains("contrary to the documented order")
+        })
+        .collect();
+    assert_eq!(
+        cross.len(),
+        1,
+        "epsilon -> delta inversion crosses drain -> refill: {:#?}",
+        r.findings
+            .iter()
+            .map(|f| format!("{f}"))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        cross[0].chain.iter().any(|fr| fr.contains("C::drain")),
+        "the finding names the caller that held `epsilon`: {:?}",
+        cross[0].chain
+    );
+}
+
+#[test]
+fn bad_fixture_trips_blocking_under_lock() {
+    let r = run("bad", &fixture_policy(""));
+    assert_eq!(count(&r, "blocking", "thread sleep"), 1);
+    assert_eq!(count(&r, "blocking", "stream write"), 1);
+    let transitive: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.lint == "blocking" && f.message.contains("file write"))
+        .collect();
+    assert_eq!(
+        transitive.len(),
+        1,
+        "fs::write reached through persist -> flush_to_disk: {:#?}",
+        r.findings
+            .iter()
+            .map(|f| format!("{f}"))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        transitive[0]
+            .chain
+            .iter()
+            .any(|fr| fr.contains("C::persist")),
+        "the finding names the lock holder up the call graph: {:?}",
+        transitive[0].chain
+    );
+}
+
+#[test]
+fn bad_fixture_trips_guard_balance() {
+    let r = run("bad", &fixture_policy(""));
+    assert_eq!(count(&r, "guard-balance", "`let _ =`"), 1);
+    assert_eq!(count(&r, "guard-balance", "mem::forget"), 1);
+    assert_eq!(count(&r, "guard-balance", "G::smuggle"), 1);
+    assert!(r
+        .findings
+        .iter()
+        .filter(|f| f.lint == "guard-balance")
+        .all(|f| f.file.ends_with("guards.rs")));
 }
 
 #[test]
@@ -209,7 +288,8 @@ fn live_workspace_is_clean() {
         .map(Path::to_path_buf)
         .expect("workspace root");
     let policy = Policy::load(&root.join("crates/xtask/allow.toml")).expect("policy loads");
-    let r = analyze(&Config::for_workspace(&root), &policy).expect("analysis runs");
+    let config = Config::for_workspace(&root, &policy).expect("workspace members discovered");
+    let r = analyze(&config, &policy).expect("analysis runs");
     assert!(
         r.findings.is_empty() && r.stale_allows.is_empty(),
         "live workspace must analyze clean; findings: {:#?}, stale: {:#?}",

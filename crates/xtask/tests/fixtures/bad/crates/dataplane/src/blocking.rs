@@ -1,0 +1,25 @@
+//! Fixture: blocking primitives while a guard is live — each one
+//! convoys every thread contending on `alpha`. Scanned, never compiled.
+
+use crate::sync::lock;
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct B {
+    alpha: Mutex<Vec<u8>>,
+}
+
+impl B {
+    // The sleep happens inside the critical section.
+    pub fn sleep_under_lock(&self) {
+        let mut g = lock(&self.alpha);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        g.clear();
+    }
+
+    // Socket write with the guard still live.
+    pub fn write_under_lock(&self, w: &mut std::net::TcpStream) {
+        let g = lock(&self.alpha);
+        w.write_all(&g).ok();
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: cross-function violations only the interprocedural pass
+//! can see — every function here is clean in isolation.
+
+use crate::sync::lock;
+use std::sync::Mutex;
+
+pub struct C {
+    delta: Mutex<u32>,
+    epsilon: Mutex<u32>,
+}
+
+impl C {
+    // Holds `epsilon` and calls into `refill`, whose acquisition of
+    // `delta` is contrary to the documented order delta -> epsilon.
+    pub fn drain(&self) -> u32 {
+        let e = lock(&self.epsilon);
+        self.refill() + *e
+    }
+
+    fn refill(&self) -> u32 {
+        let d = lock(&self.delta);
+        *d
+    }
+
+    // Holds `delta` across a helper that bottoms out in file I/O.
+    pub fn persist(&self) {
+        let d = lock(&self.delta);
+        self.flush_to_disk(*d);
+    }
+
+    fn flush_to_disk(&self, v: u32) {
+        std::fs::write("state.bin", v.to_be_bytes()).ok();
+    }
+}

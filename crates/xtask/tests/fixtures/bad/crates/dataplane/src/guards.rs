@@ -1,0 +1,30 @@
+//! Fixture: guards escaping structured drop — an empty critical
+//! section, a leaked guard, and a smuggled guard. Scanned, never
+//! compiled.
+
+use crate::sync::lock;
+use std::sync::{Mutex, MutexGuard};
+
+pub struct G {
+    alpha: Mutex<u32>,
+}
+
+impl G {
+    // `let _ =` drops the guard at the end of the statement: the
+    // critical section is empty.
+    pub fn empty_section(&self) {
+        let _ = lock(&self.alpha);
+    }
+
+    // A forgotten guard leaves `alpha` locked forever.
+    pub fn pin(&self) {
+        let g = lock(&self.alpha);
+        std::mem::forget(g);
+    }
+
+    // Returns a guard it acquired itself: the caller holds a lock its
+    // own body never announces.
+    pub fn smuggle(&self) -> MutexGuard<'_, u32> {
+        lock(&self.alpha)
+    }
+}

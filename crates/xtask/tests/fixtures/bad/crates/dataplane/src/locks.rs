@@ -1,11 +1,8 @@
 //! Fixture: lock-order violations the lint must catch — an ABBA cycle
 //! and an undocumented lock. Scanned, never compiled.
 
-use std::sync::{Mutex, MutexGuard};
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
+use crate::sync::lock;
+use std::sync::Mutex;
 
 pub struct S {
     alpha: Mutex<u32>,

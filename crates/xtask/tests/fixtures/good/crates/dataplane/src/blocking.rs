@@ -1,0 +1,27 @@
+//! Fixture: the fixed counterpart of `bad/.../blocking.rs` — the guard
+//! is dropped (or the data copied out) before anything blocks.
+
+use crate::sync::lock;
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct B {
+    alpha: Mutex<Vec<u8>>,
+}
+
+impl B {
+    pub fn sleep_after_drop(&self) {
+        let mut g = lock(&self.alpha);
+        g.clear();
+        drop(g);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    pub fn write_outside_lock(&self, w: &mut std::net::TcpStream) {
+        let snapshot = {
+            let g = lock(&self.alpha);
+            g.clone()
+        };
+        w.write_all(&snapshot).ok();
+    }
+}

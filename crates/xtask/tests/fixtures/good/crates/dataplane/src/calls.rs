@@ -1,0 +1,38 @@
+//! Fixture: the fixed counterpart of `bad/.../calls.rs` — the
+//! cross-function acquisition follows the documented order, and the
+//! guard is released before the helper that does file I/O.
+
+use crate::sync::lock;
+use std::sync::Mutex;
+
+pub struct C {
+    delta: Mutex<u32>,
+    epsilon: Mutex<u32>,
+}
+
+impl C {
+    // delta -> epsilon is the documented order; the interprocedural
+    // pass still sees the edge, and it is forward.
+    pub fn drain(&self) -> u32 {
+        let d = lock(&self.delta);
+        self.refill_hint() + *d
+    }
+
+    fn refill_hint(&self) -> u32 {
+        let e = lock(&self.epsilon);
+        *e
+    }
+
+    // Copy the value out, drop the guard, then write.
+    pub fn persist(&self) {
+        let v = {
+            let d = lock(&self.delta);
+            *d
+        };
+        self.flush_to_disk(v);
+    }
+
+    fn flush_to_disk(&self, v: u32) {
+        std::fs::write("state.bin", v.to_be_bytes()).ok();
+    }
+}

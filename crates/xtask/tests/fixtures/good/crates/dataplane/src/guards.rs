@@ -1,0 +1,22 @@
+//! Fixture: the fixed counterpart of `bad/.../guards.rs` — named
+//! bindings, structured drop, and guard-in/guard-out threading.
+
+use crate::sync::lock;
+use std::sync::{Mutex, MutexGuard};
+
+pub struct G {
+    alpha: Mutex<u32>,
+}
+
+impl G {
+    pub fn balanced(&self) -> u32 {
+        let g = lock(&self.alpha);
+        *g
+    }
+
+    // Threading a caller-supplied guard through is fine: the caller
+    // already announced the acquisition in its own body.
+    pub fn threaded<'a>(&'a self, g: MutexGuard<'a, u32>) -> MutexGuard<'a, u32> {
+        g
+    }
+}

@@ -1,11 +1,8 @@
 //! Fixture: the fixed counterpart of `bad/.../locks.rs` — every
 //! acquisition follows the documented order alpha → beta.
 
-use std::sync::{Mutex, MutexGuard};
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
+use crate::sync::lock;
+use std::sync::Mutex;
 
 pub struct S {
     alpha: Mutex<u32>,

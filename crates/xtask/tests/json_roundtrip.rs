@@ -1,0 +1,129 @@
+//! Property: `--format json` round-trips. For any report — findings
+//! with adversarial strings (quotes, backslashes, control characters,
+//! multi-byte unicode), baselined debt, allowed exemptions, stale
+//! allowlist entries — `parse_report(to_json(r))` reconstructs the
+//! same report, and serialization is a fixpoint. This is the contract
+//! CI's baseline diffing stands on.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use xtask::json;
+use xtask::lints::Finding;
+use xtask::policy::AllowEntry;
+use xtask::Report;
+
+/// Every lint family `parse_report` accepts.
+const LINTS: &[&str] = &[
+    "panic",
+    "lock-order",
+    "blocking",
+    "guard-balance",
+    "determinism",
+    "hygiene",
+    "print",
+];
+
+/// Characters chosen to stress the escaper: JSON metacharacters,
+/// C0 controls (escaped as `\u00XX`), DEL, and multi-byte code points.
+const ALPHABET: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{1f}', '\u{7f}', 'é', '→',
+    '𝕫', '|', '{', '}', '[', ']', ':', ',',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..ALPHABET.len(), 0..24)
+        .prop_map(|ix| ix.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+/// File paths come from the scanner workspace-relative with `/`
+/// separators; the serializer normalizes any `\` to `/`, so a path
+/// containing a literal backslash cannot round-trip (by design).
+fn arb_path() -> impl Strategy<Value = String> {
+    arb_string().prop_map(|s| s.replace('\\', "/"))
+}
+
+fn arb_finding() -> impl Strategy<Value = Finding> {
+    (
+        0usize..LINTS.len(),
+        arb_path(),
+        0usize..100_000,
+        arb_string(),
+        arb_string(),
+        prop::collection::vec(arb_string(), 0..4),
+    )
+        .prop_map(|(l, file, line, message, code, chain)| Finding {
+            lint: LINTS[l],
+            file: PathBuf::from(file),
+            line,
+            message,
+            code,
+            chain,
+        })
+}
+
+fn arb_allow() -> impl Strategy<Value = AllowEntry> {
+    (
+        0usize..LINTS.len(),
+        arb_string(),
+        arb_string(),
+        arb_string(),
+        0usize..1_000,
+    )
+        .prop_map(|(l, file, contains, reason, defined_at)| AllowEntry {
+            lint: LINTS[l].to_string(),
+            file,
+            contains,
+            reason,
+            defined_at,
+        })
+}
+
+fn arb_report() -> impl Strategy<Value = Report> {
+    (
+        prop::collection::vec(arb_finding(), 0..6),
+        prop::collection::vec(arb_finding(), 0..4),
+        prop::collection::vec(arb_allow(), 0..3),
+        prop::collection::vec(arb_finding(), 0..4),
+    )
+        .prop_map(|(findings, baselined, stale_allows, allowed)| Report {
+            findings,
+            baselined,
+            stale_allows,
+            allowed,
+        })
+}
+
+proptest! {
+    #[test]
+    fn report_json_round_trips(report in arb_report()) {
+        let text = json::to_json(&report);
+        let back = json::parse_report(&text)
+            .unwrap_or_else(|e| panic!("own output parses: {e}\n{text}"));
+        prop_assert_eq!(&back.findings, &report.findings);
+        prop_assert_eq!(&back.baselined, &report.baselined);
+        prop_assert_eq!(&back.allowed, &report.allowed);
+        prop_assert_eq!(back.stale_allows.len(), report.stale_allows.len());
+        for (a, b) in back.stale_allows.iter().zip(&report.stale_allows) {
+            prop_assert_eq!(&a.lint, &b.lint);
+            prop_assert_eq!(&a.contains, &b.contains);
+            prop_assert_eq!(a.defined_at, b.defined_at);
+        }
+        // Serialization is a fixpoint: re-serializing the parsed
+        // report reproduces the exact bytes (stable finding ids and
+        // artifact diffs depend on this).
+        prop_assert_eq!(json::to_json(&back), text);
+    }
+
+    #[test]
+    fn finding_ids_are_stable_under_line_renumbering(
+        mut report in arb_report(),
+        shift in 1usize..500,
+    ) {
+        let before = json::finding_ids(&report.findings);
+        for f in &mut report.findings {
+            f.line += shift;
+        }
+        let after = json::finding_ids(&report.findings);
+        prop_assert_eq!(before, after);
+    }
+}
