@@ -13,6 +13,12 @@
 //!   dialect: every chunk payload arrives CRC32C-sealed and is
 //!   verified before admission, so the delta against plain pipelined
 //!   is the end-to-end integrity overhead as a number.
+//! * **event-loop** — the pipelined discipline served by the reactor
+//!   (`threaded: false`): readiness-polled nonblocking connections,
+//!   responses transmitted straight out of refcounted DataCache slabs
+//!   with one vectored write per batch. The deltas against pipelined
+//!   are the per-connection-thread tax (`syscalls_per_segment`) and
+//!   the staging copy tax (`copies_per_byte`) as numbers.
 //! * **hybrid-mem / hybrid-spill** — the same segments served from an
 //!   attached hybrid store instead of the MOF path. `hybrid-mem` gives
 //!   the store enough budget that every byte stays in the MEMORY tier
@@ -106,6 +112,27 @@ struct Measured {
     /// Mean disk/net overlap fraction per run (of the smaller union):
     /// the Fig. 4 → Fig. 5 transition as a number.
     overlap_frac: f64,
+    /// Supplier-side socket syscalls (reads + vectored writes) per
+    /// served segment, from the server stats counters. The event loop
+    /// batches responses into single vectored writes, so this is where
+    /// its syscall saving shows up.
+    syscalls_per_segment: f64,
+    /// Supplier-side staging/reply copy bytes per payload byte served.
+    /// The threaded path copies every miss out of the DataCache; the
+    /// reactor transmits from refcounted slab leases, so cache-resident
+    /// traffic drives this toward zero.
+    copies_per_byte: f64,
+}
+
+/// How the supplier serves connections in one benchmark mode.
+#[derive(Clone, Copy, PartialEq)]
+enum ServeMode {
+    /// No prefetch thread, blocking chunk round-trips (Fig. 4).
+    Serial,
+    /// Prefetch thread + one blocking thread per connection (Fig. 5).
+    Threaded,
+    /// Prefetch thread + the nonblocking reactor (this PR's loop).
+    EventLoop,
 }
 
 /// Measured result of one hybrid-store mode.
@@ -170,16 +197,26 @@ fn main() {
 
     let report = |label: &str, m: &Measured| {
         println!(
-            "  {label:<14} {:>8.1} MiB/s  ({:.3} s, {} bytes; disk {:.3} s, net {:.3} s, overlap {:.2})",
-            m.mib_per_sec, m.secs, m.bytes, m.disk_read_secs, m.net_xmit_secs, m.overlap_frac
+            "  {label:<14} {:>8.1} MiB/s  ({:.3} s, {} bytes; disk {:.3} s, net {:.3} s, overlap {:.2}, \
+             {:.1} syscalls/seg, {:.3} copies/byte)",
+            m.mib_per_sec,
+            m.secs,
+            m.bytes,
+            m.disk_read_secs,
+            m.net_xmit_secs,
+            m.overlap_frac,
+            m.syscalls_per_segment,
+            m.copies_per_byte
         );
     };
-    let serial = run_mode(&sc, false, false);
+    let serial = run_mode(&sc, ServeMode::Serial, false);
     report("serial:", &serial);
-    let pipelined = run_mode(&sc, true, false);
+    let pipelined = run_mode(&sc, ServeMode::Threaded, false);
     report("pipelined:", &pipelined);
-    let pipelined_crc = run_mode(&sc, true, true);
+    let pipelined_crc = run_mode(&sc, ServeMode::Threaded, true);
     report("pipelined+crc:", &pipelined_crc);
+    let event_loop = run_mode(&sc, ServeMode::EventLoop, false);
+    report("event-loop:", &event_loop);
     let hybrid_mem = run_hybrid_mode(&sc, true);
     report_hybrid("hybrid-mem:", &hybrid_mem);
     let hybrid_spill = run_hybrid_mode(&sc, false);
@@ -192,6 +229,23 @@ fn main() {
     assert_eq!(
         serial.checksum, pipelined_crc.checksum,
         "the checksummed dialect must move byte-identical data"
+    );
+    assert_eq!(
+        serial.checksum, event_loop.checksum,
+        "the event loop must move byte-identical data"
+    );
+    assert!(
+        event_loop.syscalls_per_segment < pipelined.syscalls_per_segment,
+        "vectored batched writes must cut supplier syscalls per segment \
+         ({:.1} event-loop vs {:.1} threaded)",
+        event_loop.syscalls_per_segment,
+        pipelined.syscalls_per_segment
+    );
+    assert!(
+        event_loop.copies_per_byte <= 1.0,
+        "slab-direct transmit must not copy more than once per byte \
+         ({:.3})",
+        event_loop.copies_per_byte
     );
     assert_eq!(
         serial.checksum, hybrid_mem.checksum,
@@ -211,12 +265,21 @@ fn main() {
     );
     let speedup = pipelined.mib_per_sec / serial.mib_per_sec;
     let speedup_crc = pipelined_crc.mib_per_sec / serial.mib_per_sec;
+    let speedup_event_loop = event_loop.mib_per_sec / serial.mib_per_sec;
     // Fraction of pipelined throughput spent sealing + verifying.
     let crc_overhead_frac = 1.0 - pipelined_crc.mib_per_sec / pipelined.mib_per_sec;
     // Memory-tier hits as throughput: same bytes, zero disk reads.
     let hybrid_mem_speedup = hybrid_mem.mib_per_sec / hybrid_spill.mib_per_sec;
     println!("  speedup:        {speedup:.2}x");
     println!("  speedup (crc):  {speedup_crc:.2}x  (integrity overhead {crc_overhead_frac:.3})");
+    println!(
+        "  event loop:     {speedup_event_loop:.2}x over serial \
+         ({:.1} vs {:.1} syscalls/seg, {:.3} vs {:.3} copies/byte)",
+        event_loop.syscalls_per_segment,
+        pipelined.syscalls_per_segment,
+        event_loop.copies_per_byte,
+        pipelined.copies_per_byte
+    );
     println!(
         "  memory tier:    {hybrid_mem_speedup:.2}x over spilled \
          ({} memory reads vs {} spill-file reads)",
@@ -229,10 +292,12 @@ fn main() {
         &serial,
         &pipelined,
         &pipelined_crc,
+        &event_loop,
         &hybrid_mem,
         &hybrid_spill,
         speedup,
         speedup_crc,
+        speedup_event_loop,
         crc_overhead_frac,
         hybrid_mem_speedup,
     );
@@ -245,13 +310,16 @@ fn main() {
 /// timed run (fresh, so every run pays the full cold disk schedule —
 /// the thing the two modes order differently), and return the mean
 /// throughput over the fetch loops alone.
-fn run_mode(sc: &Scenario, pipelined: bool, checksum_on: bool) -> Measured {
+fn run_mode(sc: &Scenario, mode: ServeMode, checksum_on: bool) -> Measured {
+    let pipelined = mode != ServeMode::Serial;
     let mut bytes = 0u64;
     let mut checksum = 0u64;
     let mut total = Duration::ZERO;
     let mut disk_ns = 0u64;
     let mut xmit_ns = 0u64;
     let mut frac_sum = 0f64;
+    let mut syscalls = 0u64;
+    let mut copied = 0u64;
     for run in 0..sc.runs {
         // A fresh per-run trace shared by every supplier: the per-phase
         // numbers below come from its `disk.read`/`net.xmit` spans. The
@@ -275,6 +343,7 @@ fn run_mode(sc: &Scenario, pipelined: bool, checksum_on: bool) -> Measured {
                 buffer_bytes: sc.buffer_bytes,
                 prefetch_batch: sc.prefetch_batch,
                 prefetch: pipelined,
+                threaded: mode != ServeMode::EventLoop,
                 synthetic_disk_delay: sc.disk_delay,
                 faults: None,
                 trace: trace.clone(),
@@ -341,11 +410,15 @@ fn run_mode(sc: &Scenario, pipelined: bool, checksum_on: bool) -> Measured {
             assert_eq!(bytes, run_bytes, "runs must move identical bytes");
         }
         for s in servers {
+            let st = s.stats_snapshot();
+            syscalls += st.read_syscalls + st.write_syscalls;
+            copied += st.copied_bytes;
             s.shutdown();
         }
     }
     let secs = total.as_secs_f64() / sc.runs as f64;
     let runs = sc.runs as f64;
+    let segments = (sc.nodes * sc.mofs_per_node * sc.reducers * sc.runs) as f64;
     Measured {
         bytes,
         secs,
@@ -354,6 +427,8 @@ fn run_mode(sc: &Scenario, pipelined: bool, checksum_on: bool) -> Measured {
         disk_read_secs: disk_ns as f64 / 1e9 / runs,
         net_xmit_secs: xmit_ns as f64 / 1e9 / runs,
         overlap_frac: frac_sum / runs,
+        syscalls_per_segment: syscalls as f64 / segments,
+        copies_per_byte: copied as f64 / (bytes as f64 * runs).max(1.0),
     }
 }
 
@@ -523,18 +598,28 @@ fn render_json(
     serial: &Measured,
     pipelined: &Measured,
     pipelined_crc: &Measured,
+    event_loop: &Measured,
     hybrid_mem: &HybridMeasured,
     hybrid_spill: &HybridMeasured,
     speedup: f64,
     speedup_crc: f64,
+    speedup_event_loop: f64,
     crc_overhead_frac: f64,
     hybrid_mem_speedup: f64,
 ) -> String {
     let mode = |m: &Measured| {
         format!(
             "{{ \"bytes\": {}, \"secs\": {:.6}, \"mib_per_sec\": {:.2}, \
-             \"disk_read_secs\": {:.6}, \"net_xmit_secs\": {:.6}, \"overlap_frac\": {:.4} }}",
-            m.bytes, m.secs, m.mib_per_sec, m.disk_read_secs, m.net_xmit_secs, m.overlap_frac
+             \"disk_read_secs\": {:.6}, \"net_xmit_secs\": {:.6}, \"overlap_frac\": {:.4}, \
+             \"syscalls_per_segment\": {:.2}, \"copies_per_byte\": {:.4} }}",
+            m.bytes,
+            m.secs,
+            m.mib_per_sec,
+            m.disk_read_secs,
+            m.net_xmit_secs,
+            m.overlap_frac,
+            m.syscalls_per_segment,
+            m.copies_per_byte
         )
     };
     let hybrid = |m: &HybridMeasured| {
@@ -549,9 +634,10 @@ fn render_json(
          \"nodes\": {},\n    \"mofs_per_node\": {},\n    \"reducers\": {},\n    \
          \"records_per_mof\": {},\n    \"buffer_bytes\": {},\n    \"prefetch_batch\": {},\n    \"window\": {},\n    \
          \"disk_delay_ms\": {},\n    \"runs\": {}\n  }},\n  \"serial\": {},\n  \
-         \"pipelined\": {},\n  \"pipelined_crc\": {},\n  \"hybrid_mem\": {},\n  \
+         \"pipelined\": {},\n  \"pipelined_crc\": {},\n  \"event_loop\": {},\n  \"hybrid_mem\": {},\n  \
          \"hybrid_spill\": {},\n  \"speedup\": {speedup:.2},\n  \
-         \"speedup_crc\": {speedup_crc:.2},\n  \"crc_overhead_frac\": {crc_overhead_frac:.4},\n  \
+         \"speedup_crc\": {speedup_crc:.2},\n  \"speedup_event_loop\": {speedup_event_loop:.2},\n  \
+         \"crc_overhead_frac\": {crc_overhead_frac:.4},\n  \
          \"hybrid_mem_speedup\": {hybrid_mem_speedup:.2}\n}}\n",
         sc.nodes,
         sc.mofs_per_node,
@@ -565,6 +651,7 @@ fn render_json(
         mode(serial),
         mode(pipelined),
         mode(pipelined_crc),
+        mode(event_loop),
         hybrid(hybrid_mem),
         hybrid(hybrid_spill),
     )

@@ -78,6 +78,19 @@ pub struct JbsConfig {
     /// is force-spilled even below the high watermark, so one skewed
     /// reducer cannot monopolize the memory tier.
     pub huge_partition_limit: u64,
+    /// Event-loop threads the real-dataplane MOFSupplier runs; admitted
+    /// connections are sharded across them round-robin. One reactor
+    /// saturates loopback; more help only past several NICs' worth of
+    /// concurrent reducers.
+    pub reactor_threads: usize,
+    /// Disk IO scheduler permits for staging/segment reads. Bounds how
+    /// many reads hit the disk at once so a prefetch burst keeps its
+    /// sequential head position. 0 disables arbitration for the class.
+    pub io_read_permits: usize,
+    /// Disk IO scheduler permits for hybrid-store spill appends. Keeps
+    /// a spill burst from stealing the disk head from the prefetcher.
+    /// 0 disables arbitration for the class.
+    pub io_append_permits: usize,
 }
 
 impl Default for JbsConfig {
@@ -104,6 +117,9 @@ impl Default for JbsConfig {
             memory_spill_high_watermark: 0.5,
             memory_spill_low_watermark: 0.2,
             huge_partition_limit: 16 << 20,
+            reactor_threads: 1,
+            io_read_permits: 4,
+            io_append_permits: 2,
         }
     }
 }
@@ -160,6 +176,9 @@ impl JbsConfig {
         }
         if self.huge_partition_limit == 0 {
             return Err("huge-partition limit must be positive".into());
+        }
+        if self.reactor_threads == 0 {
+            return Err("reactor thread count must be positive".into());
         }
         Ok(())
     }
@@ -229,6 +248,26 @@ mod tests {
             ..JbsConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn reactor_knob_validation() {
+        let c = JbsConfig::default();
+        assert_eq!(c.reactor_threads, 1);
+        assert_eq!(c.io_read_permits, 4);
+        assert_eq!(c.io_append_permits, 2);
+        let c = JbsConfig {
+            reactor_threads: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        // Zero permits means "unlimited class", a valid disable setting.
+        let c = JbsConfig {
+            io_read_permits: 0,
+            io_append_permits: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub mod timeline;
 pub use clock::{Clock, ManualClock};
 pub use event::{Entity, EntityKind, Event, EventKind};
 pub use query::TraceQuery;
-pub use record::{SpanGuard, Trace};
+pub use record::{OwnedSpan, SpanGuard, Trace};

@@ -173,6 +173,38 @@ impl Trace {
         }
     }
 
+    /// Like [`Trace::span`], but the guard owns its recorder handle, so
+    /// it can live inside long-lived structures instead of a stack
+    /// frame — the reactor holds one per in-flight response, opened
+    /// when transmission starts and closed (possibly many poll
+    /// iterations later) when the last byte is written.
+    #[must_use = "a span is recorded when the guard drops; binding it to _ closes it immediately"]
+    pub fn span_owned(&self, name: &'static str, entity: Entity, a: u64, b: u64) -> OwnedSpan {
+        match &self.inner {
+            None => OwnedSpan {
+                rec: None,
+                name,
+                entity,
+                a,
+                b,
+                t0: 0,
+                thread: 0,
+            },
+            Some(rec) => {
+                rec.open.fetch_add(1, Ordering::Relaxed);
+                OwnedSpan {
+                    t0: rec.clock.now(),
+                    rec: Some(Arc::clone(rec)),
+                    name,
+                    entity,
+                    a,
+                    b,
+                    thread: thread_tag(),
+                }
+            }
+        }
+    }
+
     /// Copy out the current ring contents, in recording order.
     pub fn snapshot(&self) -> Vec<Event> {
         match &self.inner {
@@ -249,6 +281,46 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
+/// Owning RAII guard for an open span; see [`Trace::span_owned`].
+/// Identical semantics to [`SpanGuard`], minus the borrow of the
+/// `Trace`, at the cost of one `Arc` clone per span.
+pub struct OwnedSpan {
+    rec: Option<Arc<Recorder>>,
+    name: &'static str,
+    entity: Entity,
+    a: u64,
+    b: u64,
+    t0: u64,
+    thread: u64,
+}
+
+impl OwnedSpan {
+    /// Update the span's `b` payload before it closes (the reactor
+    /// stamps bytes-written totals it only knows at completion).
+    pub fn set_b(&mut self, b: u64) {
+        self.b = b;
+    }
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        if let Some(rec) = &self.rec {
+            let end = rec.clock.now().max(self.t0);
+            rec.push(
+                EventKind::Span,
+                self.t0,
+                end,
+                self.thread,
+                self.entity,
+                self.name,
+                self.a,
+                self.b,
+            );
+            rec.open.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +359,38 @@ mod tests {
         assert_eq!(evs[0].duration(), 250);
         assert_eq!(evs[0].entity, Entity::mof(3));
         assert_eq!((evs[0].a, evs[0].b), (64, 128));
+    }
+
+    #[test]
+    fn owned_span_survives_a_move_and_records_on_close() {
+        let clk = ManualClock::new();
+        let t = Trace::recording_with(16, clk.clock());
+        clk.set(10);
+        struct Holder {
+            span: OwnedSpan,
+        }
+        let mut h = Holder {
+            span: t.span_owned("net.xmit", Entity::conn(9), 1, 0),
+        };
+        assert_eq!(t.open_spans(), 1);
+        drop(t.clone()); // the guard keeps its own handle
+        clk.set(75);
+        h.span.set_b(4096);
+        drop(h);
+        assert_eq!(t.open_spans(), 0);
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 1);
+        assert_eq!((evs[0].t, evs[0].end), (10, 75));
+        assert_eq!((evs[0].a, evs[0].b), (1, 4096));
+        assert_eq!(evs[0].name, "net.xmit");
+    }
+
+    #[test]
+    fn owned_span_on_disabled_trace_is_inert() {
+        let t = Trace::disabled();
+        let s = t.span_owned("x", Entity::NONE, 0, 0);
+        drop(s);
+        assert!(t.snapshot().is_empty());
     }
 
     #[test]

@@ -2,7 +2,23 @@
 
 use jbs_obs::Trace;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Arbitration hook the spill flusher calls around each LOCALFILE
+/// append. The transport crate's `IoScheduler` implements this (it
+/// cannot be depended on from here — that would be a crate cycle), so
+/// one shared permit scheduler can sit under both the prefetcher's
+/// reads and this store's spill appends. `acquire_append` may block;
+/// it is called with **no** store lock held (the sealed buffer is
+/// written outside the `state` mutex), and every acquire is paired
+/// with exactly one `release_append`.
+pub trait SpillGate: Send + Sync {
+    /// Block until an append permit is free and take it.
+    fn acquire_append(&self);
+    /// Return the permit taken by the matching `acquire_append`.
+    fn release_append(&self);
+}
 
 /// Configuration for a [`crate::HybridStore`].
 ///
@@ -45,6 +61,10 @@ pub struct HybridConfig {
     /// Trace every tier transition (`tier.spill` spans, `spill.write` /
     /// `tier.remote` / `mem.hit` instants).
     pub trace: Trace,
+    /// Optional disk-IO arbitration: when set, every LOCALFILE append
+    /// (spill flush or oversize direct write) holds an append permit
+    /// from this gate for the duration of the write.
+    pub spill_gate: Option<Arc<dyn SpillGate>>,
 }
 
 impl Default for HybridConfig {
@@ -60,6 +80,7 @@ impl Default for HybridConfig {
             data_dir: None,
             remote_dir: None,
             trace: Trace::disabled(),
+            spill_gate: None,
         }
     }
 }

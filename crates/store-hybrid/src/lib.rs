@@ -25,5 +25,5 @@ mod remote;
 mod store;
 pub(crate) mod sync;
 
-pub use config::HybridConfig;
+pub use config::{HybridConfig, SpillGate};
 pub use store::{HybridStore, TierLayout, TierStatsSnapshot};

@@ -36,7 +36,7 @@
 //! condvar hands off between tripping writers, the flusher, and
 //! backpressured appenders — the handoff the `loom_` models explore.
 
-use crate::config::HybridConfig;
+use crate::config::{HybridConfig, SpillGate};
 use crate::remote::RemoteStore;
 use crate::sync::{lock, wait, Condvar, Mutex, MutexGuard};
 use jbs_obs::Entity;
@@ -50,6 +50,28 @@ use std::sync::Arc;
 static STORE_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 type Key = (u64, u32);
+
+/// RAII append permit around one spill write: acquired (blocking) from
+/// the configured [`SpillGate`] if any, released on drop — including
+/// every early-error return out of `write_local`.
+struct GatePermit<'a>(Option<&'a dyn SpillGate>);
+
+impl<'a> GatePermit<'a> {
+    fn take(gate: Option<&'a dyn SpillGate>) -> Self {
+        if let Some(g) = gate {
+            g.acquire_append();
+        }
+        GatePermit(gate)
+    }
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        if let Some(g) = self.0 {
+            g.release_append();
+        }
+    }
+}
 
 /// Where a committed extent's bytes live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -637,6 +659,11 @@ impl HybridStore {
     }
 
     fn write_local(&self, key: Key, file_off: u64, data: &[u8]) -> io::Result<()> {
+        // Both callers run this with no store lock held (flush_one drops
+        // the guard first; append_oversize writes between its two
+        // critical sections), so blocking on an append permit here can
+        // never deadlock against readers.
+        let _permit = GatePermit::take(self.cfg.spill_gate.as_deref());
         let mut f = fs::OpenOptions::new().write(true).open(self.spill_path())?;
         f.seek(SeekFrom::Start(file_off))?;
         f.write_all(data)?;

@@ -1,4 +1,5 @@
-//! A reusable byte-buffer pool for the dataplane hot path.
+//! A reusable byte-buffer pool plus refcounted slab leases for the
+//! zero-copy dataplane.
 //!
 //! Every chunk served by the supplier used to allocate a fresh `Vec<u8>`
 //! (copy out of the staged range, hand to the frame writer, drop). At
@@ -7,9 +8,25 @@
 //! vectors: a bounded free list of cleared buffers, LIFO so the hottest
 //! (cache-warm, fully grown) buffer is reused first.
 //!
+//! The event-loop server goes one step further: a staged buffer is
+//! wrapped in a [`Lease`] — an `Arc` over the bytes plus a handle back
+//! to its pool — and the *same allocation* is pinned by the DataCache
+//! and by any in-flight vectored transmit at once. No copy happens
+//! between the cache and the socket; when the last lease drops, the
+//! buffer returns to the free list. The threaded path keeps its
+//! copy-out (`hit_into`) shape, which is exactly the baseline the
+//! `copies_per_byte` bench metric compares against.
+//!
 //! Correctness over cleverness: a buffer is **cleared before it is
 //! pooled**, so `get` can never observe a previous payload's bytes —
-//! the recycle-after-send race is modeled under loom below.
+//! the recycle-after-send and concurrent-lease-drop races are modeled
+//! under loom below.
+//!
+//! Backpressure is observable rather than silent: the pool tracks how
+//! many buffers are out (`outstanding`), and a `get` that misses while
+//! demand already exceeds the configured slab records a `bufpool_waits`
+//! stat and a `pool.exhausted` trace instant. The pool itself never
+//! blocks — the signal is for the operator, not the hot path.
 //!
 //! Locking: the single `bufs` mutex is held only to pop or push one
 //! `Vec` — never across I/O, staging, or another lock. In the documented
@@ -18,6 +35,7 @@
 
 use crate::sync::{lock, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counters describing pool effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,6 +48,12 @@ pub struct BufPoolStats {
     pub returns: u64,
     /// Buffers dropped because the pool was full (or not worth keeping).
     pub dropped: u64,
+    /// `get` misses that struck while the slab was already exhausted
+    /// (outstanding ≥ cap): the backpressure signal. The pool never
+    /// blocks; this counts how often a caller *would have* waited.
+    pub waits: u64,
+    /// Buffers currently handed out (gets minus returns-or-drops).
+    pub outstanding: u64,
 }
 
 impl BufPoolStats {
@@ -44,18 +68,28 @@ impl BufPoolStats {
     }
 }
 
-/// A bounded LIFO free list of cleared `Vec<u8>` buffers.
-pub(crate) struct BufPool {
+struct PoolInner {
     bufs: Mutex<Vec<Vec<u8>>>,
     cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     returns: AtomicU64,
     dropped: AtomicU64,
-    /// Handout/recycle instants (`buf.get`/`buf.put`); disabled by
-    /// default — the loom models construct via [`BufPool::new`] so the
-    /// model checker never sees the recorder's (std) mutex.
+    waits: AtomicU64,
+    outstanding: AtomicU64,
+    /// Handout/recycle instants (`buf.get`/`buf.put`/`pool.exhausted`);
+    /// disabled by default — the loom models construct via
+    /// [`BufPool::new`] so the model checker never sees the recorder's
+    /// (std) mutex.
     trace: jbs_obs::Trace,
+}
+
+/// A bounded LIFO free list of cleared `Vec<u8>` buffers. Cloning
+/// clones the *handle*; all clones share one free list, which is what
+/// lets a [`Lease`] carry its way home from any thread.
+#[derive(Clone)]
+pub(crate) struct BufPool {
+    inner: Arc<PoolInner>,
 }
 
 impl BufPool {
@@ -70,31 +104,50 @@ impl BufPool {
     /// A pool that records `buf.get`/`buf.put` instants to `trace`.
     pub(crate) fn with_trace(cap: usize, trace: jbs_obs::Trace) -> Self {
         BufPool {
-            bufs: Mutex::new(Vec::new()),
-            cap,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            returns: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            trace,
+            inner: Arc::new(PoolInner {
+                bufs: Mutex::new(Vec::new()),
+                cap,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                returns: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                waits: AtomicU64::new(0),
+                outstanding: AtomicU64::new(0),
+                trace,
+            }),
         }
     }
 
     /// An empty buffer — recycled if one is pooled, freshly allocated
     /// otherwise. The returned buffer is always empty (never stale).
+    /// A miss while the slab is already fully out records the
+    /// exhaustion signal (`waits` stat + `pool.exhausted` instant)
+    /// before allocating; the call itself never blocks.
     pub(crate) fn get(&self) -> Vec<u8> {
-        let recycled = lock(&self.bufs).pop();
+        let recycled = lock(&self.inner.bufs).pop();
+        let out = self.inner.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
         match recycled {
             Some(buf) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.trace
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .trace
                     .instant("buf.get", jbs_obs::Entity::pool(0), 1, buf.capacity() as u64);
                 debug_assert!(buf.is_empty());
                 buf
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.trace
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                if out > self.inner.cap as u64 {
+                    self.inner.waits.fetch_add(1, Ordering::Relaxed);
+                    self.inner.trace.instant(
+                        "pool.exhausted",
+                        jbs_obs::Entity::pool(0),
+                        out,
+                        self.inner.cap as u64,
+                    );
+                }
+                self.inner
+                    .trace
                     .instant("buf.get", jbs_obs::Entity::pool(0), 0, 0);
                 Vec::new()
             }
@@ -105,36 +158,147 @@ impl BufPool {
     /// visible to any `get` — so pooled bytes can never leak across
     /// uses. Buffers that never grew carry no capacity worth keeping.
     pub(crate) fn put(&self, mut buf: Vec<u8>) {
+        // Saturating: a detached buffer returned by a lease that never
+        // came from `get` must not underflow the gauge.
+        let _ = self
+            .inner
+            .outstanding
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
         buf.clear();
         if buf.capacity() == 0 {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-            self.trace
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .trace
                 .instant("buf.put", jbs_obs::Entity::pool(0), 0, 0);
             return;
         }
         let cap_bytes = buf.capacity() as u64;
-        let mut bufs = lock(&self.bufs);
-        if bufs.len() < self.cap {
+        let mut bufs = lock(&self.inner.bufs);
+        if bufs.len() < self.inner.cap {
             bufs.push(buf);
             drop(bufs);
-            self.returns.fetch_add(1, Ordering::Relaxed);
-            self.trace
+            self.inner.returns.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .trace
                 .instant("buf.put", jbs_obs::Entity::pool(0), 1, cap_bytes);
         } else {
             drop(bufs);
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-            self.trace
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .trace
                 .instant("buf.put", jbs_obs::Entity::pool(0), 0, cap_bytes);
+        }
+    }
+
+    /// Wrap `buf` in a refcounted lease over this pool: clones pin the
+    /// same allocation, and the last drop returns it to the free list.
+    pub(crate) fn lease(&self, buf: Vec<u8>) -> Lease {
+        Lease {
+            bytes: Some(Arc::new(buf)),
+            pool: Some(self.clone()),
         }
     }
 
     /// Copy out the counters.
     pub(crate) fn stats(&self) -> BufPoolStats {
         BufPoolStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            returns: self.returns.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            returns: self.inner.returns.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+            waits: self.inner.waits.load(Ordering::Relaxed),
+            outstanding: self.inner.outstanding.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A refcounted pin over one pooled buffer: the DataCache holds one
+/// lease, every in-flight vectored transmit of the same bytes holds
+/// another, and the *last* drop recycles the allocation through its
+/// [`BufPool`] — zero copies in between. A lease made with
+/// [`Lease::detached`] (bytes that never came from a pool, e.g. the
+/// hybrid store's memory tier) simply frees on last drop.
+///
+/// Reclaim is best-effort by design: if two clones race their final
+/// drops, `Arc::try_unwrap` can fail in both and the buffer is freed
+/// instead of pooled — a missed recycle, never a double return and
+/// never a dangling lease (the loom model below pins this down).
+pub(crate) struct Lease {
+    bytes: Option<Arc<Vec<u8>>>,
+    pool: Option<BufPool>,
+}
+
+impl Lease {
+    /// A lease over bytes that belong to no pool: dropped, not
+    /// recycled, when the last clone goes.
+    pub(crate) fn detached(buf: Vec<u8>) -> Lease {
+        Lease {
+            bytes: Some(Arc::new(buf)),
+            pool: None,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        match &self.bytes {
+            Some(b) => b.as_slice(),
+            // Unreachable in practice: `bytes` is only taken in Drop.
+            None => &[],
+        }
+    }
+
+    /// Unwrap to the owned buffer if this is the only lease, else copy.
+    /// For callers that must hand ownership across an API needing a
+    /// `Vec<u8>`; the serve paths themselves never call it (the reactor
+    /// copies explicitly on its corrupt-fault path instead).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn into_vec(mut self) -> Vec<u8> {
+        match self.bytes.take() {
+            Some(arc) => match Arc::try_unwrap(arc) {
+                Ok(buf) => buf,
+                Err(shared) => shared.as_slice().to_vec(),
+            },
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Clone for Lease {
+    fn clone(&self) -> Self {
+        Lease {
+            bytes: self.bytes.clone(),
+            pool: self.pool.clone(),
+        }
+    }
+}
+
+impl std::ops::Deref for Lease {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Lease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lease")
+            .field("len", &self.len())
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if let Some(arc) = self.bytes.take() {
+            if let Ok(buf) = Arc::try_unwrap(arc) {
+                if let Some(pool) = &self.pool {
+                    pool.put(buf);
+                }
+            }
         }
     }
 }
@@ -144,7 +308,6 @@ impl BufPool {
 #[cfg(all(test, loom))]
 mod loom_tests {
     use super::*;
-    use std::sync::Arc;
 
     /// The recycle-after-send race: one thread returns a buffer still
     /// holding a just-sent payload while another gets a buffer for the
@@ -153,8 +316,8 @@ mod loom_tests {
     #[test]
     fn loom_recycled_buffer_is_never_stale() {
         loom::model(|| {
-            let pool = Arc::new(BufPool::new(4));
-            let p2 = Arc::clone(&pool);
+            let pool = BufPool::new(4);
+            let p2 = pool.clone();
             let h = loom::thread::spawn(move || {
                 p2.put(vec![0xDE, 0xAD, 0xBE, 0xEF]);
             });
@@ -175,9 +338,9 @@ mod loom_tests {
     #[test]
     fn loom_no_double_handout() {
         loom::model(|| {
-            let pool = Arc::new(BufPool::new(4));
+            let pool = BufPool::new(4);
             pool.put(vec![1, 2, 3]); // one recycled buffer with capacity
-            let p2 = Arc::clone(&pool);
+            let p2 = pool.clone();
             let h = loom::thread::spawn(move || p2.get());
             let a = pool.get();
             let b = match h.join() {
@@ -189,6 +352,32 @@ mod loom_tests {
             assert!(s.hits <= 1, "one pooled buffer handed out twice");
             // Exactly one of the two gets can carry recycled capacity.
             assert!(a.capacity() == 0 || b.capacity() == 0);
+        });
+    }
+
+    /// The concurrent last-drop race (satellite model): the DataCache's
+    /// lease and an in-flight transmit's clone of it drop on different
+    /// threads. In every interleaving the buffer is returned to the
+    /// pool **at most once** (`returns + dropped ≤ 1`), and a get after
+    /// both drops never sees the payload bytes — eviction racing a
+    /// partial-write's pin can lose a recycle, never duplicate one.
+    #[test]
+    fn loom_concurrent_lease_drop_returns_at_most_once() {
+        loom::model(|| {
+            let pool = BufPool::new(4);
+            let cache_side = pool.lease(vec![9, 9, 9]);
+            let xmit_side = cache_side.clone();
+            let h = loom::thread::spawn(move || drop(xmit_side));
+            drop(cache_side);
+            if h.join().is_err() {
+                panic!("xmit-side drop panicked");
+            }
+            let s = pool.stats();
+            assert!(
+                s.returns + s.dropped <= 1,
+                "buffer returned twice: {s:?}"
+            );
+            assert!(pool.get().is_empty(), "stale payload leaked");
         });
     }
 }
@@ -231,5 +420,67 @@ mod tests {
         assert_eq!(pool.stats().dropped, 1);
         assert_eq!(pool.get().capacity(), 0);
         assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn exhaustion_is_counted_not_blocking() {
+        let trace = jbs_obs::Trace::recording(64);
+        let pool = BufPool::with_trace(1, trace.clone());
+        let a = pool.get(); // outstanding 1 == cap, free list empty
+        let b = pool.get(); // outstanding 2 > cap: exhausted signal
+        let s = pool.stats();
+        assert_eq!(s.waits, 1, "second get should record a wait");
+        assert_eq!(s.outstanding, 2);
+        assert_eq!(trace.query().count("pool.exhausted"), 1);
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.stats().outstanding, 0);
+    }
+
+    #[test]
+    fn last_lease_drop_recycles_the_buffer() {
+        let pool = BufPool::new(4);
+        let mut buf = pool.get();
+        buf.extend_from_slice(b"payload");
+        let cap = buf.capacity();
+        let lease = pool.lease(buf);
+        let clone = lease.clone();
+        assert_eq!(&lease[..], b"payload");
+        drop(lease);
+        // A clone still pins the bytes: nothing returned yet.
+        assert_eq!(pool.stats().returns, 0);
+        assert_eq!(&clone[..], b"payload");
+        drop(clone);
+        assert_eq!(pool.stats().returns, 1);
+        let recycled = pool.get();
+        assert!(recycled.is_empty());
+        assert_eq!(recycled.capacity(), cap, "same allocation came home");
+    }
+
+    #[test]
+    fn detached_lease_never_touches_the_pool() {
+        let pool = BufPool::new(4);
+        let lease = Lease::detached(vec![1, 2, 3]);
+        assert_eq!(lease.len(), 3);
+        drop(lease);
+        assert_eq!(pool.stats().returns, 0);
+        assert_eq!(pool.stats().outstanding, 0);
+    }
+
+    #[test]
+    fn into_vec_unwraps_sole_lease_and_copies_shared() {
+        let pool = BufPool::new(4);
+        let lease = pool.lease(vec![5, 6, 7]);
+        let v = lease.into_vec(); // sole lease: no copy, no pool return
+        assert_eq!(v, vec![5, 6, 7]);
+        assert_eq!(pool.stats().returns, 0);
+
+        let lease = pool.lease(vec![8, 9]);
+        let clone = lease.clone();
+        let copied = lease.into_vec(); // shared: copies
+        assert_eq!(copied, vec![8, 9]);
+        assert_eq!(&clone[..], &[8, 9]);
+        drop(clone); // last lease: recycles
+        assert_eq!(pool.stats().returns, 1);
     }
 }

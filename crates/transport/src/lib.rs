@@ -71,7 +71,10 @@ mod bufpool;
 pub mod client;
 pub mod error;
 pub mod faults;
+pub mod iosched;
+mod poll;
 mod prefetch;
+mod reactor;
 pub mod retry;
 mod sched;
 pub mod server;
@@ -84,6 +87,7 @@ pub mod verbs;
 pub mod wire;
 
 pub use bufpool::BufPoolStats;
+pub use iosched::{IoClass, IoPermit, IoSchedStats, IoScheduler};
 pub use client::{ClientConfig, NetMergerClient};
 pub use error::TransportError;
 pub use faults::{FaultAction, FaultKind, FaultPlan, Hook};

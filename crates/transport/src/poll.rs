@@ -1,0 +1,205 @@
+//! Readiness polling over raw fds — the thin unsafe shim under the
+//! reactor.
+//!
+//! The no-deps policy rules out `mio` and the `libc` crate, but std on
+//! unix already links the platform libc, so the one syscall the event
+//! loop needs is a single hand-declared `extern "C"` away: `poll(2)`.
+//! It is chosen over `epoll` deliberately — the supplier's fd set is
+//! small (admitted connections are capped by admission control) and
+//! rebuilt each iteration from the connection slab anyway, so the
+//! O(n) scan poll performs is the same scan the reactor does to find
+//! its state machines, without epoll's three extra syscalls of
+//! registration bookkeeping or its Linux-only surface.
+//!
+//! This is the **only** module besides `verbs.rs` allowed to contain
+//! `unsafe` (the `cargo xtask analyze` hygiene fence enforces it), and
+//! it keeps the surface minimal: one `#[repr(C)]` struct matching the
+//! kernel ABI, one EINTR-retrying safe wrapper, and a [`Waker`] built
+//! on an ordinary nonblocking `UnixStream` pair so cross-thread wakes
+//! need no unsafe at all.
+
+#![allow(unsafe_code)]
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+
+/// Readiness flags, matching `<poll.h>` on every platform std supports
+/// (the values are identical across Linux, the BSDs, and macOS).
+pub(crate) const POLLIN: i16 = 0x001;
+pub(crate) const POLLOUT: i16 = 0x004;
+pub(crate) const POLLERR: i16 = 0x008;
+pub(crate) const POLLHUP: i16 = 0x010;
+pub(crate) const POLLNVAL: i16 = 0x020;
+
+/// One fd's interest + readiness, layout-compatible with the kernel's
+/// `struct pollfd` (three naturally-aligned fields, no padding).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollFd {
+    pub(crate) fd: i32,
+    pub(crate) events: i16,
+    pub(crate) revents: i16,
+}
+
+impl PollFd {
+    pub(crate) fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    pub(crate) fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    /// `int poll(struct pollfd *fds, nfds_t nfds, int timeout);`
+    /// `nfds_t` is `unsigned long` on the platforms std supports.
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int)
+        -> std::ffi::c_int;
+}
+
+/// Block until at least one fd in `fds` is ready or `timeout_ms`
+/// elapses (`-1` blocks indefinitely, `0` polls). Returns the number
+/// of entries with nonzero `revents`; retries transparently on EINTR.
+pub(crate) fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a live, exclusively-borrowed slice of
+        // `#[repr(C)]` structs layout-identical to `struct pollfd`;
+        // the kernel reads `fds.len()` entries and writes only the
+        // `revents` field of each. The pointer outlives the call and
+        // no Rust alias exists while the syscall runs.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Cross-thread wakeup for a poll loop: a nonblocking socketpair whose
+/// read end sits in the poll set. [`Waker::wake`] writes one byte (a
+/// full pipe means a wake is already pending — dropped by design), and
+/// the loop [`Waker::drain`]s after each readiness report so one byte
+/// never wakes it twice.
+pub(crate) struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+impl Waker {
+    pub(crate) fn new() -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// The fd to register with `POLLIN` interest.
+    pub(crate) fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Make the owning poll loop's next (or current) `sys_poll` return.
+    /// Infallible by contract: a WouldBlock here means the buffer is
+    /// full of earlier wake bytes, so the loop is already waking.
+    pub(crate) fn wake(&self) {
+        let _ = (&self.tx).write(&[1]);
+    }
+
+    /// Consume all pending wake bytes. Called by the loop after
+    /// readiness; nonblocking, so it returns as soon as the buffer is
+    /// empty.
+    pub(crate) fn drain(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            match (&self.rx).read(&mut sink) {
+                Ok(0) => return, // peer closed: nothing more to drain
+                Ok(_) => continue,
+                Err(_) => return, // WouldBlock (or EINTR): drained enough
+            }
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_reports_readable_after_write() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        // Nothing written yet: a zero-timeout poll reports nothing.
+        let n = sys_poll(&mut fds, 0).expect("poll");
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+        (&a).write_all(&[7]).expect("write");
+        let n = sys_poll(&mut fds, 1000).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].writable() || fds[0].revents & POLLOUT != 0);
+    }
+
+    #[test]
+    fn poll_reports_writable_socket() {
+        let (a, _b) = UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let n = sys_poll(&mut fds, 1000).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+    }
+
+    #[test]
+    fn poll_reports_hup_on_peer_close() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        drop(a);
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = sys_poll(&mut fds, 1000).expect("poll");
+        assert_eq!(n, 1);
+        // Closed peer surfaces as HUP and/or IN (EOF readable); either
+        // way the reactor's `readable()` predicate fires.
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let w = Waker::new().expect("waker");
+        let mut fds = [PollFd::new(w.fd(), POLLIN)];
+        assert_eq!(sys_poll(&mut fds, 0).expect("poll"), 0);
+        w.wake();
+        w.wake(); // coalesces: both bytes drain in one pass
+        assert_eq!(sys_poll(&mut fds, 1000).expect("poll"), 1);
+        assert!(fds[0].readable());
+        w.drain();
+        fds[0].revents = 0;
+        assert_eq!(
+            sys_poll(&mut fds, 0).expect("poll"),
+            0,
+            "drained waker is quiet"
+        );
+    }
+
+    #[test]
+    fn waker_wake_from_other_thread() {
+        let w = std::sync::Arc::new(Waker::new().expect("waker"));
+        let w2 = std::sync::Arc::clone(&w);
+        let h = std::thread::spawn(move || w2.wake());
+        let mut fds = [PollFd::new(w.fd(), POLLIN)];
+        let n = sys_poll(&mut fds, 5000).expect("poll");
+        assert_eq!(n, 1);
+        h.join().expect("waker thread panicked");
+    }
+}

@@ -20,7 +20,7 @@
 //! — never across disk I/O or a reply send. In the documented order it
 //! sits before `store` (the disk thread pops, then reads the store).
 
-use crate::sync::{lock, Mutex};
+use crate::sync::{lock, wait, Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::sync::mpsc;
@@ -29,6 +29,30 @@ use std::sync::mpsc;
 /// the served payload, `None` for an unknown MOF/reducer, or the store's
 /// I/O error.
 pub(crate) type StageReply = io::Result<Option<Vec<u8>>>;
+
+/// Who (if anyone) is waiting for a job's bytes, and how to reach them.
+pub(crate) enum Reply {
+    /// Pure run-ahead: stage only, nobody waits.
+    None,
+    /// Threaded miss path: the connection thread blocks on this channel
+    /// for exactly these bytes.
+    Channel(mpsc::Sender<StageReply>),
+    /// Reactor path: nobody blocks. The disk thread builds the complete
+    /// response frame and delivers it to the connection's reactor
+    /// completion queue (see [`crate::reactor::JobTicket`]), then wakes
+    /// the reactor's poll loop.
+    Reactor(crate::reactor::JobTicket),
+}
+
+impl std::fmt::Debug for Reply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reply::None => f.write_str("None"),
+            Reply::Channel(_) => f.write_str("Channel"),
+            Reply::Reactor(t) => write!(f, "Reactor(seq={})", t.seq),
+        }
+    }
+}
 
 /// One stage request.
 #[derive(Debug)]
@@ -42,9 +66,8 @@ pub(crate) struct StageJob {
     /// Bytes the waiting request wants served back (0 for pure
     /// run-ahead jobs, which only stage).
     pub(crate) want: u64,
-    /// Reply channel for a synchronous (miss-path) job; `None` marks an
-    /// asynchronous run-ahead.
-    pub(crate) reply: Option<mpsc::Sender<StageReply>>,
+    /// Who is waiting for the bytes, if anyone.
+    pub(crate) reply: Reply,
 }
 
 /// Result of a pop.
@@ -70,6 +93,10 @@ struct GroupedJobs {
 /// The grouped, round-robin-served prefetch queue.
 pub(crate) struct PrefetchQueue {
     jobs: Mutex<GroupedJobs>,
+    /// Wakes blocked [`Self::pop_wait`] callers on push and close, so a
+    /// disk-worker pool can sleep on the queue itself without an
+    /// external tick channel.
+    cv: Condvar,
 }
 
 impl PrefetchQueue {
@@ -83,6 +110,7 @@ impl PrefetchQueue {
                 len: 0,
                 peak: 0,
             }),
+            cv: Condvar::new(),
         }
     }
 
@@ -109,14 +137,34 @@ impl PrefetchQueue {
         }
         jobs.len += 1;
         jobs.peak = jobs.peak.max(jobs.len);
+        self.cv.notify_one();
         Ok(())
     }
 
     /// Take the next job: the head of the next group in the round-robin
     /// rotation. A group with remaining jobs goes to the rotation's
     /// back, so MOFs are served fairly rather than drained one by one.
+    /// (Production pops through [`Self::pop_wait`]; the non-blocking
+    /// form keeps the discipline's unit tests deterministic.)
+    #[cfg(test)]
     pub(crate) fn try_pop(&self) -> Pop<StageJob> {
+        Self::pop_next(&mut lock(&self.jobs))
+    }
+
+    /// [`Self::try_pop`], but block on the queue's condvar while it is
+    /// empty: returns `Pop::Item` or `Pop::Closed`, never `Pop::Empty`.
+    /// The disk-worker pool parks here between jobs.
+    pub(crate) fn pop_wait(&self) -> Pop<StageJob> {
         let mut jobs = lock(&self.jobs);
+        loop {
+            match Self::pop_next(&mut jobs) {
+                Pop::Empty => jobs = wait(&self.cv, jobs),
+                done => return done,
+            }
+        }
+    }
+
+    fn pop_next(jobs: &mut GroupedJobs) -> Pop<StageJob> {
         match jobs.rotation.pop_front() {
             Some(mof) => {
                 let (job, left) = match jobs.groups.get_mut(&mof) {
@@ -145,13 +193,15 @@ impl PrefetchQueue {
     }
 
     /// Close the queue and drain everything still pending, so the caller
-    /// can fail synchronous jobs' replies. Pushes after this are refused.
+    /// can fail synchronous jobs' replies. Pushes after this are refused,
+    /// and every blocked [`Self::pop_wait`] wakes to see `Pop::Closed`.
     pub(crate) fn close(&self) -> Vec<StageJob> {
         let mut jobs = lock(&self.jobs);
         jobs.closed = true;
         jobs.rotation.clear();
         jobs.len = 0;
         let groups = std::mem::take(&mut jobs.groups);
+        self.cv.notify_all();
         groups.into_values().flatten().collect()
     }
 
@@ -176,7 +226,7 @@ mod tests {
             reducer: 0,
             offset,
             want: 0,
-            reply: None,
+            reply: Reply::None,
         }
     }
 

@@ -34,7 +34,9 @@
 
 use crate::bufpool::{BufPool, BufPoolStats};
 use crate::faults::{self, FaultAction, FaultPlan, FaultStatsSnapshot, Hook};
-use crate::prefetch::{Pop, PrefetchQueue, StageJob};
+use crate::iosched::{IoClass, IoSchedStats, IoScheduler};
+use crate::prefetch::{Pop, PrefetchQueue, Reply, StageJob};
+use crate::reactor::{self, JobKind, NewConn, ReactorHandle};
 use crate::staging::StageCache;
 use crate::stats::{FetchStats, FetchStatsSnapshot};
 use crate::store::MofStore;
@@ -74,6 +76,24 @@ pub struct SupplierStats {
     /// Requests answered by the attached hybrid store's tiers (memory
     /// tail or its own spill/remote extents) instead of the MOF path.
     pub hybrid_hits: AtomicU64,
+    /// Reactor poll-loop wakeups (event-loop mode): disk-thread
+    /// completions plus newly admitted connections.
+    pub reactor_wakes: AtomicU64,
+    /// Vectored transmits cut short by a full socket buffer and resumed
+    /// from a byte cursor on the next writability report.
+    pub partial_writes: AtomicU64,
+    /// Payload bytes transmitted straight from a pinned DataCache lease
+    /// — never copied between the slab and the socket.
+    pub zerocopy_bytes: AtomicU64,
+    /// Payload bytes copied between the DataCache and a per-response
+    /// buffer (the threaded path's `hit_into`/`stage_into` copies, and
+    /// the reactor's copy-on-corrupt fault path). The bench's
+    /// `copies_per_byte` is this over [`SupplierStats::bytes`].
+    pub copied_bytes: AtomicU64,
+    /// `read(2)` calls that returned request bytes (event-loop mode).
+    pub read_syscalls: AtomicU64,
+    /// `write(2)`/`writev(2)` calls that moved response bytes.
+    pub write_syscalls: AtomicU64,
 }
 
 /// A point-in-time copy of the supplier's pipeline observability:
@@ -104,6 +124,20 @@ pub struct SupplierStatsSnapshot {
     pub prefetch_queue_peak: u64,
     /// Buffer-pool counters (hit rate = allocation-free serves).
     pub bufpool: BufPoolStats,
+    /// Reactor poll-loop wakeups (0 in threaded mode).
+    pub reactor_wakes: u64,
+    /// Partial vectored writes resumed from a byte cursor.
+    pub partial_writes: u64,
+    /// Payload bytes served zero-copy from pinned DataCache leases.
+    pub zerocopy_bytes: u64,
+    /// Payload bytes copied between the DataCache and response buffers.
+    pub copied_bytes: u64,
+    /// Socket read syscalls (event-loop mode).
+    pub read_syscalls: u64,
+    /// Socket write syscalls.
+    pub write_syscalls: u64,
+    /// Disk IO scheduler gauges (permit grants/waits per class).
+    pub iosched: IoSchedStats,
 }
 
 /// Tunables for a supplier.
@@ -145,6 +179,26 @@ pub struct ServerOptions {
     /// tails straight from memory — and [`MofSupplierServer::drain`]
     /// pushes its contents to the REMOTE tier (quick decommission).
     pub hybrid: Option<Arc<HybridStore>>,
+    /// Serve with the legacy thread-per-connection loop instead of the
+    /// event-driven reactor. The reactor is the default; the threaded
+    /// path remains for comparison benchmarks and as the serving shape
+    /// of the `prefetch = false` serial baseline (the reactor needs the
+    /// disk thread, so disabling prefetch implies `threaded`).
+    pub threaded: bool,
+    /// Reactor poll loops to run (event-loop mode). Connections are
+    /// assigned round-robin at accept. One loop drives thousands of
+    /// loopback connections; more mainly help multi-NIC setups.
+    pub reactor_threads: usize,
+    /// Concurrent staging/segment reads the disk may serve at once
+    /// (the IO scheduler's `Read` class). 0 = unlimited.
+    pub io_read_permits: usize,
+    /// Concurrent spill-flush appends (the `Append` class), arbitrated
+    /// against reads through the same scheduler. 0 = unlimited.
+    pub io_append_permits: usize,
+    /// Share an externally built IO scheduler (e.g. one also installed
+    /// as the hybrid store's spill gate) instead of constructing one
+    /// from the permit counts above.
+    pub iosched: Option<Arc<IoScheduler>>,
 }
 
 impl Default for ServerOptions {
@@ -161,36 +215,43 @@ impl Default for ServerOptions {
             prefetch_queue_cap: 4096,
             busy_retry_hint: Duration::from_millis(25),
             hybrid: None,
+            threaded: false,
+            reactor_threads: 1,
+            io_read_permits: 4,
+            io_append_permits: 2,
+            iosched: None,
         }
     }
 }
 
-struct Shared {
-    store: Mutex<MofStore>,
+pub(crate) struct Shared {
+    pub(crate) store: Mutex<MofStore>,
     /// DataCache: one staged read-ahead range per (mof, reducer); the
     /// hit/stage logic lives in [`StageCache`], where the `cfg(loom)`
     /// models exercise it.
-    staged: StageCache<(u64, u32)>,
+    pub(crate) staged: StageCache<(u64, u32)>,
     /// Recycled payload buffers for the serve hot path.
-    pool: BufPool,
-    /// Stage requests for the disk thread, grouped by MOF.
-    prefetch: PrefetchQueue,
-    /// Wakes the disk thread when a job is queued.
-    prefetch_tick: mpsc::Sender<()>,
-    stats: SupplierStats,
-    fetch_stats: FetchStats,
-    stop: AtomicBool,
+    pub(crate) pool: BufPool,
+    /// Stage requests for the disk workers, grouped by MOF. Pushing
+    /// wakes a blocked worker through the queue's own condvar.
+    pub(crate) prefetch: PrefetchQueue,
+    /// Permit-based disk IO arbitration: staging reads vs. spill
+    /// appends. Acquired by the disk thread around every store read.
+    pub(crate) iosched: Arc<IoScheduler>,
+    pub(crate) stats: SupplierStats,
+    pub(crate) fetch_stats: FetchStats,
+    pub(crate) stop: AtomicBool,
     /// Drain mode: stop admitting, finish in-flight exchanges, exit.
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Connections currently being served (admission + drain gauge).
-    active_conns: AtomicU64,
+    pub(crate) active_conns: AtomicU64,
     /// Connections currently being served, per peer IP (admission).
-    conns_per_peer: Mutex<HashMap<IpAddr, u64>>,
+    pub(crate) conns_per_peer: Mutex<HashMap<IpAddr, u64>>,
     /// Total segment lengths, cached off the store index so v3 `OkCrc`
     /// replies don't pay an index lock per chunk. Never held together
     /// with any other lock.
-    seg_lens: Mutex<HashMap<(u64, u32), u64>>,
-    options: ServerOptions,
+    pub(crate) seg_lens: Mutex<HashMap<(u64, u32), u64>>,
+    pub(crate) options: ServerOptions,
 }
 
 /// A running MOFSupplier.
@@ -198,7 +259,11 @@ pub struct MofSupplierServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
-    prefetch_thread: Option<JoinHandle<()>>,
+    prefetch_threads: Vec<JoinHandle<()>>,
+    /// Event-loop mode: one handle per reactor thread (empty when
+    /// serving threaded).
+    reactors: Vec<Arc<ReactorHandle>>,
+    reactor_threads: Vec<JoinHandle<()>>,
 }
 
 impl MofSupplierServer {
@@ -248,8 +313,18 @@ impl MofSupplierServer {
 
     fn run(listener: TcpListener, store: MofStore, options: ServerOptions) -> io::Result<Self> {
         let addr = listener.local_addr()?;
-        let (tick_tx, tick_rx) = mpsc::channel();
         let use_prefetch = options.prefetch;
+        // The reactor ships every disk touch to the prefetch thread, so
+        // the serial (no-prefetch) baseline must serve threaded.
+        let threaded = options.threaded || !options.prefetch;
+        let iosched = match &options.iosched {
+            Some(s) => Arc::clone(s),
+            None => Arc::new(IoScheduler::with_trace(
+                options.io_read_permits,
+                options.io_append_permits,
+                options.trace.clone(),
+            )),
+        };
         let shared = Arc::new(Shared {
             store: Mutex::new(store),
             staged: StageCache::new(),
@@ -257,7 +332,7 @@ impl MofSupplierServer {
             // disk thread to hold one in flight.
             pool: BufPool::with_trace(64, options.trace.clone()),
             prefetch: PrefetchQueue::new(),
-            prefetch_tick: tick_tx,
+            iosched,
             stats: SupplierStats::default(),
             fetch_stats: FetchStats::new(),
             stop: AtomicBool::new(false),
@@ -271,14 +346,45 @@ impl MofSupplierServer {
                 ..options
             },
         });
-        let prefetch_thread = if use_prefetch {
-            let disk_shared = Arc::clone(&shared);
-            Some(std::thread::spawn(move || {
-                prefetch_loop(&disk_shared, tick_rx);
-            }))
+        // Threaded mode keeps the paper's single disk thread (connection
+        // threads stage misses themselves, which is where its disk
+        // parallelism comes from). The event loop ships *every* disk
+        // touch through the queue, so it runs a pool of disk workers —
+        // one per read permit — and the IO scheduler bounds how many of
+        // them actually hit the disk at once.
+        let disk_workers = if !use_prefetch {
+            0
+        } else if threaded {
+            1
         } else {
-            None
+            // An unlimited Read class (cap 0) still needs a concrete
+            // pool width; default to the paper's 4-permit arbitration.
+            match shared.iosched.read_permits() {
+                0 => 4,
+                cap => cap,
+            }
         };
+        let mut prefetch_threads = Vec::new();
+        for _ in 0..disk_workers {
+            let disk_shared = Arc::clone(&shared);
+            prefetch_threads.push(std::thread::spawn(move || {
+                prefetch_loop(&disk_shared);
+            }));
+        }
+        let mut reactors = Vec::new();
+        let mut reactor_threads = Vec::new();
+        if !threaded {
+            for idx in 0..shared.options.reactor_threads.max(1) {
+                let handle = ReactorHandle::new(idx as u64)?;
+                let r_shared = Arc::clone(&shared);
+                let r_handle = Arc::clone(&handle);
+                reactor_threads.push(std::thread::spawn(move || {
+                    reactor::run(&r_shared, &r_handle);
+                }));
+                reactors.push(handle);
+            }
+        }
+        let accept_reactors = reactors.clone();
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
@@ -299,8 +405,8 @@ impl MofSupplierServer {
                     _ => {}
                 }
                 // Admission: a connection over the global or per-peer
-                // bound gets one typed `Busy` reply, never a thread of
-                // its own.
+                // bound gets one typed `Busy` reply, never a thread (or
+                // reactor slot) of its own.
                 let peer_ip = stream.peer_addr().ok().map(|a| a.ip());
                 if !admit(&accept_shared, peer_ip) {
                     let busy_shared = Arc::clone(&accept_shared);
@@ -317,6 +423,18 @@ impl MofSupplierServer {
                     .options
                     .trace
                     .instant("server.accept", Entity::conn(conn_no), 0, 0);
+                if let Some(reactor) =
+                    accept_reactors.get(conn_no as usize % accept_reactors.len().max(1))
+                {
+                    // Event-loop mode: hand the admitted socket to its
+                    // reactor; no thread is spawned.
+                    reactor.submit(NewConn {
+                        stream,
+                        peer_ip,
+                        conn_no,
+                    });
+                    continue;
+                }
                 let conn_shared = Arc::clone(&accept_shared);
                 std::thread::spawn(move || {
                     handle_connection(stream, &conn_shared, peer_ip);
@@ -327,7 +445,9 @@ impl MofSupplierServer {
             addr,
             shared,
             accept_thread: Some(accept_thread),
-            prefetch_thread,
+            prefetch_threads,
+            reactors,
+            reactor_threads,
         })
     }
 
@@ -358,6 +478,13 @@ impl MofSupplierServer {
             prefetch_queue_len: self.shared.prefetch.len() as u64,
             prefetch_queue_peak: self.shared.prefetch.peak() as u64,
             bufpool: self.shared.pool.stats(),
+            reactor_wakes: s.reactor_wakes.load(Ordering::Relaxed),
+            partial_writes: s.partial_writes.load(Ordering::Relaxed),
+            zerocopy_bytes: s.zerocopy_bytes.load(Ordering::Relaxed),
+            copied_bytes: s.copied_bytes.load(Ordering::Relaxed),
+            read_syscalls: s.read_syscalls.load(Ordering::Relaxed),
+            write_syscalls: s.write_syscalls.load(Ordering::Relaxed),
+            iosched: self.shared.iosched.stats(),
         }
     }
 
@@ -427,23 +554,33 @@ impl MofSupplierServer {
     fn do_shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
         // Close the prefetch queue: fail any connection thread waiting
-        // on a miss, refuse new jobs, and let the disk thread see
+        // on a miss, refuse new jobs, and wake every disk worker to see
         // `Closed` instead of blocking forever.
         for job in self.shared.prefetch.close() {
-            if let Some(reply) = job.reply {
-                let _ = reply.send(Err(io::Error::new(
-                    io::ErrorKind::Interrupted,
-                    "supplier shutting down",
-                )));
+            match job.reply {
+                Reply::Channel(reply) => {
+                    let _ = reply.send(Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "supplier shutting down",
+                    )));
+                }
+                // A reactor job dies with its ticket: the reactor's own
+                // shutdown releases the connection, nothing is waiting.
+                Reply::Reactor(_) | Reply::None => {}
             }
         }
-        let _ = self.shared.prefetch_tick.send(());
-        // Wake the accept loop.
+        // Wake the accept loop and every reactor so they observe `stop`.
         let _ = TcpStream::connect(self.addr);
+        for reactor in &self.reactors {
+            reactor.waker.wake();
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.prefetch_thread.take() {
+        for t in self.prefetch_threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.reactor_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -479,8 +616,10 @@ fn admit(shared: &Shared, peer_ip: Option<IpAddr>) -> bool {
     true
 }
 
-/// Release the admission slot taken by [`admit`].
-fn release(shared: &Shared, peer_ip: Option<IpAddr>) {
+/// Release the admission slot taken by [`admit`]. Called from the
+/// connection thread (threaded mode) or the owning reactor when it
+/// reaps the connection.
+pub(crate) fn release(shared: &Shared, peer_ip: Option<IpAddr>) {
     if let Some(ip) = peer_ip {
         let mut peers_map = lock(&shared.conns_per_peer);
         if let Some(count) = peers_map.get_mut(&ip) {
@@ -529,6 +668,42 @@ fn reject_busy(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// A `TcpStream` that counts its syscalls into [`SupplierStats`], so
+/// the threaded and event-loop serve paths report the same
+/// `syscalls_per_segment` bench metric from the same counters.
+struct CountingStream<'a> {
+    inner: TcpStream,
+    stats: &'a SupplierStats,
+}
+
+impl io::Read for CountingStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if n > 0 {
+            self.stats.read_syscalls.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(n)
+    }
+}
+
+impl io::Write for CountingStream<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.stats.write_syscalls.fetch_add(1, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        let n = self.inner.write_vectored(bufs)?;
+        self.stats.write_syscalls.fetch_add(1, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared, peer_ip: Option<IpAddr>) {
     if let Err(e) = serve_connection(stream, shared) {
         // The peer vanished or the socket failed: count it, drop the
@@ -545,8 +720,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared, peer_ip: Option<IpAddr>
 
 fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    let mut reader = io::BufReader::new(stream.try_clone()?);
-    let mut writer = io::BufWriter::new(stream);
+    let mut reader = io::BufReader::new(CountingStream {
+        inner: stream.try_clone()?,
+        stats: &shared.stats,
+    });
+    let mut writer = io::BufWriter::new(CountingStream {
+        inner: stream,
+        stats: &shared.stats,
+    });
     use std::io::Write;
     while let Some((req, version)) = FetchRequest::read_from(&mut reader)? {
         if shared.stop.load(Ordering::Acquire) {
@@ -668,7 +849,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
 /// or (on first touch) the store's index. `None` for an unknown
 /// MOF/reducer. The two locks are taken strictly in sequence, never
 /// nested.
-fn segment_len(shared: &Shared, mof: u64, reducer: u32) -> Option<u64> {
+pub(crate) fn segment_len(shared: &Shared, mof: u64, reducer: u32) -> Option<u64> {
     // Hybrid partitions first, and never through the cache: their
     // length grows with every append, so a cached value would go stale
     // and poison the v3 seg_len accounting.
@@ -739,7 +920,10 @@ fn read_ahead(
             return Ok(Some((bytes, at_end)));
         }
     }
-    // disk.Read: the synthetic latency is part of the modeled disk pass.
+    // The disk pass proper: take a Read permit first (arbitrating
+    // against spill-flush appends), then the timed read. The synthetic
+    // latency models the device, so it runs under the permit too.
+    let _permit = shared.iosched.acquire(IoClass::Read);
     let _read_span = shared
         .options
         .trace
@@ -758,21 +942,18 @@ fn read_ahead(
     }))
 }
 
-/// The disk thread: pop stage jobs (round-robin across MOF groups,
-/// offset-ordered within), read ahead, stage, and answer any waiting
-/// connection thread. Runs until the queue is closed.
-fn prefetch_loop(shared: &Shared, ticks: mpsc::Receiver<()>) {
+/// One disk worker: pop stage jobs (round-robin across MOF groups,
+/// offset-ordered within), read ahead, stage, and answer whoever waits.
+/// Blocks on the queue's condvar between jobs; runs until the queue is
+/// closed. The event loop runs a pool of these, one per Read permit.
+fn prefetch_loop(shared: &Shared) {
     loop {
-        match shared.prefetch.try_pop() {
+        match shared.prefetch.pop_wait() {
             Pop::Item(job) => run_stage_job(shared, job),
             Pop::Closed => break,
-            Pop::Empty => {
-                // Block until a push (or shutdown) ticks us awake. A
-                // dropped sender means the Shared is gone entirely.
-                if ticks.recv().is_err() {
-                    break;
-                }
-            }
+            // pop_wait never yields Empty; retry rather than trusting
+            // that invariant with a panic on the disk path.
+            Pop::Empty => continue,
         }
     }
 }
@@ -780,67 +961,256 @@ fn prefetch_loop(shared: &Shared, ticks: mpsc::Receiver<()>) {
 /// Execute one stage job on the disk thread.
 fn run_stage_job(shared: &Shared, job: StageJob) {
     let key = (job.mof, job.reducer);
-    // Run-ahead jobs are queued from every tail hit, so consecutive
-    // chunk fetches can queue the same next range several times; the
-    // staged map is the dedupe point.
-    if job.reply.is_none() && shared.staged.covers(&key, job.offset) {
-        return;
-    }
-    // A sync (miss-path) job can be overtaken by an async run-ahead
-    // that was queued ahead of it for the same range; serve the staged
-    // bytes instead of paying a second disk pass.
-    if let Some(reply) = &job.reply {
-        let mut payload = shared.pool.get();
-        if shared
-            .staged
-            .hit_into(&key, job.offset, job.want, 0, &mut payload)
-            .is_some()
-        {
-            shared.stats.datacache_hits.fetch_add(1, Ordering::Relaxed);
-            shared
-                .options
-                .trace
-                .instant("cache.hit", Entity::mof(job.mof), job.offset, job.want);
-            let _ = reply.send(Ok(Some(payload)));
-            return;
-        }
-        shared.pool.put(payload);
-    }
-    match read_ahead(shared, job.mof, job.reducer, job.offset) {
-        Ok(Some((bytes, at_end))) => {
-            let mut payload = shared.pool.get();
-            let evicted =
-                shared
-                    .staged
-                    .stage_into(key, job.offset, bytes, at_end, job.want, &mut payload);
-            if let Some(old) = evicted {
-                shared.pool.put(old);
+    match job.reply {
+        Reply::None => {
+            // Run-ahead jobs are queued from every tail hit, so
+            // consecutive chunk fetches can queue the same next range
+            // several times; the staged map is the dedupe point.
+            if shared.staged.covers(&key, job.offset) {
+                return;
             }
-            match job.reply {
-                Some(reply) => {
+            if let Ok(Some((bytes, at_end))) = read_ahead(shared, job.mof, job.reducer, job.offset)
+            {
+                let evicted =
+                    shared
+                        .staged
+                        .stage_lease(key, job.offset, shared.pool.lease(bytes), at_end);
+                // Dropping the evicted lease recycles its buffer once
+                // nothing in flight still pins it.
+                drop(evicted);
+                shared
+                    .stats
+                    .prefetched_batches
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Reply::Channel(reply) => {
+            // A sync (miss-path) job can be overtaken by an async
+            // run-ahead that was queued ahead of it for the same range;
+            // serve the staged bytes instead of a second disk pass.
+            let mut payload = shared.pool.get();
+            if shared
+                .staged
+                .hit_into(&key, job.offset, job.want, 0, &mut payload)
+                .is_some()
+            {
+                shared.stats.datacache_hits.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .options
+                    .trace
+                    .instant("cache.hit", Entity::mof(job.mof), job.offset, job.want);
+                shared
+                    .stats
+                    .copied_bytes
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                let _ = reply.send(Ok(Some(payload)));
+                return;
+            }
+            shared.pool.put(payload);
+            match read_ahead(shared, job.mof, job.reducer, job.offset) {
+                Ok(Some((bytes, at_end))) => {
+                    let mut payload = shared.pool.get();
+                    let evicted = shared.staged.stage_into(
+                        key,
+                        job.offset,
+                        shared.pool.lease(bytes),
+                        at_end,
+                        job.want,
+                        &mut payload,
+                    );
+                    drop(evicted);
                     shared.stats.sync_stages.fetch_add(1, Ordering::Relaxed);
-                    let _ = reply.send(Ok(Some(payload)));
-                }
-                None => {
                     shared
                         .stats
-                        .prefetched_batches
-                        .fetch_add(1, Ordering::Relaxed);
-                    shared.pool.put(payload);
+                        .copied_bytes
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    let _ = reply.send(Ok(Some(payload)));
+                }
+                Ok(None) => {
+                    let _ = reply.send(Ok(None));
+                }
+                Err(e) => {
+                    let _ = reply.send(Err(e));
                 }
             }
         }
-        Ok(None) => {
-            if let Some(reply) = job.reply {
-                let _ = reply.send(Ok(None));
-            }
-        }
-        Err(e) => {
-            if let Some(reply) = job.reply {
-                let _ = reply.send(Err(e));
-            }
+        Reply::Reactor(ticket) => {
+            run_reactor_job(shared, ticket, job.mof, job.reducer, job.offset, job.want);
         }
     }
+}
+
+/// A direct (DataCache-free) store read framed for the reactor: the
+/// cache-bypass re-fetch, the whole-segment request, and the fallback
+/// when a hybrid partition drains mid-flight.
+fn direct_read_resp(
+    shared: &Shared,
+    id: u64,
+    version: WireVersion,
+    mof: u64,
+    reducer: u32,
+    offset: u64,
+    want_raw: u64,
+) -> reactor::OutResp {
+    let read = {
+        let _permit = shared.iosched.acquire(IoClass::Read);
+        let mut store = lock(&shared.store);
+        store.read_segment_range(mof, reducer, offset, want_raw)
+    };
+    match read {
+        Ok(Some(bytes)) => {
+            let seg_len = match version {
+                WireVersion::V2 => None,
+                WireVersion::V3 => segment_len(shared, mof, reducer),
+            };
+            let lease = shared.pool.lease(bytes);
+            let range = 0..lease.len();
+            shared
+                .stats
+                .zerocopy_bytes
+                .fetch_add(range.len() as u64, Ordering::Relaxed);
+            reactor::build_ok(shared, id, version, seg_len, lease, range, mof, offset)
+        }
+        Ok(None) => reactor::build_error(id, Status::NotFound, mof, offset),
+        Err(_) => reactor::build_error(id, Status::BadRequest, mof, offset),
+    }
+}
+
+/// Finish a reactor-dispatched request on the disk thread: do the IO
+/// its [`JobKind`] calls for, frame the complete response, and deliver
+/// it to the owning reactor's completion queue.
+/// Queue an async run-ahead stage for `(mof, reducer)` starting at
+/// `next`, waking the disk thread. Used by every hit path that notices
+/// the staged range running low (the pull half of Fig. 5 pipelining).
+pub(crate) fn queue_run_ahead(shared: &Shared, mof: u64, reducer: u32, next: u64) {
+    let queued = shared.prefetch.push(StageJob {
+        mof,
+        reducer,
+        offset: next,
+        want: 0,
+        reply: Reply::None,
+    });
+    if queued.is_ok() {
+        shared
+            .options
+            .trace
+            .instant("prefetch.queue", Entity::mof(mof), next, 0);
+    }
+}
+
+fn run_reactor_job(
+    shared: &Shared,
+    ticket: crate::reactor::JobTicket,
+    mof: u64,
+    reducer: u32,
+    offset: u64,
+    want_raw: u64,
+) {
+    let key = (mof, reducer);
+    let clamped = if want_raw == 0 {
+        u64::MAX
+    } else {
+        want_raw.min(shared.options.buffer_bytes)
+    };
+    let (id, version, kind) = (ticket.id, ticket.version, ticket.kind);
+    let seg_len_for = |version: WireVersion| match version {
+        WireVersion::V2 => None,
+        WireVersion::V3 => segment_len(shared, mof, reducer),
+    };
+    let resp = match kind {
+        JobKind::Stage => {
+            // An async run-ahead may have staged this range while the
+            // job sat queued: serve the overtaken request zero-copy.
+            // The same low-water mark as the reactor-side hit path, so
+            // a request served here still pulls the next batch — in a
+            // request burst most hits land here, and without the pull
+            // the disk falls back to lockstep sync staging.
+            let low_water = shared.options.buffer_bytes * shared.options.prefetch_batch / 2;
+            if let Some(hit) = shared.staged.hit_lease(&key, offset, clamped, low_water) {
+                shared.stats.datacache_hits.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .options
+                    .trace
+                    .instant("cache.hit", Entity::mof(mof), offset, clamped);
+                if let Some(next) = hit.stage_next {
+                    queue_run_ahead(shared, mof, reducer, next);
+                }
+                let seg_len = seg_len_for(version);
+                shared
+                    .stats
+                    .zerocopy_bytes
+                    .fetch_add(hit.range.len() as u64, Ordering::Relaxed);
+                reactor::build_ok(shared, id, version, seg_len, hit.lease, hit.range, mof, offset)
+            } else {
+                match read_ahead(shared, mof, reducer, offset) {
+                    Ok(Some((bytes, at_end))) => {
+                        shared.stats.sync_stages.fetch_add(1, Ordering::Relaxed);
+                        let lease = shared.pool.lease(bytes);
+                        // The response window is a clone of the lease
+                        // going into the cache: both pin one allocation.
+                        let hi = (clamped as usize).min(lease.len());
+                        let staged = lease.len() as u64;
+                        let evicted = shared.staged.stage_lease(key, offset, lease.clone(), at_end);
+                        drop(evicted);
+                        // Keep the disk one batch ahead of the burst:
+                        // the requests behind this one in the same
+                        // readiness batch will hit the staged range,
+                        // and the follow-on batch is already queued by
+                        // the time they drain it.
+                        if !at_end {
+                            queue_run_ahead(shared, mof, reducer, offset + staged);
+                        }
+                        let seg_len = seg_len_for(version);
+                        shared
+                            .stats
+                            .zerocopy_bytes
+                            .fetch_add(hi as u64, Ordering::Relaxed);
+                        reactor::build_ok(shared, id, version, seg_len, lease, 0..hi, mof, offset)
+                    }
+                    Ok(None) => reactor::build_error(id, Status::NotFound, mof, offset),
+                    Err(_) => reactor::build_error(id, Status::BadRequest, mof, offset),
+                }
+            }
+        }
+        JobKind::Direct => direct_read_resp(shared, id, version, mof, reducer, offset, want_raw),
+        JobKind::Hybrid => {
+            let len = if want_raw == 0 { 0 } else { clamped };
+            let read = shared
+                .options
+                .hybrid
+                .as_ref()
+                .map(|h| h.read_segment_range(mof, reducer, offset, len));
+            match read {
+                Some(Ok(Some(bytes))) => {
+                    shared.stats.hybrid_hits.fetch_add(1, Ordering::Relaxed);
+                    shared.options.trace.instant(
+                        "hybrid.hit",
+                        Entity::mof(mof),
+                        offset,
+                        bytes.len() as u64,
+                    );
+                    // `segment_len` checks the hybrid store first, so a
+                    // v3 seg_len here is the partition's live length.
+                    let seg_len = seg_len_for(version);
+                    let lease = shared.pool.lease(bytes);
+                    let range = 0..lease.len();
+                    shared
+                        .stats
+                        .zerocopy_bytes
+                        .fetch_add(range.len() as u64, Ordering::Relaxed);
+                    reactor::build_ok(shared, id, version, seg_len, lease, range, mof, offset)
+                }
+                // The partition drained (e.g. to REMOTE) between the
+                // reactor's presence check and this read: fall back to
+                // the MOF store like any non-hybrid key.
+                Some(Ok(None)) | None => {
+                    direct_read_resp(shared, id, version, mof, reducer, offset, want_raw)
+                }
+                Some(Err(_)) => reactor::build_error(id, Status::BadRequest, mof, offset),
+            }
+        }
+    };
+    ticket.deliver(resp);
 }
 
 /// Memory-tier-first serving: if a hybrid store is attached and knows
@@ -894,15 +1264,16 @@ fn serve(shared: &Shared, req: FetchRequest, version: WireVersion) -> FetchRespo
     // answer straight from disk, so poisoned DataCache bytes are never
     // served twice.
     if req.bypass_cache() {
-        if let Some(poisoned) = shared.staged.invalidate(&key) {
-            shared.pool.put(poisoned);
-        }
+        // Dropping the invalidated lease recycles its buffer once no
+        // in-flight transmit still pins it.
+        drop(shared.staged.invalidate(&key));
         shared.stats.bypass_reads.fetch_add(1, Ordering::Relaxed);
         shared
             .options
             .trace
             .instant("integrity.bypass", Entity::mof(req.mof), req.offset, req.len);
         let read = {
+            let _permit = shared.iosched.acquire(IoClass::Read);
             let mut store = lock(&shared.store);
             store.read_segment_range(req.mof, req.reducer, req.offset, req.len)
         };
@@ -916,6 +1287,7 @@ fn serve(shared: &Shared, req: FetchRequest, version: WireVersion) -> FetchRespo
     // Whole-segment requests bypass staging.
     if req.len == 0 {
         let read = {
+            let _permit = shared.iosched.acquire(IoClass::Read);
             let mut store = lock(&shared.store);
             store.read_segment_range(req.mof, req.reducer, req.offset, 0)
         };
@@ -941,6 +1313,10 @@ fn serve(shared: &Shared, req: FetchRequest, version: WireVersion) -> FetchRespo
             .options
             .trace
             .instant("cache.hit", Entity::mof(req.mof), req.offset, want);
+        shared
+            .stats
+            .copied_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         if shared.options.prefetch {
             if let Some(next) = hit.stage_next {
                 let queued = shared.prefetch.push(StageJob {
@@ -948,14 +1324,13 @@ fn serve(shared: &Shared, req: FetchRequest, version: WireVersion) -> FetchRespo
                     reducer: req.reducer,
                     offset: next,
                     want: 0,
-                    reply: None,
+                    reply: Reply::None,
                 });
                 if queued.is_ok() {
                     shared
                         .options
                         .trace
                         .instant("prefetch.queue", Entity::mof(req.mof), next, 0);
-                    let _ = shared.prefetch_tick.send(());
                 }
             }
         }
@@ -972,13 +1347,12 @@ fn serve(shared: &Shared, req: FetchRequest, version: WireVersion) -> FetchRespo
             reducer: req.reducer,
             offset: req.offset,
             want,
-            reply: Some(reply_tx),
+            reply: Reply::Channel(reply_tx),
         });
         if queued.is_err() {
             // Shutting down.
             return FetchResponse::error(req.id, Status::BadRequest);
         }
-        let _ = shared.prefetch_tick.send(());
         // The only place a connection thread waits for the disk in the
         // pipelined discipline: a cold miss.
         let _wait = shared
@@ -993,13 +1367,19 @@ fn serve(shared: &Shared, req: FetchRequest, version: WireVersion) -> FetchRespo
     } else {
         match read_ahead(shared, req.mof, req.reducer, req.offset) {
             Ok(Some((bytes, at_end))) => {
-                let evicted =
-                    shared
-                        .staged
-                        .stage_into(key, req.offset, bytes, at_end, want, &mut payload);
-                if let Some(old) = evicted {
-                    shared.pool.put(old);
-                }
+                let evicted = shared.staged.stage_into(
+                    key,
+                    req.offset,
+                    shared.pool.lease(bytes),
+                    at_end,
+                    want,
+                    &mut payload,
+                );
+                drop(evicted);
+                shared
+                    .stats
+                    .copied_bytes
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
                 finish_ok(shared, &req, version, payload)
             }
             Ok(None) => {
@@ -1130,9 +1510,13 @@ mod tests {
 
     #[test]
     fn chunked_fetch_reassembles_and_hits_datacache() {
+        // Threaded mode: the bufpool assertions below are about the
+        // copy-out serve path (the reactor transmits from pinned leases
+        // and never draws a per-request payload buffer).
         let server = chunked_fetch_roundtrip(ServerOptions {
             buffer_bytes: 4 << 10,
             prefetch_batch: 8,
+            threaded: true,
             ..ServerOptions::default()
         });
         // Read-ahead must have served most chunks from memory.
@@ -1391,10 +1775,14 @@ mod tests {
         // Poison the staged range the way bad RAM would: same offsets,
         // wrong bytes.
         let mut scratch = Vec::new();
-        server
-            .shared
-            .staged
-            .stage_into((0, 0), 0, vec![0xEE; 32 << 10], false, 0, &mut scratch);
+        server.shared.staged.stage_into(
+            (0, 0),
+            0,
+            crate::bufpool::Lease::detached(vec![0xEE; 32 << 10]),
+            false,
+            0,
+            &mut scratch,
+        );
         // A plain re-fetch serves the poison (this is the failure the
         // integrity layer exists to catch)...
         chunk.write_versioned(&mut w, WireVersion::V3).unwrap();

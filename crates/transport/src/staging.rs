@@ -18,15 +18,22 @@
 //!   asynchronous read-ahead job — the disk thread stages the next range
 //!   while the network is still transmitting this one.
 //!
-//! The `_into` variants copy into a caller-supplied buffer (from the
-//! [`crate::bufpool::BufPool`]) instead of allocating, and staging
-//! returns the evicted range's buffer so it can be recycled too.
+//! Ranges are stored as refcounted [`Lease`]s over pooled buffers. The
+//! threaded server copies a hit out into a caller-supplied buffer
+//! ([`StageCache::hit_into`]); the event-loop server instead *clones
+//! the lease* ([`StageCache::hit_lease`]) and transmits straight from
+//! the cached allocation — zero copies between DataCache and socket,
+//! with eviction safe at any moment because the in-flight clone keeps
+//! the bytes alive. Either way, staging returns the evicted range's
+//! lease so its buffer recycles as soon as the last pin drops.
 //!
-//! Locking: the single `staged` mutex is held only to copy a hit out or
-//! swap a range in — never across disk I/O. In the documented order it
-//! sits after `store`, because the prefetch path reads the store first
-//! and stages the result; a hit never takes `store` at all.
+//! Locking: the single `staged` mutex is held only to copy a hit out
+//! (or clone a lease) or swap a range in — never across disk I/O. In
+//! the documented order it sits after `store`, because the prefetch
+//! path reads the store first and stages the result; a hit never takes
+//! `store` at all.
 
+use crate::bufpool::Lease;
 use crate::sync::{lock, Mutex};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -35,7 +42,7 @@ use std::hash::Hash;
 struct StagedRange {
     /// Segment offset of `bytes[0]`.
     offset: u64,
-    bytes: Vec<u8>,
+    bytes: Lease,
     /// Whether this range reaches the end of its segment (a shorter-
     /// than-requested store read proved there is nothing beyond it).
     at_end: bool,
@@ -46,6 +53,19 @@ pub(crate) struct Hit {
     /// `Some(next)` when the hit consumed into the low-water tail of the
     /// range and the segment continues past it: the caller should queue
     /// an asynchronous read-ahead starting at absolute offset `next`.
+    pub(crate) stage_next: Option<u64>,
+}
+
+/// A zero-copy hit: a clone of the staged lease plus the byte window of
+/// the request within it. The bytes stay pinned (and the underlying
+/// buffer un-recycled) for exactly as long as the caller holds the
+/// lease — through an arbitrary number of partial-write resumptions.
+pub(crate) struct LeaseHit {
+    pub(crate) lease: Lease,
+    /// The request's window within `lease` (`lo..hi`, already clamped
+    /// for at-end ranges).
+    pub(crate) range: std::ops::Range<usize>,
+    /// Same read-ahead signal as [`Hit::stage_next`].
     pub(crate) stage_next: Option<u64>,
 }
 
@@ -62,10 +82,40 @@ impl<K: Hash + Eq> StageCache<K> {
         }
     }
 
+    /// The window of `[offset, offset+want)` within staged range `s`,
+    /// or `None` on a miss. Checked arithmetic makes the test total: an
+    /// offset below the staged base, a range past its end, or any u64
+    /// overflow is a miss, never a panic. A request running into (or
+    /// past) the end of an **at-end** range is served clamped —
+    /// possibly empty: the segment truly ends inside the range, so a
+    /// shorter answer is the final answer, and treating it as a miss
+    /// would send pipelined past-EOF speculation to the disk, where its
+    /// empty result would evict the live range it raced.
+    fn window(s: &StagedRange, offset: u64, want: u64) -> Option<std::ops::Range<usize>> {
+        let lo = offset.checked_sub(s.offset).map(|lo| lo as usize)?;
+        match lo
+            .checked_add(want as usize)
+            .filter(|&hi| hi <= s.bytes.len() && lo <= hi)
+        {
+            Some(hi) => Some(lo..hi),
+            None if s.at_end => {
+                let lo = lo.min(s.bytes.len());
+                Some(lo..s.bytes.len())
+            }
+            None => None,
+        }
+    }
+
+    /// The read-ahead signal for a hit of `[offset, offset+want)` on `s`.
+    fn stage_next(s: &StagedRange, offset: u64, want: u64, low_water: u64) -> Option<u64> {
+        let end = s.offset.saturating_add(s.bytes.len() as u64);
+        let remaining = end.saturating_sub(offset.saturating_add(want));
+        (!s.at_end && remaining <= low_water).then_some(end)
+    }
+
     /// Serve `[offset, offset+want)` from the staged range into `out`,
-    /// if the whole request lies inside it. Checked arithmetic and `get`
-    /// make the hit test total: an offset below the staged base, a range
-    /// past its end, or any u64 overflow is a miss, never a panic.
+    /// if the whole request lies inside it (the threaded server's
+    /// copy-out path).
     ///
     /// On a hit, [`Hit::stage_next`] is set when at most `low_water`
     /// bytes remain beyond the request and the segment continues past
@@ -80,44 +130,64 @@ impl<K: Hash + Eq> StageCache<K> {
     ) -> Option<Hit> {
         let staged = lock(&self.staged);
         let s = staged.get(key)?;
-        let lo = offset.checked_sub(s.offset).map(|lo| lo as usize)?;
-        let chunk = match lo
-            .checked_add(want as usize)
-            .and_then(|hi| s.bytes.get(lo..hi))
-        {
-            Some(chunk) => chunk,
-            // A request running into (or past) the end of an at-end
-            // range is served clamped — possibly empty. The segment
-            // truly ends inside this range, so a shorter answer is the
-            // final answer; treating it as a miss would send pipelined
-            // past-EOF speculation to the disk, where its empty result
-            // would evict the live range it raced.
-            None if s.at_end => s.bytes.get(lo.min(s.bytes.len())..).unwrap_or_default(),
-            None => return None,
-        };
+        let range = Self::window(s, offset, want)?;
         out.clear();
-        out.extend_from_slice(chunk);
-        let end = s.offset.saturating_add(s.bytes.len() as u64);
-        let remaining = end.saturating_sub(offset.saturating_add(want));
-        let stage_next = (!s.at_end && remaining <= low_water).then_some(end);
-        Some(Hit { stage_next })
+        out.extend_from_slice(s.bytes.get(range).unwrap_or_default());
+        Some(Hit {
+            stage_next: Self::stage_next(s, offset, want, low_water),
+        })
+    }
+
+    /// Serve `[offset, offset+want)` as a pinned window over the staged
+    /// lease — no copy (the event-loop server's path). Identical hit
+    /// semantics to [`StageCache::hit_into`], including at-end clamping
+    /// and the `stage_next` signal.
+    pub(crate) fn hit_lease(
+        &self,
+        key: &K,
+        offset: u64,
+        want: u64,
+        low_water: u64,
+    ) -> Option<LeaseHit> {
+        let staged = lock(&self.staged);
+        let s = staged.get(key)?;
+        let range = Self::window(s, offset, want)?;
+        Some(LeaseHit {
+            lease: s.bytes.clone(),
+            range,
+            stage_next: Self::stage_next(s, offset, want, low_water),
+        })
     }
 
     /// Stage `bytes` (read from the store at `offset`) as `key`'s new
     /// range, serve its first `want` bytes into `out`, and return the
-    /// evicted range's buffer (if any) for recycling.
+    /// evicted range's lease (if any) — dropping it recycles the buffer
+    /// once no in-flight transmit still pins it.
     pub(crate) fn stage_into(
         &self,
         key: K,
         offset: u64,
-        bytes: Vec<u8>,
+        bytes: Lease,
         at_end: bool,
         want: u64,
         out: &mut Vec<u8>,
-    ) -> Option<Vec<u8>> {
+    ) -> Option<Lease> {
         let serve_len = (want as usize).min(bytes.len());
         out.clear();
         out.extend_from_slice(bytes.get(..serve_len).unwrap_or_default());
+        self.stage_lease(key, offset, bytes, at_end)
+    }
+
+    /// Stage `bytes` as `key`'s new range without serving anything (the
+    /// event-loop path clones the lease *before* staging and builds its
+    /// response window from the clone). Returns the evicted lease.
+    pub(crate) fn stage_lease(
+        &self,
+        key: K,
+        offset: u64,
+        bytes: Lease,
+        at_end: bool,
+    ) -> Option<Lease> {
         let evicted = lock(&self.staged).insert(
             key,
             StagedRange {
@@ -129,10 +199,10 @@ impl<K: Hash + Eq> StageCache<K> {
         evicted.map(|r| r.bytes)
     }
 
-    /// Drop `key`'s staged range, returning its buffer for recycling.
-    /// The cache-bypass re-fetch path: after a checksum mismatch the
-    /// staged bytes are suspect and must not be served again.
-    pub(crate) fn invalidate(&self, key: &K) -> Option<Vec<u8>> {
+    /// Drop `key`'s staged range, returning its lease. The cache-bypass
+    /// re-fetch path: after a checksum mismatch the staged bytes are
+    /// suspect and must not be served again.
+    pub(crate) fn invalidate(&self, key: &K) -> Option<Lease> {
         lock(&self.staged).remove(key).map(|r| r.bytes)
     }
 
@@ -165,7 +235,7 @@ mod loom_tests {
 
     fn stage(cache: &StageCache<u8>, key: u8, offset: u64, bytes: Vec<u8>, want: u64) -> Vec<u8> {
         let mut out = Vec::new();
-        cache.stage_into(key, offset, bytes, false, want, &mut out);
+        cache.stage_into(key, offset, Lease::detached(bytes), false, want, &mut out);
         out
     }
 
@@ -195,7 +265,7 @@ mod loom_tests {
     /// Two threads stage different ranges for one key concurrently. The
     /// survivor is one of the two complete ranges (last write wins),
     /// a later hit is consistent with whichever survived, and exactly
-    /// one of the racers gets the loser's buffer back for recycling.
+    /// one of the racers gets the loser's lease back for recycling.
     #[test]
     fn loom_concurrent_stages_last_write_wins() {
         loom::model(|| {
@@ -203,11 +273,13 @@ mod loom_tests {
             let c2 = Arc::clone(&cache);
             let h = loom::thread::spawn(move || {
                 let mut out = Vec::new();
-                let evicted = c2.stage_into(0u8, 0, vec![10, 11], false, 2, &mut out);
+                let evicted =
+                    c2.stage_into(0u8, 0, Lease::detached(vec![10, 11]), false, 2, &mut out);
                 (out, evicted)
             });
             let mut out2 = Vec::new();
-            let ev2 = cache.stage_into(0u8, 2, vec![20, 21], false, 2, &mut out2);
+            let ev2 =
+                cache.stage_into(0u8, 2, Lease::detached(vec![20, 21]), false, 2, &mut out2);
             assert_eq!(out2, vec![20, 21]);
             let (out1, ev1) = match h.join() {
                 Ok(r) => r,
@@ -219,11 +291,41 @@ mod loom_tests {
                 matches!(survivor, (Some(_), None) | (None, Some(_))),
                 "exactly one complete range survives: {survivor:?}"
             );
-            // The losing range's buffer was returned to exactly one
+            // The losing range's lease was returned to exactly one
             // caller (the one that staged second); never both, never a
-            // phantom buffer.
+            // phantom lease.
             let evictions = [&ev1, &ev2].iter().filter(|e| e.is_some()).count();
             assert_eq!(evictions, 1, "{ev1:?} {ev2:?}");
+        });
+    }
+
+    /// The partial-write-resume vs. eviction race (satellite model): a
+    /// transmitter clones the staged lease (as the reactor does before
+    /// its first `writev`), then a restage evicts the range while the
+    /// transmit is still in flight. In every interleaving the
+    /// transmitter's clone reads the original payload byte-exactly —
+    /// eviction can drop the cache entry but never the pinned bytes.
+    #[test]
+    fn loom_eviction_races_pinned_transmit() {
+        loom::model(|| {
+            let cache = Arc::new(StageCache::<u8>::new());
+            let mut out = Vec::new();
+            cache.stage_into(0u8, 0, Lease::detached(vec![1, 2, 3, 4]), false, 0, &mut out);
+            let pinned = cache.hit_lease(&0u8, 1, 2, 0).expect("staged range hit");
+            let c2 = Arc::clone(&cache);
+            let h = loom::thread::spawn(move || {
+                // Restage: evicts the range the transmitter pinned.
+                let mut out = Vec::new();
+                let ev = c2.stage_into(0u8, 50, Lease::detached(vec![9]), false, 0, &mut out);
+                drop(ev); // the cache's pin goes away mid-transmit
+            });
+            // "Resume the partial write": the clone still reads true.
+            let window = pinned.lease.get(pinned.range.clone()).unwrap_or_default();
+            assert_eq!(window, &[2, 3], "pinned bytes survived eviction");
+            if h.join().is_err() {
+                panic!("restager panicked");
+            }
+            assert_eq!(window, &[2, 3]);
         });
     }
 }
@@ -237,9 +339,15 @@ mod tests {
         cache.hit_into(&key, offset, want, 0, &mut out).map(|_| out)
     }
 
+    fn hit_zc(cache: &StageCache<u8>, key: u8, offset: u64, want: u64) -> Option<Vec<u8>> {
+        cache
+            .hit_lease(&key, offset, want, 0)
+            .map(|h| h.lease.get(h.range).unwrap_or_default().to_vec())
+    }
+
     fn stage(cache: &StageCache<u8>, key: u8, offset: u64, bytes: Vec<u8>, want: u64) -> Vec<u8> {
         let mut out = Vec::new();
-        cache.stage_into(key, offset, bytes, false, want, &mut out);
+        cache.stage_into(key, offset, Lease::detached(bytes), false, want, &mut out);
         out
     }
 
@@ -256,6 +364,30 @@ mod tests {
     }
 
     #[test]
+    fn lease_hit_matches_copy_hit() {
+        let cache = StageCache::<u8>::new();
+        stage(&cache, 1, 100, vec![1, 2, 3, 4, 5, 6], 0);
+        for (offset, want) in [(100, 4), (102, 3), (99, 2), (104, 4), (u64::MAX, 2)] {
+            assert_eq!(
+                hit(&cache, 1, offset, want),
+                hit_zc(&cache, 1, offset, want),
+                "copy and zero-copy hits must agree at ({offset}, {want})"
+            );
+        }
+    }
+
+    #[test]
+    fn lease_hit_reports_stage_next_like_hit_into() {
+        let cache = StageCache::<u8>::new();
+        let mut out = Vec::new();
+        cache.stage_into(1, 100, Lease::detached(vec![0; 8]), false, 2, &mut out);
+        let h = cache.hit_lease(&1, 100, 2, 2).unwrap();
+        assert_eq!(h.stage_next, None);
+        let h = cache.hit_lease(&1, 104, 2, 2).unwrap();
+        assert_eq!(h.stage_next, Some(108));
+    }
+
+    #[test]
     fn stage_serves_at_most_available() {
         let cache = StageCache::<u8>::new();
         let served = stage(&cache, 1, 0, vec![7, 8], 10);
@@ -267,10 +399,14 @@ mod tests {
         let cache = StageCache::<u8>::new();
         let mut out = Vec::new();
         assert!(cache
-            .stage_into(1, 0, vec![1, 2, 3], false, 3, &mut out)
+            .stage_into(1, 0, Lease::detached(vec![1, 2, 3]), false, 3, &mut out)
             .is_none());
-        let evicted = cache.stage_into(1, 10, vec![4, 5, 6], false, 3, &mut out);
-        assert_eq!(evicted, Some(vec![1, 2, 3]), "old buffer comes back");
+        let evicted = cache.stage_into(1, 10, Lease::detached(vec![4, 5, 6]), false, 3, &mut out);
+        assert_eq!(
+            evicted.as_deref(),
+            Some(&[1u8, 2, 3][..]),
+            "old lease comes back"
+        );
         assert_eq!(hit(&cache, 1, 0, 2), None, "old range gone");
         assert_eq!(hit(&cache, 1, 10, 3), Some(vec![4, 5, 6]));
     }
@@ -280,7 +416,7 @@ mod tests {
         let cache = StageCache::<u8>::new();
         let mut out = Vec::new();
         // Range [100, 108), segment continues beyond it.
-        cache.stage_into(1, 100, vec![0; 8], false, 2, &mut out);
+        cache.stage_into(1, 100, Lease::detached(vec![0; 8]), false, 2, &mut out);
         // Head of the range with 2 bytes of low-water: plenty left.
         let h = cache.hit_into(&1, 100, 2, 2, &mut out).unwrap();
         assert_eq!(h.stage_next, None);
@@ -288,7 +424,7 @@ mod tests {
         let h = cache.hit_into(&1, 104, 2, 2, &mut out).unwrap();
         assert_eq!(h.stage_next, Some(108));
         // Same tail hit on an at-end range: nothing beyond to stage.
-        cache.stage_into(2, 100, vec![0; 8], true, 2, &mut out);
+        cache.stage_into(2, 100, Lease::detached(vec![0; 8]), true, 2, &mut out);
         let h = cache.hit_into(&2, 104, 2, 2, &mut out).unwrap();
         assert_eq!(h.stage_next, None);
     }
@@ -297,24 +433,27 @@ mod tests {
     fn at_end_range_serves_clamped_and_empty_tails() {
         let cache = StageCache::<u8>::new();
         let mut out = Vec::new();
-        cache.stage_into(1, 100, vec![1, 2, 3, 4], true, 0, &mut out);
+        cache.stage_into(1, 100, Lease::detached(vec![1, 2, 3, 4]), true, 0, &mut out);
         // Runs into the end: clamped, not a miss.
         assert_eq!(hit(&cache, 1, 102, 8), Some(vec![3, 4]));
+        assert_eq!(hit_zc(&cache, 1, 102, 8), Some(vec![3, 4]));
         // At and past the end: empty — the stream's EOF answer.
         assert_eq!(hit(&cache, 1, 104, 4), Some(vec![]));
         assert_eq!(hit(&cache, 1, 200, 4), Some(vec![]));
+        assert_eq!(hit_zc(&cache, 1, 200, 4), Some(vec![]));
         // A mid-segment range still misses past its staged end.
-        cache.stage_into(2, 100, vec![1, 2, 3, 4], false, 0, &mut out);
+        cache.stage_into(2, 100, Lease::detached(vec![1, 2, 3, 4]), false, 0, &mut out);
         assert_eq!(hit(&cache, 2, 102, 8), None);
+        assert_eq!(hit_zc(&cache, 2, 102, 8), None);
     }
 
     #[test]
     fn invalidate_drops_range_and_returns_buffer() {
         let cache = StageCache::<u8>::new();
-        assert_eq!(cache.invalidate(&1), None, "nothing staged");
+        assert!(cache.invalidate(&1).is_none(), "nothing staged");
         let mut out = Vec::new();
-        cache.stage_into(1, 0, vec![1, 2, 3], false, 3, &mut out);
-        assert_eq!(cache.invalidate(&1), Some(vec![1, 2, 3]));
+        cache.stage_into(1, 0, Lease::detached(vec![1, 2, 3]), false, 3, &mut out);
+        assert_eq!(cache.invalidate(&1).as_deref(), Some(&[1u8, 2, 3][..]));
         assert_eq!(hit(&cache, 1, 0, 2), None, "range gone after invalidate");
     }
 
@@ -323,14 +462,26 @@ mod tests {
         let cache = StageCache::<u8>::new();
         assert!(!cache.covers(&1, 0), "empty cache covers nothing");
         let mut out = Vec::new();
-        cache.stage_into(1, 100, vec![0; 8], false, 0, &mut out);
+        cache.stage_into(1, 100, Lease::detached(vec![0; 8]), false, 0, &mut out);
         assert!(cache.covers(&1, 100));
         assert!(cache.covers(&1, 107));
         assert!(!cache.covers(&1, 108), "just past a mid-segment range");
         assert!(!cache.covers(&1, 99));
         // An at-end range also covers everything past the segment end.
-        cache.stage_into(2, 100, vec![0; 8], true, 0, &mut out);
+        cache.stage_into(2, 100, Lease::detached(vec![0; 8]), true, 0, &mut out);
         assert!(cache.covers(&2, 108));
         assert!(cache.covers(&2, 10_000));
+    }
+
+    #[test]
+    fn eviction_mid_transmit_keeps_pinned_bytes_alive() {
+        let cache = StageCache::<u8>::new();
+        let mut out = Vec::new();
+        cache.stage_into(1, 0, Lease::detached(vec![1, 2, 3, 4]), false, 0, &mut out);
+        let pinned = cache.hit_lease(&1, 1, 2, 0).expect("hit");
+        // Evict while the "transmit" still holds its lease clone.
+        let evicted = cache.stage_into(1, 50, Lease::detached(vec![9]), false, 0, &mut out);
+        drop(evicted);
+        assert_eq!(pinned.lease.get(pinned.range).unwrap_or_default(), &[2, 3]);
     }
 }

@@ -23,16 +23,24 @@
 #[cfg(loom)]
 pub(crate) use loom::sync::atomic::{AtomicBool, AtomicUsize};
 #[cfg(loom)]
-pub(crate) use loom::sync::{Mutex, MutexGuard};
+pub(crate) use loom::sync::{Condvar, Mutex, MutexGuard};
 
 #[cfg(not(loom))]
 pub(crate) use std::sync::atomic::AtomicBool;
 #[cfg(not(loom))]
-pub(crate) use std::sync::{Mutex, MutexGuard};
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
 
 pub(crate) use std::sync::atomic::Ordering;
 
 /// Lock a mutex, tolerating poison.
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Wait on `cv` until woken, tolerating poison. The guard is released
+/// for the duration of the wait and reacquired on wake — the same
+/// contract as `std::sync::Condvar::wait`, which `cargo xtask analyze`
+/// recognizes when judging blocking-under-lock.
+pub(crate) fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
 }

@@ -304,6 +304,32 @@ pub struct FetchResponse {
     pub retry_after_ms: u64,
 }
 
+/// Encode a response head from its parts, without a [`FetchResponse`]
+/// in hand: status, request id, the header's `len` field (payload
+/// length, or the retry-after hint for `Busy`), and for `OkCrc` the
+/// integrity extension `(crc32c, seg_len)`. The reactor uses this to
+/// frame payloads that stay resident in the DataCache slab — there is
+/// no owned payload `Vec` to hang a `FetchResponse` on.
+pub(crate) fn encode_head_parts(
+    status: Status,
+    id: u64,
+    len_field: u64,
+    crc_seg: Option<(u32, u64)>,
+) -> ([u8; RESPONSE_HEADER_LEN + CRC_EXT_LEN], usize) {
+    let mut buf = BytesMut::with_capacity(RESPONSE_HEADER_LEN + CRC_EXT_LEN);
+    buf.put_u8(status as u8);
+    buf.put_u64(id);
+    buf.put_u64(len_field);
+    if let Some((crc, seg_len)) = crc_seg {
+        buf.put_u32(crc);
+        buf.put_u64(seg_len);
+    }
+    let used = buf.len();
+    let mut out = [0u8; RESPONSE_HEADER_LEN + CRC_EXT_LEN];
+    out.get_mut(..used).unwrap_or_default().copy_from_slice(&buf);
+    (out, used)
+}
+
 impl FetchResponse {
     /// A successful v2 response to request `id` (no checksum).
     pub fn ok(id: u64, payload: Vec<u8>) -> Self {
@@ -367,22 +393,13 @@ impl FetchResponse {
     /// Header plus (for `OkCrc`) the integrity extension: everything
     /// that precedes the payload on the wire.
     fn encode_head(&self) -> ([u8; RESPONSE_HEADER_LEN + CRC_EXT_LEN], usize) {
-        let mut buf = BytesMut::with_capacity(RESPONSE_HEADER_LEN + CRC_EXT_LEN);
-        buf.put_u8(self.status as u8);
-        buf.put_u64(self.id);
-        if self.status == Status::Busy {
-            buf.put_u64(self.retry_after_ms);
+        let len_field = if self.status == Status::Busy {
+            self.retry_after_ms
         } else {
-            buf.put_u64(self.payload.len() as u64);
-        }
-        if self.status == Status::OkCrc {
-            buf.put_u32(self.crc);
-            buf.put_u64(self.seg_len);
-        }
-        let used = buf.len();
-        let mut out = [0u8; RESPONSE_HEADER_LEN + CRC_EXT_LEN];
-        out.get_mut(..used).unwrap_or_default().copy_from_slice(&buf);
-        (out, used)
+            self.payload.len() as u64
+        };
+        let crc_seg = (self.status == Status::OkCrc).then_some((self.crc, self.seg_len));
+        encode_head_parts(self.status, self.id, len_field, crc_seg)
     }
 
     /// Write the frame to a stream.

@@ -199,6 +199,29 @@ pub struct BlockingSite {
     pub in_fn: String,
 }
 
+/// One blocking operation transitively reachable from a function,
+/// regardless of locks held — the raw material of the
+/// nonblocking-context lint, which bans blocking from event-loop code
+/// outright rather than only under a lock.
+#[derive(Debug, Clone)]
+pub struct BlockingReach {
+    /// Qualified name of the function the reachability is rooted at.
+    pub from_fn: String,
+    /// File defining `from_fn` (nonblocking contexts are per-file).
+    pub from_file: PathBuf,
+    /// What blocks (`thread sleep`, `stream write`, …).
+    pub what: &'static str,
+    /// The pattern that matched, for allowlist `contains` matching.
+    pub code: String,
+    /// File of the blocking site itself.
+    pub file: PathBuf,
+    /// Line of the blocking site.
+    pub line: usize,
+    /// Call-chain frames from `from_fn` down to the site; empty when
+    /// the site sits in `from_fn`'s own body.
+    pub chain: Vec<String>,
+}
+
 /// The result of the interprocedural analysis.
 #[derive(Debug, Default)]
 pub struct Analysis {
@@ -206,6 +229,10 @@ pub struct Analysis {
     pub edges: Vec<Edge>,
     /// Blocking operations with a nonempty may-held set.
     pub blocking: Vec<BlockingSite>,
+    /// Blocking operations each function may reach on its own thread
+    /// (held or not); closures handed to `spawn` run elsewhere and are
+    /// excluded.
+    pub reachable_blocking: Vec<BlockingReach>,
     /// `fn qualified name → lock → chain`: every lock a function may
     /// acquire directly or transitively, with a witness call chain.
     pub transitive_acquires: BTreeMap<String, BTreeMap<String, Vec<String>>>,
@@ -1122,6 +1149,88 @@ fn fixpoint(nodes: &mut [Node], primitive_files: &[String]) -> Analysis {
             analysis
                 .callback_held
                 .insert(node.qualified.clone(), callback[idx].clone());
+        }
+    }
+
+    // Blocking reachability, held sets ignored: which primitives can a
+    // function hit on its own thread? Seeded from each body's blocking
+    // ops (primitive-layer files excluded — their callers already get a
+    // `condvar wait` event at the call site), then propagated up the
+    // call graph like `trans` above. Closures passed to a `spawn` call
+    // block the spawned thread, not the caller, so detached sites do
+    // not contribute; a condvar wait counts even though it waives its
+    // guard — the thread still parks.
+    type ReachKey = (PathBuf, usize, String);
+    let mut breach: Vec<BTreeMap<ReachKey, (&'static str, Vec<String>)>> = vec![BTreeMap::new(); n];
+    for (idx, node) in nodes.iter().enumerate() {
+        let primitive = {
+            let p = node.file.to_string_lossy().replace('\\', "/");
+            primitive_files.iter().any(|s| p.ends_with(s.as_str()))
+        };
+        if primitive {
+            continue;
+        }
+        for b in &node.summary.blocking {
+            breach[idx]
+                .entry((node.file.clone(), b.line, b.code.clone()))
+                .or_insert((b.what, Vec::new()));
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for idx in 0..n {
+            let node = &nodes[idx];
+            let mut add: Vec<(ReachKey, &'static str, Vec<String>)> = Vec::new();
+            for call in &node.summary.calls {
+                let attached_closures = (!call.detached).then_some(&call.closures);
+                let targets = call
+                    .candidates
+                    .iter()
+                    .chain(attached_closures.into_iter().flatten());
+                for &g in targets {
+                    for (key, (what, chain)) in &breach[g] {
+                        if !breach[idx].contains_key(key) {
+                            let mut c = vec![frame(node, call.line)];
+                            c.extend(chain.clone());
+                            add.push((key.clone(), what, c));
+                        }
+                    }
+                }
+            }
+            for cd in &node.summary.closures {
+                for (key, (what, chain)) in breach[cd.node].clone() {
+                    if !breach[idx].contains_key(&key) {
+                        let mut c = vec![frame(node, cd.line)];
+                        c.extend(chain);
+                        add.push((key, what, c));
+                    }
+                }
+            }
+            for (key, what, chain) in add {
+                breach[idx].entry(key).or_insert((what, chain));
+                changed = true;
+            }
+        }
+    }
+    for (idx, node) in nodes.iter().enumerate() {
+        // Closure nodes are not roots: one invoked on the defining
+        // thread already propagated its blocking into the enclosing
+        // function above, and one that only ever crosses a `spawn`
+        // blocks the spawned thread, which is the point of spawning.
+        if node.qualified.contains("{closure@") {
+            continue;
+        }
+        for ((file, line, code), (what, chain)) in &breach[idx] {
+            analysis.reachable_blocking.push(BlockingReach {
+                from_fn: node.qualified.clone(),
+                from_file: node.file.clone(),
+                what,
+                code: code.clone(),
+                file: file.clone(),
+                line: *line,
+                chain: chain.clone(),
+            });
         }
     }
     analysis

@@ -1,7 +1,7 @@
 //! `cargo xtask analyze` — repo-specific static analysis for the JBS
 //! workspace.
 //!
-//! Seven lint families, built on a hand-rolled scanner ([`lexer`]) and
+//! Eight lint families, built on a hand-rolled scanner ([`lexer`]) and
 //! an interprocedural call graph ([`callgraph`]) so the workspace stays
 //! fully offline (no syn/proc-macro/registry deps):
 //!
@@ -11,6 +11,9 @@
 //!   detection, and the documented order;
 //! * [`lints::blocking`] — no file/socket I/O, `sleep`, or condvar
 //!   wait while any lock is held, through arbitrarily deep calls;
+//! * [`lints::nonblocking`] — files declared `nonblocking_context`
+//!   (the reactor's event loop) must not reach a blocking primitive
+//!   at all, locks held or not;
 //! * [`lints::guardbalance`] — lock guards and trace spans must have
 //!   structured lifetimes (no `let _ =`, no `mem::forget`, no
 //!   guard-returning functions outside the sync-primitive layer);
@@ -236,6 +239,7 @@ pub fn analyze(config: &Config, policy: &Policy) -> std::io::Result<Report> {
     findings.extend(lints::lockorder::check(&analysis.edges, policy));
     let (blocked, waived) = lints::blocking::split(&analysis, policy);
     findings.extend(blocked);
+    findings.extend(lints::nonblocking::check(&analysis, policy));
     for (path, scanned) in &files {
         findings.extend(lints::guardbalance::check(path, scanned, policy));
     }

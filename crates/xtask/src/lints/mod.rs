@@ -9,6 +9,7 @@ pub mod determinism;
 pub mod guardbalance;
 pub mod hygiene;
 pub mod lockorder;
+pub mod nonblocking;
 pub mod panics;
 pub mod print;
 
@@ -18,8 +19,8 @@ use std::path::PathBuf;
 /// One rule violation at one call site.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Lint family (`panic`, `lock-order`, `blocking`, `guard-balance`,
-    /// `determinism`, `hygiene`, `print`).
+    /// Lint family (`panic`, `lock-order`, `blocking`, `nonblocking`,
+    /// `guard-balance`, `determinism`, `hygiene`, `print`).
     pub lint: &'static str,
     /// File the violation is in.
     pub file: PathBuf,
@@ -41,6 +42,7 @@ pub fn lint_name(name: &str) -> Option<&'static str> {
         "panic",
         "lock-order",
         "blocking",
+        "nonblocking",
         "guard-balance",
         "determinism",
         "hygiene",

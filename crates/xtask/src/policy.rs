@@ -53,6 +53,10 @@ pub struct Policy {
     /// where every held lock is listed here are suppressed (visible
     /// with `-v`).
     pub blocking_allowed_under: Vec<String>,
+    /// Path suffixes of event-loop files whose functions must not
+    /// reach any blocking primitive at all, locks held or not (the
+    /// nonblocking-context lint). Empty = lint off.
+    pub nonblocking_context: Vec<String>,
     /// Audited exemptions.
     pub allows: Vec<AllowEntry>,
 }
@@ -137,6 +141,7 @@ impl Policy {
                         "determinism_dirs" => &mut policy.determinism_dirs,
                         "primitive_files" => &mut policy.primitive_files,
                         "blocking_allowed_under" => &mut policy.blocking_allowed_under,
+                        "nonblocking_context" => &mut policy.nonblocking_context,
                         _ => {
                             return Err(PolicyError {
                                 line: lineno,

@@ -94,8 +94,31 @@ pub fn transport_server_options(cfg: &core::JbsConfig) -> transport::ServerOptio
         prefetch: cfg.pipelined_prefetch,
         max_connections: cfg.max_connections as u64,
         max_inflight_per_peer: cfg.max_inflight_per_peer,
+        reactor_threads: cfg.reactor_threads,
+        io_read_permits: cfg.io_read_permits,
+        io_append_permits: cfg.io_append_permits,
         ..transport::ServerOptions::default()
     }
+}
+
+/// Build the supplier options *and* a hybrid-store configuration that
+/// share one [`transport::IoScheduler`]: the supplier's staging reads
+/// and the hybrid store's spill appends then arbitrate for the same
+/// disk through the scheduler's two permit classes, which is the whole
+/// point of the scheduler — a spill burst queues on append permits
+/// instead of stealing the head position from the prefetcher.
+pub fn transport_supplier_stack(
+    cfg: &core::JbsConfig,
+) -> (transport::ServerOptions, store_hybrid::HybridConfig) {
+    let sched = std::sync::Arc::new(transport::IoScheduler::new(
+        cfg.io_read_permits,
+        cfg.io_append_permits,
+    ));
+    let mut options = transport_server_options(cfg);
+    options.iosched = Some(std::sync::Arc::clone(&sched));
+    let mut hybrid = hybrid_store_config(cfg);
+    hybrid.spill_gate = Some(sched);
+    (options, hybrid)
 }
 
 /// Build a hybrid-store configuration from a [`core::JbsConfig`]: the
@@ -154,6 +177,37 @@ mod tests {
         let tc = transport_client_config(&cfg);
         assert!(!tc.checksum, "v2 pin propagates");
         assert_eq!(tc.breaker_threshold, 0, "breaker disable propagates");
+    }
+
+    #[test]
+    fn jbs_config_drives_the_reactor_and_iosched() {
+        let cfg = core::JbsConfig {
+            reactor_threads: 3,
+            io_read_permits: 9,
+            io_append_permits: 5,
+            ..core::JbsConfig::default()
+        };
+        let so = transport_server_options(&cfg);
+        assert_eq!(so.reactor_threads, 3);
+        assert_eq!(so.io_read_permits, 9);
+        assert_eq!(so.io_append_permits, 5);
+        assert!(!so.threaded, "event loop is the default serve mode");
+        assert!(so.iosched.is_none(), "plain options build their own scheduler");
+    }
+
+    #[test]
+    fn supplier_stack_shares_one_io_scheduler() {
+        let (so, hc) = transport_supplier_stack(&core::JbsConfig::default());
+        let sched = so.iosched.expect("stack wires a scheduler");
+        let gate = hc.spill_gate.expect("stack wires the spill gate");
+        // The gate and the scheduler are the same instance: an append
+        // permit taken through the hybrid store's gate shows up in the
+        // supplier scheduler's gauges.
+        gate.acquire_append();
+        assert_eq!(sched.stats().append_held, 1);
+        gate.release_append();
+        assert_eq!(sched.stats().append_held, 0);
+        assert_eq!(sched.stats().read_permits, 4);
     }
 
     #[test]
