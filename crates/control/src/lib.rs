@@ -1,0 +1,34 @@
+//! # jbs-control — cluster control plane
+//!
+//! A coordinator-lite for the JVM-bypass shuffle: suppliers
+//! heartbeat-register with a load + tier-residency digest, segment
+//! placements are replicated across nodes, NetMergers resolve MOF ids
+//! through the registry, and readers fail over across replicas when a
+//! supplier's breaker opens or the registry marks it unhealthy.
+//!
+//! Layering: this crate sits *above* the data plane. `jbs-transport`
+//! never calls into it — the registry pushes its view down into a
+//! [`jbs_transport::RouteTable`] (via [`Registry::sync_routes`]) that
+//! the fetch scheduler and client consult locally, so a slow registry
+//! can never stall a fetch.
+//!
+//! - [`registry`]: the node table, heartbeats, liveness ticks, replica
+//!   placement (rendezvous-hashed), resolution.
+//! - [`replicate`]: pipeline-mode fan-out of segment writes to every
+//!   replica in a placement.
+//! - [`live`]: wall-clock heartbeat/monitor threads and the graceful
+//!   [`decommission`] sequence (deregister → reroute → replica-aware
+//!   drain).
+//! - [`sim`]: a DES model of the whole control plane for 100+ node
+//!   scale runs, deterministic per seed.
+
+pub mod live;
+pub mod registry;
+pub mod replicate;
+pub mod sim;
+mod sync;
+
+pub use live::{decommission, ControlClock, Heartbeater, Monitor};
+pub use registry::{Health, HeartbeatLoad, Registry, RegistryConfig, TickReport};
+pub use replicate::Replicator;
+pub use sim::{SimCluster, SimConfig, SimStats};

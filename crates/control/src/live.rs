@@ -1,0 +1,275 @@
+//! Wall-clock glue: background heartbeat and monitor threads, and the
+//! graceful decommission sequence.
+//!
+//! The registry itself is time-explicit; this module owns the one place
+//! real time enters the control plane — a shared [`ControlClock`]
+//! anchor converts `Instant` into the `now_nanos` the registry expects,
+//! so every thread in a process observes one monotonic timeline.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use jbs_store_hybrid::HybridStore;
+use jbs_transport::{MofSupplierServer, RouteTable};
+
+use crate::registry::{HeartbeatLoad, Registry};
+
+/// Granularity at which background threads re-check their stop flag
+/// while sleeping, so `stop()` returns promptly even for long periods.
+const STOP_POLL: Duration = Duration::from_millis(10);
+
+/// Shared monotonic time source for the live control plane.
+#[derive(Debug)]
+pub struct ControlClock {
+    anchor: Instant,
+}
+
+impl ControlClock {
+    pub fn new() -> Arc<Self> {
+        Arc::new(ControlClock {
+            anchor: Instant::now(),
+        })
+    }
+
+    /// Nanoseconds since the clock was created.
+    pub fn now_nanos(&self) -> u64 {
+        u64::try_from(self.anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Sleep `total`, waking early when `stop` is raised. Returns false if
+/// stopped.
+fn interruptible_sleep(stop: &AtomicBool, total: Duration) -> bool {
+    let deadline = Instant::now() + total;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        thread::sleep((deadline - now).min(STOP_POLL));
+    }
+}
+
+/// Background thread heartbeating one supplier into the registry.
+#[derive(Debug)]
+pub struct Heartbeater {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Heartbeater {
+    /// Register `addr` and start heartbeating every `interval`,
+    /// shipping the load digest `load_fn` produces each beat.
+    pub fn spawn<F>(
+        registry: Arc<Registry>,
+        clock: Arc<ControlClock>,
+        addr: SocketAddr,
+        interval: Duration,
+        load_fn: F,
+    ) -> Self
+    where
+        F: Fn() -> HeartbeatLoad + Send + 'static,
+    {
+        registry.register(addr, clock.now_nanos());
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name(format!("jbs-heartbeat-{}", addr.port()))
+            .spawn(move || {
+                while interruptible_sleep(&flag, interval) {
+                    if !registry.heartbeat(addr, load_fn(), clock.now_nanos()) {
+                        // Decommissioned (or deregistered) underneath us:
+                        // the supplier is leaving, stop beating.
+                        return;
+                    }
+                }
+            })
+            .ok();
+        Heartbeater { stop, handle }
+    }
+
+    /// Stop the heartbeat thread and wait for it to exit. The node is
+    /// *not* deregistered: a stopped heartbeater models a crash (the
+    /// monitor will expire the node), while [`decommission`] models a
+    /// graceful exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Heartbeater {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Background thread running liveness ticks and pushing the registry's
+/// view into a data-plane route table.
+#[derive(Debug)]
+pub struct Monitor {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Monitor {
+    pub fn spawn(
+        registry: Arc<Registry>,
+        clock: Arc<ControlClock>,
+        routes: Arc<RouteTable>,
+        period: Duration,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("jbs-registry-monitor".to_string())
+            .spawn(move || {
+                while interruptible_sleep(&flag, period) {
+                    registry.tick(clock.now_nanos());
+                    registry.sync_routes(&routes);
+                }
+            })
+            .ok();
+        Monitor { stop, handle }
+    }
+
+    /// Stop the monitor thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Monitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Gracefully decommission the supplier at `addr`:
+///
+/// 1. deregister from the registry (tombstone — resolve stops naming it)
+/// 2. push the updated view into the route table so in-flight fetch
+///    schedulers reroute away immediately,
+/// 3. mark every hybrid partition that a *surviving* replica also holds,
+///    so the drain inside `server.drain` drops those instead of copying
+///    them to the remote tier,
+/// 4. drain the server: stop accepting, wait out active connections,
+///    then run the hybrid `drain_to_remote` for whatever only this node
+///    held.
+///
+/// Returns `server.drain`'s verdict: true when connections drained and
+/// the tier drain ran inside `drain_timeout`.
+pub fn decommission(
+    registry: &Registry,
+    routes: &RouteTable,
+    addr: SocketAddr,
+    server: MofSupplierServer,
+    hybrid: &HybridStore,
+    drain_timeout: Duration,
+    now_nanos: u64,
+) -> bool {
+    registry.deregister(addr, now_nanos);
+    registry.sync_routes(routes);
+    for (mof, reducer) in hybrid.partitions() {
+        if registry.resolve(mof).iter().any(|a| *a != addr) {
+            hybrid.mark_replicated(mof, reducer);
+        }
+    }
+    server.drain(drain_timeout)
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+
+    fn addr(port: u16) -> SocketAddr {
+        SocketAddr::from(([127, 0, 0, 1], port))
+    }
+
+    #[test]
+    fn heartbeater_keeps_node_live_and_monitor_expires_after_stop() {
+        let clock = ControlClock::new();
+        let registry = Arc::new(Registry::new(RegistryConfig {
+            heartbeat_interval_nanos: 20_000_000, // 20ms
+            unhealthy_after_missed: 2,
+            ..RegistryConfig::default()
+        }));
+        let routes = Arc::new(RouteTable::new());
+
+        let hb = Heartbeater::spawn(
+            Arc::clone(&registry),
+            Arc::clone(&clock),
+            addr(1),
+            Duration::from_millis(5),
+            HeartbeatLoad::default,
+        );
+        let monitor = Monitor::spawn(
+            Arc::clone(&registry),
+            Arc::clone(&clock),
+            Arc::clone(&routes),
+            Duration::from_millis(5),
+        );
+
+        // Several expiry windows pass while the heartbeater runs: the
+        // node must stay live.
+        thread::sleep(Duration::from_millis(120));
+        assert!(registry.is_live(addr(1)));
+        assert!(!routes.is_unhealthy(addr(1)));
+
+        // Crash-stop the heartbeater: the monitor expires the node and
+        // pushes the unhealthy mark into the route table.
+        hb.stop();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while registry.is_live(addr(1)) && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!registry.is_live(addr(1)), "node never expired");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !routes.is_unhealthy(addr(1)) && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(routes.is_unhealthy(addr(1)), "route mark never synced");
+        monitor.stop();
+    }
+
+    #[test]
+    fn heartbeater_exits_once_deregistered() {
+        let clock = ControlClock::new();
+        let registry = Arc::new(Registry::new(RegistryConfig::default()));
+        let hb = Heartbeater::spawn(
+            Arc::clone(&registry),
+            Arc::clone(&clock),
+            addr(2),
+            Duration::from_millis(2),
+            HeartbeatLoad::default,
+        );
+        thread::sleep(Duration::from_millis(10));
+        registry.deregister(addr(2), clock.now_nanos());
+        // The thread notices the rejection and exits on its own; stop()
+        // then just reaps it.
+        thread::sleep(Duration::from_millis(20));
+        hb.stop();
+        assert_eq!(
+            registry.health(addr(2)),
+            Some(crate::registry::Health::Decommissioned)
+        );
+    }
+}

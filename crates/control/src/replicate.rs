@@ -1,0 +1,160 @@
+//! Pipeline-mode segment replication.
+//!
+//! A map task's segment bytes are written to every node in the MOF's
+//! registry placement, in placement order (primary first), mirroring
+//! Hadoop's pipelined block write: the primary is the canonical copy
+//! and each secondary is a failover target the NetMerger can redirect
+//! to when the primary's breaker opens or the registry marks it
+//! unhealthy.
+//!
+//! The replicator holds no lock of its own — the store map is frozen at
+//! construction (in-process clusters know their suppliers up front) and
+//! each [`jbs_store_hybrid::HybridStore`] is internally synchronized.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use jbs_obs::{Entity, Trace};
+use jbs_store_hybrid::HybridStore;
+
+use crate::registry::Registry;
+
+/// Fans segment writes out to each replica in a MOF's placement.
+pub struct Replicator {
+    registry: Arc<Registry>,
+    stores: HashMap<SocketAddr, Arc<HybridStore>>,
+    trace: Trace,
+}
+
+impl std::fmt::Debug for Replicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replicator")
+            .field("stores", &self.stores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Replicator {
+    pub fn new(registry: Arc<Registry>, trace: Trace) -> Self {
+        Replicator {
+            registry,
+            stores: HashMap::new(),
+            trace,
+        }
+    }
+
+    /// Register the hybrid store backing the supplier at `addr`.
+    pub fn add_store(&mut self, addr: SocketAddr, store: Arc<HybridStore>) {
+        self.stores.insert(addr, store);
+    }
+
+    /// Write one segment chunk to every replica of `mof`'s placement
+    /// (assigning the placement on first touch, `primary` first), in
+    /// pipeline order. Returns the placement written to.
+    ///
+    /// Fails fast: a write error at any hop aborts the remaining hops,
+    /// matching a broken replication pipeline — the caller retries or
+    /// surfaces the error; partial copies are tolerated because readers
+    /// only trust the registry's resolve answer.
+    pub fn replicate(
+        &self,
+        primary: SocketAddr,
+        mof: u64,
+        reducer: u32,
+        data: &[u8],
+    ) -> io::Result<Vec<SocketAddr>> {
+        let placement = self.registry.assign(mof, primary);
+        if placement.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("mof {mof}: no live node to place on"),
+            ));
+        }
+        for addr in &placement {
+            let Some(store) = self.stores.get(addr) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("mof {mof}: no store registered for replica {addr}"),
+                ));
+            };
+            store.append(mof, reducer, data)?;
+            if *addr != primary {
+                self.trace.instant(
+                    "replica.write",
+                    Entity::mof(mof),
+                    u64::from(reducer),
+                    u64::from(addr.port()),
+                );
+            }
+        }
+        Ok(placement)
+    }
+
+    /// The store registered for `addr`, if any.
+    pub fn store(&self, addr: SocketAddr) -> Option<&Arc<HybridStore>> {
+        self.stores.get(&addr)
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use jbs_store_hybrid::HybridConfig;
+
+    fn addr(port: u16) -> SocketAddr {
+        SocketAddr::from(([127, 0, 0, 1], port))
+    }
+
+    fn store() -> Arc<HybridStore> {
+        HybridStore::new(HybridConfig::default()).expect("store")
+    }
+
+    #[test]
+    fn replicates_to_every_placed_node() {
+        let registry = Arc::new(Registry::new(RegistryConfig {
+            replication: 2,
+            ..RegistryConfig::default()
+        }));
+        registry.register(addr(1), 0);
+        registry.register(addr(2), 0);
+        registry.register(addr(3), 0);
+
+        let mut rep = Replicator::new(Arc::clone(&registry), jbs_obs::Trace::disabled());
+        for p in [1u16, 2, 3] {
+            rep.add_store(addr(p), store());
+        }
+
+        let placed = rep
+            .replicate(addr(1), 7, 0, b"hello replicas")
+            .expect("replicate");
+        assert_eq!(placed.len(), 2);
+        assert_eq!(placed[0], addr(1));
+        for a in &placed {
+            let s = rep.store(*a).expect("store");
+            assert_eq!(s.partition_len(7, 0), Some(14));
+        }
+        // The node outside the placement saw nothing.
+        for p in [1u16, 2, 3] {
+            if !placed.contains(&addr(p)) {
+                assert_eq!(rep.store(addr(p)).expect("store").partition_len(7, 0), None);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_store_is_an_error_and_empty_cluster_is_not_found() {
+        let registry = Arc::new(Registry::new(RegistryConfig::default()));
+        let rep = Replicator::new(Arc::clone(&registry), jbs_obs::Trace::disabled());
+        // No live nodes at all.
+        let err = rep.replicate(addr(1), 1, 0, b"x").expect_err("no nodes");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+
+        // Node is live but its store was never registered.
+        registry.register(addr(1), 0);
+        let err = rep.replicate(addr(1), 1, 0, b"x").expect_err("no store");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,345 @@
+//! Discrete-event simulation of the control plane at cluster scale.
+//!
+//! Drives one [`Registry`] with hundreds of simulated suppliers on the
+//! `jbs-des` event queue: Zipf-skewed load digests, periodic liveness
+//! ticks, seeded crash-stops (heartbeats just cease) and graceful
+//! decommissions, and a steady stream of resolve probes that check the
+//! control plane's core safety property — a resolve never names a node
+//! that is decommissioned or has stopped heartbeating past its expiry
+//! window. Everything is a pure function of the seed, so a run is
+//! replayable bit-for-bit.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::SocketAddr;
+
+use jbs_des::{DetRng, EventQueue, SimTime};
+
+use crate::registry::{HeartbeatLoad, Registry, RegistryConfig, TickReport};
+
+/// Shape of one simulated cluster run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Supplier count.
+    pub nodes: usize,
+    /// MOFs placed across the cluster (mof `m`'s primary is node
+    /// `m % nodes`).
+    pub mofs: u64,
+    /// Spacing between one node's heartbeats.
+    pub heartbeat_interval: SimTime,
+    /// Spacing between registry liveness ticks.
+    pub tick_interval: SimTime,
+    /// Zipf skew of per-node load digests (0 = uniform).
+    pub zipf_theta: f64,
+    /// Nodes that crash-stop (heartbeats cease, no deregister).
+    pub kills: usize,
+    /// Nodes that gracefully decommission (deregister).
+    pub decommissions: usize,
+    /// Resolve probes sampled per liveness tick.
+    pub resolves_per_tick: usize,
+    /// Simulated run length.
+    pub duration: SimTime,
+    /// Master seed; every stream of randomness is forked from it.
+    pub seed: u64,
+    /// Registry tuning (trace, expiry, replication).
+    pub registry: RegistryConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nodes: 100,
+            mofs: 200,
+            heartbeat_interval: SimTime::from_millis(500),
+            tick_interval: SimTime::from_millis(500),
+            zipf_theta: 0.9,
+            kills: 5,
+            decommissions: 5,
+            resolves_per_tick: 16,
+            duration: SimTime::from_secs(30),
+            seed: 0x5EED,
+            registry: RegistryConfig::default(),
+        }
+    }
+}
+
+/// Aggregate counters from one run. Deterministic per seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Heartbeats delivered.
+    pub heartbeats: u64,
+    /// Liveness ticks run.
+    pub ticks: u64,
+    /// Largest `examined` any tick reported — the per-tick fan-in,
+    /// which must stay O(nodes).
+    pub max_examined: u64,
+    /// Live -> Unhealthy transitions observed.
+    pub unhealthy_marks: u64,
+    /// Resolve probes checked.
+    pub resolve_checks: u64,
+    /// Probes that returned a dead or decommissioned node. The scale
+    /// test asserts this stays zero.
+    pub resolve_violations: u64,
+    /// Probes that came back empty (every replica down).
+    pub resolve_empty: u64,
+    /// Events processed in total.
+    pub events: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimEvent {
+    /// Node `i` heartbeats (and reschedules itself).
+    Heartbeat(usize),
+    /// Registry liveness tick + resolve probes (reschedules itself).
+    Tick,
+    /// Node `i` crash-stops: heartbeats cease, nothing is deregistered.
+    Kill(usize),
+    /// Node `i` gracefully decommissions.
+    Decommission(usize),
+}
+
+/// A simulated cluster: one registry, `nodes` synthetic suppliers.
+pub struct SimCluster {
+    cfg: SimConfig,
+    registry: Registry,
+    queue: EventQueue<SimEvent>,
+    rng: DetRng,
+    addrs: Vec<SocketAddr>,
+    /// Nodes whose heartbeats have ceased (killed or decommissioned),
+    /// keyed to the time they went silent.
+    silent: BTreeMap<usize, SimTime>,
+    /// Nodes that were gracefully deregistered.
+    decommissioned: BTreeSet<usize>,
+    stats: SimStats,
+}
+
+impl std::fmt::Debug for SimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCluster")
+            .field("nodes", &self.addrs.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Synthetic address of simulated node `i`: 10.(i>>16).(i>>8).(i):7070.
+fn node_addr(i: usize) -> SocketAddr {
+    let i = i as u32;
+    SocketAddr::from(([10, (i >> 16) as u8, (i >> 8) as u8, i as u8], 7070))
+}
+
+impl SimCluster {
+    /// Build the cluster: register every node at t=0, assign every MOF
+    /// round-robin across primaries, schedule heartbeats (phase-spread
+    /// by the seeded RNG so they do not thundering-herd), the first
+    /// tick, and the seeded kill/decommission times.
+    pub fn new(cfg: SimConfig) -> Self {
+        let registry = Registry::new(cfg.registry.clone());
+        let mut queue = EventQueue::new();
+        let mut rng = DetRng::new(cfg.seed);
+        let addrs: Vec<SocketAddr> = (0..cfg.nodes).map(node_addr).collect();
+
+        for (i, addr) in addrs.iter().enumerate() {
+            registry.register(*addr, 0);
+            // Spread first beats across one interval.
+            let phase = rng.uniform_u64(0, cfg.heartbeat_interval.as_nanos().max(1));
+            queue.push(SimTime::from_nanos(phase), SimEvent::Heartbeat(i));
+        }
+        for mof in 0..cfg.mofs {
+            if let Some(primary) = addrs.get((mof % cfg.nodes.max(1) as u64) as usize) {
+                registry.assign(mof, *primary);
+            }
+        }
+        queue.push(cfg.tick_interval, SimEvent::Tick);
+
+        // Pick distinct victims for kills then decommissions, spread
+        // over the middle half of the run so the registry sees churn
+        // while traffic continues.
+        let mut victims: BTreeSet<usize> = BTreeSet::new();
+        let span_lo = cfg.duration.as_nanos() / 4;
+        let span_hi = cfg.duration.as_nanos() / 4 * 3;
+        for k in 0..cfg.kills.saturating_add(cfg.decommissions) {
+            let mut v = rng.uniform_u64(0, cfg.nodes.max(1) as u64) as usize;
+            let mut spins = 0;
+            while victims.contains(&v) && spins < cfg.nodes {
+                v = (v + 1) % cfg.nodes.max(1);
+                spins += 1;
+            }
+            victims.insert(v);
+            let at = SimTime::from_nanos(rng.uniform_u64(span_lo, span_hi.max(span_lo + 1)));
+            let ev = if k < cfg.kills {
+                SimEvent::Kill(v)
+            } else {
+                SimEvent::Decommission(v)
+            };
+            queue.push(at, ev);
+        }
+
+        SimCluster {
+            cfg,
+            registry,
+            queue,
+            rng,
+            addrs,
+            silent: BTreeMap::new(),
+            decommissioned: BTreeSet::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Zipf-skewed synthetic load for node `i` at heartbeat time: a few
+    /// hot nodes carry most of the traffic, like a skewed shuffle.
+    fn synth_load(&mut self, i: usize) -> HeartbeatLoad {
+        let n = self.cfg.nodes.max(1) as u64;
+        let rank = self.rng.zipf(n, self.cfg.zipf_theta);
+        let requests = (n.saturating_sub(rank)).saturating_mul(8);
+        HeartbeatLoad {
+            requests,
+            bytes: requests.saturating_mul(1 << 16),
+            connections: requests / 16,
+            prefetch_queue_len: u64::from(i as u32 % 4),
+            memory_bytes: requests.saturating_mul(1 << 12),
+            spilled_bytes: requests.saturating_mul(1 << 10),
+            remote_bytes: 0,
+        }
+    }
+
+    /// True when the node's heartbeats have ceased (crash or
+    /// decommission) — resolve must never return it once the expiry
+    /// window has passed, and never at all once decommissioned.
+    fn is_silent(&self, i: usize) -> bool {
+        self.silent.contains_key(&i)
+    }
+
+    /// Check one resolve answer against ground truth: a returned
+    /// address must never be decommissioned, and a crash-silent node
+    /// may linger only inside its expiry window (plus tick slack)
+    /// before the registry must have expired it out of resolve.
+    fn check_resolve(&mut self, mof: u64, now: SimTime) {
+        self.stats.resolve_checks += 1;
+        let resolved = self.registry.resolve(mof);
+        if resolved.is_empty() {
+            self.stats.resolve_empty += 1;
+            return;
+        }
+        let expiry = self
+            .cfg
+            .registry
+            .heartbeat_interval_nanos
+            .saturating_mul(u64::from(self.cfg.registry.unhealthy_after_missed.max(1)));
+        let slack = expiry.saturating_add(self.cfg.tick_interval.as_nanos().saturating_mul(2));
+        for addr in resolved {
+            let Some(i) = self.addrs.iter().position(|a| *a == addr) else {
+                self.stats.resolve_violations += 1;
+                continue;
+            };
+            if self.decommissioned.contains(&i) {
+                self.stats.resolve_violations += 1;
+                continue;
+            }
+            if let Some(silent_at) = self.silent.get(&i) {
+                if now.as_nanos().saturating_sub(silent_at.as_nanos()) > slack {
+                    self.stats.resolve_violations += 1;
+                }
+            }
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) -> TickReport {
+        let report = self.registry.tick(now.as_nanos());
+        self.stats.ticks += 1;
+        self.stats.max_examined = self.stats.max_examined.max(report.examined);
+        self.stats.unhealthy_marks += report.newly_unhealthy.len() as u64;
+        for _ in 0..self.cfg.resolves_per_tick {
+            let mof = self.rng.uniform_u64(0, self.cfg.mofs.max(1));
+            self.check_resolve(mof, now);
+        }
+        report
+    }
+
+    /// Run to completion. Deterministic: same config -> same stats.
+    /// The cluster (registry included) stays inspectable afterwards.
+    pub fn run(&mut self) -> SimStats {
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > self.cfg.duration {
+                break;
+            }
+            self.stats.events += 1;
+            match ev {
+                SimEvent::Heartbeat(i) => {
+                    if self.is_silent(i) {
+                        continue;
+                    }
+                    if let Some(addr) = self.addrs.get(i).copied() {
+                        let load = self.synth_load(i);
+                        if self.registry.heartbeat(addr, load, now.as_nanos()) {
+                            self.stats.heartbeats += 1;
+                        }
+                    }
+                    // Small jitter keeps beats from phase-locking.
+                    let jitter = self
+                        .rng
+                        .uniform_u64(0, (self.cfg.heartbeat_interval.as_nanos() / 16).max(1));
+                    self.queue.push(
+                        now + self.cfg.heartbeat_interval + SimTime::from_nanos(jitter),
+                        SimEvent::Heartbeat(i),
+                    );
+                }
+                SimEvent::Tick => {
+                    self.on_tick(now);
+                    self.queue
+                        .push(now + self.cfg.tick_interval, SimEvent::Tick);
+                }
+                SimEvent::Kill(i) => {
+                    self.silent.entry(i).or_insert(now);
+                }
+                SimEvent::Decommission(i) => {
+                    self.silent.entry(i).or_insert(now);
+                    self.decommissioned.insert(i);
+                    if let Some(addr) = self.addrs.get(i).copied() {
+                        self.registry.deregister(addr, now.as_nanos());
+                    }
+                }
+            }
+        }
+        self.stats
+    }
+
+    /// The registry under simulation (for post-run assertions).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Synthetic addresses of every simulated node, index-aligned.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// The MOF count this cluster placed.
+    pub fn mofs(&self) -> u64 {
+        self.cfg.mofs
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sim_is_deterministic_and_violation_free() {
+        let cfg = SimConfig {
+            nodes: 12,
+            mofs: 24,
+            kills: 2,
+            decommissions: 1,
+            duration: SimTime::from_secs(8),
+            ..SimConfig::default()
+        };
+        let a = SimCluster::new(cfg.clone()).run();
+        let b = SimCluster::new(cfg).run();
+        assert_eq!(a, b, "same seed must replay identically");
+        assert_eq!(a.resolve_violations, 0);
+        assert!(a.heartbeats > 0);
+        assert!(a.max_examined <= 12);
+        assert!(a.unhealthy_marks >= 2, "killed nodes must expire");
+    }
+}

@@ -1,0 +1,22 @@
+//! Synchronization layer for the control plane, swappable to the loom
+//! model checker — the same pattern as `jbs-transport`'s sync module.
+//!
+//! The registry's single `nodes` mutex is acquired through [`lock`],
+//! which gives poison tolerance (a panicked heartbeat thread must not
+//! wedge resolution for every reader) and the syntactic anchor `cargo
+//! xtask analyze`'s lock-order lint keys on. Building with
+//! `RUSTFLAGS="--cfg loom"` swaps the mutex for the vendored model
+//! checker's, under which the `loom_` test in [`crate::registry`]
+//! explores every bounded interleaving of a liveness tick racing a
+//! resolve.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Mutex, MutexGuard};
+
+/// Lock a mutex, tolerating poison.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

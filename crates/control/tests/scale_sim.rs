@@ -1,0 +1,101 @@
+//! 100+ node DES scale run of the control plane.
+//!
+//! 120 simulated suppliers heartbeat Zipf-skewed load digests into one
+//! registry while seeded crash-stops and graceful decommissions churn
+//! membership mid-run. The run asserts the control plane's scale and
+//! safety properties: heartbeat fan-in stays O(nodes) per liveness
+//! tick, no resolve probe ever returns a decommissioned (or
+//! long-expired) node, and the whole run replays bit-identically from
+//! its seed.
+
+use jbs_control::{Health, SimCluster, SimConfig};
+use jbs_des::SimTime;
+
+fn scale_config() -> SimConfig {
+    SimConfig {
+        nodes: 120,
+        mofs: 240,
+        heartbeat_interval: SimTime::from_millis(500),
+        tick_interval: SimTime::from_millis(500),
+        zipf_theta: 0.9,
+        kills: 8,
+        decommissions: 6,
+        resolves_per_tick: 32,
+        duration: SimTime::from_secs(40),
+        seed: 0xC1A5,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn hundred_twenty_node_cluster_run_is_safe_and_deterministic() {
+    let mut cluster = SimCluster::new(scale_config());
+    let stats = cluster.run();
+
+    // The run actually exercised the cluster.
+    assert!(stats.events > 5_000, "suspiciously quiet run: {stats:?}");
+    assert!(
+        stats.heartbeats > 120 * 40, // well over half the nominal beat count
+        "heartbeats missing: {stats:?}"
+    );
+    assert!(stats.ticks >= 70, "ticks missing: {stats:?}");
+    assert!(stats.resolve_checks >= 70 * 32, "probes missing: {stats:?}");
+
+    // Scale property: a liveness tick examines each node exactly once —
+    // heartbeat fan-in is O(nodes) per tick, never more.
+    assert!(
+        stats.max_examined <= 120,
+        "tick fan-in exceeded the node count: {stats:?}"
+    );
+
+    // Safety property: no resolve ever returned a decommissioned node
+    // or a crash-silent node past its expiry window.
+    assert_eq!(stats.resolve_violations, 0, "unsafe resolve: {stats:?}");
+
+    // The churn really happened: every killed node expired (kills +
+    // possibly decommissioned-then-expired never revive), and exactly
+    // the decommissioned nodes carry tombstones.
+    assert!(
+        stats.unhealthy_marks >= 8,
+        "killed nodes never expired: {stats:?}"
+    );
+    let registry = cluster.registry();
+    let tombstones = cluster
+        .addrs()
+        .iter()
+        .filter(|a| registry.health(**a) == Some(Health::Decommissioned))
+        .count();
+    assert_eq!(tombstones, 6, "decommission tombstones wrong");
+
+    // Post-run, resolution is still clean: no placement resolves to a
+    // tombstoned node.
+    for mof in 0..cluster.mofs() {
+        for a in registry.resolve(mof) {
+            assert_eq!(
+                registry.health(a),
+                Some(Health::Live),
+                "mof {mof} resolved to a non-live node"
+            );
+        }
+    }
+
+    // Determinism: the identical config replays to identical stats.
+    let replay = SimCluster::new(scale_config()).run();
+    assert_eq!(stats, replay, "same seed must replay bit-identically");
+}
+
+#[test]
+fn uniform_and_skewed_load_reach_the_same_liveness_outcome() {
+    // Load skew shapes the digests, not liveness: the same membership
+    // churn under uniform load must expire the same node count.
+    let skewed = SimCluster::new(scale_config()).run();
+    let uniform = SimCluster::new(SimConfig {
+        zipf_theta: 0.0,
+        ..scale_config()
+    })
+    .run();
+    assert_eq!(skewed.unhealthy_marks, uniform.unhealthy_marks);
+    assert_eq!(skewed.resolve_violations, 0);
+    assert_eq!(uniform.resolve_violations, 0);
+    assert_eq!(skewed.ticks, uniform.ticks);
+}

@@ -91,6 +91,18 @@ pub struct JbsConfig {
     /// a spill burst from stealing the disk head from the prefetcher.
     /// 0 disables arbitration for the class.
     pub io_append_permits: usize,
+    /// Address of the cluster control plane's supplier registry.
+    /// `None` runs registry-less (static addressing, no replica
+    /// failover) — the stock single-job deployment.
+    pub registry_addr: Option<std::net::SocketAddr>,
+    /// Spacing between a supplier's heartbeats into the registry.
+    pub heartbeat_interval: SimTime,
+    /// Copies of each segment written across the cluster (primary
+    /// included). 1 disables replication.
+    pub replication_factor: u32,
+    /// Heartbeat intervals a supplier may miss before the registry
+    /// marks it unhealthy and routes fetches to its replicas.
+    pub unhealthy_after_missed: u32,
 }
 
 impl Default for JbsConfig {
@@ -120,6 +132,10 @@ impl Default for JbsConfig {
             reactor_threads: 1,
             io_read_permits: 4,
             io_append_permits: 2,
+            registry_addr: None,
+            heartbeat_interval: SimTime::from_millis(500),
+            replication_factor: 2,
+            unhealthy_after_missed: 3,
         }
     }
 }
@@ -179,6 +195,15 @@ impl JbsConfig {
         }
         if self.reactor_threads == 0 {
             return Err("reactor thread count must be positive".into());
+        }
+        if self.heartbeat_interval == SimTime::ZERO {
+            return Err("heartbeat interval must be positive".into());
+        }
+        if self.replication_factor == 0 {
+            return Err("replication factor must be at least 1".into());
+        }
+        if self.unhealthy_after_missed == 0 {
+            return Err("unhealthy-after-missed must be at least 1".into());
         }
         Ok(())
     }
@@ -265,6 +290,36 @@ mod tests {
         let c = JbsConfig {
             io_read_permits: 0,
             io_append_permits: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn control_plane_knob_validation() {
+        let c = JbsConfig::default();
+        assert_eq!(c.registry_addr, None, "registry-less by default");
+        assert_eq!(c.heartbeat_interval, SimTime::from_millis(500));
+        assert_eq!(c.replication_factor, 2);
+        assert_eq!(c.unhealthy_after_missed, 3);
+        let c = JbsConfig {
+            heartbeat_interval: SimTime::ZERO,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = JbsConfig {
+            replication_factor: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = JbsConfig {
+            unhealthy_after_missed: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        // RF=1 is valid: replication disabled.
+        let c = JbsConfig {
+            replication_factor: 1,
             ..JbsConfig::default()
         };
         assert!(c.validate().is_ok());

@@ -25,6 +25,8 @@ pub enum EntityKind {
     Pool,
     /// A simulated cluster node.
     Node,
+    /// The cluster control plane's supplier registry.
+    Registry,
 }
 
 impl EntityKind {
@@ -39,6 +41,7 @@ impl EntityKind {
             EntityKind::Stream => "stream",
             EntityKind::Pool => "pool",
             EntityKind::Node => "node",
+            EntityKind::Registry => "registry",
         }
     }
 
@@ -53,6 +56,7 @@ impl EntityKind {
             "stream" => EntityKind::Stream,
             "pool" => EntityKind::Pool,
             "node" => EntityKind::Node,
+            "registry" => EntityKind::Registry,
             _ => return None,
         })
     }
@@ -92,6 +96,9 @@ impl Entity {
     }
     pub fn node(id: u64) -> Self {
         Entity { kind: EntityKind::Node, id }
+    }
+    pub fn registry(id: u64) -> Self {
+        Entity { kind: EntityKind::Registry, id }
     }
 }
 
@@ -167,6 +174,7 @@ mod tests {
             EntityKind::Stream,
             EntityKind::Pool,
             EntityKind::Node,
+            EntityKind::Registry,
         ] {
             assert_eq!(EntityKind::parse(kind.as_str()), Some(kind));
         }

@@ -40,7 +40,7 @@ use crate::config::{HybridConfig, SpillGate};
 use crate::remote::RemoteStore;
 use crate::sync::{lock, wait, Condvar, Mutex, MutexGuard};
 use jbs_obs::Entity;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -128,10 +128,17 @@ struct Counters {
     huge_forced: u64,
     direct_writes: u64,
     drains: u64,
+    replica_drops: u64,
+    replica_dropped_bytes: u64,
 }
 
 struct Inner {
     parts: BTreeMap<Key, Partition>,
+    /// Partitions the control plane confirmed are fully replicated on
+    /// another live supplier. A decommission drain *drops* these
+    /// instead of pushing their bytes to the REMOTE tier — the replica
+    /// already serves them.
+    replicated: BTreeSet<Key>,
     /// Bytes currently resident in the MEMORY tier (buffers + sealed
     /// spill buffers). Never exceeds the budget.
     memory_used: usize,
@@ -150,8 +157,10 @@ struct Inner {
 
 /// A point-in-time view of tier residency and hit counters.
 ///
-/// Residency is conserved: `memory_bytes + spilled_bytes + remote_bytes
-/// == total_written` after every operation.
+/// Residency is conserved after every operation: `memory_bytes +
+/// spilled_bytes + remote_bytes + replica_dropped_bytes ==
+/// total_written` (the last term is zero unless a replica-aware drain
+/// dropped partitions that live on another supplier).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TierStatsSnapshot {
     /// Total bytes ever appended.
@@ -178,6 +187,11 @@ pub struct TierStatsSnapshot {
     pub direct_writes: u64,
     /// Completed [`HybridStore::drain_to_remote`] calls.
     pub drains: u64,
+    /// Partitions a drain dropped instead of moving because a live
+    /// replica holds them (see [`HybridStore::mark_replicated`]).
+    pub replica_drops: u64,
+    /// Bytes released by those drops; balances the residency identity.
+    pub replica_dropped_bytes: u64,
 }
 
 /// Per-partition tier residency, for tests and tier-placement claims.
@@ -224,6 +238,8 @@ fn snapshot_of(g: &Inner) -> TierStatsSnapshot {
         huge_forced: g.stats.huge_forced,
         direct_writes: g.stats.direct_writes,
         drains: g.stats.drains,
+        replica_drops: g.stats.replica_drops,
+        replica_dropped_bytes: g.stats.replica_dropped_bytes,
     }
 }
 
@@ -281,6 +297,7 @@ impl HybridStore {
             cfg,
             inner: Mutex::new(Inner {
                 parts: BTreeMap::new(),
+                replicated: BTreeSet::new(),
                 memory_used: 0,
                 local_len: 0,
                 spill_active: false,
@@ -823,17 +840,68 @@ impl HybridStore {
         snapshot_of(&g)
     }
 
+    /// Record that partition `(mof, reducer)` is fully held by a live
+    /// replica on another supplier (the control plane's pipeline
+    /// fan-out wrote it there and the replica still heartbeats). A
+    /// subsequent [`Self::drain_to_remote`] *drops* such a partition
+    /// instead of copying its bytes to the REMOTE tier — the bytes are
+    /// already durable off this node, so a graceful decommission pays
+    /// no object write for them. Returns `true` if newly marked.
+    pub fn mark_replicated(&self, mof: u64, reducer: u32) -> bool {
+        let mut g = lock(&self.inner);
+        g.replicated.insert((mof, reducer))
+    }
+
+    /// Drop one replicated partition under the drain token, releasing
+    /// its memory/local residency into `replica_dropped_bytes`. Returns
+    /// `false` when the partition is not marked — or already has REMOTE
+    /// extents, which the normal drain path must finish moving so the
+    /// surviving object directory stays self-consistent.
+    fn drop_replicated(&self, key: Key) -> bool {
+        let mut g = lock(&self.inner);
+        if !g.replicated.contains(&key) {
+            return false;
+        }
+        let Some(part) = g.parts.get(&key) else {
+            return true;
+        };
+        if part.extents.iter().any(|e| e.place == Place::Remote) {
+            return false;
+        }
+        let mem = part.mem_len();
+        let local: u64 = part.extents.iter().map(|e| e.len).sum();
+        let total = part.total_len();
+        g.parts.remove(&key);
+        g.memory_used = g.memory_used.saturating_sub(mem);
+        g.stats.spilled_bytes = g.stats.spilled_bytes.saturating_sub(local);
+        g.stats.replica_drops += 1;
+        g.stats.replica_dropped_bytes += total;
+        self.cfg.trace.instant(
+            "tier.drop.replica",
+            Entity::mof(key.0),
+            u64::from(key.1),
+            total,
+        );
+        self.cv.notify_all();
+        true
+    }
+
     /// Quick decommission: move every partition's bytes to the REMOTE
     /// tier. Takes the flusher token for its whole duration; concurrent
     /// appends landing mid-drain are detected and the partition is
-    /// re-drained. Afterwards each drained partition is one REMOTE
-    /// extent, the spill file holds no live bytes, and the remote
-    /// directory can be re-attached by a replacement store.
+    /// re-drained. Partitions marked replicated
+    /// ([`Self::mark_replicated`]) are dropped instead of moved.
+    /// Afterwards each drained partition is one REMOTE extent, the
+    /// spill file holds no live bytes, and the remote directory can be
+    /// re-attached by a replacement store.
     pub fn drain_to_remote(&self) -> io::Result<TierStatsSnapshot> {
         let span = self.cfg.trace.span("tier.drain", Entity::NONE, 0, 0);
         let keys = self.acquire_drain_token();
         let mut result = Ok(());
         'keys: for key in keys {
+            if self.drop_replicated(key) {
+                continue 'keys;
+            }
             // Per-partition plan → unlocked object write → commit; an
             // append racing the write changes the fingerprint and the
             // partition is re-drained.
@@ -1106,6 +1174,53 @@ mod tests {
         assert_eq!(attached.read_segment_range(1, 5, 0, 0).unwrap().unwrap(), b);
         assert_eq!(attached.stats().remote_bytes, 100);
         assert_eq!(attached.partitions(), vec![(0, 0), (1, 5)]);
+    }
+
+    #[test]
+    fn drain_drops_replicated_partitions_instead_of_moving_them() {
+        let store = HybridStore::new(tiny(100)).unwrap();
+        let a = pattern(80, 3); // partly spilled by the watermark
+        let b = pattern(20, 4);
+        store.append(0, 0, &a).unwrap();
+        store.append(1, 5, &b).unwrap();
+        assert!(store.mark_replicated(0, 0));
+        assert!(!store.mark_replicated(0, 0), "idempotent mark");
+        let snap = store.drain_to_remote().unwrap();
+        // (0,0) dropped — its 80 bytes never reached the REMOTE tier —
+        // while unmarked (1,5) drained normally.
+        assert_eq!(snap.replica_drops, 1, "{snap:?}");
+        assert_eq!(snap.replica_dropped_bytes, 80);
+        assert_eq!(snap.remote_bytes, 20);
+        assert_eq!(snap.memory_bytes, 0);
+        assert_eq!(snap.spilled_bytes, 0);
+        assert_eq!(
+            snap.memory_bytes + snap.spilled_bytes + snap.remote_bytes
+                + snap.replica_dropped_bytes,
+            snap.total_written,
+            "residency identity holds with the drop term"
+        );
+        // The dropped partition is gone locally (readers go to the
+        // replica); the drained one still serves.
+        assert_eq!(store.read_segment_range(0, 0, 0, 0).unwrap(), None);
+        assert_eq!(store.read_segment_range(1, 5, 0, 0).unwrap().unwrap(), b);
+        assert_eq!(store.partitions(), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn replicated_partition_with_remote_extents_still_drains() {
+        let store = HybridStore::new(tiny(100)).unwrap();
+        store.append(0, 0, &pattern(30, 1)).unwrap();
+        store.drain_to_remote().unwrap(); // (0,0) now has a REMOTE extent
+        store.append(0, 0, &pattern(10, 2)).unwrap();
+        store.mark_replicated(0, 0);
+        let snap = store.drain_to_remote().unwrap();
+        // The REMOTE prefix forces the normal drain path: dropping the
+        // partition would orphan its object in the surviving directory.
+        assert_eq!(snap.replica_drops, 0, "{snap:?}");
+        assert_eq!(snap.remote_bytes, 40);
+        let mut expected = pattern(30, 1);
+        expected.extend_from_slice(&pattern(10, 2));
+        assert_eq!(store.read_segment_range(0, 0, 0, 0).unwrap().unwrap(), expected);
     }
 
     #[test]

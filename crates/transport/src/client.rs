@@ -111,6 +111,12 @@ pub struct ClientConfig {
     /// Base cooldown an open breaker waits before granting its single
     /// half-open probe; doubles on every failed probe (capped at 64x).
     pub breaker_cooldown: Duration,
+    /// Replica routing pushed down by the control plane: MOF → replica
+    /// addresses plus unhealthy marks. When set, fetch ops aimed at a
+    /// breaker-open or unhealthy peer redirect to the next healthy
+    /// replica (`failover.redirect` in the trace) instead of failing the
+    /// job. `None` (the default) keeps static point-to-point addressing.
+    pub routes: Option<Arc<crate::routes::RouteTable>>,
 }
 
 impl Default for ClientConfig {
@@ -130,6 +136,7 @@ impl Default for ClientConfig {
             integrity_retries: 2,
             breaker_threshold: 8,
             breaker_cooldown: Duration::from_millis(100),
+            routes: None,
         }
     }
 }
@@ -628,6 +635,37 @@ impl NetMergerClient {
         }
     }
 
+    /// The replica a failed `fetch_all` op should retry against, or
+    /// `None` when the failure must surface. Redirects fire **only**
+    /// behind a health signal — the failed peer's circuit breaker is
+    /// open, or the control plane's route table marks it unhealthy —
+    /// so a transient error on a healthy peer stays with that peer's
+    /// own retry budget. Records the failover stat and traces
+    /// `failover.redirect` when a target is found.
+    fn failover_replica(
+        &self,
+        segs: &[SegmentRef],
+        tried: &[Vec<SocketAddr>],
+        idx: usize,
+    ) -> Option<SocketAddr> {
+        let routes = self.shared.config.routes.as_ref()?;
+        let seg = segs.get(idx)?;
+        let tried = tried.get(idx)?;
+        let last = *tried.last()?;
+        if !routes.is_unhealthy(last) && !self.sched.breaker_open(last) {
+            return None;
+        }
+        let next = routes.failover_target(seg.mof, tried)?;
+        self.shared.fetch_stats.record_failover();
+        self.shared.config.trace.instant(
+            "failover.redirect",
+            jbs_obs::Entity::peer(u64::from(next.port())),
+            seg.mof,
+            u64::from(last.port()),
+        );
+        Some(next)
+    }
+
     /// Fetch every segment of a reducer through the pipelined scheduler
     /// and return the raw segment byte vectors in input order.
     ///
@@ -643,6 +681,9 @@ impl NetMergerClient {
             return Ok(Vec::new());
         }
         let (tx, rx) = mpsc::channel();
+        // Addresses each op (keyed by token = input index) has already
+        // been aimed at, so a failover never revisits a replica.
+        let mut tried: Vec<Vec<SocketAddr>> = segs.iter().map(|s| vec![s.addr]).collect();
         for &i in &balanced_order(segs) {
             let Some(&seg) = segs.get(i) else { continue };
             self.sched.submit(FetchOp {
@@ -653,21 +694,51 @@ impl NetMergerClient {
                 done: tx.clone(),
             });
         }
-        // Completions close the channel once every op has sent exactly
-        // one result and dropped its sender clone.
-        drop(tx);
         let mut out: Vec<Option<Vec<u8>>> = segs.iter().map(|_| None).collect();
         let mut failures: Vec<(u64, TransportError)> = Vec::new();
-        for done in rx {
+        let mut pending = segs.len();
+        while pending > 0 {
+            let Ok(done) = rx.recv() else { break };
             match done.result {
                 Ok(bytes) => {
+                    pending -= 1;
                     if let Some(slot) = out.get_mut(done.token as usize) {
                         *slot = Some(bytes);
                     }
                 }
-                Err(e) => failures.push((done.token, e)),
+                Err(e) => {
+                    // Reactive failover: a failed op whose peer is
+                    // breaker-open or marked unhealthy resubmits against
+                    // the next untried replica of its MOF; anything else
+                    // (or an exhausted replica set) surfaces the error.
+                    let idx = done.token as usize;
+                    match self.failover_replica(segs, &tried, idx) {
+                        Some(next) => {
+                            if let (Some(t), Some(&seg)) =
+                                (tried.get_mut(idx), segs.get(idx))
+                            {
+                                t.push(next);
+                                self.sched.submit(FetchOp {
+                                    token: done.token,
+                                    seg: SegmentRef { addr: next, ..seg },
+                                    offset: 0,
+                                    limit: 0,
+                                    done: tx.clone(),
+                                });
+                            } else {
+                                pending -= 1;
+                                failures.push((done.token, e));
+                            }
+                        }
+                        None => {
+                            pending -= 1;
+                            failures.push((done.token, e));
+                        }
+                    }
+                }
             }
         }
+        drop(tx);
         // One failure surfaces with its full segment context; several
         // aggregate into a partial-failure report naming every failed
         // segment instead of an opaque first-error.

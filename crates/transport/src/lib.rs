@@ -76,6 +76,7 @@ mod poll;
 mod prefetch;
 mod reactor;
 pub mod retry;
+pub mod routes;
 mod sched;
 pub mod server;
 mod slot;
@@ -92,6 +93,7 @@ pub use client::{ClientConfig, NetMergerClient};
 pub use error::TransportError;
 pub use faults::{FaultAction, FaultKind, FaultPlan, Hook};
 pub use retry::RetryPolicy;
+pub use routes::RouteTable;
 pub use server::{MofSupplierServer, ServerOptions, SupplierStatsSnapshot};
 pub use stats::{FetchStats, FetchStatsSnapshot};
 pub use store::MofStore;

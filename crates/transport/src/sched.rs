@@ -169,12 +169,55 @@ impl FetchScheduler {
         }
     }
 
+    /// Whether `addr`'s circuit breaker is currently open. Peers no op
+    /// has ever been submitted for have no breaker and read closed.
+    pub(crate) fn breaker_open(&self, addr: SocketAddr) -> bool {
+        let breaker = {
+            let peers = lock(&self.peers);
+            peers.get(&addr).map(|h| Arc::clone(&h.breaker))
+        };
+        match breaker {
+            Some(b) => b.is_open(self.anchor.elapsed().as_nanos() as u64),
+            None => false,
+        }
+    }
+
+    /// Proactive failover: an op aimed at a peer the control plane marks
+    /// unhealthy (or whose breaker is already open) is rewritten to the
+    /// first healthy replica of its MOF before any queueing. Fires only
+    /// behind one of those health signals — a healthy peer's ops are
+    /// never rerouted — and only when a [`crate::routes::RouteTable`]
+    /// is configured.
+    fn reroute(&self, mut op: FetchOp) -> FetchOp {
+        let Some(routes) = &self.shared.config.routes else {
+            return op;
+        };
+        let addr = op.seg.addr;
+        if !routes.is_unhealthy(addr) && !self.breaker_open(addr) {
+            return op;
+        }
+        let Some(next) = routes.failover_target(op.seg.mof, &[addr]) else {
+            return op;
+        };
+        self.shared.fetch_stats.record_failover();
+        self.shared.config.trace.instant(
+            "failover.redirect",
+            Entity::peer(u64::from(next.port())),
+            op.seg.mof,
+            u64::from(addr.port()),
+        );
+        op.seg.addr = next;
+        op
+    }
+
     /// Hand an op to its supplier's worker, spawning the worker on first
     /// contact. An op for a peer whose circuit breaker is open fails
     /// fast with [`TransportError::CircuitOpen`] — no queueing, no wire
-    /// traffic. An op refused by a closed queue (client shutting down)
-    /// fails through its own completion channel.
+    /// traffic — unless a configured route table redirects it to a
+    /// healthy replica first. An op refused by a closed queue (client
+    /// shutting down) fails through its own completion channel.
     pub(crate) fn submit(&self, op: FetchOp) {
+        let op = self.reroute(op);
         let addr = op.seg.addr;
         let (peer_id, mof, reducer) = (
             u64::from(op.seg.addr.port()),

@@ -33,6 +33,7 @@ pub struct FetchStats {
     corrupt_refetches: AtomicU64,
     busy_backoffs: AtomicU64,
     breaker_fast_fails: AtomicU64,
+    failovers: AtomicU64,
 }
 
 /// A point-in-time copy of [`FetchStats`].
@@ -80,6 +81,11 @@ pub struct FetchStatsSnapshot {
     /// Fetch ops failed fast because the peer's circuit breaker was
     /// open (no wire traffic was attempted).
     pub breaker_fast_fails: u64,
+    /// Fetch ops redirected to another replica of their MOF, either
+    /// proactively (submitted against a peer already marked unhealthy /
+    /// breaker-open) or reactively (resubmitted after such a peer
+    /// failed the op). Requires a [`crate::routes::RouteTable`].
+    pub failovers: u64,
 }
 
 impl FetchStats {
@@ -176,6 +182,11 @@ impl FetchStats {
         self.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one op redirected to a replica of its MOF.
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy out all counters.
     pub fn snapshot(&self) -> FetchStatsSnapshot {
         FetchStatsSnapshot {
@@ -195,6 +206,7 @@ impl FetchStats {
             corrupt_refetches: self.corrupt_refetches.load(Ordering::Relaxed),
             busy_backoffs: self.busy_backoffs.load(Ordering::Relaxed),
             breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
         }
     }
 }
@@ -263,9 +275,11 @@ mod tests {
         s.record_corrupt_refetch();
         s.record_busy_backoff();
         s.record_breaker_fast_fail();
+        s.record_failover();
         let snap = s.snapshot();
         assert_eq!(snap.corrupt_refetches, 2);
         assert_eq!(snap.busy_backoffs, 1);
         assert_eq!(snap.breaker_fast_fails, 1);
+        assert_eq!(snap.failovers, 1);
     }
 }

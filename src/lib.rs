@@ -44,6 +44,7 @@
 //! paper-vs-measured results, and `crates/bench` for the binaries that
 //! regenerate every table and figure.
 
+pub use jbs_control as control;
 pub use jbs_core as core;
 pub use jbs_des as des;
 pub use jbs_disk as disk;
@@ -119,6 +120,22 @@ pub fn transport_supplier_stack(
     let mut hybrid = hybrid_store_config(cfg);
     hybrid.spill_gate = Some(sched);
     (options, hybrid)
+}
+
+/// Build the cluster control plane's registry configuration from a
+/// [`core::JbsConfig`]: heartbeat spacing, the missed-beat expiry
+/// multiple, and the replication factor map onto
+/// [`control::RegistryConfig`]. The registry pushes its view into a
+/// [`transport::RouteTable`] (wired via
+/// [`transport::ClientConfig::routes`]) — the data plane never calls
+/// the registry directly.
+pub fn control_registry_config(cfg: &core::JbsConfig) -> control::RegistryConfig {
+    control::RegistryConfig {
+        heartbeat_interval_nanos: cfg.heartbeat_interval.as_nanos(),
+        unhealthy_after_missed: cfg.unhealthy_after_missed,
+        replication: cfg.replication_factor,
+        ..control::RegistryConfig::default()
+    }
 }
 
 /// Build a hybrid-store configuration from a [`core::JbsConfig`]: the
@@ -208,6 +225,26 @@ mod tests {
         gate.release_append();
         assert_eq!(sched.stats().append_held, 0);
         assert_eq!(sched.stats().read_permits, 4);
+    }
+
+    #[test]
+    fn jbs_config_drives_the_control_plane() {
+        let cfg = core::JbsConfig {
+            heartbeat_interval: des::SimTime::from_millis(100),
+            unhealthy_after_missed: 5,
+            replication_factor: 3,
+            ..core::JbsConfig::default()
+        };
+        let rc = control_registry_config(&cfg);
+        assert_eq!(rc.heartbeat_interval_nanos, 100_000_000);
+        assert_eq!(rc.unhealthy_after_missed, 5);
+        assert_eq!(rc.replication, 3);
+        // The configured registry expires at the mapped window.
+        let addr = std::net::SocketAddr::from(([127, 0, 0, 1], 9));
+        let registry = control::Registry::new(rc);
+        registry.register(addr, 0);
+        assert!(registry.tick(500_000_000).newly_unhealthy.is_empty());
+        assert_eq!(registry.tick(500_000_001).newly_unhealthy, vec![addr]);
     }
 
     #[test]
