@@ -155,6 +155,37 @@ struct HybridMeasured {
     spill_trips: u64,
 }
 
+/// Measured result of the crash-recovery mode.
+struct RecoveryMeasured {
+    /// Payload bytes appended into the abandoned store per run.
+    bytes: u64,
+    /// Bytes the manifest replay rebuilt into servable extents
+    /// (summed over runs).
+    recovered_bytes: u64,
+    /// Mean wall-clock seconds per `HybridStore::recover` call.
+    recovery_time_secs: f64,
+    /// Recovered fraction of everything appended: the durable manifest
+    /// covers the spilled tiers; whatever died in the MEMORY tier is
+    /// the (1 - ratio) a replica must cover.
+    recovered_bytes_ratio: f64,
+    /// Partitions rebuilt per run (mean).
+    recovered_partitions: f64,
+    /// Rebuild throughput over the recovered bytes.
+    mib_per_sec: f64,
+}
+
+fn report_recovery(m: &RecoveryMeasured) {
+    println!(
+        "  {:<14} {:>8.1} MiB/s  ({:.6} s, {:.0} partitions; ratio {:.4} of {} bytes)",
+        "recovery:",
+        m.mib_per_sec,
+        m.recovery_time_secs,
+        m.recovered_partitions,
+        m.recovered_bytes_ratio,
+        m.bytes
+    );
+}
+
 fn report_hybrid(label: &str, m: &HybridMeasured) {
     println!(
         "  {label:<14} {:>8.1} MiB/s  ({:.3} s, {} bytes; {} mem reads, {} spill reads, {} trips)",
@@ -221,6 +252,8 @@ fn main() {
     report_hybrid("hybrid-mem:", &hybrid_mem);
     let hybrid_spill = run_hybrid_mode(&sc, false);
     report_hybrid("hybrid-spill:", &hybrid_spill);
+    let recovery = run_recovery_mode(&sc);
+    report_recovery(&recovery);
 
     assert_eq!(
         serial.checksum, pipelined.checksum,
@@ -263,6 +296,11 @@ fn main() {
         hybrid_spill.local_reads > 0,
         "the shrunk budget must push reads to the LOCALFILE tier"
     );
+    assert!(
+        recovery.recovered_bytes_ratio > 0.0 && recovery.recovered_bytes_ratio <= 1.0,
+        "recovery ratio out of range: {}",
+        recovery.recovered_bytes_ratio
+    );
     let speedup = pipelined.mib_per_sec / serial.mib_per_sec;
     let speedup_crc = pipelined_crc.mib_per_sec / serial.mib_per_sec;
     let speedup_event_loop = event_loop.mib_per_sec / serial.mib_per_sec;
@@ -295,6 +333,7 @@ fn main() {
         &event_loop,
         &hybrid_mem,
         &hybrid_spill,
+        &recovery,
         speedup,
         speedup_crc,
         speedup_event_loop,
@@ -568,6 +607,99 @@ fn run_hybrid_mode(sc: &Scenario, mem_resident: bool) -> HybridMeasured {
     }
 }
 
+/// Fill a durable (crash-consistent) hybrid store with the benchmark's
+/// segments, abandon it the way a killed supplier would — no close, no
+/// final barrier — and time [`HybridStore::recover`] rebuilding it from
+/// the surviving directory. `recovered_bytes_ratio` is the durable
+/// fraction: the spilled tiers replay from the manifest; whatever was
+/// still in the MEMORY tier at the "kill" is gone by definition and
+/// must come from a replica.
+fn run_recovery_mode(sc: &Scenario) -> RecoveryMeasured {
+    let mut bytes = 0u64;
+    let mut recovered = 0u64;
+    let mut durable_expected = 0u64;
+    let mut partitions = 0u64;
+    let mut total = Duration::ZERO;
+    for run in 0..sc.runs {
+        let dir = std::env::temp_dir().join(format!(
+            "jbs-bench-recovery-{}-{run}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = HybridConfig {
+            // The hybrid-spill shape: the watermarks push nearly every
+            // byte down to the (durable) LOCALFILE tier.
+            memory_budget: 2 * sc.buffer_bytes as usize,
+            durable_spill: true,
+            manifest_sync_interval: 1,
+            data_dir: Some(dir.join("data")),
+            remote_dir: Some(dir.join("remote")),
+            ..HybridConfig::default()
+        };
+        let store = HybridStore::new(cfg.clone()).expect("durable store");
+        let mut run_bytes = 0u64;
+        let mut scratch = MofStore::temp().expect("scratch store");
+        for node in 0..sc.nodes {
+            for m in 0..sc.mofs_per_node {
+                let mof = (node * sc.mofs_per_node + m) as u64;
+                let records = synth_records(mof, sc.records_per_mof);
+                let parts = sc.reducers;
+                scratch
+                    .write_mof(mof, records, parts, |k| {
+                        k.first().copied().unwrap_or(0) as usize % parts
+                    })
+                    .expect("write mof");
+                for r in 0..sc.reducers as u32 {
+                    let seg = scratch
+                        .read_segment_range(mof, r, 0, 0)
+                        .expect("read segment")
+                        .expect("segment exists");
+                    for chunk in seg.chunks(sc.buffer_bytes as usize) {
+                        store.append(mof, r, chunk).expect("durable append");
+                        run_bytes += chunk.len() as u64;
+                    }
+                }
+            }
+        }
+        // The kill: walk away. Bytes still buffered in the MEMORY tier
+        // die with the process; the manifest holds everything else.
+        let pre = store.stats();
+        durable_expected += pre.total_written - pre.memory_bytes;
+        drop(store);
+
+        let start = Instant::now();
+        let (_rebuilt, report) = HybridStore::recover(cfg).expect("recover");
+        total += start.elapsed();
+        recovered += report.recovered_bytes;
+        partitions += report.recovered_partitions;
+        assert_eq!(
+            report.dropped_extents, 0,
+            "no extents may be lost without a mid-write kill: {report:?}"
+        );
+        if run == 0 {
+            bytes = run_bytes;
+        } else {
+            assert_eq!(bytes, run_bytes, "runs must append identical bytes");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        recovered, durable_expected,
+        "recovery must rebuild exactly the durable (non-MEMORY) bytes"
+    );
+    let runs = sc.runs as f64;
+    let secs = total.as_secs_f64() / runs;
+    let per_run_recovered = recovered as f64 / runs;
+    RecoveryMeasured {
+        bytes,
+        recovered_bytes: recovered,
+        recovery_time_secs: secs,
+        recovered_bytes_ratio: per_run_recovered / bytes as f64,
+        recovered_partitions: partitions as f64 / runs,
+        mib_per_sec: per_run_recovered / (1 << 20) as f64 / secs,
+    }
+}
+
 /// Deterministic per-MOF records: 10-byte random keys, 90-byte values.
 fn synth_records(mof: u64, n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
     let mut rng = DetRng::new(0x5348_5546 ^ mof);
@@ -601,6 +733,7 @@ fn render_json(
     event_loop: &Measured,
     hybrid_mem: &HybridMeasured,
     hybrid_spill: &HybridMeasured,
+    recovery: &RecoveryMeasured,
     speedup: f64,
     speedup_crc: f64,
     speedup_event_loop: f64,
@@ -629,13 +762,24 @@ fn render_json(
             m.bytes, m.secs, m.mib_per_sec, m.memory_reads, m.local_reads, m.spill_trips
         )
     };
+    let recovery_json = format!(
+        "{{ \"bytes\": {}, \"recovered_bytes\": {}, \"recovery_time_secs\": {:.6}, \
+         \"recovered_bytes_ratio\": {:.4}, \"recovered_partitions\": {:.0}, \
+         \"mib_per_sec\": {:.2} }}",
+        recovery.bytes,
+        recovery.recovered_bytes,
+        recovery.recovery_time_secs,
+        recovery.recovered_bytes_ratio,
+        recovery.recovered_partitions,
+        recovery.mib_per_sec
+    );
     format!(
         "{{\n  \"bench\": \"shuffle_dataplane\",\n  \"smoke\": {smoke},\n  \"config\": {{\n    \
          \"nodes\": {},\n    \"mofs_per_node\": {},\n    \"reducers\": {},\n    \
          \"records_per_mof\": {},\n    \"buffer_bytes\": {},\n    \"prefetch_batch\": {},\n    \"window\": {},\n    \
          \"disk_delay_ms\": {},\n    \"runs\": {}\n  }},\n  \"serial\": {},\n  \
          \"pipelined\": {},\n  \"pipelined_crc\": {},\n  \"event_loop\": {},\n  \"hybrid_mem\": {},\n  \
-         \"hybrid_spill\": {},\n  \"speedup\": {speedup:.2},\n  \
+         \"hybrid_spill\": {},\n  \"recovery\": {},\n  \"speedup\": {speedup:.2},\n  \
          \"speedup_crc\": {speedup_crc:.2},\n  \"speedup_event_loop\": {speedup_event_loop:.2},\n  \
          \"crc_overhead_frac\": {crc_overhead_frac:.4},\n  \
          \"hybrid_mem_speedup\": {hybrid_mem_speedup:.2}\n}}\n",
@@ -654,5 +798,6 @@ fn render_json(
         mode(event_loop),
         hybrid(hybrid_mem),
         hybrid(hybrid_spill),
+        recovery_json,
     )
 }

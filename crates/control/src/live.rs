@@ -65,7 +65,11 @@ pub struct Heartbeater {
 
 impl Heartbeater {
     /// Register `addr` and start heartbeating every `interval`,
-    /// shipping the load digest `load_fn` produces each beat.
+    /// shipping the load digest `load_fn` produces each beat. The beats
+    /// quote the incarnation the registration returned, so beats from a
+    /// previous life of this address (a crashed process whose thread
+    /// lingered, or queued beats delivered late) are fenced by the
+    /// registry instead of masquerading as this one.
     pub fn spawn<F>(
         registry: Arc<Registry>,
         clock: Arc<ControlClock>,
@@ -76,16 +80,17 @@ impl Heartbeater {
     where
         F: Fn() -> HeartbeatLoad + Send + 'static,
     {
-        registry.register(addr, clock.now_nanos());
+        let incarnation = registry.register(addr, clock.now_nanos());
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
         let handle = thread::Builder::new()
             .name(format!("jbs-heartbeat-{}", addr.port()))
             .spawn(move || {
                 while interruptible_sleep(&flag, interval) {
-                    if !registry.heartbeat(addr, load_fn(), clock.now_nanos()) {
-                        // Decommissioned (or deregistered) underneath us:
-                        // the supplier is leaving, stop beating.
+                    if !registry.heartbeat(addr, incarnation, load_fn(), clock.now_nanos()) {
+                        // Decommissioned, deregistered, or fenced by a
+                        // newer incarnation underneath us: this life of
+                        // the supplier is over, stop beating.
                         return;
                     }
                 }

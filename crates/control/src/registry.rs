@@ -128,6 +128,11 @@ struct NodeState {
     health: Health,
     last_heartbeat_nanos: u64,
     load: HeartbeatLoad,
+    /// Monotonic per-address epoch. Every (re-)registration bumps it and
+    /// heartbeats must quote it, so beats from a process that died —
+    /// delayed in a queue, or a zombie thread that outlived its store —
+    /// are fenced instead of reviving a node whose disk state moved on.
+    incarnation: u64,
 }
 
 /// Everything the registry mutex guards: node table and MOF placements
@@ -199,38 +204,113 @@ impl Registry {
             .saturating_mul(u64::from(self.cfg.unhealthy_after_missed.max(1)))
     }
 
-    /// Register (or re-register) a supplier as Live. Re-registering a
-    /// decommissioned address models a fresh process reusing it.
-    pub fn register(&self, addr: SocketAddr, now_nanos: u64) {
-        {
+    /// Register (or re-register) a supplier as Live and return its
+    /// incarnation: 1 for a fresh address, previous + 1 for any address
+    /// already known — including a Decommissioned tombstone, which
+    /// models a fresh process reusing the address after a crash or
+    /// graceful exit. Heartbeats must quote the returned incarnation.
+    pub fn register(&self, addr: SocketAddr, now_nanos: u64) -> u64 {
+        let incarnation = {
             let mut g = lock(&self.nodes);
+            let incarnation = g
+                .nodes
+                .get(&addr)
+                .map_or(1, |n| n.incarnation.saturating_add(1));
             g.nodes.insert(
                 addr,
                 NodeState {
                     health: Health::Live,
                     last_heartbeat_nanos: now_nanos,
                     load: HeartbeatLoad::default(),
+                    incarnation,
                 },
             );
-        }
+            incarnation
+        };
         self.cfg.trace.instant(
             "registry.register",
             Entity::peer(u64::from(addr.port())),
             now_nanos,
-            0,
+            incarnation,
         );
+        incarnation
+    }
+
+    /// Register with a caller-supplied incarnation (a restarted supplier
+    /// replaying an epoch it persisted). Accepted only when the address
+    /// is unknown or `incarnation` is strictly newer than the current
+    /// one — in particular, a `Decommissioned` tombstone is only
+    /// replaced by a genuinely newer process, never by a stale replay
+    /// of the dead one.
+    pub fn register_incarnation(
+        &self,
+        addr: SocketAddr,
+        incarnation: u64,
+        now_nanos: u64,
+    ) -> bool {
+        let accepted = {
+            let mut g = lock(&self.nodes);
+            match g.nodes.get(&addr) {
+                Some(n) if incarnation <= n.incarnation => false,
+                _ => {
+                    g.nodes.insert(
+                        addr,
+                        NodeState {
+                            health: Health::Live,
+                            last_heartbeat_nanos: now_nanos,
+                            load: HeartbeatLoad::default(),
+                            incarnation,
+                        },
+                    );
+                    true
+                }
+            }
+        };
+        if accepted {
+            self.cfg.trace.instant(
+                "registry.register",
+                Entity::peer(u64::from(addr.port())),
+                now_nanos,
+                incarnation,
+            );
+        }
+        accepted
+    }
+
+    /// The current incarnation of `addr`, if registered.
+    pub fn incarnation(&self, addr: SocketAddr) -> Option<u64> {
+        let g = lock(&self.nodes);
+        g.nodes.get(&addr).map(|n| n.incarnation)
     }
 
     /// Record a heartbeat. Returns false (and changes nothing) for
-    /// unknown or decommissioned addresses; an Unhealthy node is revived
-    /// to Live.
-    pub fn heartbeat(&self, addr: SocketAddr, load: HeartbeatLoad, now_nanos: u64) -> bool {
+    /// unknown or decommissioned addresses, and for beats quoting a
+    /// stale (or future) incarnation — the fence that keeps a dead
+    /// process's delayed beats from reviving its successor's slot. An
+    /// Unhealthy node beating its current incarnation revives to Live.
+    pub fn heartbeat(
+        &self,
+        addr: SocketAddr,
+        incarnation: u64,
+        load: HeartbeatLoad,
+        now_nanos: u64,
+    ) -> bool {
         let revived = {
             let mut g = lock(&self.nodes);
             let Some(node) = g.nodes.get_mut(&addr) else {
                 return false;
             };
             if node.health == Health::Decommissioned {
+                return false;
+            }
+            if node.incarnation != incarnation {
+                drop(g);
+                self.cfg.trace.instant(
+                    "registry.fence",
+                    Entity::peer(u64::from(addr.port())),
+                    incarnation,
+                    self.incarnation(addr).unwrap_or(0),
+                );
                 return false;
             }
             node.last_heartbeat_nanos = now_nanos;
@@ -399,7 +479,17 @@ impl Registry {
         }
         for (addr, live) in marks {
             if live {
-                routes.mark_healthy(addr);
+                // mark_healthy reports the transition: true only when the
+                // route table previously held this node unhealthy, i.e.
+                // traffic is flipping back after a failover.
+                if routes.mark_healthy(addr) {
+                    self.cfg.trace.instant(
+                        "route.restore",
+                        Entity::peer(u64::from(addr.port())),
+                        0,
+                        0,
+                    );
+                }
             } else {
                 routes.mark_unhealthy(addr);
             }
@@ -480,7 +570,7 @@ mod tests {
         assert_eq!(r.health(addr(1)), Some(Health::Unhealthy));
 
         // A late heartbeat revives.
-        assert!(r.heartbeat(addr(1), HeartbeatLoad::default(), 400));
+        assert!(r.heartbeat(addr(1), 1, HeartbeatLoad::default(), 400));
         assert!(r.is_live(addr(1)));
         assert!(r.tick(450).newly_unhealthy.is_empty());
     }
@@ -488,11 +578,11 @@ mod tests {
     #[test]
     fn heartbeat_rejected_for_unknown_and_decommissioned() {
         let r = registry();
-        assert!(!r.heartbeat(addr(9), HeartbeatLoad::default(), 0));
+        assert!(!r.heartbeat(addr(9), 1, HeartbeatLoad::default(), 0));
         r.register(addr(1), 0);
         assert!(r.deregister(addr(1), 10));
         assert!(!r.deregister(addr(1), 11), "second deregister is a no-op");
-        assert!(!r.heartbeat(addr(1), HeartbeatLoad::default(), 20));
+        assert!(!r.heartbeat(addr(1), 1, HeartbeatLoad::default(), 20));
         assert_eq!(r.health(addr(1)), Some(Health::Decommissioned));
         // Tombstones are still examined (O(nodes) fan-in) but never expire.
         let report = r.tick(10_000);
@@ -532,7 +622,7 @@ mod tests {
         assert_eq!(r.resolve(3), vec![addr(1), addr(2)]);
 
         // Expire the primary: resolve falls back to the replica.
-        r.heartbeat(addr(2), HeartbeatLoad::default(), 500);
+        r.heartbeat(addr(2), 1, HeartbeatLoad::default(), 500);
         r.tick(500);
         assert_eq!(r.resolve(3), vec![addr(2)]);
 
@@ -562,9 +652,74 @@ mod tests {
         assert!(routes.is_unhealthy(addr(2)));
         assert_eq!(routes.resolve(3), None);
 
-        r.heartbeat(addr(2), HeartbeatLoad::default(), 10_001);
+        r.heartbeat(addr(2), 1, HeartbeatLoad::default(), 10_001);
         r.sync_routes(&routes);
         assert_eq!(routes.resolve(3), Some(addr(2)));
+    }
+
+    #[test]
+    fn resolve_with_every_replica_tombstoned_is_empty() {
+        let r = registry();
+        r.register(addr(1), 0);
+        r.register(addr(2), 0);
+        let placed = r.assign(3, addr(1));
+        assert_eq!(placed.len(), 2);
+        // Tombstone the entire placement: resolve must return empty —
+        // not panic, not name a dead node — and the raw placement stays
+        // readable for explainability.
+        r.deregister(addr(1), 10);
+        r.deregister(addr(2), 11);
+        assert_eq!(r.resolve(3), Vec::<SocketAddr>::new());
+        assert_eq!(r.placement(3), Some(placed));
+        // Liveness machinery over an all-tombstone table is inert.
+        assert!(r.tick(100_000).newly_unhealthy.is_empty());
+        assert!(r.live_nodes().is_empty());
+    }
+
+    #[test]
+    fn stale_incarnation_heartbeats_are_fenced() {
+        let r = registry();
+        let first = r.register(addr(1), 0);
+        assert_eq!(first, 1);
+        // The process dies and a successor re-registers the address.
+        let second = r.register(addr(1), 50);
+        assert_eq!(second, 2);
+        assert_eq!(r.incarnation(addr(1)), Some(2));
+        // A delayed beat from the dead incarnation is fenced and leaves
+        // the record untouched; the live incarnation's beats land.
+        assert!(!r.heartbeat(addr(1), first, HeartbeatLoad::default(), 60));
+        assert!(r.heartbeat(addr(1), second, HeartbeatLoad::default(), 61));
+        // Fencing also revives nothing: expire the node, then beat the
+        // stale incarnation — it must stay Unhealthy.
+        r.tick(10_000);
+        assert_eq!(r.health(addr(1)), Some(Health::Unhealthy));
+        assert!(!r.heartbeat(addr(1), first, HeartbeatLoad::default(), 10_001));
+        assert_eq!(r.health(addr(1)), Some(Health::Unhealthy));
+        assert!(r.heartbeat(addr(1), second, HeartbeatLoad::default(), 10_002));
+        assert_eq!(r.health(addr(1)), Some(Health::Live));
+    }
+
+    #[test]
+    fn reregistration_over_a_tombstone_needs_a_newer_incarnation() {
+        let r = registry();
+        let inc = r.register(addr(1), 0);
+        assert!(r.deregister(addr(1), 10));
+        assert_eq!(r.health(addr(1)), Some(Health::Decommissioned));
+        // A stale replay of the dead incarnation (or anything not newer)
+        // cannot resurrect the tombstone.
+        assert!(!r.register_incarnation(addr(1), inc, 20));
+        assert_eq!(r.health(addr(1)), Some(Health::Decommissioned));
+        // A genuinely newer incarnation replaces it.
+        assert!(r.register_incarnation(addr(1), inc + 1, 30));
+        assert_eq!(r.health(addr(1)), Some(Health::Live));
+        assert_eq!(r.incarnation(addr(1)), Some(inc + 1));
+        // Unknown addresses register at any incarnation.
+        assert!(r.register_incarnation(addr(7), 42, 40));
+        assert_eq!(r.incarnation(addr(7)), Some(42));
+        // And plain register() over a tombstone bumps past it.
+        assert!(r.deregister(addr(7), 50));
+        assert_eq!(r.register(addr(7), 60), 43);
+        assert_eq!(r.health(addr(7)), Some(Health::Live));
     }
 
     #[test]
@@ -580,7 +735,7 @@ mod tests {
             spilled_bytes: 512,
             remote_bytes: 0,
         };
-        assert!(r.heartbeat(addr(1), load, 5));
+        assert!(r.heartbeat(addr(1), 1, load, 5));
         assert_eq!(r.load(addr(1)), Some(load));
         assert_eq!(load.score(), 3 + 2 + 10);
         assert_eq!(r.load(addr(9)), None);

@@ -104,6 +104,8 @@ pub struct SimCluster {
     queue: EventQueue<SimEvent>,
     rng: DetRng,
     addrs: Vec<SocketAddr>,
+    /// Incarnation each node registered with, quoted on its beats.
+    incarnations: Vec<u64>,
     /// Nodes whose heartbeats have ceased (killed or decommissioned),
     /// keyed to the time they went silent.
     silent: BTreeMap<usize, SimTime>,
@@ -138,8 +140,9 @@ impl SimCluster {
         let mut rng = DetRng::new(cfg.seed);
         let addrs: Vec<SocketAddr> = (0..cfg.nodes).map(node_addr).collect();
 
+        let mut incarnations = Vec::with_capacity(addrs.len());
         for (i, addr) in addrs.iter().enumerate() {
-            registry.register(*addr, 0);
+            incarnations.push(registry.register(*addr, 0));
             // Spread first beats across one interval.
             let phase = rng.uniform_u64(0, cfg.heartbeat_interval.as_nanos().max(1));
             queue.push(SimTime::from_nanos(phase), SimEvent::Heartbeat(i));
@@ -180,6 +183,7 @@ impl SimCluster {
             queue,
             rng,
             addrs,
+            incarnations,
             silent: BTreeMap::new(),
             decommissioned: BTreeSet::new(),
             stats: SimStats::default(),
@@ -271,7 +275,8 @@ impl SimCluster {
                     }
                     if let Some(addr) = self.addrs.get(i).copied() {
                         let load = self.synth_load(i);
-                        if self.registry.heartbeat(addr, load, now.as_nanos()) {
+                        let inc = self.incarnations.get(i).copied().unwrap_or(1);
+                        if self.registry.heartbeat(addr, inc, load, now.as_nanos()) {
                             self.stats.heartbeats += 1;
                         }
                     }

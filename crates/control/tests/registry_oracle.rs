@@ -108,8 +108,12 @@ proptest! {
                     oracle.nodes.insert(n, (MHealth::Live, oracle.now));
                 }
                 Op::Heartbeat(n) => {
-                    let accepted = registry.heartbeat(addr(n), HeartbeatLoad::default(), oracle.now);
-                    twin.heartbeat(addr(n), HeartbeatLoad::default(), oracle.now);
+                    // Quote the live incarnation: this oracle models
+                    // liveness, not fencing (fencing has its own tests).
+                    let inc = registry.incarnation(addr(n)).unwrap_or(0);
+                    let accepted =
+                        registry.heartbeat(addr(n), inc, HeartbeatLoad::default(), oracle.now);
+                    twin.heartbeat(addr(n), inc, HeartbeatLoad::default(), oracle.now);
                     let expect = match oracle.nodes.get_mut(&n) {
                         Some((h, last)) if *h != MHealth::Dead => {
                             *h = MHealth::Live;

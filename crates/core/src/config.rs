@@ -78,6 +78,17 @@ pub struct JbsConfig {
     /// is force-spilled even below the high watermark, so one skewed
     /// reducer cannot monopolize the memory tier.
     pub huge_partition_limit: u64,
+    /// Crash-consistent spills: every LOCALFILE commit is fsynced and
+    /// recorded in the store's durable manifest, so a killed supplier
+    /// can be rebuilt from its surviving directory
+    /// (`HybridStore::recover`) instead of losing its local tier.
+    /// `false` keeps the volatile fast path (no syncs, no manifest).
+    pub durable_spill: bool,
+    /// Manifest records per fsync when `durable_spill` is on (>= 1).
+    /// `1` forces every record down before its commit publishes; larger
+    /// values batch the barriers — a crash may then lose the last
+    /// unsynced records, which recovery treats as cleanly absent.
+    pub manifest_sync_interval: u64,
     /// Event-loop threads the real-dataplane MOFSupplier runs; admitted
     /// connections are sharded across them round-robin. One reactor
     /// saturates loopback; more help only past several NICs' worth of
@@ -129,6 +140,8 @@ impl Default for JbsConfig {
             memory_spill_high_watermark: 0.5,
             memory_spill_low_watermark: 0.2,
             huge_partition_limit: 16 << 20,
+            durable_spill: false,
+            manifest_sync_interval: 1,
             reactor_threads: 1,
             io_read_permits: 4,
             io_append_permits: 2,
@@ -192,6 +205,9 @@ impl JbsConfig {
         }
         if self.huge_partition_limit == 0 {
             return Err("huge-partition limit must be positive".into());
+        }
+        if self.manifest_sync_interval == 0 {
+            return Err("manifest sync interval must be at least 1".into());
         }
         if self.reactor_threads == 0 {
             return Err("reactor thread count must be positive".into());
@@ -270,6 +286,26 @@ mod tests {
         assert!(c.validate().is_err());
         let c = JbsConfig {
             huge_partition_limit: 0,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn durability_knob_validation() {
+        let c = JbsConfig::default();
+        assert!(!c.durable_spill, "volatile fast path is the default");
+        assert_eq!(c.manifest_sync_interval, 1);
+        // Batched barriers are legal at any interval >= 1...
+        let c = JbsConfig {
+            durable_spill: true,
+            manifest_sync_interval: 8,
+            ..JbsConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        // ...but an interval of 0 never is, durable or not.
+        let c = JbsConfig {
+            manifest_sync_interval: 0,
             ..JbsConfig::default()
         };
         assert!(c.validate().is_err());

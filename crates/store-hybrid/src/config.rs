@@ -20,6 +20,35 @@ pub trait SpillGate: Send + Sync {
     fn release_append(&self);
 }
 
+/// A durable-intent disk write the fault injector can interpose on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskWriteSite {
+    /// A spill-extent (or oversize direct) write to `spill.data`.
+    SpillWrite,
+    /// A manifest record append to `manifest.log`.
+    ManifestAppend,
+}
+
+/// The injected outcome of one disk write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskWriteFault {
+    /// Perform the write normally.
+    Allow,
+    /// Write only a prefix of the bytes, then fail (`ErrorKind::WriteZero`).
+    ShortWrite,
+    /// Fail without writing anything (an EIO-style error).
+    Error,
+}
+
+/// Deterministic disk-write fault injection for the spill/manifest
+/// paths. The transport crate's `FaultPlan` implements this (same
+/// no-crate-cycle shape as [`SpillGate`]), so one seeded plan can
+/// schedule network and disk faults together, per (seed, occurrence).
+pub trait DiskFaultInjector: Send + Sync {
+    /// Decide the fate of the next write at `site`.
+    fn disk_write(&self, site: DiskWriteSite) -> DiskWriteFault;
+}
+
 /// Configuration for a [`crate::HybridStore`].
 ///
 /// The defaults mirror the Uniffle `MEMORY_LOCALFILE` storage type this
@@ -65,6 +94,23 @@ pub struct HybridConfig {
     /// (spill flush or oversize direct write) holds an append permit
     /// from this gate for the duration of the write.
     pub spill_gate: Option<Arc<dyn SpillGate>>,
+    /// `true` makes every LOCALFILE commit crash-consistent: extent
+    /// data is fsynced before its record is appended to the durable
+    /// manifest (`manifest.log`), and [`crate::HybridStore::recover`]
+    /// can rebuild the store from the surviving directory. `false`
+    /// keeps the pre-durability behavior (no syncs, no manifest).
+    pub durable_spill: bool,
+    /// Manifest records per fsync (≥ 1). `1` forces every record down
+    /// before the commit publishes; larger values batch the fsyncs — a
+    /// crash may then lose the last unsynced records, which recovery
+    /// treats as cleanly-absent extents.
+    pub manifest_sync_interval: u64,
+    /// Optional deterministic disk-write fault injection (short writes,
+    /// EIO) on the spill/manifest paths.
+    pub disk_faults: Option<Arc<dyn DiskFaultInjector>>,
+    /// Optional kill-at-syscall crash-point injection; see
+    /// [`crate::CrashPlan`].
+    pub crash_plan: Option<Arc<crate::crash::CrashPlan>>,
 }
 
 impl Default for HybridConfig {
@@ -81,6 +127,10 @@ impl Default for HybridConfig {
             remote_dir: None,
             trace: Trace::disabled(),
             spill_gate: None,
+            durable_spill: false,
+            manifest_sync_interval: 1,
+            disk_faults: None,
+            crash_plan: None,
         }
     }
 }
@@ -99,6 +149,9 @@ impl HybridConfig {
         }
         if self.huge_partition_limit == 0 {
             return Err("huge_partition_limit must be > 0".into());
+        }
+        if self.manifest_sync_interval == 0 {
+            return Err("manifest_sync_interval must be >= 1".into());
         }
         Ok(())
     }
@@ -158,6 +211,11 @@ mod tests {
         assert!(cfg.validate().is_err());
         let cfg = HybridConfig {
             huge_partition_limit: 0,
+            ..HybridConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = HybridConfig {
+            manifest_sync_interval: 0,
             ..HybridConfig::default()
         };
         assert!(cfg.validate().is_err());

@@ -1,0 +1,173 @@
+//! Kill-at-syscall crash-point injection for the durable spill paths.
+//!
+//! A [`CrashPlan`] simulates the process dying at one exact syscall in
+//! the spill/manifest/remote-object write paths: when the armed
+//! `(site, occurrence)` is reached the store performs the *partial*
+//! on-disk effect a real kill could leave behind (a torn data prefix, a
+//! torn manifest frame, an unrenamed `.tmp` object), parks itself
+//! failed, and every later crash check also reports dead — the process
+//! does no further durable work. The test then abandons the store and
+//! calls [`crate::HybridStore::recover`] over the surviving directory,
+//! exactly like a restarted supplier.
+//!
+//! `CrashPlan::survey()` is the dry run: it counts how often each site
+//! is reached by a workload without ever firing, which gives the
+//! exhaustive sweep its `(site, occurrence)` space.
+
+use crate::sync::{lock, Mutex};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A syscall in the durable write paths where a simulated kill can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CrashSite {
+    /// Mid `write_all` of a spill extent: a torn data prefix lands in
+    /// `spill.data`, no manifest record exists.
+    SpillWrite,
+    /// At the `sync_data` of `spill.data`: the data is fully written
+    /// but nothing was published.
+    SpillSync,
+    /// Mid manifest frame append: a torn frame prefix lands in
+    /// `manifest.log` for recovery's torn-tail rule to truncate.
+    ManifestAppend,
+    /// At the manifest fsync: the frame is written but not forced down.
+    ManifestSync,
+    /// Mid write of a remote object's `.tmp` file.
+    RemoteTmpWrite,
+    /// At the `.tmp` file's fsync, before the publishing rename.
+    RemoteTmpSync,
+    /// At the publishing rename itself: the `.tmp` is complete but the
+    /// object name never appears.
+    RemoteRename,
+}
+
+impl CrashSite {
+    /// Every site, in path order.
+    pub const ALL: [CrashSite; 7] = [
+        CrashSite::SpillWrite,
+        CrashSite::SpillSync,
+        CrashSite::ManifestAppend,
+        CrashSite::ManifestSync,
+        CrashSite::RemoteTmpWrite,
+        CrashSite::RemoteTmpSync,
+        CrashSite::RemoteRename,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            CrashSite::SpillWrite => 0,
+            CrashSite::SpillSync => 1,
+            CrashSite::ManifestAppend => 2,
+            CrashSite::ManifestSync => 3,
+            CrashSite::RemoteTmpWrite => 4,
+            CrashSite::RemoteTmpSync => 5,
+            CrashSite::RemoteRename => 6,
+        }
+    }
+}
+
+/// Deterministic kill-at-syscall schedule: fires at most once, at the
+/// armed `(site, occurrence)`; afterwards every check reports dead.
+pub struct CrashPlan {
+    armed: Option<(CrashSite, u64)>,
+    counts: Mutex<[u64; CrashSite::ALL.len()]>,
+    fired: AtomicBool,
+}
+
+impl CrashPlan {
+    /// A dry-run plan that never fires but counts every site arrival —
+    /// run the workload once under it to learn the sweep space.
+    pub fn survey() -> Arc<CrashPlan> {
+        Arc::new(CrashPlan {
+            armed: None,
+            counts: Mutex::new([0; CrashSite::ALL.len()]),
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    /// Arm a kill at the `occurrence`-th (0-based) arrival at `site`.
+    pub fn at(site: CrashSite, occurrence: u64) -> Arc<CrashPlan> {
+        Arc::new(CrashPlan {
+            armed: Some((site, occurrence)),
+            counts: Mutex::new([0; CrashSite::ALL.len()]),
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    /// How often each site was reached, in [`CrashSite::ALL`] order.
+    pub fn counts(&self) -> Vec<(CrashSite, u64)> {
+        let c = lock(&self.counts);
+        CrashSite::ALL
+            .iter()
+            .map(|s| (*s, c.get(s.index()).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Whether the armed kill has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// Called by the store at each site. `true` means the process dies
+    /// here: the caller leaves its partial effect and errors out.
+    pub(crate) fn check(&self, site: CrashSite) -> bool {
+        let mut c = lock(&self.counts);
+        let occ = c.get(site.index()).copied().unwrap_or(0);
+        if let Some(slot) = c.get_mut(site.index()) {
+            *slot += 1;
+        }
+        drop(c);
+        if self.fired.load(Ordering::Acquire) {
+            // Already dead: no later durable work happens either.
+            return true;
+        }
+        if self.armed == Some((site, occ)) {
+            self.fired.store(true, Ordering::Release);
+            return true;
+        }
+        false
+    }
+}
+
+/// The error a fired crash point surfaces through the store's normal
+/// failure path (`Inner::failed` parks it, appends report it).
+pub(crate) fn crash_error() -> io::Error {
+    io::Error::other("crash point fired")
+}
+
+/// Check an optional plan (the common store-side shape).
+pub(crate) fn check(plan: &Option<Arc<CrashPlan>>, site: CrashSite) -> bool {
+    plan.as_ref().is_some_and(|p| p.check(site))
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_counts_without_firing() {
+        let plan = CrashPlan::survey();
+        for _ in 0..3 {
+            assert!(!plan.check(CrashSite::SpillWrite));
+        }
+        assert!(!plan.check(CrashSite::ManifestSync));
+        assert!(!plan.fired());
+        let counts = plan.counts();
+        assert!(counts.contains(&(CrashSite::SpillWrite, 3)));
+        assert!(counts.contains(&(CrashSite::ManifestSync, 1)));
+        assert!(counts.contains(&(CrashSite::RemoteRename, 0)));
+    }
+
+    #[test]
+    fn armed_plan_fires_once_then_reports_dead_everywhere() {
+        let plan = CrashPlan::at(CrashSite::ManifestAppend, 1);
+        assert!(!plan.check(CrashSite::ManifestAppend)); // occurrence 0
+        assert!(!plan.check(CrashSite::SpillWrite));
+        assert!(plan.check(CrashSite::ManifestAppend)); // occurrence 1: dies
+        assert!(plan.fired());
+        // Dead process: every later site also "crashes".
+        assert!(plan.check(CrashSite::SpillWrite));
+        assert!(plan.check(CrashSite::RemoteRename));
+    }
+}

@@ -21,9 +21,12 @@
 //! --lib loom_`).
 
 mod config;
+mod crash;
+mod manifest;
 mod remote;
 mod store;
 pub(crate) mod sync;
 
-pub use config::{HybridConfig, SpillGate};
-pub use store::{HybridStore, TierLayout, TierStatsSnapshot};
+pub use config::{DiskFaultInjector, DiskWriteFault, DiskWriteSite, HybridConfig, SpillGate};
+pub use crash::{CrashPlan, CrashSite};
+pub use store::{HybridStore, RecoveryReport, TierLayout, TierStatsSnapshot};

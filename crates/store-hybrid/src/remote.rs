@@ -7,11 +7,13 @@
 //! drains every partition here, and a replacement supplier re-attaches
 //! with [`crate::HybridStore::attach_remote`].
 
+use crate::crash::{self, crash_error, CrashPlan, CrashSite};
 use crate::sync::{lock, Mutex};
 use std::collections::HashMap;
 use std::fs;
-use std::io::{self, Read, Seek, SeekFrom};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 pub(crate) struct RemoteStore {
     dir: PathBuf,
@@ -43,12 +45,62 @@ impl RemoteStore {
         self.dir.join(format!("part-{mof}-{reducer}.obj"))
     }
 
-    /// Store (or replace) the object for one partition.
-    pub(crate) fn put(&self, mof: u64, reducer: u32, bytes: &[u8]) -> io::Result<()> {
-        fs::write(self.path(mof, reducer), bytes)?;
+    /// Store (or replace) the object for one partition, crash-atomically:
+    /// the bytes go to a `.tmp` sibling, are fsynced, and only then does
+    /// the publishing rename make the object name appear — a crash at any
+    /// point leaves either the old object or a `.tmp` that recovery sweeps
+    /// away, never a torn object.
+    pub(crate) fn put(
+        &self,
+        mof: u64,
+        reducer: u32,
+        bytes: &[u8],
+        crash_plan: &Option<Arc<CrashPlan>>,
+    ) -> io::Result<()> {
+        let tmp = self.dir.join(format!("part-{mof}-{reducer}.obj.tmp"));
+        let dst = self.path(mof, reducer);
+        let mut f = fs::File::create(&tmp)?;
+        if crash::check(crash_plan, CrashSite::RemoteTmpWrite) {
+            // Simulated kill mid-write: a torn prefix stays in the .tmp.
+            let keep = bytes.get(..bytes.len() / 2).unwrap_or(bytes);
+            let _ = f.write_all(keep);
+            return Err(crash_error());
+        }
+        f.write_all(bytes)?;
+        if crash::check(crash_plan, CrashSite::RemoteTmpSync) {
+            return Err(crash_error());
+        }
+        f.sync_all()?;
+        drop(f);
+        if crash::check(crash_plan, CrashSite::RemoteRename) {
+            return Err(crash_error());
+        }
+        fs::rename(&tmp, &dst)?;
+        // Make the rename itself durable where the platform allows
+        // fsyncing a directory handle (Linux does).
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
         let mut objects = lock(&self.objects);
         objects.insert((mof, reducer), bytes.len() as u64);
         Ok(())
+    }
+
+    /// Sweep unpublished `.tmp` objects a crash left behind.
+    pub(crate) fn clean_tmp(&self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".obj.tmp") {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The indexed length of one partition's object, if present.
+    pub(crate) fn object_len(&self, mof: u64, reducer: u32) -> Option<u64> {
+        let objects = lock(&self.objects);
+        objects.get(&(mof, reducer)).copied()
     }
 
     /// Read `len` bytes at `offset` of one partition's object.
@@ -94,11 +146,33 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("jbs-remote-test-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let store = RemoteStore::at(&dir).unwrap();
-        store.put(1, 2, b"hello world").unwrap();
+        store.put(1, 2, b"hello world", &None).unwrap();
         assert_eq!(store.read(1, 2, 6, 5).unwrap(), b"world");
         // A second store over the same dir sees the object.
         let again = RemoteStore::at(&dir).unwrap();
         assert_eq!(again.list(), vec![((1, 2), 11)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_put_leaves_old_object_and_a_sweepable_tmp() {
+        let dir = std::env::temp_dir().join(format!("jbs-remote-crash-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = RemoteStore::at(&dir).unwrap();
+        store.put(1, 2, b"old bytes", &None).unwrap();
+        let plan = Some(CrashPlan::at(CrashSite::RemoteRename, 0));
+        assert!(store.put(1, 2, b"new bytes!", &plan).is_err());
+        // The publishing rename never ran: the old object is intact and
+        // the complete .tmp sits beside it.
+        assert_eq!(store.read(1, 2, 0, 9).unwrap(), b"old bytes");
+        assert!(dir.join("part-1-2.obj.tmp").exists());
+        store.clean_tmp().unwrap();
+        assert!(!dir.join("part-1-2.obj.tmp").exists());
+        // A reattach ignores tmp names entirely.
+        let plan = Some(CrashPlan::at(CrashSite::RemoteTmpWrite, 0));
+        assert!(store.put(3, 4, b"torn", &plan).is_err());
+        let again = RemoteStore::at(&dir).unwrap();
+        assert_eq!(again.list(), vec![((1, 2), 9)]);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

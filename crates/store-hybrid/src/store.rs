@@ -36,9 +36,12 @@
 //! condvar hands off between tripping writers, the flusher, and
 //! backpressured appenders — the handoff the `loom_` models explore.
 
-use crate::config::{HybridConfig, SpillGate};
+use crate::config::{DiskFaultInjector, DiskWriteFault, DiskWriteSite, HybridConfig, SpillGate};
+use crate::crash::{self, crash_error, CrashSite};
+use crate::manifest::{self, ManifestWriter};
 use crate::remote::RemoteStore;
 use crate::sync::{lock, wait, Condvar, Mutex, MutexGuard};
+use jbs_checksum::{crc32c, Crc32c};
 use jbs_obs::Entity;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
@@ -205,6 +208,37 @@ pub struct TierLayout {
     pub remote: u64,
 }
 
+/// What a [`HybridStore::recover`] scan found and rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Durable bytes rebuilt into servable extents.
+    pub recovered_bytes: u64,
+    /// Partitions with at least one recovered byte.
+    pub recovered_partitions: u64,
+    /// Recovered LOCALFILE extents.
+    pub local_extents: u64,
+    /// Recovered partitions whose prefix lives in a REMOTE object.
+    pub remote_partitions: u64,
+    /// Whether the manifest had a torn tail (truncated away).
+    pub torn_tail: bool,
+    /// Extent records dropped because their data failed CRC
+    /// verification or broke prefix contiguity.
+    pub dropped_extents: u64,
+    /// Non-extent records ignored as unsupported by the on-disk state
+    /// (e.g. a RemoteMoved whose object never got published).
+    pub dropped_records: u64,
+}
+
+/// Per-partition state accumulated while replaying the manifest.
+#[derive(Default)]
+struct Rebuilt {
+    extents: Vec<Extent>,
+    durable_len: u64,
+    /// Set when an extent record was dropped: later extents for this
+    /// partition can no longer extend a contiguous prefix.
+    sealed: bool,
+}
+
 /// A read piece planned under the lock, resolved after unlocking.
 enum Piece {
     Copied(Vec<u8>),
@@ -221,6 +255,37 @@ enum DrainStep {
     Retry,
     /// The object write failed; abort the drain.
     Failed(io::Error),
+}
+
+/// Stream `len` bytes at `file_off` of the spill file through CRC32C;
+/// `true` iff they exist and hash to `want`. Any read failure counts as
+/// a mismatch — the extent is dropped, never served torn.
+fn verify_extent(f: &mut fs::File, file_off: u64, len: u64, want: u32) -> bool {
+    if f.seek(SeekFrom::Start(file_off)).is_err() {
+        return false;
+    }
+    let mut hasher = Crc32c::new();
+    let mut buf = vec![0u8; (1usize << 20).min(len as usize).max(1)];
+    let mut left = len;
+    while left > 0 {
+        let take = (buf.len() as u64).min(left) as usize;
+        let Some(chunk) = buf.get_mut(..take) else {
+            return false;
+        };
+        if f.read_exact(chunk).is_err() {
+            return false;
+        }
+        hasher.update(chunk);
+        left -= take as u64;
+    }
+    hasher.finish() == want
+}
+
+/// Decide the fate of one durable disk write under the configured
+/// injector (no injector: always [`DiskWriteFault::Allow`]).
+fn fault(inj: &Option<Arc<dyn DiskFaultInjector>>, site: DiskWriteSite) -> DiskWriteFault {
+    inj.as_ref()
+        .map_or(DiskWriteFault::Allow, |i| i.disk_write(site))
 }
 
 /// Build a [`TierStatsSnapshot`] from the locked state.
@@ -255,6 +320,11 @@ pub struct HybridStore {
     remote: RemoteStore,
     remote_dir: PathBuf,
     owns_remote_dir: bool,
+    /// The durable manifest writer (`None` when `durable_spill` is
+    /// off). A leaf lock, never taken with `inner` held; all appends
+    /// additionally run under the `spill_active` token, so records land
+    /// in commit order.
+    manifest: Mutex<Option<ManifestWriter>>,
 }
 
 impl std::fmt::Debug for HybridStore {
@@ -292,6 +362,22 @@ impl HybridStore {
         };
         fs::create_dir_all(&data_dir)?;
         fs::File::create(data_dir.join("spill.data"))?;
+        let manifest_path = data_dir.join(manifest::MANIFEST_FILE);
+        let manifest = if cfg.durable_spill {
+            Some(ManifestWriter::create(
+                &manifest_path,
+                cfg.manifest_sync_interval,
+            )?)
+        } else {
+            // A fresh non-durable store over a reused dir must not
+            // leave a stale manifest for a later recover() to trust.
+            match fs::remove_file(&manifest_path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+            None
+        };
         let remote = RemoteStore::at(&remote_dir)?;
         let store = Arc::new(HybridStore {
             cfg,
@@ -312,6 +398,7 @@ impl HybridStore {
             remote,
             remote_dir,
             owns_remote_dir,
+            manifest: Mutex::new(manifest),
         });
         #[cfg(not(loom))]
         if store.cfg.background_flush {
@@ -345,6 +432,211 @@ impl HybridStore {
             }
         }
         Ok(store)
+    }
+
+    /// Rebuild a store from a crashed supplier's surviving LOCALFILE
+    /// directory (`cfg.data_dir` is required; `cfg.remote_dir` too if
+    /// the dead store ever drained). The durable manifest is replayed
+    /// under the torn-tail rule — the scan stops at the first
+    /// CRC-invalid frame and truncates the log there — and every extent
+    /// record is re-verified against the spill file's actual bytes, so
+    /// the recovered store serves byte-exact committed prefixes or
+    /// cleanly reports a partition absent, never torn data. Memory-tier
+    /// bytes are gone by definition; replica failover covers them.
+    pub fn recover(cfg: HybridConfig) -> io::Result<(Arc<HybridStore>, RecoveryReport)> {
+        cfg.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let Some(data_dir) = cfg.data_dir.clone() else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "recover requires cfg.data_dir",
+            ));
+        };
+        let trace = cfg.trace.clone();
+        let span = trace.span("store.recover", Entity::NONE, 0, 0);
+        let n = STORE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let (remote_dir, owns_remote_dir) = match &cfg.remote_dir {
+            Some(d) => (d.clone(), false),
+            None => (
+                std::env::temp_dir().join(format!("jbs-hybrid-remote-{}-{n}", std::process::id())),
+                true,
+            ),
+        };
+        fs::create_dir_all(&data_dir)?;
+        let remote = RemoteStore::at(&remote_dir)?;
+        remote.clean_tmp()?;
+        let manifest_path = data_dir.join(manifest::MANIFEST_FILE);
+        let scan = manifest::scan(&manifest_path)?;
+        if scan.torn {
+            // Truncate the torn tail so the continued log stays parseable.
+            let f = fs::OpenOptions::new().write(true).open(&manifest_path)?;
+            f.set_len(scan.valid_len)?;
+            f.sync_all()?;
+            trace.instant("recover.torn", Entity::NONE, scan.valid_len, 0);
+        }
+        let spill_path = data_dir.join("spill.data");
+        let mut spill = match fs::File::open(&spill_path) {
+            Ok(f) => Some(f),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                fs::File::create(&spill_path)?;
+                None
+            }
+            Err(e) => return Err(e),
+        };
+        let mut report = RecoveryReport {
+            torn_tail: scan.torn,
+            ..RecoveryReport::default()
+        };
+        let mut rebuilt: BTreeMap<Key, Rebuilt> = BTreeMap::new();
+        for rec in &scan.records {
+            match *rec {
+                manifest::Record::Extent {
+                    mof,
+                    reducer,
+                    offset,
+                    len,
+                    file_off,
+                    data_crc,
+                } => {
+                    let part = rebuilt.entry((mof, reducer)).or_default();
+                    if part.sealed || offset != part.durable_len {
+                        part.sealed = true;
+                        report.dropped_extents += 1;
+                        continue;
+                    }
+                    let ok = spill
+                        .as_mut()
+                        .is_some_and(|f| verify_extent(f, file_off, len, data_crc));
+                    if !ok {
+                        part.sealed = true;
+                        report.dropped_extents += 1;
+                        trace.instant("recover.drop", Entity::mof(mof), file_off, len);
+                        continue;
+                    }
+                    part.extents.push(Extent {
+                        offset,
+                        len,
+                        place: Place::Local { file_off },
+                    });
+                    part.durable_len += len;
+                }
+                manifest::Record::RemoteMoved {
+                    mof,
+                    reducer,
+                    total,
+                } => {
+                    // Trust the record only if the published object
+                    // actually covers the claimed prefix.
+                    if remote.object_len(mof, reducer).is_some_and(|l| l >= total) {
+                        let part = rebuilt.entry((mof, reducer)).or_default();
+                        part.extents = vec![Extent {
+                            offset: 0,
+                            len: total,
+                            place: Place::Remote,
+                        }];
+                        part.durable_len = total;
+                        part.sealed = false;
+                    } else {
+                        report.dropped_records += 1;
+                    }
+                }
+                manifest::Record::ReplicaDropped { mof, reducer } => {
+                    rebuilt.remove(&(mof, reducer));
+                }
+            }
+        }
+        drop(spill);
+        let mut parts: BTreeMap<Key, Partition> = BTreeMap::new();
+        let mut local_len = 0u64;
+        let mut spilled = 0u64;
+        let mut remote_bytes = 0u64;
+        for (key, r) in rebuilt {
+            if r.durable_len == 0 {
+                continue;
+            }
+            for ext in &r.extents {
+                match ext.place {
+                    Place::Local { file_off } => {
+                        spilled += ext.len;
+                        local_len = local_len.max(file_off + ext.len);
+                        report.local_extents += 1;
+                    }
+                    Place::Remote => {
+                        remote_bytes += ext.len;
+                        report.remote_partitions += 1;
+                    }
+                }
+            }
+            report.recovered_bytes += r.durable_len;
+            report.recovered_partitions += 1;
+            parts.insert(
+                key,
+                Partition {
+                    extents: r.extents,
+                    durable_len: r.durable_len,
+                    spilling: None,
+                    buffer: Vec::new(),
+                },
+            );
+        }
+        // Reclaim whatever torn garbage sits past the last committed
+        // extent; new spills append from here.
+        {
+            let f = fs::OpenOptions::new().write(true).open(&spill_path)?;
+            f.set_len(local_len)?;
+            f.sync_all()?;
+        }
+        let manifest = if cfg.durable_spill {
+            Some(ManifestWriter::open_append(
+                &manifest_path,
+                cfg.manifest_sync_interval,
+            )?)
+        } else {
+            None
+        };
+        let total_written = report.recovered_bytes;
+        let store = Arc::new(HybridStore {
+            cfg,
+            inner: Mutex::new(Inner {
+                parts,
+                replicated: BTreeSet::new(),
+                memory_used: 0,
+                local_len,
+                spill_active: false,
+                pressure: 0,
+                shutdown: false,
+                failed: None,
+                stats: Counters {
+                    total_written,
+                    spilled_bytes: spilled,
+                    remote_bytes,
+                    ..Counters::default()
+                },
+            }),
+            cv: Condvar::new(),
+            data_dir,
+            owns_data_dir: false,
+            remote,
+            remote_dir,
+            owns_remote_dir,
+            manifest: Mutex::new(manifest),
+        });
+        #[cfg(not(loom))]
+        if store.cfg.background_flush {
+            let s = Arc::clone(&store);
+            std::thread::Builder::new()
+                .name("hybrid-flusher".into())
+                .spawn(move || s.flusher_loop())
+                .map_err(io::Error::other)?;
+        }
+        trace.instant(
+            "recover.done",
+            Entity::NONE,
+            report.recovered_bytes,
+            report.recovered_partitions,
+        );
+        drop(span);
+        Ok((store, report))
     }
 
     /// The LOCALFILE tier's directory.
@@ -418,16 +710,17 @@ impl HybridStore {
     /// LOCALFILE tier.
     fn append_oversize(&self, mof: u64, reducer: u32, data: &[u8]) -> io::Result<()> {
         let key = (mof, reducer);
-        let file_off = self.reserve_oversize(key, data.len() as u64)?;
-        let wres = self.write_local(key, file_off, data);
+        let (file_off, logical_off) = self.reserve_oversize(key, data.len() as u64)?;
+        let wres = self.write_local(key, file_off, logical_off, data);
         self.commit_oversize(key, file_off, data.len() as u64, wres)
     }
 
     /// Oversize phase 1 (one critical section): take the flusher token,
     /// flush this partition's buffered tail so its extents stay
-    /// contiguous, and reserve `len` bytes of the spill file. On error
-    /// the token is released before returning.
-    fn reserve_oversize(&self, key: Key, len: u64) -> io::Result<u64> {
+    /// contiguous, and reserve `len` bytes of the spill file. Returns
+    /// `(file_off, logical_off)`; on error the token is released before
+    /// returning.
+    fn reserve_oversize(&self, key: Key, len: u64) -> io::Result<(u64, u64)> {
         let mut g = lock(&self.inner);
         while g.spill_active {
             if g.shutdown {
@@ -449,9 +742,10 @@ impl HybridStore {
                 return Err(e);
             }
         }
+        let logical_off = g.parts.get(&key).map_or(0, |p| p.durable_len);
         let file_off = g.local_len;
         g.local_len += len;
-        Ok(file_off)
+        Ok((file_off, logical_off))
     }
 
     /// Oversize phase 2 (one critical section, entered after the
@@ -529,12 +823,17 @@ impl HybridStore {
     }
 
     /// Let the background flusher (if any) exit and fail any appends
-    /// still blocked on backpressure.
+    /// still blocked on backpressure. Forces down any interval-batched
+    /// manifest records (best effort — close is not a durable barrier).
     pub fn close(&self) {
         let mut g = lock(&self.inner);
         g.shutdown = true;
         self.cv.notify_all();
         drop(g);
+        let mut mg = lock(&self.manifest);
+        if let Some(w) = mg.as_mut() {
+            let _ = w.sync();
+        }
     }
 
     /// Pick the next buffer to flush: huge-limit violators first (their
@@ -632,6 +931,9 @@ impl HybridStore {
         if !part.buffer.is_empty() && part.spilling.is_none() {
             let sealed = Arc::new(std::mem::take(&mut part.buffer));
             let len = sealed.len();
+            // Stable until commit: durable_len only moves under the
+            // spill_active token this caller holds.
+            let logical_off = part.durable_len;
             part.spilling = Some(Arc::clone(&sealed));
             if huge {
                 g.stats.huge_forced += 1;
@@ -639,7 +941,7 @@ impl HybridStore {
             let file_off = g.local_len;
             g.local_len += len as u64;
             drop(g);
-            let wres = self.write_local(key, file_off, &sealed);
+            let wres = self.write_local(key, file_off, logical_off, &sealed);
             g = lock(&self.inner);
             match wres {
                 Ok(()) => {
@@ -675,7 +977,12 @@ impl HybridStore {
         (g, Ok(()))
     }
 
-    fn write_local(&self, key: Key, file_off: u64, data: &[u8]) -> io::Result<()> {
+    /// Write one extent to the spill file and — in durable mode — run
+    /// the full write→sync→publish discipline: data bytes first, a
+    /// `sync_data` barrier second, and only then the manifest record
+    /// that makes the extent recoverable. Crash points and injected
+    /// disk faults interpose at each step.
+    fn write_local(&self, key: Key, file_off: u64, logical_off: u64, data: &[u8]) -> io::Result<()> {
         // Both callers run this with no store lock held (flush_one drops
         // the guard first; append_oversize writes between its two
         // critical sections), so blocking on an append permit here can
@@ -683,13 +990,91 @@ impl HybridStore {
         let _permit = GatePermit::take(self.cfg.spill_gate.as_deref());
         let mut f = fs::OpenOptions::new().write(true).open(self.spill_path())?;
         f.seek(SeekFrom::Start(file_off))?;
+        match fault(&self.cfg.disk_faults, DiskWriteSite::SpillWrite) {
+            DiskWriteFault::Allow => {}
+            DiskWriteFault::ShortWrite => {
+                let keep = data.get(..data.len() / 2).unwrap_or(data);
+                let _ = f.write_all(keep);
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected short spill write",
+                ));
+            }
+            DiskWriteFault::Error => {
+                return Err(io::Error::other("injected spill write error"));
+            }
+        }
+        if crash::check(&self.cfg.crash_plan, CrashSite::SpillWrite) {
+            // Simulated kill mid-write: a torn prefix lands in the file.
+            let keep = data.get(..data.len() / 2).unwrap_or(data);
+            let _ = f.write_all(keep);
+            return Err(crash_error());
+        }
         f.write_all(data)?;
+        if self.cfg.durable_spill {
+            if crash::check(&self.cfg.crash_plan, CrashSite::SpillSync) {
+                return Err(crash_error());
+            }
+            f.sync_data()?;
+        }
         if !self.cfg.synthetic_spill_delay.is_zero() {
             std::thread::sleep(self.cfg.synthetic_spill_delay);
         }
         self.cfg
             .trace
             .instant("spill.write", Entity::mof(key.0), file_off, data.len() as u64);
+        if self.cfg.durable_spill {
+            self.manifest_commit(manifest::Record::Extent {
+                mof: key.0,
+                reducer: key.1,
+                offset: logical_off,
+                len: data.len() as u64,
+                file_off,
+                data_crc: crc32c(data),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Publish one durable transition to the manifest (a no-op when
+    /// durability is off). Every caller holds the `spill_active` token,
+    /// which puts records in commit order; the `manifest` mutex itself
+    /// is a leaf lock taken with no other store lock held.
+    fn manifest_commit(&self, rec: manifest::Record) -> io::Result<()> {
+        let mut mg = lock(&self.manifest);
+        let Some(w) = mg.as_mut() else {
+            return Ok(());
+        };
+        let frame = manifest::frame_of(&rec);
+        match fault(&self.cfg.disk_faults, DiskWriteSite::ManifestAppend) {
+            DiskWriteFault::Allow => {}
+            DiskWriteFault::ShortWrite => {
+                let keep = frame.get(..frame.len() / 2).unwrap_or(&frame);
+                let _ = w.write_bytes(keep);
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected short manifest append",
+                ));
+            }
+            DiskWriteFault::Error => {
+                return Err(io::Error::other("injected manifest append error"));
+            }
+        }
+        if crash::check(&self.cfg.crash_plan, CrashSite::ManifestAppend) {
+            // Simulated kill mid-append: a torn frame prefix for the
+            // recovery scan's torn-tail rule to truncate.
+            let keep = frame.get(..frame.len() / 2).unwrap_or(&frame);
+            let _ = w.write_bytes(keep);
+            return Err(crash_error());
+        }
+        w.write_bytes(&frame)?;
+        w.record_written();
+        if w.sync_due() {
+            if crash::check(&self.cfg.crash_plan, CrashSite::ManifestSync) {
+                return Err(crash_error());
+            }
+            w.sync()?;
+        }
         Ok(())
     }
 
@@ -857,16 +1242,16 @@ impl HybridStore {
     /// `false` when the partition is not marked — or already has REMOTE
     /// extents, which the normal drain path must finish moving so the
     /// surviving object directory stays self-consistent.
-    fn drop_replicated(&self, key: Key) -> bool {
+    fn drop_replicated(&self, key: Key) -> io::Result<bool> {
         let mut g = lock(&self.inner);
         if !g.replicated.contains(&key) {
-            return false;
+            return Ok(false);
         }
         let Some(part) = g.parts.get(&key) else {
-            return true;
+            return Ok(true);
         };
         if part.extents.iter().any(|e| e.place == Place::Remote) {
-            return false;
+            return Ok(false);
         }
         let mem = part.mem_len();
         let local: u64 = part.extents.iter().map(|e| e.len).sum();
@@ -883,7 +1268,16 @@ impl HybridStore {
             total,
         );
         self.cv.notify_all();
-        true
+        drop(g);
+        // Publish the drop after the in-memory removal: a crash between
+        // the two resurrects the partition at recovery, which is
+        // harmless — the live replica serves it and the resurrected
+        // bytes are byte-exact.
+        self.manifest_commit(manifest::Record::ReplicaDropped {
+            mof: key.0,
+            reducer: key.1,
+        })?;
+        Ok(true)
     }
 
     /// Quick decommission: move every partition's bytes to the REMOTE
@@ -899,8 +1293,13 @@ impl HybridStore {
         let keys = self.acquire_drain_token();
         let mut result = Ok(());
         'keys: for key in keys {
-            if self.drop_replicated(key) {
-                continue 'keys;
+            match self.drop_replicated(key) {
+                Ok(true) => continue 'keys,
+                Ok(false) => {}
+                Err(e) => {
+                    result = Err(e);
+                    break 'keys;
+                }
             }
             // Per-partition plan → unlocked object write → commit; an
             // append racing the write changes the fingerprint and the
@@ -909,9 +1308,23 @@ impl HybridStore {
                 let Some((pieces, total, fingerprint, local_bytes)) = self.plan_drain(key) else {
                     continue 'keys;
                 };
+                // The RemoteMoved record is appended after the object's
+                // publishing rename; if a racing append then fails the
+                // fingerprint check, a later re-drain's record simply
+                // supersedes this one in the log.
                 let put = self
                     .assemble(key, pieces, total)
-                    .and_then(|bytes| self.remote.put(key.0, key.1, &bytes));
+                    .and_then(|bytes| {
+                        self.remote
+                            .put(key.0, key.1, &bytes, &self.cfg.crash_plan)
+                    })
+                    .and_then(|()| {
+                        self.manifest_commit(manifest::Record::RemoteMoved {
+                            mof: key.0,
+                            reducer: key.1,
+                            total,
+                        })
+                    });
                 match self.commit_drain(key, put, total, fingerprint, local_bytes) {
                     DrainStep::Done => continue 'keys,
                     DrainStep::Retry => {}
@@ -1258,6 +1671,188 @@ mod tests {
         assert_eq!(s.memory_bytes + s.spilled_bytes + s.remote_bytes, 480);
         assert_eq!(store.read_segment_range(7, 0, 0, 0).unwrap().unwrap(), expected);
         store.close();
+    }
+
+    /// A pinned pair of scratch dirs that outlive the store (unlike the
+    /// store-owned temp dirs) so a "crashed" store's files survive for
+    /// recovery, and are removed when the test ends.
+    struct ScratchDirs {
+        data: PathBuf,
+        remote: PathBuf,
+    }
+
+    impl ScratchDirs {
+        fn new(tag: &str) -> ScratchDirs {
+            let base = std::env::temp_dir().join(format!(
+                "jbs-recover-{tag}-{}-{}",
+                std::process::id(),
+                STORE_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = fs::remove_dir_all(&base);
+            ScratchDirs {
+                data: base.join("data"),
+                remote: base.join("remote"),
+            }
+        }
+
+        fn durable(&self, budget: usize) -> HybridConfig {
+            HybridConfig {
+                durable_spill: true,
+                data_dir: Some(self.data.clone()),
+                remote_dir: Some(self.remote.clone()),
+                ..tiny(budget)
+            }
+        }
+    }
+
+    impl Drop for ScratchDirs {
+        fn drop(&mut self) {
+            if let Some(base) = self.data.parent() {
+                let _ = fs::remove_dir_all(base);
+            }
+        }
+    }
+
+    #[test]
+    fn recover_rebuilds_spilled_extents_byte_exact() {
+        let dirs = ScratchDirs::new("spill");
+        let store = HybridStore::new(dirs.durable(100)).unwrap();
+        let mut appended = Vec::new();
+        for i in 0..12u8 {
+            let chunk = pattern(10, i);
+            appended.extend_from_slice(&chunk);
+            store.append(4, 2, &chunk).unwrap();
+        }
+        let durable = store.layout(4, 2).unwrap().local;
+        assert!(durable > 0, "workload must spill");
+        drop(store); // crash: the memory tier evaporates
+        let (rec, report) = HybridStore::recover(dirs.durable(100)).unwrap();
+        assert_eq!(report.recovered_bytes, durable);
+        assert_eq!(report.recovered_partitions, 1);
+        assert!(!report.torn_tail);
+        assert_eq!(report.dropped_extents, 0);
+        let bytes = rec.read_segment_range(4, 2, 0, 0).unwrap().unwrap();
+        assert_eq!(bytes, appended[..durable as usize], "byte-exact prefix");
+        // The recovered store keeps working: new appends extend the
+        // recovered prefix and survive a second crash-recover.
+        rec.append(4, 2, &pattern(60, 99)).unwrap();
+        let durable2 = rec.layout(4, 2).unwrap().local;
+        let mut appended2 = appended[..durable as usize].to_vec();
+        appended2.extend_from_slice(&pattern(60, 99));
+        drop(rec);
+        let (rec2, report2) = HybridStore::recover(dirs.durable(100)).unwrap();
+        assert_eq!(report2.recovered_bytes, durable2);
+        assert_eq!(
+            rec2.read_segment_range(4, 2, 0, 0).unwrap().unwrap(),
+            appended2[..durable2 as usize]
+        );
+    }
+
+    #[test]
+    fn recover_handles_oversize_drain_and_replica_drop() {
+        let dirs = ScratchDirs::new("mixed");
+        let store = HybridStore::new(dirs.durable(64)).unwrap();
+        let big = pattern(200, 9); // oversize: direct to LOCALFILE
+        store.append(1, 0, &big).unwrap();
+        store.append(2, 0, &pattern(100, 3)).unwrap();
+        store.append(3, 0, &pattern(80, 4)).unwrap();
+        store.mark_replicated(3, 0);
+        store.drain_to_remote().unwrap(); // 1,2 → REMOTE; 3 dropped
+        store.append(2, 0, &pattern(90, 5)).unwrap(); // post-drain spill
+        let durable2 = store.layout(2, 0).unwrap();
+        drop(store);
+        let (rec, report) = HybridStore::recover(dirs.durable(64)).unwrap();
+        assert_eq!(rec.read_segment_range(1, 0, 0, 0).unwrap().unwrap(), big);
+        let mut want2 = pattern(100, 3);
+        want2.extend_from_slice(&pattern(90, 5));
+        let got2 = rec.read_segment_range(2, 0, 0, 0).unwrap().unwrap();
+        let durable2_total = (durable2.remote + durable2.local) as usize;
+        assert_eq!(got2, want2[..durable2_total]);
+        // The replica-dropped partition stays dropped.
+        assert_eq!(rec.read_segment_range(3, 0, 0, 0).unwrap(), None);
+        assert_eq!(report.remote_partitions, 2);
+        let s = rec.stats();
+        assert_eq!(
+            s.memory_bytes + s.spilled_bytes + s.remote_bytes,
+            s.total_written,
+            "residency identity holds after recovery: {s:?}"
+        );
+    }
+
+    #[test]
+    fn recover_truncates_torn_manifest_tail() {
+        let dirs = ScratchDirs::new("torn");
+        let store = HybridStore::new(dirs.durable(100)).unwrap();
+        store.append(0, 0, &pattern(80, 3)).unwrap();
+        let durable = store.layout(0, 0).unwrap().local;
+        drop(store);
+        // A crash mid-append leaves garbage at the log's tail.
+        let mpath = dirs.data.join("manifest.log");
+        let mut log = fs::read(&mpath).unwrap();
+        log.extend_from_slice(&[0x29, 0x00, 0x00, 0x00, 0xde, 0xad]);
+        fs::write(&mpath, &log).unwrap();
+        let (rec, report) = HybridStore::recover(dirs.durable(100)).unwrap();
+        assert!(report.torn_tail);
+        assert_eq!(report.recovered_bytes, durable);
+        assert_eq!(
+            rec.read_segment_range(0, 0, 0, 0).unwrap().unwrap(),
+            pattern(80, 3)[..durable as usize]
+        );
+        // The truncation stuck: a second scan is clean.
+        drop(rec);
+        let (_, report2) = HybridStore::recover(dirs.durable(100)).unwrap();
+        assert!(!report2.torn_tail);
+    }
+
+    #[test]
+    fn recover_drops_extents_with_corrupt_data() {
+        let dirs = ScratchDirs::new("corrupt");
+        let store = HybridStore::new(dirs.durable(100)).unwrap();
+        store.append(0, 0, &pattern(80, 3)).unwrap();
+        let durable = store.layout(0, 0).unwrap().local;
+        assert!(durable >= 2);
+        drop(store);
+        // Silent corruption in the spilled data itself.
+        let spath = dirs.data.join("spill.data");
+        let mut data = fs::read(&spath).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x01;
+        fs::write(&spath, &data).unwrap();
+        let (rec, report) = HybridStore::recover(dirs.durable(100)).unwrap();
+        assert!(report.dropped_extents >= 1, "{report:?}");
+        // Whatever survived is still an exact prefix, never garbage.
+        let got = rec
+            .read_segment_range(0, 0, 0, 0)
+            .unwrap()
+            .map_or(Vec::new(), |b| b);
+        assert_eq!(got, pattern(80, 3)[..got.len()]);
+        assert!(got.len() as u64 <= durable);
+    }
+
+    #[test]
+    fn recover_requires_a_data_dir() {
+        let cfg = HybridConfig {
+            durable_spill: true,
+            ..tiny(100)
+        };
+        let err = HybridStore::recover(cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn fresh_store_over_reused_dir_forgets_the_old_manifest() {
+        let dirs = ScratchDirs::new("reuse");
+        let store = HybridStore::new(dirs.durable(100)).unwrap();
+        store.append(0, 0, &pattern(80, 3)).unwrap();
+        drop(store);
+        // A brand-new store over the same dir starts empty …
+        let fresh = HybridStore::new(dirs.durable(100)).unwrap();
+        assert_eq!(fresh.partitions(), Vec::<(u64, u32)>::new());
+        drop(fresh);
+        // … and recovery after it sees nothing stale.
+        let (rec, report) = HybridStore::recover(dirs.durable(100)).unwrap();
+        assert_eq!(report.recovered_bytes, 0);
+        assert_eq!(rec.partitions(), Vec::<(u64, u32)>::new());
     }
 
     #[test]

@@ -38,10 +38,17 @@ pub enum Hook {
     /// end-to-end CRC32C can; also hosts the boundary-truncation
     /// clean-EOF lie).
     ServerPayload,
+    /// Store spill-extent write to the local spill file (disk faults:
+    /// short write, EIO) — consulted via the store's
+    /// [`jbs_store_hybrid::DiskFaultInjector`] config hook.
+    DiskSpillWrite,
+    /// Store manifest-record append (disk faults: short write, EIO) —
+    /// consulted via [`jbs_store_hybrid::DiskFaultInjector`].
+    DiskManifestAppend,
 }
 
 impl Hook {
-    const COUNT: usize = 8;
+    const COUNT: usize = 10;
 
     /// All hooks, in index order.
     pub const ALL: [Hook; Hook::COUNT] = [
@@ -53,6 +60,8 @@ impl Hook {
         Hook::VerbsRead,
         Hook::ServerAdmission,
         Hook::ServerPayload,
+        Hook::DiskSpillWrite,
+        Hook::DiskManifestAppend,
     ];
 
     fn index(self) -> usize {
@@ -65,6 +74,8 @@ impl Hook {
             Hook::VerbsRead => 5,
             Hook::ServerAdmission => 6,
             Hook::ServerPayload => 7,
+            Hook::DiskSpillWrite => 8,
+            Hook::DiskManifestAppend => 9,
         }
     }
 }
@@ -95,6 +106,12 @@ pub enum FaultAction {
     /// the boundary-truncation lie that v2 cannot distinguish from a
     /// real end-of-segment.
     CleanEof,
+    /// Disk write lands only a prefix of the buffer (meaningful at the
+    /// `Disk*` hooks, surfaced to the store as a short write).
+    ShortWrite,
+    /// Disk write fails outright with an I/O error (meaningful at the
+    /// `Disk*` hooks).
+    DiskError,
 }
 
 /// Fault kinds, for forcing a specific action at a specific occurrence.
@@ -116,6 +133,10 @@ pub enum FaultKind {
     CorruptPayload,
     /// See [`FaultAction::CleanEof`].
     CleanEof,
+    /// See [`FaultAction::ShortWrite`].
+    ShortWrite,
+    /// See [`FaultAction::DiskError`].
+    DiskError,
 }
 
 /// Per-hook probabilities and forced occurrences.
@@ -129,6 +150,8 @@ struct HookRules {
     p_busy: f64,
     p_corrupt_payload: f64,
     p_clean_eof: f64,
+    p_short_write: f64,
+    p_disk_error: f64,
     stall: Duration,
     /// `(occurrence, kind)`: the `occurrence`-th firing (0-based) of
     /// this hook takes `kind` unconditionally.
@@ -146,6 +169,8 @@ impl HookRules {
             FaultKind::Busy => FaultAction::Busy,
             FaultKind::CorruptPayload => FaultAction::CorruptPayload,
             FaultKind::CleanEof => FaultAction::CleanEof,
+            FaultKind::ShortWrite => FaultAction::ShortWrite,
+            FaultKind::DiskError => FaultAction::DiskError,
         }
     }
 }
@@ -161,6 +186,8 @@ pub struct FaultStats {
     busy_storms: AtomicU64,
     payload_corruptions: AtomicU64,
     clean_eof_lies: AtomicU64,
+    short_writes: AtomicU64,
+    disk_errors: AtomicU64,
 }
 
 /// A point-in-time copy of [`FaultStats`].
@@ -182,6 +209,10 @@ pub struct FaultStatsSnapshot {
     pub payload_corruptions: u64,
     /// Clean-EOF truncation lies injected.
     pub clean_eof_lies: u64,
+    /// Disk short writes injected.
+    pub short_writes: u64,
+    /// Disk I/O errors injected.
+    pub disk_errors: u64,
 }
 
 impl FaultStatsSnapshot {
@@ -195,6 +226,8 @@ impl FaultStatsSnapshot {
             + self.busy_storms
             + self.payload_corruptions
             + self.clean_eof_lies
+            + self.short_writes
+            + self.disk_errors
     }
 }
 
@@ -255,6 +288,8 @@ impl FaultPlan {
                     (rules.p_busy, FaultKind::Busy),
                     (rules.p_corrupt_payload, FaultKind::CorruptPayload),
                     (rules.p_clean_eof, FaultKind::CleanEof),
+                    (rules.p_short_write, FaultKind::ShortWrite),
+                    (rules.p_disk_error, FaultKind::DiskError),
                 ];
                 let mut chosen = FaultAction::Allow;
                 for (p, kind) in ladder {
@@ -293,6 +328,12 @@ impl FaultPlan {
             FaultAction::CleanEof => {
                 self.stats.clean_eof_lies.fetch_add(1, Ordering::Relaxed);
             }
+            FaultAction::ShortWrite => {
+                self.stats.short_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::DiskError => {
+                self.stats.disk_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
         action
     }
@@ -308,6 +349,29 @@ impl FaultPlan {
             busy_storms: self.stats.busy_storms.load(Ordering::Relaxed),
             payload_corruptions: self.stats.payload_corruptions.load(Ordering::Relaxed),
             clean_eof_lies: self.stats.clean_eof_lies.load(Ordering::Relaxed),
+            short_writes: self.stats.short_writes.load(Ordering::Relaxed),
+            disk_errors: self.stats.disk_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The store consults its [`jbs_store_hybrid::DiskFaultInjector`] on
+/// every spill-extent and manifest-record write; routing those calls
+/// through the plan's per-hook rng streams gives disk faults the same
+/// determinism contract as the network hooks: the decision at the
+/// `n`-th occurrence is a pure function of `(seed, occurrence)`.
+impl jbs_store_hybrid::DiskFaultInjector for FaultPlan {
+    fn disk_write(&self, site: jbs_store_hybrid::DiskWriteSite) -> jbs_store_hybrid::DiskWriteFault {
+        let hook = match site {
+            jbs_store_hybrid::DiskWriteSite::SpillWrite => Hook::DiskSpillWrite,
+            jbs_store_hybrid::DiskWriteSite::ManifestAppend => Hook::DiskManifestAppend,
+        };
+        match self.decide(hook) {
+            FaultAction::ShortWrite => jbs_store_hybrid::DiskWriteFault::ShortWrite,
+            FaultAction::DiskError => jbs_store_hybrid::DiskWriteFault::Error,
+            // Network-shaped actions are meaningless on a disk path;
+            // treat anything else as a clean write.
+            _ => jbs_store_hybrid::DiskWriteFault::Allow,
         }
     }
 }
@@ -383,6 +447,22 @@ impl FaultPlanBuilder {
     /// (meaningful at [`Hook::ServerPayload`]).
     pub fn clean_eof(mut self, hook: Hook, p: f64) -> Self {
         self.rules[hook.index()].p_clean_eof = p;
+        self
+    }
+
+    /// Land only a prefix of disk writes at `hook` with probability `p`
+    /// (meaningful at [`Hook::DiskSpillWrite`] and
+    /// [`Hook::DiskManifestAppend`]).
+    pub fn short_write(mut self, hook: Hook, p: f64) -> Self {
+        self.rules[hook.index()].p_short_write = p;
+        self
+    }
+
+    /// Fail disk writes with an I/O error at `hook` with probability
+    /// `p` (meaningful at [`Hook::DiskSpillWrite`] and
+    /// [`Hook::DiskManifestAppend`]).
+    pub fn disk_error(mut self, hook: Hook, p: f64) -> Self {
+        self.rules[hook.index()].p_disk_error = p;
         self
     }
 
@@ -510,6 +590,63 @@ mod tests {
             s.total(),
             s.busy_storms + s.payload_corruptions + s.clean_eof_lies
         );
+    }
+
+    #[test]
+    fn disk_faults_are_deterministic_per_seed_and_occurrence() {
+        use jbs_store_hybrid::{DiskFaultInjector, DiskWriteFault, DiskWriteSite};
+        let build = || {
+            FaultPlan::builder(41)
+                .short_write(Hook::DiskSpillWrite, 0.3)
+                .disk_error(Hook::DiskSpillWrite, 0.2)
+                .disk_error(Hook::DiskManifestAppend, 0.4)
+                .force(Hook::DiskManifestAppend, 1, FaultKind::ShortWrite)
+                .build()
+        };
+        let a = build();
+        let b = build();
+        let mut saw_short = false;
+        let mut saw_error = false;
+        for i in 0..200 {
+            let fa = a.disk_write(DiskWriteSite::SpillWrite);
+            assert_eq!(fa, b.disk_write(DiskWriteSite::SpillWrite));
+            saw_short |= fa == DiskWriteFault::ShortWrite;
+            saw_error |= fa == DiskWriteFault::Error;
+            let ma = a.disk_write(DiskWriteSite::ManifestAppend);
+            assert_eq!(ma, b.disk_write(DiskWriteSite::ManifestAppend));
+            if i == 1 {
+                assert_eq!(ma, DiskWriteFault::ShortWrite, "forced occurrence 1");
+            }
+        }
+        assert!(saw_short && saw_error, "both disk fault kinds must fire");
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().short_writes >= 1);
+        assert!(a.stats().disk_errors >= 1);
+    }
+
+    #[test]
+    fn disk_hooks_do_not_perturb_network_hooks() {
+        use jbs_store_hybrid::{DiskFaultInjector, DiskWriteSite};
+        let mk = || {
+            FaultPlan::builder(23)
+                .reset(Hook::ServerWriteResponse, 0.4)
+                .disk_error(Hook::DiskSpillWrite, 0.5)
+                .build()
+        };
+        let a = mk();
+        let b = mk();
+        let seq_a: Vec<_> = (0..100)
+            .map(|_| a.decide(Hook::ServerWriteResponse))
+            .collect();
+        let seq_b: Vec<_> = (0..100)
+            .map(|i| {
+                if i % 2 == 0 {
+                    b.disk_write(DiskWriteSite::SpillWrite);
+                }
+                b.decide(Hook::ServerWriteResponse)
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
     }
 
     #[test]

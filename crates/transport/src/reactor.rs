@@ -987,7 +987,10 @@ fn start_resp(shared: &Shared, conn: &mut Conn, at: usize) {
         | FaultAction::RefuseConnect
         | FaultAction::Busy
         | FaultAction::CorruptPayload
-        | FaultAction::CleanEof => {}
+        | FaultAction::CleanEof
+        // Disk-shaped faults are meaningless on a network transmit.
+        | FaultAction::ShortWrite
+        | FaultAction::DiskError => {}
         FaultAction::Stall(d) => {
             // The loop never sleeps: a stall is a transmit deadline. The
             // span is already open, so the withheld time is charged to

@@ -796,7 +796,10 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             | FaultAction::RefuseConnect
             | FaultAction::Busy
             | FaultAction::CorruptPayload
-            | FaultAction::CleanEof => {
+            | FaultAction::CleanEof
+            // Disk-shaped faults are meaningless on a network transmit.
+            | FaultAction::ShortWrite
+            | FaultAction::DiskError => {
                 resp.write_vectored_to(&mut writer)?;
             }
             FaultAction::Stall(d) => {

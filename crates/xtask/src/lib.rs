@@ -224,6 +224,20 @@ pub fn analyze(config: &Config, policy: &Policy) -> std::io::Result<Report> {
         }
     }
 
+    // Write→sync→publish ordering in the crash-consistent persistence
+    // files (the durable spill manifest and its neighbors).
+    for rel_path in &policy.durability_files {
+        let path = config.root.join(rel_path);
+        if !path.is_file() {
+            continue;
+        }
+        let scanned = lexer::scan(&std::fs::read_to_string(&path)?);
+        findings.extend(lints::durability::check(
+            &rel(&config.root, &path),
+            &scanned,
+        ));
+    }
+
     // No prints on the instrumented dataplane.
     for dir in &config.print_dirs {
         for path in rust_files(&config.root.join(dir))? {

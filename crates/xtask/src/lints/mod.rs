@@ -6,6 +6,7 @@
 
 pub mod blocking;
 pub mod determinism;
+pub mod durability;
 pub mod guardbalance;
 pub mod hygiene;
 pub mod lockorder;
@@ -20,7 +21,8 @@ use std::path::PathBuf;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Lint family (`panic`, `lock-order`, `blocking`, `nonblocking`,
-    /// `guard-balance`, `determinism`, `hygiene`, `print`).
+    /// `guard-balance`, `determinism`, `durability`, `hygiene`,
+    /// `print`).
     pub lint: &'static str,
     /// File the violation is in.
     pub file: PathBuf,
@@ -45,6 +47,7 @@ pub fn lint_name(name: &str) -> Option<&'static str> {
         "nonblocking",
         "guard-balance",
         "determinism",
+        "durability",
         "hygiene",
         "print",
     ]

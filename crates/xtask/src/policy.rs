@@ -57,6 +57,10 @@ pub struct Policy {
     /// reach any blocking primitive at all, locks held or not (the
     /// nonblocking-context lint). Empty = lint off.
     pub nonblocking_context: Vec<String>,
+    /// Workspace-relative paths of crash-consistent persistence files
+    /// under the durability lint (write→sync→publish ordering). Empty =
+    /// lint off.
+    pub durability_files: Vec<String>,
     /// Audited exemptions.
     pub allows: Vec<AllowEntry>,
 }
@@ -142,6 +146,7 @@ impl Policy {
                         "primitive_files" => &mut policy.primitive_files,
                         "blocking_allowed_under" => &mut policy.blocking_allowed_under,
                         "nonblocking_context" => &mut policy.nonblocking_context,
+                        "durability_files" => &mut policy.durability_files,
                         _ => {
                             return Err(PolicyError {
                                 line: lineno,

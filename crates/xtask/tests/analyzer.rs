@@ -27,7 +27,8 @@ fn fixture_config(root: &Path) -> Config {
 fn fixture_policy(allows: &str) -> Policy {
     let text = format!(
         "[policy]\nlock_order = [\"alpha\", \"beta\", \"delta\", \"epsilon\"]\n\
-         primitive_files = [\"crates/dataplane/src/sync.rs\"]\n{allows}"
+         primitive_files = [\"crates/dataplane/src/sync.rs\"]\n\
+         durability_files = [\"crates/dataplane/src/durable.rs\"]\n{allows}"
     );
     Policy::parse(&text).expect("fixture policy parses")
 }
@@ -192,6 +193,56 @@ fn bad_fixture_trips_blocking_under_lock() {
         "the finding names the lock holder up the call graph: {:?}",
         transitive[0].chain
     );
+}
+
+#[test]
+fn bad_fixture_trips_durability_rules() {
+    let r = run("bad", &fixture_policy(""));
+    assert_eq!(
+        count(&r, "durability", "publishing `rename`"),
+        1,
+        "unsynced publish reported once"
+    );
+    assert_eq!(
+        count(&r, "durability", "bare `fs::write`"),
+        1,
+        "one-shot write reported once"
+    );
+    let unsynced: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.lint == "durability" && f.message.contains("no sync anywhere"))
+        .collect();
+    assert_eq!(unsynced.len(), 1, "sync-free append reported once");
+    assert!(
+        unsynced[0].chain.iter().any(|fr| fr.contains("append_record")),
+        "the witness chain names the offending function: {:?}",
+        unsynced[0].chain
+    );
+    assert!(r
+        .findings
+        .iter()
+        .filter(|f| f.lint == "durability")
+        .all(|f| f.file.ends_with("durable.rs")));
+}
+
+#[test]
+fn durability_waiver_is_audited_like_any_other() {
+    let allows = r#"
+[[allow]]
+lint = "durability"
+file = "crates/dataplane/src/durable.rs"
+contains = "f.write_all(b"
+reason = "fixture: the deferred barrier lives in the caller"
+"#;
+    let r = run("bad", &fixture_policy(allows));
+    assert_eq!(count(&r, "durability", "no sync anywhere"), 0, "waived");
+    assert_eq!(
+        count(&r, "durability", "publishing `rename`"),
+        1,
+        "other durability findings still fire"
+    );
+    assert!(r.stale_allows.is_empty());
 }
 
 #[test]

@@ -1,0 +1,25 @@
+//! Seeded durability violations: an unsynced publish, a bare
+//! `fs::write`, and a durable-intent write with no sync witness.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Publishes the tmp file without ever syncing it: a crash right after
+/// the rename leaves a torn object under the published name.
+pub fn publish_unsynced(dir: &Path) -> io::Result<()> {
+    let tmp = dir.join("obj.tmp");
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(b"payload")?;
+    fs::rename(&tmp, dir.join("obj"))
+}
+
+/// The one-shot helper gives no handle to sync at all.
+pub fn snapshot(dir: &Path) -> io::Result<()> {
+    fs::write(dir.join("snapshot"), b"state")
+}
+
+/// Appends with no barrier and no publish step anywhere in sight.
+pub fn append_record(f: &mut fs::File) -> io::Result<()> {
+    f.write_all(b"record")
+}

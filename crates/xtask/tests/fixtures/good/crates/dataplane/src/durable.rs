@@ -1,0 +1,21 @@
+//! Fixed durability counterpart: write → sync → publish, in order.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// The crash-atomic publish: bytes are on the platter before the
+/// rename makes them visible.
+pub fn publish(dir: &Path) -> io::Result<()> {
+    let tmp = dir.join("obj.tmp");
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(b"payload")?;
+    f.sync_all()?;
+    fs::rename(&tmp, dir.join("obj"))
+}
+
+/// An append with its barrier in the same function.
+pub fn append_record(f: &mut fs::File) -> io::Result<()> {
+    f.write_all(b"record")?;
+    f.sync_data()
+}

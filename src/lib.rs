@@ -139,16 +139,20 @@ pub fn control_registry_config(cfg: &core::JbsConfig) -> control::RegistryConfig
 }
 
 /// Build a hybrid-store configuration from a [`core::JbsConfig`]: the
-/// memory budget, spill watermarks, and huge-partition limit knobs map
-/// onto [`store_hybrid::HybridConfig`]. Pair the result with
-/// [`transport::ServerOptions::hybrid`] via
-/// [`store_hybrid::HybridStore::new`] to give a supplier a memory tier.
+/// memory budget, spill watermarks, huge-partition limit, and
+/// crash-consistency knobs map onto [`store_hybrid::HybridConfig`].
+/// Pair the result with [`transport::ServerOptions::hybrid`] via
+/// [`store_hybrid::HybridStore::new`] to give a supplier a memory tier;
+/// with `durable_spill` on, pin `data_dir` so a restarted supplier can
+/// rebuild from it with [`store_hybrid::HybridStore::recover`].
 pub fn hybrid_store_config(cfg: &core::JbsConfig) -> store_hybrid::HybridConfig {
     store_hybrid::HybridConfig {
         memory_budget: cfg.hybrid_memory_budget as usize,
         high_watermark: cfg.memory_spill_high_watermark,
         low_watermark: cfg.memory_spill_low_watermark,
         huge_partition_limit: cfg.huge_partition_limit as usize,
+        durable_spill: cfg.durable_spill,
+        manifest_sync_interval: cfg.manifest_sync_interval,
         ..store_hybrid::HybridConfig::default()
     }
 }
@@ -266,5 +270,37 @@ mod tests {
         let stats = store.stats();
         assert!(stats.spill_trips >= 1, "0.6 watermark tripped: {stats:?}");
         assert!(stats.memory_bytes <= (1 << 20) * 3 / 10);
+    }
+
+    #[test]
+    fn jbs_config_drives_crash_consistent_spills() {
+        let dir = std::env::temp_dir().join(format!("jbs-lib-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = core::JbsConfig {
+            hybrid_memory_budget: 1 << 10,
+            huge_partition_limit: 1 << 10,
+            durable_spill: true,
+            manifest_sync_interval: 1,
+            ..core::JbsConfig::default()
+        };
+        let mut hc = hybrid_store_config(&cfg);
+        assert!(hc.durable_spill, "durability knob propagates");
+        assert_eq!(hc.manifest_sync_interval, 1);
+        hc.data_dir = Some(dir.join("data"));
+        hc.remote_dir = Some(dir.join("remote"));
+        // An oversize append lands durably; recover() from the same
+        // directory rebuilds it byte-exact.
+        let store = store_hybrid::HybridStore::new(hc.clone()).unwrap();
+        let payload = vec![3u8; 4 << 10];
+        store.append(5, 2, &payload).unwrap();
+        store.close();
+        drop(store);
+        let (rec, report) = store_hybrid::HybridStore::recover(hc).unwrap();
+        assert_eq!(report.recovered_bytes, payload.len() as u64);
+        assert_eq!(
+            rec.read_segment_range(5, 2, 0, 0).unwrap().as_deref(),
+            Some(payload.as_slice())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
